@@ -1,0 +1,283 @@
+// Command ccffilter builds, stores, inspects and queries conditional
+// cuckoo filters — the paper's deployment model of pre-built, stored
+// sketches (§3) as a command-line workflow.
+//
+// Build a filter from a CSV (first column = key, remaining columns =
+// attributes; a header row is skipped automatically):
+//
+//	ccffilter build -in rows.csv -out table.ccf -variant chained
+//
+// Inspect it:
+//
+//	ccffilter info -filter table.ccf
+//
+// Query it (attribute conditions as attrIndex=value, repeatable):
+//
+//	ccffilter query -filter table.ccf -key 42 -where 0=4 -where 1=1
+//
+// The CSVs produced by `ccfgen -out` feed directly into build.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccffilter:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  ccffilter build -in rows.csv -out table.ccf [-variant chained|bloom|mixed|plain]
+                  [-keybits 12] [-attrbits 8] [-bloombits 16] [-seed 1]
+  ccffilter info  -filter table.ccf
+  ccffilter query -filter table.ccf -key K [-where attr=value]...
+`)
+}
+
+func parseVariant(s string) (ccf.Variant, error) {
+	switch strings.ToLower(s) {
+	case "chained":
+		return ccf.Chained, nil
+	case "bloom":
+		return ccf.Bloom, nil
+	case "mixed":
+		return ccf.Mixed, nil
+	case "plain":
+		return ccf.Plain, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q", s)
+	}
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV: key, attr1, attr2, ...")
+	out := fs.String("out", "", "output filter file")
+	variantName := fs.String("variant", "chained", "chained|bloom|mixed|plain")
+	keyBits := fs.Int("keybits", 12, "key fingerprint bits")
+	attrBits := fs.Int("attrbits", 8, "attribute fingerprint bits")
+	bloomBits := fs.Int("bloombits", 16, "per-entry Bloom bits (bloom variant)")
+	seed := fs.Uint64("seed", 1, "hash seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("build requires -in and -out")
+	}
+	variant, err := parseVariant(*variantName)
+	if err != nil {
+		return err
+	}
+	rows, numAttrs, err := readRows(*in)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%s: no data rows", *in)
+	}
+	f, err := ccf.New(ccf.Params{
+		Variant: variant, KeyBits: *keyBits, AttrBits: *attrBits,
+		BloomBits: *bloomBits, NumAttrs: numAttrs,
+		Capacity: len(rows), Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	discarded := 0
+	for _, r := range rows {
+		if err := f.Insert(r.key, r.attrs); err != nil {
+			if err == ccf.ErrChainLimit {
+				discarded++
+				continue
+			}
+			return fmt.Errorf("inserting key %d: %w", r.key, err)
+		}
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("built %s filter: %d rows (%d discarded at chain limit), %d entries, load %.2f\n",
+		variant, f.Rows(), discarded, f.OccupiedEntries(), f.LoadFactor())
+	fmt.Printf("wrote %s (%d bytes; packed sketch %d bits)\n", *out, len(blob), f.SizeBits())
+	return nil
+}
+
+type csvRow struct {
+	key   uint64
+	attrs []uint64
+}
+
+func readRows(path string) ([]csvRow, int, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer fd.Close()
+	r := csv.NewReader(fd)
+	r.ReuseRecord = true
+	var rows []csvRow
+	numAttrs := -1
+	line := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		line++
+		if len(rec) < 2 {
+			return nil, 0, fmt.Errorf("%s:%d: need at least key and one attribute", path, line)
+		}
+		key, err := strconv.ParseUint(strings.TrimSpace(rec[0]), 10, 64)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, 0, fmt.Errorf("%s:%d: bad key %q", path, line, rec[0])
+		}
+		attrs := make([]uint64, len(rec)-1)
+		for i, cell := range rec[1:] {
+			v, err := strconv.ParseUint(strings.TrimSpace(cell), 10, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s:%d: bad attribute %q", path, line, cell)
+			}
+			attrs[i] = v
+		}
+		if numAttrs == -1 {
+			numAttrs = len(attrs)
+		} else if len(attrs) != numAttrs {
+			return nil, 0, fmt.Errorf("%s:%d: %d attributes, expected %d", path, line, len(attrs), numAttrs)
+		}
+		rows = append(rows, csvRow{key: key, attrs: attrs})
+	}
+	return rows, numAttrs, nil
+}
+
+func loadFilter(path string) (*ccf.Filter, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f ccf.Filter
+	if err := f.UnmarshalBinary(blob); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("filter", "", "filter file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("info requires -filter")
+	}
+	f, err := loadFilter(*path)
+	if err != nil {
+		return err
+	}
+	p := f.Params()
+	fmt.Printf("variant:        %s\n", p.Variant)
+	fmt.Printf("rows:           %d (%d discarded)\n", f.Rows(), f.Discarded())
+	fmt.Printf("entries:        %d of %d (load %.3f)\n", f.OccupiedEntries(), f.Capacity(), f.LoadFactor())
+	fmt.Printf("geometry:       m=%d buckets × b=%d\n", f.NumBuckets(), p.BucketSize)
+	fmt.Printf("fingerprints:   |κ|=%d, |α|=%d × %d attrs\n", p.KeyBits, p.AttrBits, p.NumAttrs)
+	fmt.Printf("duplicates:     d=%d, Lmax=%d (0 = unlimited)\n", p.MaxDupes, p.MaxChain)
+	fmt.Printf("packed size:    %d bits (%.1f KiB)\n", f.SizeBits(), float64(f.SizeBits())/8/1024)
+	fmt.Printf("key FPR bound:  %.5f\n", f.KeyFPRBound())
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	path := fs.String("filter", "", "filter file")
+	key := fs.Uint64("key", 0, "key to query")
+	var wheres whereFlags
+	fs.Var(&wheres, "where", "attribute condition attr=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("query requires -filter")
+	}
+	f, err := loadFilter(*path)
+	if err != nil {
+		return err
+	}
+	var pred ccf.Predicate
+	for _, w := range wheres {
+		pred = append(pred, ccf.Eq(w.attr, w.value))
+	}
+	ok, err := f.QueryErr(*key, pred)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Println("maybe (no false negatives: a matching row may exist)")
+	} else {
+		fmt.Println("no (definitely no matching row)")
+	}
+	return nil
+}
+
+type whereCond struct {
+	attr  int
+	value uint64
+}
+
+type whereFlags []whereCond
+
+func (w *whereFlags) String() string { return fmt.Sprintf("%v", []whereCond(*w)) }
+
+func (w *whereFlags) Set(s string) error {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want attr=value, got %q", s)
+	}
+	attr, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad attribute index %q", parts[0])
+	}
+	value, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q", parts[1])
+	}
+	*w = append(*w, whereCond{attr: attr, value: value})
+	return nil
+}

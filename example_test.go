@@ -1,0 +1,88 @@
+package ccf_test
+
+import (
+	"fmt"
+
+	"ccf"
+)
+
+// Range predicates are supported by binning the column at insertion time
+// (§9.1 of the paper): the range becomes an in-list of bins.
+func ExampleBinner() {
+	years, _ := ccf.NewBinner(1888, 2019, 16)
+	f, _ := ccf.New(ccf.Params{Variant: ccf.Chained, NumAttrs: 1, Capacity: 64})
+
+	_ = f.Insert(42, []uint64{years.Bin(1994)}) // movie 42, year 1994
+
+	fmt.Println(f.Query(42, ccf.And(years.InRange(0, 1990, 2000))))
+	fmt.Println(f.Query(42, ccf.And(years.InRange(0, 2010, 2019))))
+	// Output:
+	// true
+	// false
+}
+
+// PredicateFilter extracts a key-only membership filter for a fixed
+// predicate (Algorithm 2): the set of keys having a matching row.
+func ExampleFilter_PredicateFilter() {
+	f, _ := ccf.New(ccf.Params{Variant: ccf.Bloom, NumAttrs: 1, Capacity: 64, BloomBits: 32})
+	_ = f.Insert(1, []uint64{7}) // key 1 has attribute 7
+	_ = f.Insert(2, []uint64{9}) // key 2 does not
+
+	view, _ := f.PredicateFilter(ccf.And(ccf.Eq(0, 7)))
+	fmt.Println(view.Contains(1))
+	fmt.Println(view.Contains(2))
+	// Output:
+	// true
+	// false
+}
+
+// Filters serialize so they can be pre-built, stored, and shipped to query
+// processors — the paper's deployment model (§3).
+func ExampleFilter_MarshalBinary() {
+	f, _ := ccf.New(ccf.Params{Variant: ccf.Chained, NumAttrs: 1, Capacity: 64})
+	_ = f.Insert(5, []uint64{3})
+
+	blob, _ := f.MarshalBinary()
+	var g ccf.Filter
+	_ = g.UnmarshalBinary(blob)
+
+	fmt.Println(g.Query(5, ccf.And(ccf.Eq(0, 3))))
+	fmt.Println(g.Rows())
+	// Output:
+	// true
+	// 1
+}
+
+// An EntryEstimator sizes a filter from a sample instead of a full pass
+// (§10.4): a bottom-k key sample with per-key distinct-vector counts.
+func ExampleEntryEstimator() {
+	est, _ := ccf.NewEntryEstimator(256, 1)
+	// 100 keys × 3 distinct attribute vectors each.
+	for k := uint64(0); k < 100; k++ {
+		for d := uint64(0); d < 3; d++ {
+			est.Add(k, []uint64{d})
+		}
+	}
+	// Sample is exhaustive below k=256, so the estimate is exact.
+	fmt.Println(int(est.DistinctKeys()))
+	fmt.Println(int(est.EstimateEntries(0))) // uncapped: Σ A_i
+	fmt.Println(int(est.EstimateEntries(2))) // capped at 2 per key
+	// Output:
+	// 100
+	// 300
+	// 200
+}
+
+// Freeze packs a filter into its immutable bit-packed form with columnar
+// attribute storage (§9) — identical answers, exactly the packed size.
+func ExampleFilter_Freeze() {
+	f, _ := ccf.New(ccf.Params{Variant: ccf.Chained, NumAttrs: 1, Capacity: 64})
+	_ = f.Insert(9, []uint64{2})
+
+	frozen, _ := f.Freeze()
+	fmt.Println(frozen.Query(9, ccf.And(ccf.Eq(0, 2))))
+	fmt.Println(frozen.SizeBits() == f.SizeBits())
+	// Output:
+	// true
+	// true
+}

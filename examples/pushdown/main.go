@@ -1,0 +1,88 @@
+// Pushdown demonstrates predicate-only queries (Algorithm 2): given just a
+// predicate, a CCF emits a plain key-membership filter for S_P — the set of
+// keys with a matching row — which a downstream scan can apply without
+// knowing anything about attributes. This is how one pre-built CCF replaces
+// a whole family of per-predicate Bloom filters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccf"
+)
+
+func main() {
+	// Build a CCF over (movie id, kind id) — think of it as the pre-built
+	// sketch of the title table, stored by the warehouse.
+	f, err := ccf.New(ccf.Params{
+		Variant: ccf.Bloom, NumAttrs: 1, Capacity: 1 << 15, BloomBits: 24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const movies = 10000
+	for id := uint64(1); id <= movies; id++ {
+		kind := id%6 + 1
+		if err := f.Insert(id, []uint64{kind}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A query arrives with the predicate kind_id = 3. Extract the key-only
+	// filter for exactly that subset.
+	view, err := f.PredicateFilter(ccf.And(ccf.Eq(0, 3)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The view now behaves like a cuckoo filter for S_{kind=3}: a
+	// downstream scan of cast_info can drop rows whose movie id misses.
+	var kept, dropped, wrong int
+	for id := uint64(1); id <= movies; id++ {
+		in := id%6+1 == 3
+		got := view.Contains(id)
+		switch {
+		case got && in:
+			kept++
+		case !got && !in:
+			dropped++
+		case got && !in:
+			wrong++ // false positive: costs work, never correctness
+		default:
+			panic("false negative — impossible by construction")
+		}
+	}
+	fmt.Printf("predicate kind_id = 3 over %d movies:\n", movies)
+	fmt.Printf("  correctly kept:    %d\n", kept)
+	fmt.Printf("  correctly dropped: %d\n", dropped)
+	fmt.Printf("  false positives:   %d (%.2f%%)\n", wrong, 100*float64(wrong)/float64(movies))
+	fmt.Printf("  view size: %.1f KiB (full CCF: %.1f KiB)\n",
+		float64(view.SizeBits())/8/1024, float64(f.SizeBits())/8/1024)
+
+	// Chained CCFs support the same operation via tombstoned views — the
+	// chain structure is preserved so lookups stay correct (§6.2).
+	cf, err := ccf.New(ccf.Params{Variant: ccf.Chained, NumAttrs: 1, Capacity: 1 << 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id := uint64(1); id <= movies; id++ {
+		for d := uint64(0); d < 1+id%4; d++ { // duplicate keys, chained
+			if err := cf.Insert(id, []uint64{d}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	cview, err := cf.PredicateFilter(ccf.And(ccf.Eq(0, 3)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits := 0
+	for id := uint64(1); id <= movies; id++ {
+		if cview.Contains(id) {
+			hits++
+		}
+	}
+	fmt.Printf("\nchained view (attribute 3 exists only for ids with ≥4 rows): %d of %d keys match\n",
+		hits, movies)
+}

@@ -1,0 +1,126 @@
+// Package bitset implements a fixed-size bit array used as the backing store
+// for Bloom filters and packed fingerprint tables.
+package bitset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Bits is a fixed-length bit array. The zero value is an empty, zero-length
+// array; use New to create one with capacity.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Bits holding n bits, all zero.
+func New(n int) *Bits {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Bits{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the array.
+func (b *Bits) Len() int { return b.n }
+
+// Set sets bit i to 1.
+func (b *Bits) Set(i int) {
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear sets bit i to 0.
+func (b *Bits) Clear(i int) {
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get reports whether bit i is 1.
+func (b *Bits) Get(i int) bool {
+	return b.words[i>>6]>>uint(i&63)&1 == 1
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset zeroes all bits.
+func (b *Bits) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bits) Clone() *Bits {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bits{words: w, n: b.n}
+}
+
+// Union ORs other into b. Both must have the same length.
+func (b *Bits) Union(other *Bits) error {
+	if b.n != other.n {
+		return fmt.Errorf("bitset: union of mismatched lengths %d and %d", b.n, other.n)
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+	return nil
+}
+
+// Equal reports whether b and other hold identical bits.
+func (b *Bits) Equal(other *Bits) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FillRatio returns the fraction of bits set.
+func (b *Bits) FillRatio() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.Count()) / float64(b.n)
+}
+
+// MarshalBinary encodes the bit array.
+func (b *Bits) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8+8*len(b.words))
+	binary.LittleEndian.PutUint64(out, uint64(b.n))
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(out[8+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a bit array produced by MarshalBinary.
+func (b *Bits) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return errors.New("bitset: short buffer")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	words := (n + 63) / 64
+	if len(data) != 8+8*words {
+		return fmt.Errorf("bitset: buffer length %d does not match bit count %d", len(data), n)
+	}
+	b.n = n
+	b.words = make([]uint64, words)
+	for i := range b.words {
+		b.words[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", b.Len())
+	}
+	for i := 0; i < 200; i += 7 {
+		b.Set(i)
+	}
+	for i := 0; i < 200; i++ {
+		want := i%7 == 0
+		if b.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, b.Get(i), want)
+		}
+	}
+	b.Clear(0)
+	if b.Get(0) {
+		t.Fatal("bit 0 still set after Clear")
+	}
+}
+
+func TestCountAndFillRatio(t *testing.T) {
+	b := New(128)
+	if b.Count() != 0 || b.FillRatio() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	for i := 0; i < 64; i++ {
+		b.Set(i)
+	}
+	if b.Count() != 64 {
+		t.Fatalf("Count = %d, want 64", b.Count())
+	}
+	if b.FillRatio() != 0.5 {
+		t.Fatalf("FillRatio = %v, want 0.5", b.FillRatio())
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(77)
+	for i := 0; i < 77; i++ {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", b.Count())
+	}
+	if b.Len() != 77 {
+		t.Fatalf("Len changed by Reset: %d", b.Len())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	b := New(10)
+	b.Set(3)
+	c := b.Clone()
+	if !c.Get(3) {
+		t.Fatal("clone lost bit 3")
+	}
+	c.Set(5)
+	if b.Get(5) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !b.Equal(b.Clone()) {
+		t.Fatal("clone not Equal to original")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := New(65), New(65)
+	a.Set(1)
+	b.Set(64)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Get(1) || !a.Get(64) {
+		t.Fatal("union missing bits")
+	}
+	if err := a.Union(New(64)); err == nil {
+		t.Fatal("union of mismatched lengths should error")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(32), New(32)
+	if !a.Equal(b) {
+		t.Fatal("empty sets unequal")
+	}
+	a.Set(31)
+	if a.Equal(b) {
+		t.Fatal("different sets equal")
+	}
+	if a.Equal(New(33)) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(idxs []uint16, size uint16) bool {
+		n := int(size)%512 + 1
+		b := New(n)
+		for _, i := range idxs {
+			b.Set(int(i) % n)
+		}
+		data, err := b.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var c Bits
+		if err := c.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return b.Equal(&c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var b Bits
+	if err := b.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil buffer should error")
+	}
+	if err := b.UnmarshalBinary(make([]byte, 9)); err == nil {
+		t.Fatal("mis-sized buffer should error")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	b := New(0)
+	if b.Count() != 0 || b.Len() != 0 || b.FillRatio() != 0 {
+		t.Fatal("zero-length bitset misbehaves")
+	}
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Bits
+	if err := c.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("round-trip changed length")
+	}
+}

@@ -1,0 +1,49 @@
+package bitset
+
+// Fixed-width field access: Bits doubles as a packed array of w-bit
+// integers, the representation behind the frozen CCF storage (§9 of the
+// paper: sketches are stored packed, with attribute fingerprints in
+// columnar form).
+
+// PutUint writes the low width bits of v starting at bit position pos.
+// width must be in [1, 64] and the field must lie within the array.
+func (b *Bits) PutUint(pos, width int, v uint64) {
+	if width <= 0 || width > 64 || pos < 0 || pos+width > b.n {
+		panic("bitset: field out of range")
+	}
+	if width < 64 {
+		v &= 1<<uint(width) - 1
+	}
+	word := pos >> 6
+	off := uint(pos & 63)
+	// Clear then set the low part.
+	lowWidth := uint(64) - off
+	if int(lowWidth) > width {
+		lowWidth = uint(width)
+	}
+	lowMask := (uint64(1)<<lowWidth - 1) << off
+	b.words[word] = b.words[word]&^lowMask | v<<off&lowMask
+	if int(lowWidth) < width {
+		highWidth := uint(width) - lowWidth
+		highMask := uint64(1)<<highWidth - 1
+		b.words[word+1] = b.words[word+1]&^highMask | v>>lowWidth&highMask
+	}
+}
+
+// Uint reads a width-bit field starting at bit position pos.
+func (b *Bits) Uint(pos, width int) uint64 {
+	if width <= 0 || width > 64 || pos < 0 || pos+width > b.n {
+		panic("bitset: field out of range")
+	}
+	word := pos >> 6
+	off := uint(pos & 63)
+	v := b.words[word] >> off
+	lowWidth := uint(64) - off
+	if int(lowWidth) < width {
+		v |= b.words[word+1] << lowWidth
+	}
+	if width < 64 {
+		v &= 1<<uint(width) - 1
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutUintGetUint(t *testing.T) {
+	b := New(256)
+	b.PutUint(0, 12, 0xabc)
+	if got := b.Uint(0, 12); got != 0xabc {
+		t.Fatalf("got %#x, want 0xabc", got)
+	}
+	// Cross-word field (bits 60..75).
+	b.PutUint(60, 16, 0xbeef)
+	if got := b.Uint(60, 16); got != 0xbeef {
+		t.Fatalf("cross-word got %#x, want 0xbeef", got)
+	}
+	// First field untouched.
+	if got := b.Uint(0, 12); got != 0xabc {
+		t.Fatalf("neighbour clobbered: %#x", got)
+	}
+	// Full-width field.
+	b2 := New(128)
+	b2.PutUint(1, 64, ^uint64(0))
+	if got := b2.Uint(1, 64); got != ^uint64(0) {
+		t.Fatalf("64-bit field got %#x", got)
+	}
+}
+
+func TestPutUintMasksValue(t *testing.T) {
+	b := New(64)
+	b.PutUint(0, 4, 0xff)
+	if got := b.Uint(0, 4); got != 0xf {
+		t.Fatalf("got %#x, want masked 0xf", got)
+	}
+	if got := b.Uint(4, 4); got != 0 {
+		t.Fatalf("overflow into next field: %#x", got)
+	}
+}
+
+func TestFieldBounds(t *testing.T) {
+	b := New(64)
+	for _, c := range []struct{ pos, width int }{
+		{-1, 4}, {0, 0}, {0, 65}, {61, 4}, {64, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("pos=%d width=%d did not panic", c.pos, c.width)
+				}
+			}()
+			b.PutUint(c.pos, c.width, 1)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Uint pos=%d width=%d did not panic", c.pos, c.width)
+				}
+			}()
+			b.Uint(c.pos, c.width)
+		}()
+	}
+}
+
+func TestFieldsAsPackedArray(t *testing.T) {
+	// Use Bits as a packed array of 1000 11-bit values.
+	const n, w = 1000, 11
+	b := New(n * w)
+	for i := 0; i < n; i++ {
+		b.PutUint(i*w, w, uint64(i*7)%(1<<w))
+	}
+	for i := 0; i < n; i++ {
+		if got := b.Uint(i*w, w); got != uint64(i*7)%(1<<w) {
+			t.Fatalf("slot %d: got %d", i, got)
+		}
+	}
+}
+
+func TestFieldsQuick(t *testing.T) {
+	prop := func(vals []uint16, widthRaw uint8) bool {
+		w := int(widthRaw)%16 + 1
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		b := New(len(vals) * w)
+		mask := uint64(1)<<uint(w) - 1
+		for i, v := range vals {
+			b.PutUint(i*w, w, uint64(v))
+		}
+		for i, v := range vals {
+			if b.Uint(i*w, w) != uint64(v)&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package bloom implements a standard Bloom filter.
+//
+// It serves three roles in the reproduction: the per-entry attribute sketch
+// of the CCF's Bloom variant (§5.2), the conversion target of the Mixed
+// variant (§6.1), and the classical baseline the paper's bit-efficiency
+// comparison refers to (§10.2: a Bloom filter has bit efficiency
+// 1/ln 2 ≈ 1.44).
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ccf/internal/bitset"
+	"ccf/internal/hashing"
+)
+
+// Filter is a Bloom filter over pre-hashed 64-bit items. Callers hash their
+// elements (e.g. (attribute index, value) pairs) to a uint64 and pass that;
+// the filter derives its k probe positions by double hashing.
+type Filter struct {
+	bits   *bitset.Bits
+	k      int
+	salt   uint64
+	nAdded int
+}
+
+// New returns a Bloom filter with m bits and k hash functions.
+func New(m, k int) *Filter {
+	if m <= 0 {
+		panic("bloom: non-positive bit count")
+	}
+	if k <= 0 {
+		k = 1
+	}
+	return &Filter{bits: bitset.New(m), k: k}
+}
+
+// NewWithSalt returns a Bloom filter whose probe positions additionally
+// depend on salt, so two filters with different salts are independent.
+func NewWithSalt(m, k int, salt uint64) *Filter {
+	f := New(m, k)
+	f.salt = salt
+	return f
+}
+
+// OptimalHashes returns the number of hash functions minimizing the FPR for
+// a filter of m bits holding n items: k = (m/n)·ln 2, at least 1.
+func OptimalHashes(m, n int) int {
+	if n <= 0 {
+		return 1
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// OptimalBits returns the number of bits needed to achieve the target FPR
+// for n items with optimal k: m = n·log2(1/fpr)/ln 2 ≈ 1.44·n·log2(1/fpr).
+func OptimalBits(n int, fpr float64) int {
+	if n <= 0 || fpr <= 0 || fpr >= 1 {
+		return 1
+	}
+	m := int(math.Ceil(float64(n) * math.Log2(1/fpr) / math.Ln2))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// NewOptimal returns a filter sized for n items at the target FPR.
+func NewOptimal(n int, fpr float64) *Filter {
+	m := OptimalBits(n, fpr)
+	return New(m, OptimalHashes(m, n))
+}
+
+// probe returns the i-th probe position for item h.
+func (f *Filter) probe(h uint64, i int) int {
+	h1 := hashing.Key64(h, f.salt)
+	h2 := hashing.Key64(h, f.salt^0xabcdef0123456789) | 1
+	return int((h1 + uint64(i)*h2) % uint64(f.bits.Len()))
+}
+
+// Add inserts a pre-hashed item.
+func (f *Filter) Add(h uint64) {
+	for i := 0; i < f.k; i++ {
+		f.bits.Set(f.probe(h, i))
+	}
+	f.nAdded++
+}
+
+// AddBytes hashes data with lookup3 and inserts it.
+func (f *Filter) AddBytes(data []byte) {
+	f.Add(hashing.Hash64(data, f.salt))
+}
+
+// Contains reports whether the pre-hashed item may be present. False means
+// definitely absent.
+func (f *Filter) Contains(h uint64) bool {
+	for i := 0; i < f.k; i++ {
+		if !f.bits.Get(f.probe(h, i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBytes reports whether data may be present.
+func (f *Filter) ContainsBytes(data []byte) bool {
+	return f.Contains(hashing.Hash64(data, f.salt))
+}
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() int { return f.bits.Len() }
+
+// Hashes returns the number of hash functions k.
+func (f *Filter) Hashes() int { return f.k }
+
+// Added returns the number of Add calls (not distinct items).
+func (f *Filter) Added() int { return f.nAdded }
+
+// FillRatio returns the fraction of bits set.
+func (f *Filter) FillRatio() float64 { return f.bits.FillRatio() }
+
+// EstimatedFPR returns the standard estimate (1 − (1 − 1/m)^{kn})^k using
+// the number of Add calls as n. As the paper notes (§7.2, citing Bose et
+// al.), for small filters this underestimates the true FPR.
+func (f *Filter) EstimatedFPR() float64 {
+	m := float64(f.bits.Len())
+	kn := float64(f.k) * float64(f.nAdded)
+	return math.Pow(1-math.Pow(1-1/m, kn), float64(f.k))
+}
+
+// ObservedFPRUpperBound estimates the FPR from the realized fill ratio:
+// an absent item matches iff all k probes hit set bits, ≈ fill^k.
+func (f *Filter) ObservedFPRUpperBound() float64 {
+	return math.Pow(f.bits.FillRatio(), float64(f.k))
+}
+
+// Union ORs other into f. Both filters must have identical geometry
+// (bits, hash count, salt); otherwise probe positions are incompatible.
+func (f *Filter) Union(other *Filter) error {
+	if f.bits.Len() != other.bits.Len() || f.k != other.k || f.salt != other.salt {
+		return errors.New("bloom: union of incompatible filters")
+	}
+	if err := f.bits.Union(other.bits); err != nil {
+		return err
+	}
+	f.nAdded += other.nAdded
+	return nil
+}
+
+// Clone returns a deep copy.
+func (f *Filter) Clone() *Filter {
+	return &Filter{bits: f.bits.Clone(), k: f.k, salt: f.salt, nAdded: f.nAdded}
+}
+
+// Reset clears all bits.
+func (f *Filter) Reset() {
+	f.bits.Reset()
+	f.nAdded = 0
+}
+
+// MarshalBinary encodes the filter.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	bb, err := f.bits.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 24+len(bb))
+	binary.LittleEndian.PutUint64(out[0:], uint64(f.k))
+	binary.LittleEndian.PutUint64(out[8:], f.salt)
+	binary.LittleEndian.PutUint64(out[16:], uint64(f.nAdded))
+	copy(out[24:], bb)
+	return out, nil
+}
+
+// UnmarshalBinary decodes a filter produced by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return fmt.Errorf("bloom: short buffer (%d bytes)", len(data))
+	}
+	f.k = int(binary.LittleEndian.Uint64(data[0:]))
+	f.salt = binary.LittleEndian.Uint64(data[8:])
+	f.nAdded = int(binary.LittleEndian.Uint64(data[16:]))
+	f.bits = new(bitset.Bits)
+	return f.bits.UnmarshalBinary(data[24:])
+}

@@ -1,0 +1,204 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccf/internal/hashing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1024, 3)
+	for i := uint64(0); i < 100; i++ {
+		f.Add(hashing.Mix64(i))
+	}
+	for i := uint64(0); i < 100; i++ {
+		if !f.Contains(hashing.Mix64(i)) {
+			t.Fatalf("false negative for item %d", i)
+		}
+	}
+}
+
+func TestFPRReasonable(t *testing.T) {
+	const n = 1000
+	f := NewOptimal(n, 0.01)
+	for i := uint64(0); i < n; i++ {
+		f.Add(hashing.Key64(i, 1))
+	}
+	fp := 0
+	const probes = 20000
+	for i := uint64(0); i < probes; i++ {
+		if f.Contains(hashing.Key64(i+1e9, 1)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("FPR %.4f far above 1%% target", rate)
+	}
+}
+
+func TestOptimalHashesAndBits(t *testing.T) {
+	if k := OptimalHashes(1000, 100); k != 7 {
+		t.Fatalf("OptimalHashes(1000,100) = %d, want 7", k)
+	}
+	if k := OptimalHashes(8, 100); k != 1 {
+		t.Fatalf("tiny filter should clamp k to 1, got %d", k)
+	}
+	if k := OptimalHashes(100, 0); k != 1 {
+		t.Fatalf("n=0 should clamp k to 1, got %d", k)
+	}
+	// 1.44 * log2(1/0.01) ≈ 9.57 bits per item.
+	m := OptimalBits(1000, 0.01)
+	if m < 9400 || m > 9700 {
+		t.Fatalf("OptimalBits(1000, 0.01) = %d, want ≈9585", m)
+	}
+}
+
+func TestEstimatedFPRMatchesTheory(t *testing.T) {
+	f := New(9585, 7)
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(hashing.Key64(i, 2))
+	}
+	est := f.EstimatedFPR()
+	if est < 0.003 || est > 0.03 {
+		t.Fatalf("estimated FPR %.5f outside sane band around 1%%", est)
+	}
+	obs := f.ObservedFPRUpperBound()
+	if math.Abs(obs-est)/est > 1.0 {
+		t.Fatalf("observed-fill estimate %.5f wildly different from theory %.5f", obs, est)
+	}
+}
+
+func TestSaltIndependence(t *testing.T) {
+	a := NewWithSalt(256, 2, 1)
+	b := NewWithSalt(256, 2, 2)
+	for i := uint64(0); i < 16; i++ {
+		a.Add(i)
+		b.Add(i)
+	}
+	if a.FillRatio() == 0 || b.FillRatio() == 0 {
+		t.Fatal("Add set no bits")
+	}
+	// Same items under different salts should (almost surely) produce
+	// different bit patterns.
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the 24-byte header (salt differs there trivially); compare bits.
+	if string(ab[24:]) == string(bb[24:]) {
+		t.Fatal("salted filters set identical bits; salt ignored?")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewWithSalt(512, 3, 9)
+	b := NewWithSalt(512, 3, 9)
+	a.Add(1)
+	b.Add(2)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains(1) || !a.Contains(2) {
+		t.Fatal("union lost items")
+	}
+	if a.Added() != 2 {
+		t.Fatalf("Added = %d, want 2", a.Added())
+	}
+	if err := a.Union(NewWithSalt(512, 2, 9)); err == nil {
+		t.Fatal("union with different k should error")
+	}
+	if err := a.Union(NewWithSalt(256, 3, 9)); err == nil {
+		t.Fatal("union with different size should error")
+	}
+	if err := a.Union(NewWithSalt(512, 3, 8)); err == nil {
+		t.Fatal("union with different salt should error")
+	}
+}
+
+func TestCloneAndReset(t *testing.T) {
+	f := New(128, 2)
+	f.Add(7)
+	c := f.Clone()
+	c.Add(8)
+	if f.Contains(8) && !f.Contains(7) {
+		t.Fatal("clone shares storage with original")
+	}
+	f.Reset()
+	if f.Contains(7) && f.FillRatio() > 0 {
+		t.Fatal("reset did not clear")
+	}
+	if f.Added() != 0 {
+		t.Fatal("reset did not clear count")
+	}
+}
+
+func TestAddBytesContainsBytes(t *testing.T) {
+	f := New(256, 3)
+	f.AddBytes([]byte("keyword_id=42"))
+	if !f.ContainsBytes([]byte("keyword_id=42")) {
+		t.Fatal("false negative on bytes")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(items []uint64, mRaw uint16, kRaw uint8) bool {
+		m := int(mRaw)%1024 + 8
+		k := int(kRaw)%5 + 1
+		a := NewWithSalt(m, k, 77)
+		for _, it := range items {
+			a.Add(it)
+		}
+		data, err := a.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var b Filter
+		if err := b.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if b.Bits() != a.Bits() || b.Hashes() != a.Hashes() || b.Added() != a.Added() {
+			return false
+		}
+		for _, it := range items {
+			if !b.Contains(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var f Filter
+	if err := f.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer should error")
+	}
+}
+
+func TestPropertyNoFalseNegatives(t *testing.T) {
+	f := func(items []uint64) bool {
+		bl := New(2048, 3)
+		for _, it := range items {
+			bl.Add(it)
+		}
+		for _, it := range items {
+			if !bl.Contains(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

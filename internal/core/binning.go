@@ -1,0 +1,127 @@
+package core
+
+import "fmt"
+
+// This file implements range-predicate support (§9.1). The paper's primary
+// technique bins a numeric column into a small number of intervals so a
+// range predicate becomes an in-list over bins; the alternative is a dyadic
+// expansion storing O(log range) intervals per value.
+
+// Binner maps values in [Lo, Hi] to Bins equal-width bins. Insert the
+// binned value as the attribute; convert range predicates with InRange.
+// The paper bins title.production_year's 132 values into 16 bins (§10.3).
+type Binner struct {
+	Lo, Hi uint64
+	Bins   int
+}
+
+// NewBinner returns a Binner over [lo, hi] with bins equal-width intervals.
+func NewBinner(lo, hi uint64, bins int) (*Binner, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("ccf: binner range [%d,%d] inverted", lo, hi)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("ccf: binner needs ≥1 bins, got %d", bins)
+	}
+	return &Binner{Lo: lo, Hi: hi, Bins: bins}, nil
+}
+
+// Bin returns the bin id of v. Values outside [Lo, Hi] clamp to the edge
+// bins, so inserted data never silently falls outside the sketch.
+func (b *Binner) Bin(v uint64) uint64 {
+	if v <= b.Lo {
+		return 0
+	}
+	if v >= b.Hi {
+		return uint64(b.Bins - 1)
+	}
+	width := b.Hi - b.Lo + 1
+	return (v - b.Lo) * uint64(b.Bins) / width
+}
+
+// InRange returns the in-list condition over the bins covering [lo, hi],
+// the conversion of a range predicate (§9.1). Bins that only partially
+// overlap the range are included, which can only add false positives —
+// never false negatives.
+func (b *Binner) InRange(attr int, lo, hi uint64) Cond {
+	if hi < lo {
+		return Cond{Attr: attr, Values: nil}
+	}
+	first := b.Bin(lo)
+	last := b.Bin(hi)
+	vals := make([]uint64, 0, last-first+1)
+	for bin := first; bin <= last; bin++ {
+		vals = append(vals, bin)
+	}
+	return Cond{Attr: attr, Values: vals}
+}
+
+// Dyadic encodes values over [Lo, Hi] as dyadic intervals with Levels
+// levels of exponentially decreasing length (§9.1's second technique). A
+// value is represented by one interval id per level; a range is covered by
+// a canonical set of disjoint dyadic intervals.
+type Dyadic struct {
+	Lo     uint64
+	Levels int // level 0 is the whole range; level Levels-1 the finest
+}
+
+// NewDyadic returns a dyadic encoder starting at lo with the given number
+// of levels. The finest granularity is one unit when levels covers the
+// range; the caller picks levels = ⌈log₂(hi−lo+1)⌉+1 for exact leaves.
+func NewDyadic(lo uint64, levels int) (*Dyadic, error) {
+	if levels < 1 || levels > 63 {
+		return nil, fmt.Errorf("ccf: dyadic levels %d outside [1,63]", levels)
+	}
+	return &Dyadic{Lo: lo, Levels: levels}, nil
+}
+
+// IntervalIDs returns the η = Levels interval ids covering v, one per
+// level; inserting a row once per id implements the paper's "η insertions
+// into a CCF for each item".
+func (d *Dyadic) IntervalIDs(v uint64) []uint64 {
+	off := v - d.Lo
+	ids := make([]uint64, 0, d.Levels)
+	for level := 0; level < d.Levels; level++ {
+		shift := uint(d.Levels - 1 - level)
+		ids = append(ids, d.encode(level, off>>shift))
+	}
+	return ids
+}
+
+// CoverRange returns the canonical minimal set of dyadic interval ids whose
+// union is exactly [lo, hi]; a range query checks the CCF for any of them.
+// At most 2·Levels ids are returned.
+func (d *Dyadic) CoverRange(lo, hi uint64) []uint64 {
+	if hi < lo {
+		return nil
+	}
+	a, b := lo-d.Lo, hi-d.Lo
+	var ids []uint64
+	for a <= b {
+		// Largest aligned block starting at a that fits within [a, b].
+		shift := uint(0)
+		for shift+1 < uint(d.Levels) {
+			next := shift + 1
+			if a&(1<<next-1) != 0 {
+				break
+			}
+			if a+(1<<next)-1 > b {
+				break
+			}
+			shift = next
+		}
+		level := d.Levels - 1 - int(shift)
+		ids = append(ids, d.encode(level, a>>shift))
+		blockEnd := a + (1 << shift) - 1
+		if blockEnd == ^uint64(0) || blockEnd >= b {
+			break
+		}
+		a = blockEnd + 1
+	}
+	return ids
+}
+
+// encode packs (level, index) into one id; level occupies the top bits.
+func (d *Dyadic) encode(level int, index uint64) uint64 {
+	return uint64(level)<<56 | (index & (1<<56 - 1))
+}

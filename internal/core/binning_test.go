@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinnerValidation(t *testing.T) {
+	if _, err := NewBinner(10, 5, 4); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := NewBinner(1, 10, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestBinnerPaperSetup(t *testing.T) {
+	// §10.3: production_year over 1880–2019 (paper observes 132 distinct
+	// values) mapped to 16 roughly equal intervals.
+	b, err := NewBinner(1880, 2019, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for y := uint64(1880); y <= 2019; y++ {
+		bin := b.Bin(y)
+		if bin >= 16 {
+			t.Fatalf("year %d → bin %d out of range", y, bin)
+		}
+		seen[bin]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("%d bins used, want 16", len(seen))
+	}
+	for bin, n := range seen {
+		if n < 7 || n > 10 {
+			t.Fatalf("bin %d holds %d years; want roughly equal (140/16 ≈ 8.75)", bin, n)
+		}
+	}
+}
+
+func TestBinnerMonotoneAndClamped(t *testing.T) {
+	b, err := NewBinner(100, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	for v := uint64(100); v <= 200; v++ {
+		bin := b.Bin(v)
+		if bin < prev {
+			t.Fatalf("binning not monotone at %d", v)
+		}
+		prev = bin
+	}
+	if b.Bin(50) != 0 {
+		t.Fatal("below-range values must clamp to bin 0")
+	}
+	if b.Bin(500) != 7 {
+		t.Fatal("above-range values must clamp to the last bin")
+	}
+}
+
+func TestInRangeCoversEveryValue(t *testing.T) {
+	// The bin in-list for [lo,hi] must include the bin of every value in
+	// the range (no false negatives through binning).
+	prop := func(loRaw, hiRaw uint16) bool {
+		b, err := NewBinner(0, 1000, 16)
+		if err != nil {
+			return false
+		}
+		lo, hi := uint64(loRaw)%1001, uint64(hiRaw)%1001
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		cond := b.InRange(0, lo, hi)
+		inList := map[uint64]bool{}
+		for _, v := range cond.Values {
+			inList[v] = true
+		}
+		for v := lo; v <= hi; v++ {
+			if !inList[b.Bin(v)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInRangeEmpty(t *testing.T) {
+	b, _ := NewBinner(0, 10, 4)
+	if c := b.InRange(0, 8, 3); len(c.Values) != 0 {
+		t.Fatal("inverted query range should produce empty in-list")
+	}
+}
+
+func TestRangePredicateEndToEnd(t *testing.T) {
+	// Simulate the paper's production_year workflow: insert binned years,
+	// query with InRange; stored years in range must always match.
+	b, err := NewBinner(1880, 2019, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 2048, Seed: 51})
+	years := map[uint64]uint64{} // key → year
+	for k := uint64(0); k < 500; k++ {
+		year := 1880 + (k*37)%140
+		years[k] = year
+		if err := f.Insert(k, []uint64{b.Bin(year)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cond := b.InRange(0, 1990, 2005)
+	for k, year := range years {
+		in := year >= 1990 && year <= 2005
+		got := f.Query(k, And(cond))
+		if in && !got {
+			t.Fatalf("false negative: key %d year %d in [1990,2005]", k, year)
+		}
+	}
+}
+
+func TestDyadicValidation(t *testing.T) {
+	if _, err := NewDyadic(0, 0); err == nil {
+		t.Fatal("zero levels accepted")
+	}
+	if _, err := NewDyadic(0, 64); err == nil {
+		t.Fatal("64 levels accepted")
+	}
+}
+
+func TestDyadicIntervalIDs(t *testing.T) {
+	d, err := NewDyadic(0, 5) // covers [0,31] at unit granularity
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := d.IntervalIDs(13)
+	if len(ids) != 5 {
+		t.Fatalf("η = %d ids, want 5 (one per level)", len(ids))
+	}
+	// Level 4 (finest) id must encode index 13 exactly.
+	want := uint64(4)<<56 | 13
+	if ids[4] != want {
+		t.Fatalf("finest id = %#x, want %#x", ids[4], want)
+	}
+}
+
+func TestDyadicCoverRangeExact(t *testing.T) {
+	d, err := NewDyadic(0, 6) // [0,63]
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(aRaw, bRaw uint8) bool {
+		lo, hi := uint64(aRaw)%64, uint64(bRaw)%64
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		cover := d.CoverRange(lo, hi)
+		if len(cover) == 0 {
+			return false
+		}
+		if len(cover) > 2*6 {
+			return false // canonical cover uses ≤ 2·levels intervals
+		}
+		// The union of cover ids must equal the ids of values in [lo,hi]
+		// at their respective levels: check membership via IntervalIDs.
+		coverSet := map[uint64]bool{}
+		for _, id := range cover {
+			coverSet[id] = true
+		}
+		for v := uint64(0); v < 64; v++ {
+			covered := false
+			for _, id := range d.IntervalIDs(v) {
+				if coverSet[id] {
+					covered = true
+					break
+				}
+			}
+			want := v >= lo && v <= hi
+			if covered != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDyadicCoverEmptyRange(t *testing.T) {
+	d, _ := NewDyadic(0, 4)
+	if ids := d.CoverRange(5, 2); ids != nil {
+		t.Fatal("inverted range should return nil cover")
+	}
+}
+
+func TestDyadicEndToEnd(t *testing.T) {
+	// Insert each row once per interval id; a range query checks the cover.
+	d, err := NewDyadic(0, 7) // [0,127]
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 16384, AttrBits: 16, Seed: 52})
+	vals := map[uint64]uint64{}
+	for k := uint64(0); k < 200; k++ {
+		v := (k * 17) % 128
+		vals[k] = v
+		for _, id := range d.IntervalIDs(v) {
+			if err := f.Insert(k, []uint64{id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cover := d.CoverRange(30, 90)
+	cond := In(0, cover...)
+	for k, v := range vals {
+		in := v >= 30 && v <= 90
+		got := f.Query(k, And(cond))
+		if in && !got {
+			t.Fatalf("false negative: key %d value %d in [30,90]", k, v)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import "ccf/internal/hashing"
+
+// chainSeq iterates the deterministic sequence of bucket pairs for a key
+// fingerprint (§6.2, Lemma 2): the first pair is (ℓ, ℓ ⊕ h(κ)); each
+// successor's first bucket is h(min(ℓ, ℓ′), κ). Cycles are detected by
+// tracking the normalized pair ids visited in this walk; a revisited
+// candidate is re-derived with an incremented salt ("such cycles can be
+// detected and the chain can be extended"). Because the extension depends
+// only on (κ, visited prefix), insertions and queries traverse identical
+// sequences.
+//
+// Cycle bookkeeping uses a small inline array for the common short walks
+// (no allocation on the query hot path) and spills to the heap for the
+// long chains heavy keys produce.
+type chainSeq struct {
+	f     *Filter
+	fp    uint16
+	off   uint32 // h(κ) & mask; XOR maps between the pair's buckets
+	cur   uint32 // current pair's first bucket
+	pairs int    // pairs visited so far, including the current one
+	nVis  int
+	vis   [inlineVisited]uint32
+	spill []uint32 // visited pairs beyond the inline capacity
+}
+
+const (
+	inlineVisited = 16
+	// maxSaltTries bounds the cycle-extension search per step. When every
+	// reachable pair has been visited (tiny tables), the walk terminates
+	// conservatively instead of spinning; insert and query share the bound,
+	// so their sequences stay identical.
+	maxSaltTries = 256
+)
+
+// initChainSeq initializes s in place for the walk of fp starting at home.
+func (f *Filter) initChainSeq(s *chainSeq, fp uint16, home uint32) {
+	s.f = f
+	s.fp = fp
+	s.off = f.fpOffset(fp)
+	s.cur = home
+	s.pairs = 1
+	s.nVis = 0
+	s.spill = nil
+	s.record(s.pairMin())
+}
+
+// buckets returns the current pair (ℓ, ℓ′).
+func (s *chainSeq) buckets() (uint32, uint32) {
+	return s.cur, s.cur ^ s.off
+}
+
+// pairMin returns the normalized pair id min(ℓ, ℓ′).
+func (s *chainSeq) pairMin() uint32 {
+	alt := s.cur ^ s.off
+	if alt < s.cur {
+		return alt
+	}
+	return s.cur
+}
+
+func (s *chainSeq) record(pm uint32) {
+	if s.nVis < inlineVisited {
+		s.vis[s.nVis] = pm
+		s.nVis++
+		return
+	}
+	s.spill = append(s.spill, pm)
+}
+
+func (s *chainSeq) seen(pm uint32) bool {
+	for i := 0; i < s.nVis; i++ {
+		if s.vis[i] == pm {
+			return true
+		}
+	}
+	for _, v := range s.spill {
+		if v == pm {
+			return true
+		}
+	}
+	return false
+}
+
+// next derives a chain successor's first bucket.
+func (s *chainSeq) next(salt uint32) uint32 {
+	return uint32(hashing.Combine3(
+		uint64(s.pairMin()),
+		uint64(s.fp),
+		uint64(salt)^(s.f.p.Seed^saltChain),
+	)) & s.f.mask
+}
+
+// advance moves to the next pair. It returns false when the chain budget
+// (MaxChain, or the hard cap) is exhausted; the caller must then treat the
+// walk as terminated conservatively.
+func (s *chainSeq) advance() bool {
+	if s.f.p.MaxChain > 0 && s.pairs >= s.f.p.MaxChain {
+		return false
+	}
+	if s.pairs >= hardChainCap {
+		return false
+	}
+	if s.f.p.DisableCycleExtension {
+		// Ablation: follow the raw recursion with no cycle handling. The
+		// walk may revisit pairs; the pair budget still bounds it.
+		s.cur = s.next(0)
+		s.pairs++
+		return true
+	}
+	for salt := uint32(0); salt < maxSaltTries; salt++ {
+		cand := s.next(salt)
+		pm := cand
+		if alt := cand ^ s.off; alt < pm {
+			pm = alt
+		}
+		if s.seen(pm) {
+			continue
+		}
+		s.record(pm)
+		s.cur = cand
+		s.pairs++
+		return true
+	}
+	return false
+}

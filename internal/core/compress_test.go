@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCompressAttributes(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, AttrBits: 12, Capacity: 4096, Seed: 81})
+	type row struct{ k, a uint64 }
+	var rows []row
+	for k := uint64(0); k < 1000; k++ {
+		r := row{k, 1 << 20 * (k%50 + 1)} // large values → hashed fingerprints
+		rows = append(rows, r)
+		if err := f.Insert(r.k, []uint64{r.a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := f.CompressAttributes(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Params().AttrBits != 6 {
+		t.Fatalf("compressed AttrBits = %d, want 6", g.Params().AttrBits)
+	}
+	if g.SizeBits() >= f.SizeBits() {
+		t.Fatalf("compression did not shrink: %d → %d bits", f.SizeBits(), g.SizeBits())
+	}
+	// No false negatives through compression.
+	for _, r := range rows {
+		if !g.Query(r.k, And(Eq(0, r.a))) {
+			t.Fatalf("false negative after compression: %+v", r)
+		}
+	}
+}
+
+func TestCompressIncreasesFPRButBounded(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, AttrBits: 12, Capacity: 8192, Seed: 82})
+	for k := uint64(0); k < 3000; k++ {
+		if err := f.Insert(k, []uint64{1 << 30 * (k%100 + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := f.CompressAttributes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fprAt := func(fl *Filter) float64 {
+		fp := 0
+		const probes = 3000
+		for k := uint64(0); k < probes; k++ {
+			// Present key, absent attribute value.
+			if fl.Query(k, And(Eq(0, 99999999))) {
+				fp++
+			}
+		}
+		return float64(fp) / probes
+	}
+	wide, narrow := fprAt(f), fprAt(g)
+	if narrow < wide {
+		t.Fatalf("narrower fingerprints should not lower FPR: %.4f → %.4f", wide, narrow)
+	}
+	// 4-bit fingerprints: expected attribute FPR ≈ d·2^-4 ≈ 0.19 worst case.
+	if narrow > 0.5 {
+		t.Fatalf("compressed FPR %.4f implausibly high", narrow)
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, AttrBits: 8, Capacity: 64})
+	if _, err := f.CompressAttributes(8); err == nil {
+		t.Fatal("same-width compression accepted")
+	}
+	if _, err := f.CompressAttributes(0); err == nil {
+		t.Fatal("zero-width compression accepted")
+	}
+	b := mustFilter(t, Params{Variant: VariantBloom, Capacity: 64})
+	if _, err := b.CompressAttributes(4); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("bloom compression err = %v, want ErrUnsupported", err)
+	}
+	m := mustFilter(t, Params{Variant: VariantMixed, Capacity: 64})
+	if _, err := m.CompressAttributes(4); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("mixed compression err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestFoldFingerprint(t *testing.T) {
+	// Folding must be deterministic and cover the narrow range.
+	seen := map[uint16]bool{}
+	for fp := 0; fp < 1<<12; fp++ {
+		out := foldFingerprint(uint16(fp), 12, 4)
+		if out >= 1<<4 {
+			t.Fatalf("fold(%d) = %d exceeds 4 bits", fp, out)
+		}
+		seen[out] = true
+		if out != foldFingerprint(uint16(fp), 12, 4) {
+			t.Fatal("fold not deterministic")
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("fold covers %d/16 outputs", len(seen))
+	}
+}
+
+func TestCompressedMarshalRoundTrip(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, AttrBits: 12, Capacity: 1024, Seed: 83})
+	for k := uint64(0); k < 300; k++ {
+		if err := f.Insert(k, []uint64{k * 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := f.CompressAttributes(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Filter
+	if err := h.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 300; k++ {
+		if !h.Query(k, And(Eq(0, k*1<<20))) {
+			t.Fatalf("false negative after compress+marshal round trip: %d", k)
+		}
+	}
+}

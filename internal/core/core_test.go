@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustFilter(t *testing.T, p Params) *Filter {
+	t.Helper()
+	f, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func allVariants() []Variant {
+	return []Variant{VariantPlain, VariantChained, VariantBloom, VariantMixed}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{KeyBits: 17},
+		{KeyBits: -1},
+		{AttrBits: 20},
+		{NumAttrs: -2},
+		{BloomBits: -1},
+		{BloomHashes: -1},
+		{BucketSize: -1},
+		{MaxDupes: -1},
+		{MaxChain: -1},
+		{TargetLoad: 1.5},
+		{Capacity: -5},
+		{Variant: Variant(9)},
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Fatalf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained})
+	p := f.Params()
+	if p.KeyBits != 12 || p.AttrBits != 8 || p.NumAttrs != 1 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if p.MaxDupes != 3 {
+		t.Fatalf("default d = %d, want 3", p.MaxDupes)
+	}
+	if p.BucketSize != 6 {
+		t.Fatalf("chained default b = %d, want 2d = 6 (§8 rule of thumb)", p.BucketSize)
+	}
+	g := mustFilter(t, Params{Variant: VariantBloom})
+	if g.Params().BucketSize != 4 {
+		t.Fatalf("bloom default b = %d, want 4", g.Params().BucketSize)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	names := map[Variant]string{
+		VariantPlain: "Plain", VariantChained: "Chained",
+		VariantBloom: "Bloom", VariantMixed: "Mixed", Variant(7): "Variant(7)",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Fatalf("String(%d) = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}
+
+func TestInsertAttrCountError(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, NumAttrs: 2})
+	if err := f.Insert(1, []uint64{1}); err != ErrAttrCount {
+		t.Fatalf("got %v, want ErrAttrCount", err)
+	}
+	if err := f.Insert(1, []uint64{1, 2, 3}); err != ErrAttrCount {
+		t.Fatalf("got %v, want ErrAttrCount", err)
+	}
+}
+
+func TestNoFalseNegativesAllVariants(t *testing.T) {
+	for _, v := range allVariants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := mustFilter(t, Params{
+				Variant: v, NumAttrs: 2, Capacity: 4096, Seed: 42,
+			})
+			type row struct {
+				k      uint64
+				a1, a2 uint64
+			}
+			var rows []row
+			for k := uint64(0); k < 1000; k++ {
+				for d := uint64(0); d < 1+k%3; d++ {
+					rows = append(rows, row{k, d, k % 7})
+				}
+			}
+			for _, r := range rows {
+				if err := f.Insert(r.k, []uint64{r.a1, r.a2}); err != nil {
+					t.Fatalf("insert %+v: %v", r, err)
+				}
+			}
+			for _, r := range rows {
+				if !f.Query(r.k, And(Eq(0, r.a1), Eq(1, r.a2))) {
+					t.Fatalf("%s: false negative for %+v", v, r)
+				}
+				if !f.Query(r.k, And(Eq(0, r.a1))) {
+					t.Fatalf("%s: false negative (partial pred) for %+v", v, r)
+				}
+				if !f.Query(r.k, nil) {
+					t.Fatalf("%s: false negative (key-only) for %+v", v, r)
+				}
+				if !f.QueryKey(r.k) {
+					t.Fatalf("%s: QueryKey false negative for %+v", v, r)
+				}
+			}
+		})
+	}
+}
+
+func TestAbsentKeysMostlyRejected(t *testing.T) {
+	for _, v := range allVariants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := mustFilter(t, Params{Variant: v, Capacity: 8192, Seed: 7})
+			for k := uint64(0); k < 4000; k++ {
+				if err := f.Insert(k, []uint64{k % 16}); err != nil {
+					t.Fatalf("insert %d: %v", k, err)
+				}
+			}
+			fp := 0
+			const probes = 20000
+			for k := uint64(0); k < probes; k++ {
+				if f.Query(k+1<<40, nil) {
+					fp++
+				}
+			}
+			rate := float64(fp) / probes
+			if rate > 0.02 {
+				t.Fatalf("%s: key-only FPR %.4f too high for 12-bit fingerprints", v, rate)
+			}
+		})
+	}
+}
+
+func TestPresentKeyAbsentAttributeRejected(t *testing.T) {
+	// The defining capability: a present key with a non-matching predicate
+	// is usually rejected, unlike a regular cuckoo filter.
+	for _, v := range allVariants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := mustFilter(t, Params{Variant: v, Capacity: 4096, AttrBits: 8, BloomBits: 24, Seed: 9})
+			for k := uint64(0); k < 2000; k++ {
+				if err := f.Insert(k, []uint64{k % 8}); err != nil {
+					t.Fatalf("insert: %v", k)
+				}
+			}
+			fp := 0
+			trials := 0
+			for k := uint64(0); k < 2000; k++ {
+				// Attribute value 100+k%8 was never stored for any key.
+				if f.Query(k, And(Eq(0, 100+k%8))) {
+					fp++
+				}
+				trials++
+			}
+			rate := float64(fp) / float64(trials)
+			if rate > 0.15 {
+				t.Fatalf("%s: attribute FPR %.4f; predicates are not filtering", v, rate)
+			}
+		})
+	}
+}
+
+func TestDedupIdenticalRows(t *testing.T) {
+	for _, v := range []Variant{VariantPlain, VariantChained, VariantMixed} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := mustFilter(t, Params{Variant: v, Capacity: 256, Seed: 3})
+			for i := 0; i < 10; i++ {
+				if err := f.Insert(5, []uint64{7}); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			if f.OccupiedEntries() != 1 {
+				t.Fatalf("%s: %d entries for 10 identical rows, want 1", v, f.OccupiedEntries())
+			}
+		})
+	}
+}
+
+func TestBloomVariantSingleEntryPerKey(t *testing.T) {
+	// Table 1: CCF w/ Bloom occupies n_k entries regardless of duplicates.
+	f := mustFilter(t, Params{Variant: VariantBloom, Capacity: 1024, BloomBits: 32, Seed: 4})
+	for k := uint64(0); k < 100; k++ {
+		for d := uint64(0); d < 20; d++ {
+			if err := f.Insert(k, []uint64{d}); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+	}
+	if f.OccupiedEntries() != 100 {
+		t.Fatalf("occupied = %d, want 100 (one per distinct key)", f.OccupiedEntries())
+	}
+	// All 20 attribute values must be found; value 21 should mostly miss.
+	for d := uint64(0); d < 20; d++ {
+		if !f.Query(0, And(Eq(0, d))) {
+			t.Fatalf("false negative for attr %d", d)
+		}
+	}
+}
+
+func TestQueryKeyOnlyChecksFirstPair(t *testing.T) {
+	// §7.1: for chained filters, key-only queries need only the first pair.
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 4096, Seed: 5})
+	// 50 duplicates forces chaining past the first pair.
+	for d := uint64(0); d < 50; d++ {
+		if err := f.Insert(99, []uint64{d}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if got := f.CountFingerprint(99); got != f.Params().MaxDupes {
+		t.Fatalf("first pair holds %d copies, want exactly d = %d", got, f.Params().MaxDupes)
+	}
+	if !f.QueryKey(99) {
+		t.Fatal("QueryKey false negative")
+	}
+}
+
+func TestRowAndEntryCounters(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 1024, Seed: 6})
+	for k := uint64(0); k < 100; k++ {
+		if err := f.Insert(k, []uint64{k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Rows() != 100 || f.OccupiedEntries() != 100 {
+		t.Fatalf("rows=%d occupied=%d, want 100/100", f.Rows(), f.OccupiedEntries())
+	}
+	if lf := f.LoadFactor(); lf <= 0 || lf > 1 {
+		t.Fatalf("load factor %v out of range", lf)
+	}
+	if f.SizeBits() != int64(f.Capacity())*int64(f.Params().EntryBits()) {
+		t.Fatal("SizeBits accounting mismatch")
+	}
+	if f.SizeBytes() != (f.SizeBits()+7)/8 {
+		t.Fatal("SizeBytes accounting mismatch")
+	}
+}
+
+func TestDeletePlain(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantPlain, Capacity: 256, Seed: 8})
+	if err := f.Insert(1, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(1, []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(1, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Query(1, And(Eq(0, 2))) && !f.Query(1, And(Eq(0, 3))) {
+		t.Fatal("deleted wrong row")
+	}
+	if !f.Query(1, And(Eq(0, 3))) {
+		t.Fatal("false negative after delete of sibling row")
+	}
+	if err := f.Delete(1, []uint64{99}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete absent row: %v, want ErrNotFound", err)
+	}
+	if err := f.Delete(1, []uint64{1, 2}); !errors.Is(err, ErrAttrCount) {
+		t.Fatalf("bad attr count: %v", err)
+	}
+}
+
+func TestDeleteUnsupportedVariants(t *testing.T) {
+	for _, v := range []Variant{VariantChained, VariantBloom, VariantMixed} {
+		f := mustFilter(t, Params{Variant: v, Capacity: 64})
+		if err := f.Delete(1, []uint64{1}); !errors.Is(err, ErrUnsupported) {
+			t.Fatalf("%s: Delete err = %v, want ErrUnsupported", v, err)
+		}
+	}
+}
+
+func TestQueryErrInvalidPredicate(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, NumAttrs: 1})
+	ok, err := f.QueryErr(1, And(Eq(5, 1)))
+	if err == nil {
+		t.Fatal("out-of-range attribute accepted")
+	}
+	if !ok {
+		t.Fatal("invalid predicate must stay conservative (true)")
+	}
+	if _, err := f.QueryErr(1, Predicate{{Attr: 0}}); err == nil {
+		t.Fatal("empty value list accepted")
+	}
+	// Query (non-Err) must not panic and stays conservative.
+	if !f.Query(1, And(Eq(5, 1))) {
+		t.Fatal("Query with invalid predicate must return true")
+	}
+}
+
+func TestSmallValueOptimizationExactness(t *testing.T) {
+	// With the small-value optimization, distinct small attribute values
+	// never collide: querying a wrong small value on a present key must be
+	// exactly false for the vector variants (attr fingerprints are exact).
+	f := mustFilter(t, Params{Variant: VariantChained, AttrBits: 8, Capacity: 512, Seed: 10})
+	for k := uint64(0); k < 200; k++ {
+		if err := f.Insert(k, []uint64{k % 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 200; k++ {
+		wrong := (k%10 + 1) % 10
+		if k%10 == wrong {
+			continue
+		}
+		if f.Query(k, And(Eq(0, wrong))) && f.CountFingerprint(k) == 1 {
+			t.Fatalf("small-value collision: key %d attr %d matched %d", k, k%10, wrong)
+		}
+	}
+}
+
+func TestInListPredicate(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 256, Seed: 11})
+	if err := f.Insert(1, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Query(1, And(In(0, 3, 4, 5))) {
+		t.Fatal("in-list containing the stored value must match")
+	}
+	if f.Query(1, And(In(0, 7, 8, 9))) {
+		t.Fatal("in-list of absent small values must not match (exact small values)")
+	}
+}
+
+func TestPlainFailsUnderSkewChainedSurvives(t *testing.T) {
+	// Figure 4's qualitative claim: a plain filter fails almost immediately
+	// under heavy duplicates; chaining keeps accepting rows.
+	const dupes = 30
+	plain := mustFilter(t, Params{Variant: VariantPlain, Buckets: 256, BucketSize: 4, Seed: 12})
+	chained := mustFilter(t, Params{Variant: VariantChained, Buckets: 256, BucketSize: 6, Seed: 12})
+
+	insertAll := func(f *Filter) (rows int, err error) {
+		for k := uint64(0); ; k++ {
+			for d := uint64(0); d < dupes; d++ {
+				if e := f.Insert(k, []uint64{d}); e != nil {
+					return rows, e
+				}
+				rows++
+			}
+			if rows > f.Capacity()*2 {
+				return rows, nil
+			}
+		}
+	}
+	plainRows, plainErr := insertAll(plain)
+	chainedRows, chainedErr := insertAll(chained)
+	if plainErr == nil {
+		t.Fatal("plain filter should fail with 30 duplicates per key")
+	}
+	if chainedErr != nil && chainedRows < plainRows*3 {
+		t.Fatalf("chained stored %d rows vs plain %d; chaining is not helping", chainedRows, plainRows)
+	}
+	if plain.LoadFactor() > 0.5 {
+		t.Fatalf("plain filter reached load %.2f before failing; expected early failure", plain.LoadFactor())
+	}
+}

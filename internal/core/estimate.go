@@ -1,0 +1,103 @@
+package core
+
+import "math"
+
+// This file implements the paper's analytic machinery: FPR bounds (§7),
+// sizing bounds on the number of occupied entries (§8, Table 1), and the
+// bit-efficiency metric (Eq. 8).
+
+// KeyFPRBound returns the union bound on the key-only FPR, ρ ≤ E[D]·2^(−|κ|)
+// (Eq. 4), using the realized mean pair fill E[D] = 2b·β.
+func (f *Filter) KeyFPRBound() float64 {
+	meanFill := 2 * float64(f.p.BucketSize) * f.LoadFactor()
+	return meanFill * math.Pow(2, -float64(f.p.KeyBits))
+}
+
+// AttrFPRBoundChained returns the bound of Eq. 7 on the probability a
+// predicate spuriously matches a present key for vector-sketch variants:
+// d·Lmax·2^(−|α|·Ṽ), where nonMatching is Ṽ, the number of predicate
+// attributes that differ from the underlying row. With unlimited chains the
+// effective Lmax is the realized maximum chain length; callers pass
+// chainPairs = 1 for Plain/Mixed vector entries.
+func (f *Filter) AttrFPRBoundChained(nonMatching, chainPairs int) float64 {
+	if nonMatching <= 0 {
+		return 1
+	}
+	if chainPairs < 1 {
+		chainPairs = 1
+	}
+	perEntry := math.Pow(2, -float64(f.p.AttrBits)*float64(nonMatching))
+	bound := float64(f.p.MaxDupes) * float64(chainPairs) * perEntry
+	if bound > 1 {
+		return 1
+	}
+	return bound
+}
+
+// PredictEntries returns the paper's upper bound on the number of non-empty
+// entries Z′ for a workload described by the multiset of per-key distinct
+// attribute-vector counts A (Table 1):
+//
+//	Bloom:   n_k
+//	Mixed:   Σ min(A_i, d)           — conversion caps a key at d entries
+//	Chained: Σ min(A_i, d·Lmax)      — unlimited chains store every vector
+//	Plain:   Σ min(A_i, 2b)          — a pair holds at most 2b copies
+func PredictEntries(variant Variant, multiplicities []int, p Params) int {
+	if err := p.setDefaults(); err != nil {
+		return 0
+	}
+	switch variant {
+	case VariantBloom:
+		return len(multiplicities)
+	case VariantMixed:
+		total := 0
+		for _, a := range multiplicities {
+			total += min(a, p.MaxDupes)
+		}
+		return total
+	case VariantChained:
+		perKeyCap := math.MaxInt
+		if p.MaxChain > 0 {
+			perKeyCap = p.MaxDupes * p.MaxChain
+		}
+		total := 0
+		for _, a := range multiplicities {
+			total += min(a, perKeyCap)
+		}
+		return total
+	default: // VariantPlain
+		total := 0
+		for _, a := range multiplicities {
+			total += min(a, 2*p.BucketSize)
+		}
+		return total
+	}
+}
+
+// RecommendBuckets returns the bucket count (power of two) sizing the
+// filter for predictedEntries occupied entries at the target load factor:
+// m·b ≈ E[Z′]/β (§8).
+func RecommendBuckets(predictedEntries, bucketSize int, targetLoad float64) uint32 {
+	if predictedEntries < 1 {
+		predictedEntries = 1
+	}
+	if bucketSize < 1 {
+		bucketSize = 4
+	}
+	if targetLoad <= 0 || targetLoad > 1 {
+		targetLoad = 0.75
+	}
+	need := float64(predictedEntries) / targetLoad / float64(bucketSize)
+	return nextPow2(uint32(need) + 1)
+}
+
+// BitEfficiency returns the paper's efficiency metric (Eq. 8):
+// size_in_bits / (n·log₂(1/ρ)), where n is the number of keys inserted and
+// ρ the measured FPR. 1.0 is the information-theoretic optimum for sets; a
+// Bloom filter achieves ≈1.44.
+func BitEfficiency(sizeBits int64, n int, fpr float64) float64 {
+	if n <= 0 || fpr <= 0 || fpr >= 1 {
+		return math.Inf(1)
+	}
+	return float64(sizeBits) / (float64(n) * math.Log2(1/fpr))
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKeyFPRBoundTracksMeasured(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 32768, Seed: 71})
+	for k := uint64(0); k < 20000; k++ {
+		if err := f.Insert(k, []uint64{k % 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bound := f.KeyFPRBound()
+	fp := 0
+	const probes = 100000
+	for k := uint64(0); k < probes; k++ {
+		if f.QueryKey(k + 1<<40) {
+			fp++
+		}
+	}
+	measured := float64(fp) / probes
+	if measured > bound*1.5+1e-4 {
+		t.Fatalf("measured key FPR %.6f exceeds bound %.6f", measured, bound)
+	}
+	if bound > 0.05 {
+		t.Fatalf("bound %.4f implausibly large for 12-bit fingerprints", bound)
+	}
+}
+
+func TestAttrFPRBound(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, AttrBits: 8, Capacity: 1024})
+	// One non-matching attribute, one pair: d·1·2^-8.
+	want := 3.0 / 256.0
+	if got := f.AttrFPRBoundChained(1, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+	if got := f.AttrFPRBoundChained(0, 1); got != 1 {
+		t.Fatalf("zero non-matching attrs: bound %v, want 1", got)
+	}
+	if got := f.AttrFPRBoundChained(1, 1000000); got != 1 {
+		t.Fatalf("bound must clamp to 1, got %v", got)
+	}
+	if got := f.AttrFPRBoundChained(2, 0); got != f.AttrFPRBoundChained(2, 1) {
+		t.Fatal("chainPairs < 1 must clamp to 1")
+	}
+}
+
+func TestPredictEntriesTable1(t *testing.T) {
+	// Multiplicities: 3 keys with 1, 5, 100 distinct attribute vectors.
+	mult := []int{1, 5, 100}
+	p := Params{MaxDupes: 3, BucketSize: 4}
+	if got := PredictEntries(VariantBloom, mult, p); got != 3 {
+		t.Fatalf("Bloom predicts %d, want n_k = 3", got)
+	}
+	if got := PredictEntries(VariantMixed, mult, p); got != 1+3+3 {
+		t.Fatalf("Mixed predicts %d, want Σ min(A,d) = 7", got)
+	}
+	if got := PredictEntries(VariantChained, mult, p); got != 1+5+100 {
+		t.Fatalf("Chained (unlimited) predicts %d, want Σ A = 106", got)
+	}
+	p.MaxChain = 2
+	if got := PredictEntries(VariantChained, mult, p); got != 1+5+6 {
+		t.Fatalf("Chained (Lmax=2) predicts %d, want Σ min(A, d·Lmax) = 12", got)
+	}
+	p.MaxChain = 0
+	if got := PredictEntries(VariantPlain, mult, p); got != 1+5+8 {
+		t.Fatalf("Plain predicts %d, want Σ min(A, 2b) = 14", got)
+	}
+	if got := PredictEntries(VariantPlain, nil, Params{}); got != 0 {
+		t.Fatalf("empty multiplicities predict %d, want 0", got)
+	}
+}
+
+func TestPredictEntriesMatchesActual(t *testing.T) {
+	// Figure 3: predicted entries should closely match actual occupancy.
+	mult := make([]int, 0, 500)
+	for k := 0; k < 500; k++ {
+		mult = append(mult, 1+k%11)
+	}
+	for _, v := range []Variant{VariantBloom, VariantChained, VariantMixed} {
+		p := Params{Variant: v, Capacity: 8192, BloomBits: 24, Seed: 72}
+		f := mustFilter(t, p)
+		for k, a := range mult {
+			for d := 0; d < a; d++ {
+				if err := f.Insert(uint64(k), []uint64{uint64(d) + 100}); err != nil {
+					t.Fatalf("%s insert: %v", v, err)
+				}
+			}
+		}
+		predicted := PredictEntries(v, mult, f.Params())
+		actual := f.OccupiedEntries()
+		if actual > predicted {
+			t.Fatalf("%s: actual %d exceeds predicted bound %d", v, actual, predicted)
+		}
+		if float64(actual) < 0.9*float64(predicted) {
+			t.Fatalf("%s: actual %d far below prediction %d; bound is not tight", v, actual, predicted)
+		}
+	}
+}
+
+func TestRecommendBuckets(t *testing.T) {
+	m := RecommendBuckets(1000, 4, 0.75)
+	if m&(m-1) != 0 {
+		t.Fatalf("bucket count %d not a power of two", m)
+	}
+	if float64(int(m)*4) < 1000.0/0.75 {
+		t.Fatalf("m·b = %d cannot hold 1000 entries at load 0.75", int(m)*4)
+	}
+	// Degenerate inputs fall back to defaults without panicking.
+	if RecommendBuckets(0, 0, -1) == 0 {
+		t.Fatal("degenerate inputs produced zero buckets")
+	}
+}
+
+func TestBitEfficiency(t *testing.T) {
+	// A perfect sketch: n·log2(1/ρ) bits → efficiency 1.
+	n, fpr := 1000, 0.01
+	bits := int64(float64(n) * math.Log2(1/fpr))
+	if got := BitEfficiency(bits, n, fpr); math.Abs(got-1) > 0.01 {
+		t.Fatalf("efficiency = %v, want ≈1", got)
+	}
+	if !math.IsInf(BitEfficiency(100, 0, 0.01), 1) {
+		t.Fatal("n=0 must be +Inf")
+	}
+	if !math.IsInf(BitEfficiency(100, 10, 0), 1) {
+		t.Fatal("fpr=0 must be +Inf")
+	}
+}
+
+func TestEntryBitsPerVariant(t *testing.T) {
+	base := Params{KeyBits: 12, AttrBits: 8, NumAttrs: 2, BloomBits: 20}
+	cases := map[Variant]int{
+		VariantPlain:   12 + 16,
+		VariantChained: 12 + 16,
+		VariantMixed:   12 + 16 + 1,
+		VariantBloom:   12 + 20,
+	}
+	for v, want := range cases {
+		p := base
+		p.Variant = v
+		if got := p.EntryBits(); got != want {
+			t.Fatalf("%s EntryBits = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzInsertQuery drives arbitrary operation tapes against a chained CCF
+// and an exact shadow model, asserting the no-false-negative guarantee and
+// internal invariants. Run with `go test -fuzz=FuzzInsertQuery` for
+// continuous fuzzing; the seed corpus runs in every normal test pass.
+func FuzzInsertQuery(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 1, 2, 3}, uint8(1))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(2))
+	f.Add([]byte{}, uint8(3))
+	f.Fuzz(func(t *testing.T, tape []byte, variantSel uint8) {
+		variant := []Variant{VariantPlain, VariantChained, VariantBloom, VariantMixed}[variantSel%4]
+		filt, err := New(Params{Variant: variant, NumAttrs: 1, Capacity: 2048, BloomBits: 24, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type row struct{ k, a uint64 }
+		inserted := map[row]bool{}
+		for i := 0; i+3 <= len(tape); i += 3 {
+			k := uint64(tape[i]) % 64
+			a := uint64(tape[i+1]) % 32
+			op := tape[i+2] % 3
+			switch op {
+			case 0, 1:
+				err := filt.Insert(k, []uint64{a})
+				if err == ErrFull && variant == VariantPlain {
+					continue
+				}
+				if err != nil && err != ErrChainLimit {
+					t.Fatalf("insert(%d,%d): %v", k, a, err)
+				}
+				inserted[row{k, a}] = true
+			case 2:
+				// Query an arbitrary pair; verify no false negatives for
+				// everything inserted so far.
+				filt.Query(k, And(Eq(0, a)))
+			}
+		}
+		for r := range inserted {
+			if !filt.Query(r.k, And(Eq(0, r.a))) {
+				t.Fatalf("%s: false negative for %+v", variant, r)
+			}
+		}
+		if filt.OccupiedEntries() > filt.Capacity() {
+			t.Fatal("occupancy exceeds capacity")
+		}
+		if filt.LoadFactor() < 0 || filt.LoadFactor() > 1 {
+			t.Fatalf("load factor %v out of range", filt.LoadFactor())
+		}
+	})
+}
+
+// FuzzUnmarshal hardens the decoder: arbitrary bytes must never panic, and
+// any buffer that decodes successfully must re-encode to a filter that can
+// serve queries.
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with valid encodings of each variant.
+	for _, v := range []Variant{VariantPlain, VariantChained, VariantBloom, VariantMixed} {
+		filt, err := New(Params{Variant: v, NumAttrs: 1, Capacity: 128, Seed: 3})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for k := uint64(0); k < 32; k++ {
+			_ = filt.Insert(k, []uint64{k % 4})
+		}
+		blob, err := filt.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		// Also seed a few corruptions.
+		for _, pos := range []int{8, 40, len(blob) / 2} {
+			if pos < len(blob) {
+				c := append([]byte(nil), blob...)
+				c[pos] ^= 0x42
+				f.Add(c)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var filt Filter
+		if err := filt.UnmarshalBinary(data); err != nil {
+			return // rejected: fine
+		}
+		// Accepted: the filter must be usable without panicking.
+		filt.Query(1, And(Eq(0, 1)))
+		filt.QueryKey(2)
+		_ = filt.LoadFactor()
+		if _, err := filt.MarshalBinary(); err != nil {
+			t.Fatalf("re-encode of accepted buffer failed: %v", err)
+		}
+	})
+}
+
+// FuzzFrozenUnmarshal hardens the frozen-filter decoder the same way.
+func FuzzFrozenUnmarshal(f *testing.F) {
+	filt, err := New(Params{Variant: VariantChained, NumAttrs: 2, Capacity: 128, Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for k := uint64(0); k < 64; k++ {
+		_ = filt.Insert(k, []uint64{k % 4, k % 9})
+	}
+	fr, err := filt.Freeze()
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := fr.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(blob)))
+	f.Add(append(lenBuf[:], blob...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fz Frozen
+		if err := fz.UnmarshalBinary(data); err != nil {
+			return
+		}
+		fz.Query(1, And(Eq(0, 1)))
+		fz.QueryKey(2)
+		_ = fz.SizeBits()
+	})
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"ccf/internal/bloom"
+)
+
+// Insert adds a row with the given key and attribute values. attrs must
+// have exactly NumAttrs elements. Rows whose sketched form (κ, α) is
+// already present are deduplicated: the paper's multiset experiments count
+// distinct (key, attribute) pairs (§10.1), and Table 1's sizing counts
+// distinct attribute vectors per key.
+//
+// Errors: ErrAttrCount for a bad vector; ErrFull when a cuckoo insertion
+// exhausts its kicks (the filter is unchanged); ErrChainLimit when
+// VariantChained discards a row at Lmax (queries for the row still return
+// true, preserving no-false-negatives).
+func (f *Filter) Insert(key uint64, attrs []uint64) error {
+	if len(attrs) != f.p.NumAttrs {
+		return ErrAttrCount
+	}
+	fp := f.fingerprint(key)
+	home := f.homeBucket(key)
+	var err error
+	switch f.p.Variant {
+	case VariantPlain:
+		err = f.insertPlain(fp, home, attrs)
+	case VariantChained:
+		err = f.insertChained(fp, home, attrs)
+	case VariantBloom:
+		err = f.insertBloom(fp, home, attrs)
+	case VariantMixed:
+		err = f.insertMixed(fp, home, attrs)
+	}
+	if err == nil {
+		f.rows++
+	}
+	return err
+}
+
+// attrVector computes the row's attribute fingerprint vector into dst.
+func (f *Filter) attrVector(attrs []uint64, dst []uint16) {
+	for j, v := range attrs {
+		dst[j] = f.attrFingerprint(j, v)
+	}
+}
+
+// vectorAt reports whether the entry at idx holds exactly the fingerprint
+// vector vec (and is a plain vector entry).
+func (f *Filter) vectorAt(idx int, vec []uint16) bool {
+	if f.flags[idx]&flagConverted != 0 {
+		return false
+	}
+	base := idx * f.p.NumAttrs
+	for j, v := range vec {
+		if f.attrs[base+j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// pairHasVector reports whether the pair already stores (κ, α).
+func (f *Filter) pairHasVector(l1, l2 uint32, fp uint16, vec []uint16) bool {
+	found := false
+	f.forEachInPair(l1, l2, func(idx int) bool {
+		if f.fps[idx] == fp && f.vectorAt(idx, vec) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// insertPlain is the baseline: every distinct (κ, α) occupies an entry in
+// the key's single bucket pair; the pair caps the key at 2b copies (§4.3).
+func (f *Filter) insertPlain(fp uint16, home uint32, attrs []uint64) error {
+	c := f.newCarried()
+	c.fp = fp
+	f.attrVector(attrs, c.attr)
+	l1, l2, _ := f.pairBuckets(home, fp)
+	if f.pairHasVector(l1, l2, fp, c.attr) {
+		return nil
+	}
+	if !f.placeWithKicks(l1, l2, c) {
+		return ErrFull
+	}
+	return nil
+}
+
+// insertChained implements Algorithm 4: walk the chain of bucket pairs
+// until one holds fewer than d copies of κ, then cuckoo-insert there.
+func (f *Filter) insertChained(fp uint16, home uint32, attrs []uint64) error {
+	c := f.newCarried()
+	c.fp = fp
+	f.attrVector(attrs, c.attr)
+	var seq chainSeq
+	f.initChainSeq(&seq, fp, home)
+	for {
+		l1, l2 := seq.buckets()
+		if f.pairHasVector(l1, l2, fp, c.attr) {
+			return nil
+		}
+		if f.countFpInPair(l1, l2, fp) < f.p.MaxDupes {
+			if f.placeWithKicks(l1, l2, c) {
+				f.recordChainDepth(seq.pairs)
+				return nil
+			}
+			return ErrFull
+		}
+		if !seq.advance() {
+			f.discarded++
+			return ErrChainLimit
+		}
+	}
+}
+
+// recordChainDepth tallies which chain pair an insertion landed in.
+func (f *Filter) recordChainDepth(pairs int) {
+	idx := pairs - 1
+	if idx >= len(f.chainDepths) {
+		idx = len(f.chainDepths) - 1
+	}
+	f.chainDepths[idx]++
+}
+
+// insertBloom implements the Bloom attribute sketch variant (§5.2):
+// duplicate keys share one entry, whose Bloom filter accumulates their
+// (attribute, value) pairs. Occupancy therefore matches a plain cuckoo
+// filter over distinct keys (Table 1).
+func (f *Filter) insertBloom(fp uint16, home uint32, attrs []uint64) error {
+	l1, l2, _ := f.pairBuckets(home, fp)
+	existing := -1
+	f.forEachInPair(l1, l2, func(idx int) bool {
+		if f.fps[idx] == fp {
+			existing = idx
+			return false
+		}
+		return true
+	})
+	if existing >= 0 {
+		bf := f.blooms[existing]
+		for j, v := range attrs {
+			bf.Add(f.bloomElemRaw(j, v))
+		}
+		return nil
+	}
+	bf := bloom.NewWithSalt(f.p.BloomBits, f.p.BloomHashes, f.p.Seed^saltEntryBf)
+	for j, v := range attrs {
+		bf.Add(f.bloomElemRaw(j, v))
+	}
+	c := f.newCarried()
+	c.fp = fp
+	c.bf = bf
+	if !f.placeWithKicks(l1, l2, c) {
+		return ErrFull
+	}
+	return nil
+}
+
+// insertMixed implements Bloom conversion (§6.1, Algorithm 3): vector
+// entries until a pair holds d copies of κ, then the d vectors are rehashed
+// into one shared Bloom filter and later duplicates join it. Conversion
+// never fails.
+func (f *Filter) insertMixed(fp uint16, home uint32, attrs []uint64) error {
+	l1, l2, _ := f.pairBuckets(home, fp)
+
+	// An existing converted group absorbs the row.
+	var grp *convGroup
+	f.forEachInPair(l1, l2, func(idx int) bool {
+		if f.fps[idx] == fp && f.flags[idx]&flagConverted != 0 {
+			grp = f.groups[idx]
+			return false
+		}
+		return true
+	})
+	if grp != nil {
+		for j, v := range attrs {
+			grp.bf.Add(f.bloomElemFp(j, f.attrFingerprint(j, v)))
+		}
+		return nil
+	}
+
+	c := f.newCarried()
+	c.fp = fp
+	f.attrVector(attrs, c.attr)
+	if f.pairHasVector(l1, l2, fp, c.attr) {
+		return nil
+	}
+	if f.countFpInPair(l1, l2, fp) < f.p.MaxDupes {
+		if f.placeWithKicks(l1, l2, c) {
+			return nil
+		}
+		return ErrFull
+	}
+	f.convert(l1, l2, fp, c.attr)
+	return nil
+}
+
+// convert rehashes the d vector entries for κ in the pair (plus the
+// incoming vector newVec) into a single Bloom filter sized per Algorithm 3,
+// marking the entries as converted. The entries keep their slots; the group
+// object carries the shared filter.
+func (f *Filter) convert(l1, l2 uint32, fp uint16, newVec []uint16) {
+	grp := &convGroup{bf: bloom.NewWithSalt(
+		f.p.ConversionBloomBits(),
+		f.p.ConversionBloomHashes(),
+		f.p.Seed^saltEntryBf^uint64(fp),
+	)}
+	f.forEachInPair(l1, l2, func(idx int) bool {
+		if f.fps[idx] != fp {
+			return true
+		}
+		base := idx * f.p.NumAttrs
+		for j := 0; j < f.p.NumAttrs; j++ {
+			grp.bf.Add(f.bloomElemFp(j, f.attrs[base+j]))
+			f.attrs[base+j] = 0
+		}
+		f.flags[idx] |= flagConverted
+		f.groups[idx] = grp
+		return true
+	})
+	for j, v := range newVec {
+		grp.bf.Add(f.bloomElemFp(j, v))
+	}
+	f.converted++
+}
+
+// Delete removes the row (key, attrs) from a VariantPlain filter, enabling
+// the multiset deletion cuckoo filters support (§4.3). Other variants
+// return ErrUnsupported: Bloom sketches cannot un-OR attribute bits, and
+// removing a chained entry could open a gap in its chain, which would
+// violate the no-false-negative guarantee (§6.2).
+func (f *Filter) Delete(key uint64, attrs []uint64) error {
+	if f.p.Variant != VariantPlain {
+		return ErrUnsupported
+	}
+	if len(attrs) != f.p.NumAttrs {
+		return ErrAttrCount
+	}
+	fp := f.fingerprint(key)
+	l1, l2, _ := f.pairBuckets(f.homeBucket(key), fp)
+	vec := make([]uint16, f.p.NumAttrs)
+	f.attrVector(attrs, vec)
+	removed := false
+	f.forEachInPair(l1, l2, func(idx int) bool {
+		if f.fps[idx] == fp && f.vectorAt(idx, vec) {
+			f.clearEntry(idx)
+			removed = true
+			return false
+		}
+		return true
+	})
+	if !removed {
+		return ErrNotFound
+	}
+	f.rows--
+	return nil
+}
+
+func (f *Filter) clearEntry(idx int) {
+	f.fps[idx] = 0
+	f.flags[idx] = 0
+	if f.attrs != nil {
+		base := idx * f.p.NumAttrs
+		for j := 0; j < f.p.NumAttrs; j++ {
+			f.attrs[base+j] = 0
+		}
+	}
+	if f.blooms != nil {
+		f.blooms[idx] = nil
+	}
+	if f.groups != nil {
+		f.groups[idx] = nil
+	}
+	f.occupied--
+}

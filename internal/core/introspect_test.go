@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestChainDepthHistogram(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 8192, Seed: 101})
+	// Unique keys land in pair 1 only.
+	for k := uint64(0); k < 200; k++ {
+		if err := f.Insert(k, []uint64{k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := f.ChainDepthHistogram()
+	if h[0] != 200 {
+		t.Fatalf("depth-1 count = %d, want 200", h[0])
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i] != 0 {
+			t.Fatalf("unexpected depth-%d landings: %d", i+1, h[i])
+		}
+	}
+	// A heavy key pushes past the first pair: d=3 per pair.
+	for d := uint64(0); d < 10; d++ {
+		if err := f.Insert(7777, []uint64{d + 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h = f.ChainDepthHistogram()
+	if h[1] == 0 {
+		t.Fatal("no depth-2 landings after 10 duplicates with d=3")
+	}
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	// Histogram counts accepted chained insertions that created entries.
+	if total != f.OccupiedEntries() {
+		t.Fatalf("histogram total %d != occupied %d", total, f.OccupiedEntries())
+	}
+}
+
+func TestChainDepthHistogramLastBinAccumulates(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 1 << 15, Seed: 102})
+	// 120 duplicates with d=3 → 40 pairs, far past the 16-bin histogram.
+	for d := uint64(0); d < 120; d++ {
+		if err := f.Insert(5, []uint64{d + 1<<20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := f.ChainDepthHistogram()
+	if h[len(h)-1] == 0 {
+		t.Fatal("deep landings not accumulated in the last bin")
+	}
+}
+
+func TestContainsRow(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantChained, NumAttrs: 2, Capacity: 256, Seed: 103})
+	if err := f.Insert(1, []uint64{4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := f.ContainsRow(1, []uint64{4, 9})
+	if err != nil || !ok {
+		t.Fatalf("ContainsRow on stored row: %v, %v", ok, err)
+	}
+	ok, err = f.ContainsRow(1, []uint64{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok && f.CountFingerprint(1) == 1 {
+		t.Fatal("ContainsRow matched a different small-value row")
+	}
+	if _, err := f.ContainsRow(1, []uint64{4}); !errors.Is(err, ErrAttrCount) {
+		t.Fatalf("bad arity: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMixedConversionTriggers(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantMixed, Capacity: 1024, Seed: 31})
+	d := f.Params().MaxDupes
+	// d distinct vectors fit as vector entries; the d+1-th converts.
+	for i := 0; i <= d; i++ {
+		if err := f.Insert(5, []uint64{uint64(i) + 100}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if f.Conversions() != 1 {
+		t.Fatalf("Conversions = %d, want 1", f.Conversions())
+	}
+	// Occupancy stays at d entries for this key (Table 1: min{A, d}).
+	if got := f.CountFingerprint(5); got != d {
+		t.Fatalf("entries for key = %d, want d = %d", got, d)
+	}
+	// All d+1 vectors remain queryable.
+	for i := 0; i <= d; i++ {
+		if !f.Query(5, And(Eq(0, uint64(i)+100))) {
+			t.Fatalf("false negative for vector %d after conversion", i)
+		}
+	}
+}
+
+func TestMixedConversionNeverFails(t *testing.T) {
+	// §6.1: "This conversion operation has the advantage that it can never
+	// fail." Hundreds of duplicates of one key must all be absorbed.
+	f := mustFilter(t, Params{Variant: VariantMixed, Capacity: 1024, Seed: 32})
+	for i := uint64(0); i < 500; i++ {
+		if err := f.Insert(8, []uint64{i + 1000}); err != nil {
+			t.Fatalf("insert dup %d: %v", i, err)
+		}
+	}
+	d := f.Params().MaxDupes
+	if got := f.CountFingerprint(8); got != d {
+		t.Fatalf("occupied entries for key = %d, want exactly d = %d", got, d)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if !f.Query(8, And(Eq(0, i+1000))) {
+			t.Fatalf("false negative for dup %d", i)
+		}
+	}
+}
+
+func TestMixedPostConversionInsertsGoToBloom(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantMixed, Capacity: 1024, Seed: 33})
+	d := f.Params().MaxDupes
+	for i := 0; i <= d; i++ {
+		if err := f.Insert(2, []uint64{uint64(i) * 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := f.OccupiedEntries()
+	for i := d + 1; i < d+20; i++ {
+		if err := f.Insert(2, []uint64{uint64(i) * 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.OccupiedEntries() != before {
+		t.Fatalf("post-conversion inserts changed occupancy %d → %d", before, f.OccupiedEntries())
+	}
+	if f.Conversions() != 1 {
+		t.Fatalf("Conversions = %d, want 1 (group reused)", f.Conversions())
+	}
+}
+
+func TestMixedConversionParamsFormulae(t *testing.T) {
+	p := Params{Variant: VariantMixed, KeyBits: 12, AttrBits: 8, NumAttrs: 2, MaxDupes: 3}
+	if err := p.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	// s = |κ| + #α·|α| + 1 = 12 + 16 + 1 = 29.
+	if got := p.EntryBits(); got != 29 {
+		t.Fatalf("EntryBits = %d, want 29", got)
+	}
+	// totalBits = d·s − 2(|κ| + ⌈log₂ d⌉) = 87 − 2·14 = 59.
+	if got := p.ConversionBloomBits(); got != 59 {
+		t.Fatalf("ConversionBloomBits = %d, want 59", got)
+	}
+	// hashes ≈ 59 / ((d+1)·#α) · ln2 = 59/8·0.693 ≈ 5.
+	if got := p.ConversionBloomHashes(); got != 5 {
+		t.Fatalf("ConversionBloomHashes = %d, want 5", got)
+	}
+}
+
+func TestMixedSeparateKeysIndependent(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantMixed, Capacity: 4096, Seed: 34})
+	// Key 1 converts; key 2 stays a single vector entry.
+	for i := uint64(0); i < 10; i++ {
+		if err := f.Insert(1, []uint64{i + 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Insert(2, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Query(2, And(Eq(0, 5))) {
+		t.Fatal("false negative on unconverted key")
+	}
+	if f.Query(2, And(Eq(0, 6))) && f.CountFingerprint(2) == 1 {
+		t.Fatal("vector entry matched wrong small value")
+	}
+}
+
+func TestMixedNoFalseNegativesProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		f, err := New(Params{Variant: VariantMixed, Capacity: 4096, Seed: 35})
+		if err != nil {
+			return false
+		}
+		type row struct{ k, a uint64 }
+		rows := make([]row, 0, len(raw))
+		for _, r := range raw {
+			rows = append(rows, row{uint64(r % 50), uint64(r / 50)})
+		}
+		for _, r := range rows {
+			if err := f.Insert(r.k, []uint64{r.a}); err != nil {
+				return false
+			}
+		}
+		for _, r := range rows {
+			if !f.Query(r.k, And(Eq(0, r.a))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedKickCarriesGroupMembership(t *testing.T) {
+	// Fill the table enough to force kicks after conversions happen; every
+	// converted row must remain queryable (group pointer travels with the
+	// kicked entry inside its pair).
+	f := mustFilter(t, Params{Variant: VariantMixed, Buckets: 256, Seed: 36})
+	type row struct{ k, a uint64 }
+	var rows []row
+	for k := uint64(0); k < 300; k++ {
+		n := uint64(1)
+		if k%5 == 0 {
+			n = 8 // force conversions on every 5th key
+		}
+		for d := uint64(0); d < n; d++ {
+			if err := f.Insert(k, []uint64{d + 10}); err != nil {
+				goto check
+			}
+			rows = append(rows, row{k, d + 10})
+		}
+	}
+check:
+	for _, r := range rows {
+		if !f.Query(r.k, And(Eq(0, r.a))) {
+			t.Fatalf("false negative (%d,%d) after kicks with conversions", r.k, r.a)
+		}
+	}
+}

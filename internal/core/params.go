@@ -1,0 +1,245 @@
+// Package core implements the Conditional Cuckoo Filter (CCF), the primary
+// contribution of "Conditional Cuckoo Filters" (Ting & Cole, SIGMOD 2021).
+//
+// A CCF stores a fingerprint of each row's key together with a sketch of the
+// row's attribute values, supporting approximate set-membership queries with
+// equality predicates: "is there a row with key k whose attributes satisfy
+// P?" Like other approximate set-membership sketches it never returns false
+// negatives.
+//
+// Four variants are implemented, matching the paper's evaluation (§10.4):
+//
+//   - VariantPlain: a regular cuckoo filter that stores attribute
+//     fingerprint vectors and handles duplicate keys by inserting additional
+//     copies. It fails quickly under skewed duplicates (Figure 4).
+//   - VariantChained: attribute fingerprint vectors plus the paper's
+//     chaining technique (§6.2, Algorithms 4–5): at most d copies of a key
+//     fingerprint live in a bucket pair, and further duplicates spill to a
+//     deterministic chain of additional pairs.
+//   - VariantBloom: each entry holds a small Bloom filter over the key's
+//     (attribute, value) pairs (§5.2, Algorithm 1); duplicate keys share one
+//     entry, so occupancy matches a plain cuckoo filter.
+//   - VariantMixed: attribute fingerprint vectors that convert to a shared
+//     Bloom filter once a pair holds d copies of a key (§6.1, Algorithm 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Variant selects the CCF's duplicate-handling and attribute-sketch strategy.
+type Variant int
+
+const (
+	// VariantPlain is a multiset cuckoo filter with attribute fingerprint
+	// vectors and no special duplicate handling.
+	VariantPlain Variant = iota
+	// VariantChained uses attribute fingerprint vectors with chaining.
+	VariantChained
+	// VariantBloom uses per-entry Bloom filter attribute sketches.
+	VariantBloom
+	// VariantMixed uses fingerprint vectors with Bloom conversion.
+	VariantMixed
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantPlain:
+		return "Plain"
+	case VariantChained:
+		return "Chained"
+	case VariantBloom:
+		return "Bloom"
+	case VariantMixed:
+		return "Mixed"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Errors returned by Filter operations.
+var (
+	// ErrFull indicates a cuckoo insertion failed after MaxKicks
+	// displacements; the filter is unchanged.
+	ErrFull = errors.New("ccf: filter full")
+	// ErrChainLimit indicates a row was discarded because its key's chain
+	// reached MaxChain pairs. The filter still returns true for queries on
+	// that row (no false negatives, §6.2).
+	ErrChainLimit = errors.New("ccf: chain length limit reached; row discarded, queries remain conservative")
+	// ErrAttrCount indicates an attribute vector of the wrong length.
+	ErrAttrCount = errors.New("ccf: attribute vector length does not match NumAttrs")
+	// ErrUnsupported indicates the operation is not defined for the variant.
+	ErrUnsupported = errors.New("ccf: operation not supported by this variant")
+	// ErrNotFound indicates a Delete did not find the row.
+	ErrNotFound = errors.New("ccf: row not found")
+)
+
+// Params configures a Filter. Zero fields take the paper's defaults.
+type Params struct {
+	// Variant selects the CCF strategy. Default VariantChained.
+	Variant Variant
+	// KeyBits is |κ|, the key fingerprint width (1–16). Default 12.
+	KeyBits int
+	// AttrBits is |α| per attribute for the fingerprint-vector variants
+	// (1–16). Default 8.
+	AttrBits int
+	// NumAttrs is #α, the number of attribute columns sketched. Default 1.
+	NumAttrs int
+	// BloomBits is the per-entry Bloom sketch size for VariantBloom.
+	// Default 16.
+	BloomBits int
+	// BloomHashes is the number of Bloom hash functions. The paper found a
+	// small fixed count preferable (§8.1, §10.4). Default 2.
+	BloomHashes int
+	// BucketSize is b, entries per bucket. Default 4 (Plain/Bloom) or
+	// 2·MaxDupes (Chained/Mixed), the paper's rule of thumb b ≈ 2d (§8).
+	BucketSize int
+	// MaxDupes is d, the maximum copies of a key fingerprint per bucket
+	// pair (Chained/Mixed). Default 3, the paper's choice (§8).
+	MaxDupes int
+	// MaxChain is Lmax, the maximum bucket pairs per key for
+	// VariantChained. 0 means unlimited (§10.1 uses Lmax = ∞).
+	MaxChain int
+	// MaxKicks bounds displacement chains. Default 500.
+	MaxKicks int
+	// Buckets fixes the bucket count (rounded up to a power of two). If 0,
+	// it is derived from Capacity and TargetLoad.
+	Buckets uint32
+	// Capacity is the expected number of occupied entries, used with
+	// TargetLoad to size the table when Buckets is 0. Default 1024.
+	Capacity int
+	// TargetLoad is the load factor the table is sized for. Default 0.75,
+	// the paper's empirical attainable load for b = 4 with duplicates
+	// (Figure 4); use ≈0.87 for b = 6.
+	TargetLoad float64
+	// Seed makes all hash salts and kick choices deterministic.
+	Seed uint64
+	// DisableSmallValueOpt turns off exact storage of attribute values
+	// smaller than 2^AttrBits (§9). Ablation switch.
+	DisableSmallValueOpt bool
+	// DisableCycleExtension turns off salted chain extension on cycle
+	// detection (§6.2). Ablation switch.
+	DisableCycleExtension bool
+}
+
+func (p *Params) setDefaults() error {
+	if p.KeyBits == 0 {
+		p.KeyBits = 12
+	}
+	if p.KeyBits < 1 || p.KeyBits > 16 {
+		return fmt.Errorf("ccf: KeyBits %d outside [1,16]", p.KeyBits)
+	}
+	if p.AttrBits == 0 {
+		p.AttrBits = 8
+	}
+	if p.AttrBits < 1 || p.AttrBits > 16 {
+		return fmt.Errorf("ccf: AttrBits %d outside [1,16]", p.AttrBits)
+	}
+	if p.NumAttrs == 0 {
+		p.NumAttrs = 1
+	}
+	if p.NumAttrs < 1 {
+		return fmt.Errorf("ccf: NumAttrs %d < 1", p.NumAttrs)
+	}
+	if p.BloomBits == 0 {
+		p.BloomBits = 16
+	}
+	if p.BloomBits < 1 {
+		return fmt.Errorf("ccf: BloomBits %d < 1", p.BloomBits)
+	}
+	if p.BloomHashes == 0 {
+		p.BloomHashes = 2
+	}
+	if p.BloomHashes < 1 {
+		return fmt.Errorf("ccf: BloomHashes %d < 1", p.BloomHashes)
+	}
+	if p.MaxDupes == 0 {
+		p.MaxDupes = 3
+	}
+	if p.MaxDupes < 1 {
+		return fmt.Errorf("ccf: MaxDupes %d < 1", p.MaxDupes)
+	}
+	if p.BucketSize == 0 {
+		switch p.Variant {
+		case VariantChained, VariantMixed:
+			p.BucketSize = 2 * p.MaxDupes
+		default:
+			p.BucketSize = 4
+		}
+	}
+	if p.BucketSize < 1 {
+		return fmt.Errorf("ccf: BucketSize %d < 1", p.BucketSize)
+	}
+	if p.MaxChain < 0 {
+		return fmt.Errorf("ccf: MaxChain %d < 0", p.MaxChain)
+	}
+	if p.MaxKicks == 0 {
+		p.MaxKicks = 500
+	}
+	if p.TargetLoad == 0 {
+		p.TargetLoad = 0.75
+	}
+	if p.TargetLoad <= 0 || p.TargetLoad > 1 {
+		return fmt.Errorf("ccf: TargetLoad %v outside (0,1]", p.TargetLoad)
+	}
+	if p.Capacity == 0 {
+		p.Capacity = 1024
+	}
+	if p.Capacity < 1 {
+		return fmt.Errorf("ccf: Capacity %d < 1", p.Capacity)
+	}
+	if p.Variant < VariantPlain || p.Variant > VariantMixed {
+		return fmt.Errorf("ccf: unknown variant %d", int(p.Variant))
+	}
+	return nil
+}
+
+// EntryBits returns the packed width of one entry in bits for the variant's
+// storage layout (§6.1, §8): vector entries hold |κ| + #α·|α| bits (plus a
+// type flag for Mixed), Bloom entries hold |κ| + BloomBits.
+func (p Params) EntryBits() int {
+	switch p.Variant {
+	case VariantBloom:
+		return p.KeyBits + p.BloomBits
+	case VariantMixed:
+		return p.KeyBits + p.NumAttrs*p.AttrBits + 1
+	default:
+		return p.KeyBits + p.NumAttrs*p.AttrBits
+	}
+}
+
+// ConversionBloomBits returns the bit budget of a converted group's Bloom
+// filter per Algorithm 3: d·s − 2(|κ| + ⌈log₂ d⌉), where s is the entry
+// width.
+func (p Params) ConversionBloomBits() int {
+	s := p.EntryBits()
+	d := p.MaxDupes
+	bits := d*s - 2*(p.KeyBits+ceilLog2(d))
+	if bits < 8 {
+		bits = 8
+	}
+	return bits
+}
+
+// ConversionBloomHashes returns the hash count for converted groups per
+// Eq. 2: ≈ |B| / ((d+1)·#α) · ln 2.
+func (p Params) ConversionBloomHashes() int {
+	b := float64(p.ConversionBloomBits())
+	n := float64((p.MaxDupes + 1) * p.NumAttrs)
+	k := int(math.Round(b / n * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func ceilLog2(v int) int {
+	n := 0
+	for 1<<n < v {
+		n++
+	}
+	return n
+}

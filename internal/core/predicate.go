@@ -1,0 +1,100 @@
+package core
+
+import "fmt"
+
+// Cond is a single-attribute condition: the attribute at index Attr must
+// equal one of Values. A single value expresses an equality predicate; a
+// value list expresses an in-list, the encoding the paper uses for binned
+// range predicates (§9.1).
+type Cond struct {
+	Attr   int
+	Values []uint64
+}
+
+// Eq returns an equality condition attr = v.
+func Eq(attr int, v uint64) Cond { return Cond{Attr: attr, Values: []uint64{v}} }
+
+// In returns an in-list condition attr ∈ vs.
+func In(attr int, vs ...uint64) Cond { return Cond{Attr: attr, Values: vs} }
+
+// Predicate is a conjunction of per-attribute conditions. A nil or empty
+// Predicate matches every row (a key-only query).
+type Predicate []Cond
+
+// And returns a predicate that is the conjunction of conds.
+func And(conds ...Cond) Predicate { return Predicate(conds) }
+
+// Validate checks that every condition references a valid attribute index
+// and has at least one value.
+func (p Predicate) Validate(numAttrs int) error {
+	for _, c := range p {
+		if c.Attr < 0 || c.Attr >= numAttrs {
+			return fmt.Errorf("ccf: predicate attribute %d outside [0,%d)", c.Attr, numAttrs)
+		}
+		if len(c.Values) == 0 {
+			return fmt.Errorf("ccf: predicate on attribute %d has no values", c.Attr)
+		}
+	}
+	return nil
+}
+
+// matchVector reports whether the fingerprint vector at attrs satisfies p
+// under the filter's attribute fingerprinting.
+func (f *Filter) matchVector(entryIdx int, p Predicate) bool {
+	base := entryIdx * f.p.NumAttrs
+	for _, c := range p {
+		got := f.attrs[base+c.Attr]
+		ok := false
+		for _, v := range c.Values {
+			if got == f.attrFingerprint(c.Attr, v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// matchBloomEntry reports whether the per-entry Bloom sketch satisfies p.
+// The Bloom variant inserts raw (attribute, value) pairs (§5.2).
+func (f *Filter) matchBloomEntry(entryIdx int, p Predicate) bool {
+	bf := f.blooms[entryIdx]
+	if bf == nil {
+		return len(p) == 0
+	}
+	for _, c := range p {
+		ok := false
+		for _, v := range c.Values {
+			if bf.Contains(f.bloomElemRaw(c.Attr, v)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// matchGroup reports whether a converted group's Bloom filter satisfies p.
+// Conversion inserts (attribute, attribute-fingerprint) pairs, adding the
+// second collision layer the paper describes (§6.1).
+func (f *Filter) matchGroup(g *convGroup, p Predicate) bool {
+	for _, c := range p {
+		ok := false
+		for _, v := range c.Values {
+			if g.bf.Contains(f.bloomElemFp(c.Attr, f.attrFingerprint(c.Attr, v))) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

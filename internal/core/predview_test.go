@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// workload: keys 0..99, attribute = key mod 10, with keys divisible by 10
+// getting a second row with attribute 999 (hashed, not small).
+func buildViewWorkload(t *testing.T, v Variant) *Filter {
+	t.Helper()
+	f := mustFilter(t, Params{Variant: v, Capacity: 2048, BloomBits: 32, Seed: 41})
+	for k := uint64(0); k < 100; k++ {
+		if err := f.Insert(k, []uint64{k % 10}); err != nil {
+			t.Fatal(err)
+		}
+		if k%10 == 0 {
+			if err := f.Insert(k, []uint64{77}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return f
+}
+
+func TestPredicateFilterNoFalseNegatives(t *testing.T) {
+	for _, v := range allVariants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := buildViewWorkload(t, v)
+			view, err := f.PredicateFilter(And(Eq(0, 3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every key with attribute 3 (k ≡ 3 mod 10) must be present.
+			for k := uint64(3); k < 100; k += 10 {
+				if !view.Contains(k) {
+					t.Fatalf("%s: view false negative for key %d", v, k)
+				}
+			}
+		})
+	}
+}
+
+func TestPredicateFilterPrunes(t *testing.T) {
+	for _, v := range allVariants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := buildViewWorkload(t, v)
+			view, err := f.PredicateFilter(And(Eq(0, 3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Count how many of the non-matching keys the view rejects. The
+			// vector variants store small values exactly, so pruning should
+			// be near-perfect; Bloom sketches may keep a few false matches.
+			rejected := 0
+			total := 0
+			for k := uint64(0); k < 100; k++ {
+				if k%10 == 3 {
+					continue
+				}
+				total++
+				if !view.Contains(k) {
+					rejected++
+				}
+			}
+			if rejected < total*6/10 {
+				t.Fatalf("%s: view rejected only %d/%d non-matching keys", v, rejected, total)
+			}
+			if view.MatchingEntries() >= f.OccupiedEntries() {
+				t.Fatalf("%s: view did not prune any entries", v)
+			}
+		})
+	}
+}
+
+func TestPredicateFilterImmutableParent(t *testing.T) {
+	f := buildViewWorkload(t, VariantChained)
+	beforeRows := f.Rows()
+	beforeOcc := f.OccupiedEntries()
+	if _, err := f.PredicateFilter(And(Eq(0, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != beforeRows || f.OccupiedEntries() != beforeOcc {
+		t.Fatal("PredicateFilter mutated the parent")
+	}
+	// Parent still answers all queries.
+	for k := uint64(0); k < 100; k++ {
+		if !f.Query(k, And(Eq(0, k%10))) {
+			t.Fatalf("parent lost row %d", k)
+		}
+	}
+}
+
+func TestChainedViewPreservesChains(t *testing.T) {
+	// A chained key whose first-pair entries all fail the predicate must
+	// still be found if a later chain pair matches: tombstones keep the
+	// walk alive (§6.2 "the sketch must keep the key fingerprint").
+	f := mustFilter(t, Params{Variant: VariantChained, Capacity: 8192, Seed: 42})
+	const key = 11
+	// 30 rows: attributes 0..29 (small, exact). With d = 3, rows beyond the
+	// first pair live in chained pairs.
+	for d := uint64(0); d < 30; d++ {
+		if err := f.Insert(key, []uint64{d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Predicate matches only attribute 29, which (insertion order) lives in
+	// a later chain pair with overwhelming probability.
+	view, err := f.PredicateFilter(And(Eq(0, 29)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.Contains(key) {
+		t.Fatal("chained view lost a key whose match lives deep in the chain")
+	}
+	// A predicate matching nothing should reject the key (tombstoned all).
+	viewNone, err := f.PredicateFilter(And(Eq(0, 555)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viewNone.Contains(key) && f.CountFingerprint(key) < f.Params().MaxDupes {
+		t.Fatal("empty view matched key without full first pair")
+	}
+}
+
+func TestViewSizeAccounting(t *testing.T) {
+	f := buildViewWorkload(t, VariantBloom)
+	view, err := f.PredicateFilter(And(Eq(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBloom := int64(f.Capacity()) * int64(f.Params().KeyBits)
+	if view.SizeBits() != wantBloom {
+		t.Fatalf("bloom view bits = %d, want m·b·|κ| = %d", view.SizeBits(), wantBloom)
+	}
+	g := buildViewWorkload(t, VariantChained)
+	cview, err := g.PredicateFilter(And(Eq(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChained := int64(g.Capacity()) * int64(g.Params().KeyBits+1)
+	if cview.SizeBits() != wantChained {
+		t.Fatalf("chained view bits = %d, want m·b·(|κ|+1) = %d", cview.SizeBits(), wantChained)
+	}
+}
+
+func TestPredicateFilterValidation(t *testing.T) {
+	f := buildViewWorkload(t, VariantMixed)
+	if _, err := f.PredicateFilter(And(Eq(9, 1))); err == nil {
+		t.Fatal("out-of-range predicate accepted")
+	}
+}
+
+func TestViewNoFalseNegativesProperty(t *testing.T) {
+	prop := func(raw []uint16, variantSel uint8) bool {
+		v := allVariants()[int(variantSel)%4]
+		f, err := New(Params{Variant: v, Capacity: 4096, BloomBits: 24, Seed: 43})
+		if err != nil {
+			return false
+		}
+		type row struct{ k, a uint64 }
+		var rows []row
+		for _, r := range raw {
+			rows = append(rows, row{uint64(r % 40), uint64(r % 7)})
+		}
+		for _, r := range rows {
+			if err := f.Insert(r.k, []uint64{r.a}); err != nil {
+				return false
+			}
+		}
+		for _, r := range rows {
+			view, err := f.PredicateFilter(And(Eq(0, r.a)))
+			if err != nil {
+				return false
+			}
+			if !view.Contains(r.k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+// Query reports whether the filter may contain a row with the given key
+// whose attributes satisfy pred (Algorithm 1). A nil or empty predicate is
+// a key-only query. Query never returns a false negative: if a matching row
+// was inserted (or discarded at the chain limit), the result is true.
+func (f *Filter) Query(key uint64, pred Predicate) bool {
+	if err := pred.Validate(f.p.NumAttrs); err != nil {
+		// An invalid predicate cannot have been inserted; stay conservative
+		// and let the caller discover the programming error via QueryErr.
+		return true
+	}
+	ok, _ := f.QueryErr(key, pred)
+	return ok
+}
+
+// QueryErr is Query with predicate validation errors surfaced.
+func (f *Filter) QueryErr(key uint64, pred Predicate) (bool, error) {
+	if err := pred.Validate(f.p.NumAttrs); err != nil {
+		return true, err
+	}
+	fp := f.fingerprint(key)
+	home := f.homeBucket(key)
+	switch f.p.Variant {
+	case VariantChained:
+		return f.queryChained(fp, home, pred), nil
+	default:
+		return f.queryPair(fp, home, pred), nil
+	}
+}
+
+// QueryKey reports whether any row with the key may be present. For every
+// variant only the key's first bucket pair needs checking: Lemma 2
+// guarantees a chained key keeps d copies in its first pair, so "there is
+// no penalty for probing more buckets at query time" (§7.1).
+func (f *Filter) QueryKey(key uint64) bool {
+	fp := f.fingerprint(key)
+	l1, l2, _ := f.pairBuckets(f.homeBucket(key), fp)
+	found := false
+	f.forEachInPair(l1, l2, func(idx int) bool {
+		if f.fps[idx] == fp {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// queryPair checks the key's single bucket pair (Plain, Bloom, Mixed).
+func (f *Filter) queryPair(fp uint16, home uint32, pred Predicate) bool {
+	l1, l2, _ := f.pairBuckets(home, fp)
+	match := false
+	f.forEachInPair(l1, l2, func(idx int) bool {
+		if f.fps[idx] != fp {
+			return true
+		}
+		if f.entryMatches(idx, pred) {
+			match = true
+			return false
+		}
+		return true
+	})
+	return match
+}
+
+// entryMatches dispatches predicate matching on the entry's sketch type.
+// Tombstoned entries (predicate views, §6.2) never match but still count
+// toward chain continuation.
+func (f *Filter) entryMatches(idx int, pred Predicate) bool {
+	if f.flags[idx]&flagTombstone != 0 {
+		return false
+	}
+	if len(pred) == 0 {
+		return true
+	}
+	switch {
+	case f.p.Variant == VariantBloom:
+		return f.matchBloomEntry(idx, pred)
+	case f.flags[idx]&flagConverted != 0:
+		return f.matchGroup(f.groups[idx], pred)
+	default:
+		return f.matchVector(idx, pred)
+	}
+}
+
+// queryChained implements Algorithm 5: walk the chain; a pair holding
+// exactly d copies of κ with no match defers to the next pair; fewer copies
+// terminate with false; exhausting the chain budget with full pairs returns
+// true ("the query will return true regardless of the predicate", §6.2).
+// Tombstoned entries (predicate views) count toward the d-copy chain
+// continuation test but never match, exactly the semantics §6.2 requires.
+func (f *Filter) queryChained(fp uint16, home uint32, pred Predicate) bool {
+	var seq chainSeq
+	f.initChainSeq(&seq, fp, home)
+	for {
+		l1, l2 := seq.buckets()
+		count := 0
+		match := false
+		f.forEachInPair(l1, l2, func(idx int) bool {
+			if f.fps[idx] != fp {
+				return true
+			}
+			count++
+			if !match && f.entryMatches(idx, pred) {
+				match = true
+			}
+			return true
+		})
+		if match {
+			return true
+		}
+		if count < f.p.MaxDupes {
+			return false
+		}
+		if !seq.advance() {
+			// Lmax (or the hard cap) reached with a full pair: conservative
+			// true, covering rows discarded at insertion time (Theorem 3).
+			return true
+		}
+	}
+}
+
+// ContainsRow reports whether the exact row (key, attrs) may be present:
+// a Query whose predicate pins every attribute.
+func (f *Filter) ContainsRow(key uint64, attrs []uint64) (bool, error) {
+	if len(attrs) != f.p.NumAttrs {
+		return true, ErrAttrCount
+	}
+	pred := make(Predicate, len(attrs))
+	for i, v := range attrs {
+		pred[i] = Eq(i, v)
+	}
+	return f.Query(key, pred), nil
+}
+
+// ChainDepthHistogram returns, for the chained variant, how many accepted
+// insertions landed in chain pair i+1. Index 0 counts rows stored in their
+// key's first bucket pair; deeper bins indicate duplicate skew. The last
+// bin accumulates all deeper landings.
+func (f *Filter) ChainDepthHistogram() []int {
+	out := make([]int, len(f.chainDepths))
+	copy(out, f.chainDepths[:])
+	return out
+}
+
+// CountFingerprint returns the number of entries holding the key's
+// fingerprint in its first bucket pair. It backs the FPR estimators (§7).
+func (f *Filter) CountFingerprint(key uint64) int {
+	fp := f.fingerprint(key)
+	l1, l2, _ := f.pairBuckets(f.homeBucket(key), fp)
+	return f.countFpInPair(l1, l2, fp)
+}
+
+// PairFill returns the number of occupied entries in the key's first bucket
+// pair (the D of Eq. 4).
+func (f *Filter) PairFill(key uint64) int {
+	fp := f.fingerprint(key)
+	l1, l2, _ := f.pairBuckets(f.homeBucket(key), fp)
+	n := 0
+	f.forEachInPair(l1, l2, func(idx int) bool {
+		if f.fps[idx] != 0 {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,370 @@
+// Package cuckoo implements a standard cuckoo filter (Fan, Andersen,
+// Kaminsky, Mitzenmacher 2014) with partial-key cuckoo hashing, packed
+// fingerprints, deletion, and multiset insertion (§4.2–4.3 of the CCF
+// paper).
+//
+// It is the "Cuckoo Filter" baseline of the paper's evaluation: a pre-built
+// approximate set-membership filter that knows keys but nothing about
+// predicates (Figures 4, 6b, 6d), and the "plain" multiset filter whose
+// load factor collapses under duplicate keys (Figure 4).
+package cuckoo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ccf/internal/hashing"
+)
+
+// Salt names for the independent hash functions derived from the seed.
+const (
+	saltIndex = 0x1db3
+	saltFp    = 0x9f4b
+	saltAlt   = 0x5c71
+)
+
+// ErrFull is returned when an insertion fails after MaxKicks displacements.
+var ErrFull = errors.New("cuckoo: filter full")
+
+// Options configures a Filter. Zero values select the paper's defaults:
+// 12-bit fingerprints, 4 entries per bucket, 500 kicks.
+type Options struct {
+	// FingerprintBits is |κ|, the key fingerprint width in bits (1–16).
+	FingerprintBits int
+	// BucketSize is b, the number of entries per bucket.
+	BucketSize int
+	// MaxKicks bounds the displacement chain during insertion.
+	MaxKicks int
+	// Seed makes hash salts and kick choices deterministic.
+	Seed uint64
+}
+
+func (o *Options) setDefaults() error {
+	if o.FingerprintBits == 0 {
+		o.FingerprintBits = 12
+	}
+	if o.FingerprintBits < 1 || o.FingerprintBits > 16 {
+		return fmt.Errorf("cuckoo: fingerprint bits %d outside [1,16]", o.FingerprintBits)
+	}
+	if o.BucketSize == 0 {
+		o.BucketSize = 4
+	}
+	if o.BucketSize < 1 {
+		return fmt.Errorf("cuckoo: bucket size %d < 1", o.BucketSize)
+	}
+	if o.MaxKicks == 0 {
+		o.MaxKicks = 500
+	}
+	return nil
+}
+
+// Filter is a cuckoo filter over 64-bit keys. Fingerprints are stored packed
+// in a flat array of m·b entries; fingerprint 0 marks an empty slot.
+type Filter struct {
+	fps      []uint16
+	m        uint32 // number of buckets, a power of two
+	mask     uint32
+	b        int
+	fpBits   int
+	fpMask   uint16
+	maxKicks int
+	seed     uint64
+	rng      *rand.Rand
+	count    int // occupied entries
+}
+
+// New returns a filter sized to hold capacity entries at a ~95% target load
+// factor (the paper's empirical optimum for b = 4).
+func New(capacity int, opt Options) (*Filter, error) {
+	if err := opt.setDefaults(); err != nil {
+		return nil, err
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	buckets := nextPow2(uint32((capacity + opt.BucketSize - 1) / opt.BucketSize * 100 / 95))
+	return NewRaw(buckets, opt)
+}
+
+// NewRaw returns a filter with exactly buckets buckets (rounded up to a
+// power of two). Most callers should use New.
+func NewRaw(buckets uint32, opt Options) (*Filter, error) {
+	if err := opt.setDefaults(); err != nil {
+		return nil, err
+	}
+	m := nextPow2(buckets)
+	f := &Filter{
+		fps:      make([]uint16, int(m)*opt.BucketSize),
+		m:        m,
+		mask:     m - 1,
+		b:        opt.BucketSize,
+		fpBits:   opt.FingerprintBits,
+		fpMask:   uint16(1<<opt.FingerprintBits - 1),
+		maxKicks: opt.MaxKicks,
+		seed:     opt.Seed,
+		rng:      rand.New(rand.NewSource(int64(opt.Seed) ^ 0x6a09e667)),
+	}
+	return f, nil
+}
+
+func nextPow2(v uint32) uint32 {
+	if v == 0 {
+		return 1
+	}
+	v--
+	v |= v >> 1
+	v |= v >> 2
+	v |= v >> 4
+	v |= v >> 8
+	v |= v >> 16
+	return v + 1
+}
+
+// fingerprint maps a key to a nonzero |κ|-bit fingerprint.
+func (f *Filter) fingerprint(key uint64) uint16 {
+	fp := uint16(hashing.Key64(key, f.seed^saltFp)) & f.fpMask
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// index returns the key's primary bucket.
+func (f *Filter) index(key uint64) uint32 {
+	return uint32(hashing.Key64(key, f.seed^saltIndex)) & f.mask
+}
+
+// altIndex returns the partner bucket: ℓ′ = ℓ ⊕ h(κ). The XOR makes the
+// mapping an involution, so the partner of the partner is the original.
+func (f *Filter) altIndex(i uint32, fp uint16) uint32 {
+	return i ^ (uint32(hashing.Key64(uint64(fp), f.seed^saltAlt)) & f.mask)
+}
+
+func (f *Filter) slot(bucket uint32, j int) *uint16 {
+	return &f.fps[int(bucket)*f.b+j]
+}
+
+// insertIntoBucket places fp in an empty slot of bucket, if any.
+func (f *Filter) insertIntoBucket(bucket uint32, fp uint16) bool {
+	for j := 0; j < f.b; j++ {
+		s := f.slot(bucket, j)
+		if *s == 0 {
+			*s = fp
+			f.count++
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds one copy of key. Duplicate keys occupy additional entries
+// (multiset semantics, §4.3); at most 2b copies can ever fit.
+func (f *Filter) Insert(key uint64) error {
+	fp := f.fingerprint(key)
+	i1 := f.index(key)
+	return f.insertFp(fp, i1)
+}
+
+func (f *Filter) insertFp(fp uint16, i1 uint32) error {
+	i2 := f.altIndex(i1, fp)
+	if f.insertIntoBucket(i1, fp) || f.insertIntoBucket(i2, fp) {
+		return nil
+	}
+	// Kick loop: displace a random resident and relocate it to its own
+	// alternate bucket; the displaced entry always stays within its pair.
+	cur := i1
+	if f.rng.Intn(2) == 1 {
+		cur = i2
+	}
+	for k := 0; k < f.maxKicks; k++ {
+		j := f.rng.Intn(f.b)
+		s := f.slot(cur, j)
+		fp, *s = *s, fp
+		cur = f.altIndex(cur, fp)
+		if f.insertIntoBucket(cur, fp) {
+			return nil
+		}
+	}
+	return ErrFull
+}
+
+// InsertUnique adds key only if no copy is already present. It reports
+// whether a new entry was added.
+func (f *Filter) InsertUnique(key uint64) (bool, error) {
+	if f.Contains(key) {
+		return false, nil
+	}
+	if err := f.Insert(key); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Contains reports whether key may be in the filter. False means definitely
+// absent.
+func (f *Filter) Contains(key uint64) bool {
+	fp := f.fingerprint(key)
+	i1 := f.index(key)
+	i2 := f.altIndex(i1, fp)
+	return f.bucketHas(i1, fp) || f.bucketHas(i2, fp)
+}
+
+func (f *Filter) bucketHas(bucket uint32, fp uint16) bool {
+	base := int(bucket) * f.b
+	for j := 0; j < f.b; j++ {
+		if f.fps[base+j] == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// CountKey returns the number of stored copies matching key's fingerprint
+// in its bucket pair.
+func (f *Filter) CountKey(key uint64) int {
+	fp := f.fingerprint(key)
+	i1 := f.index(key)
+	i2 := f.altIndex(i1, fp)
+	n := f.bucketCount(i1, fp)
+	if i2 != i1 {
+		n += f.bucketCount(i2, fp)
+	}
+	return n
+}
+
+func (f *Filter) bucketCount(bucket uint32, fp uint16) int {
+	base := int(bucket) * f.b
+	n := 0
+	for j := 0; j < f.b; j++ {
+		if f.fps[base+j] == fp {
+			n++
+		}
+	}
+	return n
+}
+
+// Delete removes one copy of key if present, enabling the multiset deletion
+// the paper contrasts with Bloom filters (§4.3). Deleting a key that was
+// never inserted may remove a colliding entry, as in all cuckoo filters.
+func (f *Filter) Delete(key uint64) bool {
+	fp := f.fingerprint(key)
+	i1 := f.index(key)
+	i2 := f.altIndex(i1, fp)
+	if f.deleteFromBucket(i1, fp) {
+		return true
+	}
+	if i2 != i1 && f.deleteFromBucket(i2, fp) {
+		return true
+	}
+	return false
+}
+
+func (f *Filter) deleteFromBucket(bucket uint32, fp uint16) bool {
+	for j := 0; j < f.b; j++ {
+		s := f.slot(bucket, j)
+		if *s == fp {
+			*s = 0
+			f.count--
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of occupied entries.
+func (f *Filter) Count() int { return f.count }
+
+// NumBuckets returns m.
+func (f *Filter) NumBuckets() uint32 { return f.m }
+
+// BucketSize returns b.
+func (f *Filter) BucketSize() int { return f.b }
+
+// FingerprintBits returns |κ|.
+func (f *Filter) FingerprintBits() int { return f.fpBits }
+
+// Capacity returns the total number of entry slots, m·b.
+func (f *Filter) Capacity() int { return int(f.m) * f.b }
+
+// LoadFactor returns the fraction of occupied entries.
+func (f *Filter) LoadFactor() float64 {
+	return float64(f.count) / float64(f.Capacity())
+}
+
+// SizeBits returns the packed size in bits: m·b·|κ|, the paper's size
+// accounting for cuckoo filters.
+func (f *Filter) SizeBits() int64 {
+	return int64(f.Capacity()) * int64(f.fpBits)
+}
+
+// ExpectedFPR returns the union-bound FPR estimate for key-only queries,
+// ρ = E[D]·2^(−|κ|) (Eq. 4), using the realized average number of filled
+// entries per bucket pair.
+func (f *Filter) ExpectedFPR() float64 {
+	meanFilledPerPair := f.LoadFactor() * float64(2*f.b)
+	return meanFilledPerPair / float64(uint32(1)<<f.fpBits)
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.fps {
+		f.fps[i] = 0
+	}
+	f.count = 0
+}
+
+const marshalMagic = 0x43554b46 // "CUKF"
+
+// MarshalBinary encodes the filter, preserving geometry and contents so a
+// pre-built filter can be stored and shipped (§3).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 40+2*len(f.fps))
+	binary.LittleEndian.PutUint32(out[0:], marshalMagic)
+	binary.LittleEndian.PutUint32(out[4:], f.m)
+	binary.LittleEndian.PutUint32(out[8:], uint32(f.b))
+	binary.LittleEndian.PutUint32(out[12:], uint32(f.fpBits))
+	binary.LittleEndian.PutUint32(out[16:], uint32(f.maxKicks))
+	binary.LittleEndian.PutUint64(out[20:], f.seed)
+	binary.LittleEndian.PutUint32(out[28:], uint32(f.count))
+	// out[32:40] reserved.
+	for i, fp := range f.fps {
+		binary.LittleEndian.PutUint16(out[40+2*i:], fp)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a filter produced by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 40 {
+		return errors.New("cuckoo: short buffer")
+	}
+	if binary.LittleEndian.Uint32(data) != marshalMagic {
+		return errors.New("cuckoo: bad magic")
+	}
+	m := binary.LittleEndian.Uint32(data[4:])
+	b := int(binary.LittleEndian.Uint32(data[8:]))
+	fpBits := int(binary.LittleEndian.Uint32(data[12:]))
+	if m == 0 || m&(m-1) != 0 || b < 1 || fpBits < 1 || fpBits > 16 {
+		return errors.New("cuckoo: corrupt header")
+	}
+	n := int(m) * b
+	if len(data) != 40+2*n {
+		return fmt.Errorf("cuckoo: buffer length %d does not match geometry", len(data))
+	}
+	f.m = m
+	f.mask = m - 1
+	f.b = b
+	f.fpBits = fpBits
+	f.fpMask = uint16(1<<fpBits - 1)
+	f.maxKicks = int(binary.LittleEndian.Uint32(data[16:]))
+	f.seed = binary.LittleEndian.Uint64(data[20:])
+	f.count = int(binary.LittleEndian.Uint32(data[28:]))
+	f.fps = make([]uint16, n)
+	for i := range f.fps {
+		f.fps[i] = binary.LittleEndian.Uint16(data[40+2*i:])
+	}
+	f.rng = rand.New(rand.NewSource(int64(f.seed) ^ 0x6a09e667))
+	return nil
+}

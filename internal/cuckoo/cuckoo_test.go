@@ -1,0 +1,312 @@
+package cuckoo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, capacity int, opt Options) *Filter {
+	t.Helper()
+	f, err := New(capacity, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(10, Options{FingerprintBits: 17}); err == nil {
+		t.Fatal("fp bits 17 should error")
+	}
+	if _, err := New(10, Options{BucketSize: -1}); err == nil {
+		t.Fatal("negative bucket size should error")
+	}
+	f := mustNew(t, 10, Options{})
+	if f.FingerprintBits() != 12 || f.BucketSize() != 4 {
+		t.Fatalf("defaults wrong: |κ|=%d b=%d", f.FingerprintBits(), f.BucketSize())
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := mustNew(t, 10000, Options{Seed: 1})
+	for k := uint64(0); k < 10000; k++ {
+		if err := f.Insert(k); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 10000; k++ {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestFPRNearTheory(t *testing.T) {
+	f := mustNew(t, 100000, Options{FingerprintBits: 12, Seed: 2})
+	for k := uint64(0); k < 100000; k++ {
+		if err := f.Insert(k); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	fp := 0
+	const probes = 200000
+	for k := uint64(0); k < probes; k++ {
+		if f.Contains(k + 1<<40) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Theory: ~2b·load·2^-12 ≈ 8·0.8·0.000244 ≈ 0.16%. Allow generous band.
+	if rate > 0.01 {
+		t.Fatalf("FPR %.5f too high for 12-bit fingerprints", rate)
+	}
+	est := f.ExpectedFPR()
+	if rate > est*4+0.001 {
+		t.Fatalf("measured FPR %.5f far above estimate %.5f", rate, est)
+	}
+}
+
+func TestHighLoadFactor(t *testing.T) {
+	// An optimally sized filter with b=4 empirically reaches ≈95% load (§4.2).
+	opt := Options{BucketSize: 4, Seed: 3}
+	f, err := NewRaw(1024, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted := 0
+	for k := uint64(0); ; k++ {
+		if err := f.Insert(k); err != nil {
+			break
+		}
+		inserted++
+	}
+	lf := f.LoadFactor()
+	if lf < 0.90 {
+		t.Fatalf("load factor at first failure %.3f, want ≥ 0.90 for distinct keys", lf)
+	}
+	if inserted != f.Count() {
+		t.Fatalf("count %d != inserted %d", f.Count(), inserted)
+	}
+}
+
+func TestMultisetCap(t *testing.T) {
+	// A single key can occupy at most 2b entries; the 2b+1-th copy fails
+	// (§4.3 "there is a cap of 2b copies").
+	f, err := NewRaw(64, Options{BucketSize: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(42)
+	copies := 0
+	for i := 0; i < 20; i++ {
+		if err := f.Insert(key); err != nil {
+			break
+		}
+		copies++
+	}
+	if copies > 8 {
+		t.Fatalf("stored %d copies, cap should be 2b = 8", copies)
+	}
+	if copies < 4 {
+		t.Fatalf("stored only %d copies; pair should hold at least b", copies)
+	}
+	if got := f.CountKey(key); got != copies {
+		t.Fatalf("CountKey = %d, want %d", got, copies)
+	}
+}
+
+func TestInsertUnique(t *testing.T) {
+	f := mustNew(t, 100, Options{Seed: 5})
+	added, err := f.InsertUnique(7)
+	if err != nil || !added {
+		t.Fatalf("first InsertUnique: added=%v err=%v", added, err)
+	}
+	added, err = f.InsertUnique(7)
+	if err != nil || added {
+		t.Fatalf("second InsertUnique: added=%v err=%v", added, err)
+	}
+	if f.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", f.Count())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := mustNew(t, 100, Options{Seed: 6})
+	for i := 0; i < 3; i++ {
+		if err := f.Insert(9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.CountKey(9); got != 3 {
+		t.Fatalf("CountKey = %d, want 3", got)
+	}
+	for i := 3; i > 0; i-- {
+		if !f.Delete(9) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if got := f.CountKey(9); got != i-1 {
+			t.Fatalf("after delete CountKey = %d, want %d", got, i-1)
+		}
+	}
+	if f.Delete(9) {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if f.Contains(9) {
+		t.Fatal("key still present after all copies deleted")
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	f := mustNew(t, 1000, Options{Seed: 7})
+	for k := uint64(0); k < 500; k++ {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 500; k += 2 {
+		if !f.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	for k := uint64(1); k < 500; k += 2 {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for retained key %d", k)
+		}
+	}
+	for k := uint64(0); k < 500; k += 2 {
+		if err := f.Insert(k); err != nil {
+			t.Fatalf("reinsert %d: %v", k, err)
+		}
+	}
+	if f.Count() != 500 {
+		t.Fatalf("Count = %d, want 500", f.Count())
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	f, err := NewRaw(256, Options{FingerprintBits: 12, BucketSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.SizeBits(); got != 256*4*12 {
+		t.Fatalf("SizeBits = %d, want %d", got, 256*4*12)
+	}
+}
+
+func TestAltIndexInvolution(t *testing.T) {
+	f := mustNew(t, 1000, Options{Seed: 8})
+	for k := uint64(0); k < 1000; k++ {
+		fp := f.fingerprint(k)
+		i1 := f.index(k)
+		i2 := f.altIndex(i1, fp)
+		if f.altIndex(i2, fp) != i1 {
+			t.Fatalf("altIndex not an involution for key %d", k)
+		}
+	}
+}
+
+func TestFingerprintNonZero(t *testing.T) {
+	f := mustNew(t, 10, Options{FingerprintBits: 4, Seed: 9})
+	for k := uint64(0); k < 100000; k++ {
+		if f.fingerprint(k) == 0 {
+			t.Fatalf("zero fingerprint for key %d", k)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := mustNew(t, 100, Options{Seed: 10})
+	for k := uint64(0); k < 50; k++ {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Reset()
+	if f.Count() != 0 || f.LoadFactor() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if f.Contains(1) {
+		t.Fatal("key survives reset")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := mustNew(t, 5000, Options{FingerprintBits: 9, BucketSize: 6, Seed: 11})
+	for k := uint64(0); k < 5000; k++ {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() || g.NumBuckets() != f.NumBuckets() || g.FingerprintBits() != f.FingerprintBits() {
+		t.Fatal("geometry or count lost in round trip")
+	}
+	for k := uint64(0); k < 5000; k++ {
+		if !g.Contains(k) {
+			t.Fatalf("false negative after round trip: %d", k)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var f Filter
+	if err := f.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil buffer should error")
+	}
+	if err := f.UnmarshalBinary(make([]byte, 40)); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	good := mustNew(t, 10, Options{})
+	data, _ := good.MarshalBinary()
+	if err := f.UnmarshalBinary(data[:len(data)-2]); err == nil {
+		t.Fatal("truncated buffer should error")
+	}
+}
+
+func TestPropertyNoFalseNegativesUnderChurn(t *testing.T) {
+	prop := func(keys []uint64) bool {
+		f, err := New(len(keys)*2+16, Options{Seed: 12})
+		if err != nil {
+			return false
+		}
+		live := map[uint64]int{}
+		for i, k := range keys {
+			if i%3 == 2 && live[k] > 0 {
+				if !f.Delete(k) {
+					return false
+				}
+				live[k]--
+				continue
+			}
+			if err := f.Insert(k); err != nil {
+				return false
+			}
+			live[k]++
+		}
+		for k, n := range live {
+			if n > 0 && !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[uint32]uint32{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Fatalf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package cuckoo
+
+// Semi-sorting (§4.2, following Fan et al.): within a bucket of b = 4
+// entries, the 4-bit prefixes of the fingerprints carry no order
+// information, so sorting them reduces the bucket's entropy. A sorted
+// multiset of four nibbles has C(16+4−1, 4) = 3876 states, which fits in 12
+// bits instead of 16 — saving one bit per entry. The paper uses this in its
+// bit-efficiency comparison: semi-sorted cuckoo filters need
+// (log₂(1/ρ)+2)/α bits per item instead of (log₂(1/ρ)+3)/α.
+//
+// This file implements the real codec: an index over the 3876 sorted
+// multisets, plus bucket encode/decode used by the SemiSort accessors of
+// Filter. It is exact — EncodeBucket followed by DecodeBucket returns the
+// bucket's fingerprints up to order.
+
+const (
+	semiSortBucket  = 4  // the codec is defined for b = 4, as in the paper
+	semiSortNibbles = 16 // 4-bit prefixes
+	// SemiSortStates is the number of sorted 4-nibble multisets,
+	// C(16+4-1, 4) = 3876 ≤ 2^12.
+	SemiSortStates = 3876
+	// SemiSortCodeBits is the width of the encoded prefix block.
+	SemiSortCodeBits = 12
+)
+
+// semiSortTables holds the bidirectional mapping between sorted nibble
+// quadruples and their dense codes, built once at package init.
+var semiSortTables = buildSemiSortTables()
+
+type semiSortCodec struct {
+	toCode   map[[semiSortBucket]uint8]uint16
+	fromCode [][semiSortBucket]uint8
+}
+
+func buildSemiSortTables() *semiSortCodec {
+	c := &semiSortCodec{
+		toCode: make(map[[semiSortBucket]uint8]uint16, SemiSortStates),
+	}
+	// Enumerate non-decreasing quadruples (a ≤ b ≤ c ≤ d) in
+	// lexicographic order; the index is the code.
+	for a := 0; a < semiSortNibbles; a++ {
+		for b := a; b < semiSortNibbles; b++ {
+			for cc := b; cc < semiSortNibbles; cc++ {
+				for d := cc; d < semiSortNibbles; d++ {
+					q := [semiSortBucket]uint8{uint8(a), uint8(b), uint8(cc), uint8(d)}
+					c.toCode[q] = uint16(len(c.fromCode))
+					c.fromCode = append(c.fromCode, q)
+				}
+			}
+		}
+	}
+	if len(c.fromCode) != SemiSortStates {
+		panic("cuckoo: semi-sort state count mismatch")
+	}
+	return c
+}
+
+// EncodeBucket encodes four fingerprints of fpBits each into a semi-sorted
+// block: a 12-bit code for the sorted 4-bit prefixes followed by the
+// fingerprint suffixes in prefix-sorted order. Empty slots are encoded as
+// fingerprint 0 (its prefix and suffix are zero). The returned value packs
+// the block little-endian: code in the low 12 bits, then the suffixes.
+func EncodeBucket(fps [4]uint16, fpBits int) uint64 {
+	suffixBits := fpBits - 4
+	suffixMask := uint16(1<<suffixBits - 1)
+	type pair struct{ prefix, suffix uint16 }
+	var ps [4]pair
+	for i, fp := range fps {
+		ps[i] = pair{prefix: fp >> uint(suffixBits), suffix: fp & suffixMask}
+	}
+	// Insertion sort by (prefix, suffix) for a canonical order.
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0; j-- {
+			if ps[j].prefix < ps[j-1].prefix ||
+				(ps[j].prefix == ps[j-1].prefix && ps[j].suffix < ps[j-1].suffix) {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+	}
+	var q [semiSortBucket]uint8
+	for i := range ps {
+		q[i] = uint8(ps[i].prefix)
+	}
+	code, ok := semiSortTables.toCode[q]
+	if !ok {
+		panic("cuckoo: unsortable prefix quadruple")
+	}
+	out := uint64(code)
+	shift := uint(SemiSortCodeBits)
+	for i := range ps {
+		out |= uint64(ps[i].suffix) << shift
+		shift += uint(suffixBits)
+	}
+	return out
+}
+
+// DecodeBucket reverses EncodeBucket, returning the four fingerprints in
+// canonical sorted order.
+func DecodeBucket(block uint64, fpBits int) [4]uint16 {
+	suffixBits := fpBits - 4
+	suffixMask := uint64(1<<suffixBits - 1)
+	code := uint16(block & (1<<SemiSortCodeBits - 1))
+	q := semiSortTables.fromCode[code]
+	var out [4]uint16
+	shift := uint(SemiSortCodeBits)
+	for i := 0; i < 4; i++ {
+		suffix := uint16(block >> shift & suffixMask)
+		out[i] = uint16(q[i])<<uint(suffixBits) | suffix
+		shift += uint(suffixBits)
+	}
+	return out
+}
+
+// SemiSortedBlockBits returns the size of one encoded bucket:
+// 12 + 4·(|κ|−4) bits, versus 4·|κ| unencoded — one bit saved per entry.
+func SemiSortedBlockBits(fpBits int) int {
+	return SemiSortCodeBits + semiSortBucket*(fpBits-4)
+}
+
+// SemiSortedSizeBits returns the filter's size under semi-sorted bucket
+// encoding. It requires b = 4 and |κ| ≥ 5 (the paper's configuration);
+// other geometries return the plain packed size.
+func (f *Filter) SemiSortedSizeBits() int64 {
+	if f.b != semiSortBucket || f.fpBits < 5 {
+		return f.SizeBits()
+	}
+	return int64(f.m) * int64(SemiSortedBlockBits(f.fpBits))
+}
+
+// SemiSortedSnapshot encodes every bucket and returns the packed blocks.
+// The snapshot is a storage format: decode with DecodeBucket. It requires
+// b = 4 and |κ| ≥ 5.
+func (f *Filter) SemiSortedSnapshot() ([]uint64, bool) {
+	if f.b != semiSortBucket || f.fpBits < 5 {
+		return nil, false
+	}
+	blocks := make([]uint64, f.m)
+	for bkt := uint32(0); bkt < f.m; bkt++ {
+		var fps [4]uint16
+		copy(fps[:], f.fps[int(bkt)*f.b:int(bkt)*f.b+4])
+		blocks[bkt] = EncodeBucket(fps, f.fpBits)
+	}
+	return blocks, true
+}
+
+// LoadSemiSortedSnapshot replaces the filter's buckets with the decoded
+// contents of blocks, which must have been produced by SemiSortedSnapshot
+// on a filter with identical geometry.
+func (f *Filter) LoadSemiSortedSnapshot(blocks []uint64) bool {
+	if f.b != semiSortBucket || f.fpBits < 5 || len(blocks) != int(f.m) {
+		return false
+	}
+	count := 0
+	for bkt, block := range blocks {
+		fps := DecodeBucket(block, f.fpBits)
+		for j := 0; j < 4; j++ {
+			f.fps[bkt*4+j] = fps[j]
+			if fps[j] != 0 {
+				count++
+			}
+		}
+	}
+	f.count = count
+	return true
+}

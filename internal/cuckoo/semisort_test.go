@@ -1,0 +1,161 @@
+package cuckoo
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSemiSortTableSizes(t *testing.T) {
+	if len(semiSortTables.fromCode) != SemiSortStates {
+		t.Fatalf("fromCode has %d states, want %d", len(semiSortTables.fromCode), SemiSortStates)
+	}
+	if len(semiSortTables.toCode) != SemiSortStates {
+		t.Fatalf("toCode has %d states, want %d", len(semiSortTables.toCode), SemiSortStates)
+	}
+	if SemiSortStates > 1<<SemiSortCodeBits {
+		t.Fatalf("%d states do not fit in %d bits", SemiSortStates, SemiSortCodeBits)
+	}
+}
+
+func TestSemiSortCodesBijective(t *testing.T) {
+	for code, q := range semiSortTables.fromCode {
+		back, ok := semiSortTables.toCode[q]
+		if !ok || int(back) != code {
+			t.Fatalf("code %d round-trips to %d", code, back)
+		}
+		for i := 1; i < 4; i++ {
+			if q[i] < q[i-1] {
+				t.Fatalf("code %d quadruple %v not sorted", code, q)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeBucketRoundTrip(t *testing.T) {
+	prop := func(a, b, c, d uint16, bitsRaw uint8) bool {
+		fpBits := int(bitsRaw)%12 + 5 // 5..16
+		mask := uint16(1<<fpBits - 1)
+		in := [4]uint16{a & mask, b & mask, c & mask, d & mask}
+		block := EncodeBucket(in, fpBits)
+		out := DecodeBucket(block, fpBits)
+		// Round trip preserves the multiset of fingerprints.
+		ins := append([]int(nil), int(in[0]), int(in[1]), int(in[2]), int(in[3]))
+		outs := append([]int(nil), int(out[0]), int(out[1]), int(out[2]), int(out[3]))
+		sort.Ints(ins)
+		sort.Ints(outs)
+		for i := range ins {
+			if ins[i] != outs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiSortedBlockBits(t *testing.T) {
+	// 12-bit fingerprints: 12 + 4·8 = 44 bits versus 48 unencoded.
+	if got := SemiSortedBlockBits(12); got != 44 {
+		t.Fatalf("block bits = %d, want 44", got)
+	}
+	// Exactly one bit saved per entry.
+	for fpBits := 5; fpBits <= 16; fpBits++ {
+		if SemiSortedBlockBits(fpBits) != 4*fpBits-4 {
+			t.Fatalf("|κ|=%d: saved bits != 4", fpBits)
+		}
+	}
+}
+
+func TestSemiSortedSizeBits(t *testing.T) {
+	f, err := NewRaw(256, Options{FingerprintBits: 12, BucketSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := f.SizeBits()
+	ss := f.SemiSortedSizeBits()
+	if ss >= plain {
+		t.Fatalf("semi-sorted %d not below plain %d", ss, plain)
+	}
+	if ss != int64(256*44) {
+		t.Fatalf("semi-sorted size = %d, want %d", ss, 256*44)
+	}
+	// Non-conforming geometry falls back to the plain size.
+	g, err := NewRaw(64, Options{FingerprintBits: 12, BucketSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SemiSortedSizeBits() != g.SizeBits() {
+		t.Fatal("b != 4 should fall back to plain size")
+	}
+	h, err := NewRaw(64, Options{FingerprintBits: 4, BucketSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SemiSortedSizeBits() != h.SizeBits() {
+		t.Fatal("|κ| = 4 should fall back to plain size")
+	}
+}
+
+func TestSemiSortedSnapshotRoundTrip(t *testing.T) {
+	f, err := New(4000, Options{FingerprintBits: 12, BucketSize: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 4000; k++ {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks, ok := f.SemiSortedSnapshot()
+	if !ok {
+		t.Fatal("snapshot refused")
+	}
+	g, err := NewRaw(f.NumBuckets(), Options{FingerprintBits: 12, BucketSize: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.LoadSemiSortedSnapshot(blocks) {
+		t.Fatal("load refused")
+	}
+	if g.Count() != f.Count() {
+		t.Fatalf("count %d → %d across snapshot", f.Count(), g.Count())
+	}
+	for k := uint64(0); k < 4000; k++ {
+		if !g.Contains(k) {
+			t.Fatalf("false negative after semi-sorted round trip: %d", k)
+		}
+	}
+	// Geometry mismatches are rejected.
+	if g.LoadSemiSortedSnapshot(blocks[:10]) {
+		t.Fatal("short snapshot accepted")
+	}
+	bad, err := NewRaw(16, Options{FingerprintBits: 12, BucketSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bad.SemiSortedSnapshot(); ok {
+		t.Fatal("b=6 snapshot accepted")
+	}
+}
+
+func TestSemiSortMatchesPaperEfficiency(t *testing.T) {
+	// §4.2 / §10.2: at ρ = 1% and β = 0.95 a semi-sorted filter needs
+	// ≈(log2(1/ρ)+2)/β bits/item vs (log2(1/ρ)+3)/β unencoded. Validate
+	// the implied bits/item of our encoding at those parameters.
+	f, err := NewRaw(1024, Options{FingerprintBits: 12, BucketSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := int(float64(f.Capacity()) * 0.95)
+	plainPerItem := float64(f.SizeBits()) / float64(items)
+	ssPerItem := float64(f.SemiSortedSizeBits()) / float64(items)
+	if ssPerItem >= plainPerItem {
+		t.Fatal("semi-sorting saves nothing")
+	}
+	if diff := plainPerItem - ssPerItem; diff < 0.9 || diff > 1.2 {
+		t.Fatalf("saving %.3f bits/item, want ≈1/β ≈ 1.05", diff)
+	}
+}

@@ -1,0 +1,288 @@
+// Package cuckoohash implements cuckoo hash tables (§4.1): an open
+// addressing table that relocates residents at insertion time so queries
+// probe at most two buckets, plus the paper's chaining extension applied to
+// full-key tables (§11: "the chaining technique can also be used to allow
+// regular cuckoo hash tables, which store the full key, to store
+// duplicates").
+package cuckoohash
+
+import (
+	"errors"
+	"math/rand"
+
+	"ccf/internal/hashing"
+)
+
+// HashFunc hashes a key under a salt; different salts must behave as
+// independent hash functions.
+type HashFunc[K comparable] func(key K, salt uint64) uint64
+
+// Uint64Hash is a HashFunc for uint64 keys.
+func Uint64Hash(key uint64, salt uint64) uint64 { return hashing.Key64(key, salt) }
+
+// StringHash is a HashFunc for string keys using lookup3.
+func StringHash(key string, salt uint64) uint64 {
+	return hashing.Hash64([]byte(key), salt)
+}
+
+// ErrFull is returned when an insertion exhausts its displacement budget
+// and the table cannot grow.
+var ErrFull = errors.New("cuckoohash: table full")
+
+const (
+	saltH1            = 0x811c
+	saltAlt           = 0x01b7
+	defaultBucketSize = 4
+	defaultMaxKicks   = 500
+	maxBuckets        = 1 << 28
+)
+
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	used bool
+}
+
+// Table is a cuckoo hash table mapping K to V with unique keys. A Put of an
+// existing key updates its value. The table grows (doubling the bucket
+// count and rehashing) when an insertion fails, giving O(1) amortized
+// expected insertion as described in §4.
+type Table[K comparable, V any] struct {
+	entries  []entry[K, V]
+	m        uint32
+	mask     uint32
+	b        int
+	maxKicks int
+	seed     uint64
+	hash     HashFunc[K]
+	rng      *rand.Rand
+	len      int
+	autoGrow bool
+}
+
+// NewTable returns a table sized for capacity items. hash must not be nil.
+func NewTable[K comparable, V any](capacity int, hash HashFunc[K], seed uint64) (*Table[K, V], error) {
+	if hash == nil {
+		return nil, errors.New("cuckoohash: nil hash function")
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	m := nextPow2(uint32((capacity/defaultBucketSize + 1) * 100 / 90))
+	t := &Table[K, V]{
+		entries:  make([]entry[K, V], int(m)*defaultBucketSize),
+		m:        m,
+		mask:     m - 1,
+		b:        defaultBucketSize,
+		maxKicks: defaultMaxKicks,
+		seed:     seed,
+		hash:     hash,
+		rng:      rand.New(rand.NewSource(int64(seed) ^ 0x3c6ef372)),
+		autoGrow: true,
+	}
+	return t, nil
+}
+
+func nextPow2(v uint32) uint32 {
+	if v == 0 {
+		return 1
+	}
+	v--
+	v |= v >> 1
+	v |= v >> 2
+	v |= v >> 4
+	v |= v >> 8
+	v |= v >> 16
+	return v + 1
+}
+
+func (t *Table[K, V]) bucket1(k K) uint32 {
+	return uint32(t.hash(k, t.seed^saltH1)) & t.mask
+}
+
+// bucket2 derives the partner bucket by XOR with a key-derived offset, so a
+// resident's partner can be computed from the resident itself during kicks.
+func (t *Table[K, V]) bucket2(k K, b1 uint32) uint32 {
+	off := uint32(t.hash(k, t.seed^saltAlt)) & t.mask
+	if off == 0 {
+		off = 1
+	}
+	return b1 ^ off
+}
+
+func (t *Table[K, V]) findInBucket(bucket uint32, k K) int {
+	base := int(bucket) * t.b
+	for j := 0; j < t.b; j++ {
+		if t.entries[base+j].used && t.entries[base+j].key == k {
+			return base + j
+		}
+	}
+	return -1
+}
+
+func (t *Table[K, V]) emptyInBucket(bucket uint32) int {
+	base := int(bucket) * t.b
+	for j := 0; j < t.b; j++ {
+		if !t.entries[base+j].used {
+			return base + j
+		}
+	}
+	return -1
+}
+
+// Get returns the value stored for k.
+func (t *Table[K, V]) Get(k K) (V, bool) {
+	b1 := t.bucket1(k)
+	if i := t.findInBucket(b1, k); i >= 0 {
+		return t.entries[i].val, true
+	}
+	b2 := t.bucket2(k, b1)
+	if i := t.findInBucket(b2, k); i >= 0 {
+		return t.entries[i].val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k is present.
+func (t *Table[K, V]) Contains(k K) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// Put inserts or updates k.
+func (t *Table[K, V]) Put(k K, v V) error {
+	for {
+		b1 := t.bucket1(k)
+		b2 := t.bucket2(k, b1)
+		if i := t.findInBucket(b1, k); i >= 0 {
+			t.entries[i].val = v
+			return nil
+		}
+		if i := t.findInBucket(b2, k); i >= 0 {
+			t.entries[i].val = v
+			return nil
+		}
+		if t.place(k, v, b1, b2) {
+			return nil
+		}
+		if !t.autoGrow {
+			return ErrFull
+		}
+		if err := t.grow(); err != nil {
+			return err
+		}
+	}
+}
+
+// place performs the cuckoo insertion with kicks; it assumes k is absent.
+// On failure every displacement is rolled back, leaving the table unchanged.
+func (t *Table[K, V]) place(k K, v V, b1, b2 uint32) bool {
+	if i := t.emptyInBucket(b1); i >= 0 {
+		t.entries[i] = entry[K, V]{key: k, val: v, used: true}
+		t.len++
+		return true
+	}
+	if i := t.emptyInBucket(b2); i >= 0 {
+		t.entries[i] = entry[K, V]{key: k, val: v, used: true}
+		t.len++
+		return true
+	}
+	cur := b1
+	if t.rng.Intn(2) == 1 {
+		cur = b2
+	}
+	type swap struct{ idx int }
+	var path []swap
+	carried := entry[K, V]{key: k, val: v, used: true}
+	for kick := 0; kick < t.maxKicks; kick++ {
+		j := t.rng.Intn(t.b)
+		idx := int(cur)*t.b + j
+		carried, t.entries[idx] = t.entries[idx], carried
+		path = append(path, swap{idx: idx})
+		cur = t.bucket2(carried.key, cur)
+		if i := t.emptyInBucket(cur); i >= 0 {
+			t.entries[i] = carried
+			t.len++
+			return true
+		}
+	}
+	// Roll back: undo swaps in reverse so the original residents return to
+	// their slots and the new item is dropped.
+	for i := len(path) - 1; i >= 0; i-- {
+		idx := path[i].idx
+		carried, t.entries[idx] = t.entries[idx], carried
+	}
+	return false
+}
+
+// grow doubles the table and rehashes every entry.
+func (t *Table[K, V]) grow() error {
+	old := t.entries
+	for {
+		if t.m >= maxBuckets {
+			t.entries = old
+			return ErrFull
+		}
+		t.m *= 2
+		t.mask = t.m - 1
+		t.entries = make([]entry[K, V], int(t.m)*t.b)
+		t.len = 0
+		ok := true
+		prevAuto := t.autoGrow
+		t.autoGrow = false
+		for _, e := range old {
+			if !e.used {
+				continue
+			}
+			if err := t.Put(e.key, e.val); err != nil {
+				ok = false
+				break
+			}
+		}
+		t.autoGrow = prevAuto
+		if ok {
+			return nil
+		}
+	}
+}
+
+// Delete removes k and reports whether it was present.
+func (t *Table[K, V]) Delete(k K) bool {
+	b1 := t.bucket1(k)
+	if i := t.findInBucket(b1, k); i >= 0 {
+		t.entries[i] = entry[K, V]{}
+		t.len--
+		return true
+	}
+	b2 := t.bucket2(k, b1)
+	if i := t.findInBucket(b2, k); i >= 0 {
+		t.entries[i] = entry[K, V]{}
+		t.len--
+		return true
+	}
+	return false
+}
+
+// Len returns the number of stored keys.
+func (t *Table[K, V]) Len() int { return t.len }
+
+// LoadFactor returns the fraction of occupied entries.
+func (t *Table[K, V]) LoadFactor() float64 {
+	return float64(t.len) / float64(int(t.m)*t.b)
+}
+
+// NumBuckets returns the current bucket count.
+func (t *Table[K, V]) NumBuckets() uint32 { return t.m }
+
+// SetAutoGrow toggles growth on insertion failure (on by default).
+func (t *Table[K, V]) SetAutoGrow(on bool) { t.autoGrow = on }
+
+// Range calls fn for every (key, value) pair until fn returns false.
+func (t *Table[K, V]) Range(fn func(k K, v V) bool) {
+	for _, e := range t.entries {
+		if e.used && !fn(e.key, e.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package cuckoohash
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTablePutGet(t *testing.T) {
+	tab, err := NewTable[uint64, string](100, Uint64Hash, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := tab.Put(i, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tab.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := tab.Get(i)
+		if !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	if _, ok := tab.Get(1000); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestTableNilHash(t *testing.T) {
+	if _, err := NewTable[uint64, int](10, nil, 0); err == nil {
+		t.Fatal("nil hash should error")
+	}
+}
+
+func TestTableUpdate(t *testing.T) {
+	tab, _ := NewTable[string, int](10, StringHash, 2)
+	if err := tab.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Put("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after update, want 1", tab.Len())
+	}
+	if v, _ := tab.Get("a"); v != 2 {
+		t.Fatalf("value %d, want 2", v)
+	}
+}
+
+func TestTableDelete(t *testing.T) {
+	tab, _ := NewTable[uint64, int](100, Uint64Hash, 3)
+	for i := uint64(0); i < 50; i++ {
+		if err := tab.Put(i, int(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 50; i += 2 {
+		if !tab.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tab.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if tab.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", tab.Len())
+	}
+	for i := uint64(1); i < 50; i += 2 {
+		if !tab.Contains(i) {
+			t.Fatalf("retained key %d missing", i)
+		}
+	}
+}
+
+func TestTableGrowth(t *testing.T) {
+	tab, _ := NewTable[uint64, int](4, Uint64Hash, 4)
+	before := tab.NumBuckets()
+	for i := uint64(0); i < 10000; i++ {
+		if err := tab.Put(i, int(i)); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	if tab.NumBuckets() <= before {
+		t.Fatal("table did not grow")
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if v, ok := tab.Get(i); !ok || v != int(i) {
+			t.Fatalf("key %d lost after growth", i)
+		}
+	}
+}
+
+func TestTableNoGrowFull(t *testing.T) {
+	tab, _ := NewTable[uint64, int](4, Uint64Hash, 5)
+	tab.SetAutoGrow(false)
+	var sawFull bool
+	stored := map[uint64]int{}
+	for i := uint64(0); i < 10000; i++ {
+		err := tab.Put(i, int(i))
+		if err == ErrFull {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored[i] = int(i)
+	}
+	if !sawFull {
+		t.Fatal("fixed-size table never filled")
+	}
+	// Failed insert must not corrupt existing entries (rollback).
+	for k, v := range stored {
+		got, ok := tab.Get(k)
+		if !ok || got != v {
+			t.Fatalf("entry %d corrupted after failed insert", k)
+		}
+	}
+}
+
+func TestTableRange(t *testing.T) {
+	tab, _ := NewTable[uint64, int](10, Uint64Hash, 6)
+	for i := uint64(0); i < 5; i++ {
+		if err := tab.Put(i, int(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := 0
+	tab.Range(func(k uint64, v int) bool { sum += v; return true })
+	if sum != 100 {
+		t.Fatalf("Range sum = %d, want 100", sum)
+	}
+	n := 0
+	tab.Range(func(k uint64, v int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-terminated Range visited %d, want 1", n)
+	}
+}
+
+func TestTableMatchesMapReference(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		tab, _ := NewTable[uint64, uint16](16, Uint64Hash, 7)
+		ref := map[uint64]uint16{}
+		for i, op := range ops {
+			k := uint64(op % 64)
+			switch i % 3 {
+			case 0, 1:
+				if err := tab.Put(k, op); err != nil {
+					return false
+				}
+				ref[k] = op
+			case 2:
+				got := tab.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tab.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tab.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiTableBasics(t *testing.T) {
+	mt, err := NewMultiTable[uint64, int](1000, Uint64Hash, MultiOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 copies of one key: far beyond the 2b cap of a plain pair.
+	for i := 0; i < 20; i++ {
+		if err := mt.Add(77, i); err != nil {
+			t.Fatalf("Add copy %d: %v", i, err)
+		}
+	}
+	got := mt.GetAll(77)
+	if len(got) != 20 {
+		t.Fatalf("GetAll returned %d values, want 20", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("values corrupted: %v", got)
+		}
+	}
+	if mt.CountKey(77) != 20 {
+		t.Fatalf("CountKey = %d", mt.CountKey(77))
+	}
+	if mt.CountKey(78) != 0 {
+		t.Fatal("absent key has values")
+	}
+}
+
+func TestMultiTableOptionsValidation(t *testing.T) {
+	if _, err := NewMultiTable[uint64, int](10, nil, MultiOptions{}); err == nil {
+		t.Fatal("nil hash should error")
+	}
+	if _, err := NewMultiTable[uint64, int](10, Uint64Hash, MultiOptions{MaxDupes: -1}); err == nil {
+		t.Fatal("negative MaxDupes should error")
+	}
+	if _, err := NewMultiTable[uint64, int](10, Uint64Hash, MultiOptions{BucketSize: -1}); err == nil {
+		t.Fatal("negative BucketSize should error")
+	}
+	mt, err := NewMultiTable[uint64, int](10, Uint64Hash, MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.b != 6 {
+		t.Fatalf("default bucket size %d, want 2·d = 6", mt.b)
+	}
+}
+
+func TestMultiTableManyKeysManyDupes(t *testing.T) {
+	mt, err := NewMultiTable[uint64, uint64](20000, Uint64Hash, MultiOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, dupes = 1000, 12
+	for k := uint64(0); k < keys; k++ {
+		for d := uint64(0); d < dupes; d++ {
+			if err := mt.Add(k, k*100+d); err != nil {
+				t.Fatalf("Add(%d, %d): %v", k, d, err)
+			}
+		}
+	}
+	for k := uint64(0); k < keys; k++ {
+		vals := mt.GetAll(k)
+		if len(vals) != dupes {
+			t.Fatalf("key %d: %d values, want %d", k, len(vals), dupes)
+		}
+		seen := map[uint64]bool{}
+		for _, v := range vals {
+			if v/100 != k {
+				t.Fatalf("key %d: foreign value %d", k, v)
+			}
+			if seen[v] {
+				t.Fatalf("key %d: duplicate value %d", k, v)
+			}
+			seen[v] = true
+		}
+	}
+	if mt.Len() != keys*dupes {
+		t.Fatalf("Len = %d, want %d", mt.Len(), keys*dupes)
+	}
+}
+
+func TestMultiTableMaxChain(t *testing.T) {
+	mt, err := NewMultiTable[uint64, int](1000, Uint64Hash, MultiOptions{MaxDupes: 2, MaxChain: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With d=2 and Lmax=2 a key can hold at most 2·2·2 = 8 rows... actually
+	// d rows per pair × Lmax pairs = 4. The 5th must fail with ErrChainTooLong.
+	var chainErr error
+	added := 0
+	for i := 0; i < 10; i++ {
+		if err := mt.Add(5, i); err != nil {
+			chainErr = err
+			break
+		}
+		added++
+	}
+	if chainErr != ErrChainTooLong {
+		t.Fatalf("expected ErrChainTooLong, got %v after %d adds", chainErr, added)
+	}
+	if added != 4 {
+		t.Fatalf("added %d rows before chain limit, want 4", added)
+	}
+}
+
+func TestMultiTableLoadFactorWithSkew(t *testing.T) {
+	// Heavily skewed duplicates should still reach a reasonable load factor,
+	// the paper's headline multiset result (Figure 4).
+	mt, err := NewMultiTable[uint64, int](4096, Uint64Hash, MultiOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted := 0
+	key := uint64(0)
+	for {
+		dupes := 1 + int(key%23) // skewed multiplicities 1..23
+		failed := false
+		for d := 0; d < dupes; d++ {
+			if err := mt.Add(key, d); err != nil {
+				failed = true
+				break
+			}
+			inserted++
+		}
+		if failed {
+			break
+		}
+		key++
+	}
+	if lf := mt.LoadFactor(); lf < 0.6 {
+		t.Fatalf("load factor at first failure %.3f, want ≥ 0.6 with chaining", lf)
+	}
+}
+
+func TestMultiTableDeterministicWalk(t *testing.T) {
+	// GetAll must see every row that Add stored, including through chains
+	// with cycle extension (same deterministic pair sequence).
+	prop := func(counts []uint8) bool {
+		mt, err := NewMultiTable[uint64, int](8192, Uint64Hash, MultiOptions{Seed: 5})
+		if err != nil {
+			return false
+		}
+		want := map[uint64]int{}
+		for k, c := range counts {
+			n := int(c%40) + 1
+			for i := 0; i < n; i++ {
+				if err := mt.Add(uint64(k), i); err != nil {
+					return false
+				}
+			}
+			want[uint64(k)] = n
+		}
+		for k, n := range want {
+			if got := mt.CountKey(k); got != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+package cuckoohash
+
+import (
+	"errors"
+
+	"ccf/internal/hashing"
+)
+
+// ErrChainTooLong is returned when an insertion would exceed the configured
+// maximum chain length.
+var ErrChainTooLong = errors.New("cuckoohash: chain length exceeded")
+
+const (
+	saltChain = 0x2b99
+	// hardChainCap bounds chain walks even when MaxChain is unlimited,
+	// guarding against adversarial or pathological inputs.
+	hardChainCap = 1 << 16
+)
+
+// MultiTable is a cuckoo hash table storing duplicate keys using the CCF
+// paper's chaining technique (§6.2) applied to full keys (§11). At most
+// maxDupes rows per key live in any bucket pair; further rows spill to
+// chained bucket pairs derived by hashing the pair and the key.
+type MultiTable[K comparable, V any] struct {
+	entries  []entry[K, V]
+	m        uint32
+	mask     uint32
+	b        int
+	maxKicks int
+	maxDupes int
+	maxChain int // 0 = unlimited (up to hardChainCap)
+	seed     uint64
+	hash     HashFunc[K]
+	rngState uint64
+	len      int
+}
+
+// MultiOptions configures a MultiTable. Zero values choose b = 2·d per the
+// paper's rule of thumb (§8), d = 3, 500 kicks, unlimited chains.
+type MultiOptions struct {
+	BucketSize int
+	MaxDupes   int
+	MaxChain   int
+	MaxKicks   int
+	Seed       uint64
+}
+
+// NewMultiTable returns a duplicate-tolerant table sized for capacity rows.
+func NewMultiTable[K comparable, V any](capacity int, hash HashFunc[K], opt MultiOptions) (*MultiTable[K, V], error) {
+	if hash == nil {
+		return nil, errors.New("cuckoohash: nil hash function")
+	}
+	if opt.MaxDupes == 0 {
+		opt.MaxDupes = 3
+	}
+	if opt.MaxDupes < 1 {
+		return nil, errors.New("cuckoohash: MaxDupes < 1")
+	}
+	if opt.BucketSize == 0 {
+		opt.BucketSize = 2 * opt.MaxDupes
+	}
+	if opt.BucketSize < 1 {
+		return nil, errors.New("cuckoohash: BucketSize < 1")
+	}
+	if opt.MaxKicks == 0 {
+		opt.MaxKicks = 500
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	m := nextPow2(uint32((capacity/opt.BucketSize + 1) * 100 / 85))
+	t := &MultiTable[K, V]{
+		entries:  make([]entry[K, V], int(m)*opt.BucketSize),
+		m:        m,
+		mask:     m - 1,
+		b:        opt.BucketSize,
+		maxKicks: opt.MaxKicks,
+		maxDupes: opt.MaxDupes,
+		maxChain: opt.MaxChain,
+		seed:     opt.Seed,
+		hash:     hash,
+		rngState: opt.Seed ^ 0xa54ff53a,
+	}
+	return t, nil
+}
+
+func (t *MultiTable[K, V]) nextRand() uint64 {
+	t.rngState = t.rngState*6364136223846793005 + 1442695040888963407
+	return t.rngState >> 33
+}
+
+func (t *MultiTable[K, V]) bucket1(k K) uint32 {
+	return uint32(t.hash(k, t.seed^saltH1)) & t.mask
+}
+
+func (t *MultiTable[K, V]) pairOffset(k K) uint32 {
+	off := uint32(t.hash(k, t.seed^saltAlt)) & t.mask
+	if off == 0 {
+		off = 1
+	}
+	return off
+}
+
+// chainNext derives the next pair's first bucket from the normalized pair
+// id and the key: ℓ̃ = h(min(ℓ, ℓ′), k) (§6.2). salt breaks cycles.
+func (t *MultiTable[K, V]) chainNext(pairMin uint32, k K, salt uint32) uint32 {
+	kh := t.hash(k, t.seed^saltChain)
+	return uint32(hashing.Combine3(uint64(pairMin), kh, uint64(salt))) & t.mask
+}
+
+// pairSeq iterates the deterministic sequence of bucket pairs for key k,
+// applying cycle detection with salt-based chain extension: a candidate
+// pair already visited in this walk is re-derived with an incremented salt,
+// so insert and query traverse identical sequences.
+type pairSeq[K comparable, V any] struct {
+	t       *MultiTable[K, V]
+	k       K
+	off     uint32
+	cur     uint32 // current pair's first bucket
+	visited []uint32
+	steps   int
+}
+
+func (t *MultiTable[K, V]) newPairSeq(k K) pairSeq[K, V] {
+	b1 := t.bucket1(k)
+	s := pairSeq[K, V]{t: t, k: k, off: t.pairOffset(k), cur: b1}
+	s.visited = append(s.visited, s.pairMin())
+	return s
+}
+
+func (s *pairSeq[K, V]) buckets() (uint32, uint32) {
+	return s.cur, s.cur ^ s.off
+}
+
+func (s *pairSeq[K, V]) pairMin() uint32 {
+	b1, b2 := s.buckets()
+	if b2 < b1 {
+		return b2
+	}
+	return b1
+}
+
+func (s *pairSeq[K, V]) seen(pm uint32) bool {
+	for _, v := range s.visited {
+		if v == pm {
+			return true
+		}
+	}
+	return false
+}
+
+// advance moves to the next pair in the chain and reports whether the walk
+// may continue under the chain-length limit.
+func (s *pairSeq[K, V]) advance() bool {
+	s.steps++
+	if s.t.maxChain > 0 && s.steps >= s.t.maxChain {
+		return false
+	}
+	if s.steps >= hardChainCap {
+		return false
+	}
+	salt := uint32(0)
+	next := s.t.chainNext(s.pairMin(), s.k, salt)
+	for {
+		pmCandidate := next
+		alt := next ^ s.off
+		if alt < pmCandidate {
+			pmCandidate = alt
+		}
+		if !s.seen(pmCandidate) {
+			s.visited = append(s.visited, pmCandidate)
+			s.cur = next
+			return true
+		}
+		salt++
+		if salt > 1<<20 {
+			return false
+		}
+		next = s.t.chainNext(s.pairMin(), s.k, salt)
+	}
+}
+
+func (t *MultiTable[K, V]) countInPair(b1, b2 uint32, k K) int {
+	n := 0
+	for _, bkt := range []uint32{b1, b2} {
+		base := int(bkt) * t.b
+		for j := 0; j < t.b; j++ {
+			if t.entries[base+j].used && t.entries[base+j].key == k {
+				n++
+			}
+		}
+		if b1 == b2 {
+			break
+		}
+	}
+	return n
+}
+
+// Add inserts one (k, v) row, allowing duplicates of k (and of (k, v)).
+func (t *MultiTable[K, V]) Add(k K, v V) error {
+	seq := t.newPairSeq(k)
+	for {
+		b1, b2 := seq.buckets()
+		if t.countInPair(b1, b2, k) < t.maxDupes {
+			if t.placeMulti(k, v, b1, b2) {
+				return nil
+			}
+			return ErrFull
+		}
+		if !seq.advance() {
+			return ErrChainTooLong
+		}
+	}
+}
+
+func (t *MultiTable[K, V]) emptySlot(bucket uint32) int {
+	base := int(bucket) * t.b
+	for j := 0; j < t.b; j++ {
+		if !t.entries[base+j].used {
+			return base + j
+		}
+	}
+	return -1
+}
+
+// placeMulti inserts with kicks. Victims relocate within their own pair, so
+// per-pair duplicate counts are preserved (Lemma 1); on failure all
+// displacements are rolled back.
+func (t *MultiTable[K, V]) placeMulti(k K, v V, b1, b2 uint32) bool {
+	if i := t.emptySlot(b1); i >= 0 {
+		t.entries[i] = entry[K, V]{key: k, val: v, used: true}
+		t.len++
+		return true
+	}
+	if i := t.emptySlot(b2); i >= 0 {
+		t.entries[i] = entry[K, V]{key: k, val: v, used: true}
+		t.len++
+		return true
+	}
+	cur := b1
+	if t.nextRand()&1 == 1 {
+		cur = b2
+	}
+	var path []int
+	carried := entry[K, V]{key: k, val: v, used: true}
+	for kick := 0; kick < t.maxKicks; kick++ {
+		j := int(t.nextRand()) % t.b
+		idx := int(cur)*t.b + j
+		carried, t.entries[idx] = t.entries[idx], carried
+		path = append(path, idx)
+		cur = cur ^ t.pairOffset(carried.key)
+		if i := t.emptySlot(cur); i >= 0 {
+			t.entries[i] = carried
+			t.len++
+			return true
+		}
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		carried, t.entries[path[i]] = t.entries[path[i]], carried
+	}
+	return false
+}
+
+// GetAll returns every value stored under k, walking the chain exactly as a
+// query would: the walk continues past a pair only when it holds maxDupes
+// rows of k.
+func (t *MultiTable[K, V]) GetAll(k K) []V {
+	var out []V
+	seq := t.newPairSeq(k)
+	for {
+		b1, b2 := seq.buckets()
+		n := 0
+		for _, bkt := range []uint32{b1, b2} {
+			base := int(bkt) * t.b
+			for j := 0; j < t.b; j++ {
+				e := &t.entries[base+j]
+				if e.used && e.key == k {
+					out = append(out, e.val)
+					n++
+				}
+			}
+			if b1 == b2 {
+				break
+			}
+		}
+		if n < t.maxDupes {
+			return out
+		}
+		if !seq.advance() {
+			return out
+		}
+	}
+}
+
+// CountKey returns the number of rows stored under k.
+func (t *MultiTable[K, V]) CountKey(k K) int { return len(t.GetAll(k)) }
+
+// Len returns the total number of stored rows.
+func (t *MultiTable[K, V]) Len() int { return t.len }
+
+// LoadFactor returns the fraction of occupied entries.
+func (t *MultiTable[K, V]) LoadFactor() float64 {
+	return float64(t.len) / float64(int(t.m)*t.b)
+}
+
+// NumBuckets returns the bucket count.
+func (t *MultiTable[K, V]) NumBuckets() uint32 { return t.m }

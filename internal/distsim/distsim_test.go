@@ -1,0 +1,135 @@
+package distsim
+
+import (
+	"strings"
+	"testing"
+
+	"ccf/internal/core"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, 1); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	c, err := NewCluster(4, 1)
+	if err != nil || c.Workers() != 4 {
+		t.Fatalf("NewCluster: %v", err)
+	}
+}
+
+func TestHomeDeterministicAndBounded(t *testing.T) {
+	c, _ := NewCluster(8, 2)
+	for k := uint32(0); k < 1000; k++ {
+		h := c.Home(k)
+		if h < 0 || h >= 8 {
+			t.Fatalf("home %d out of range", h)
+		}
+		if h != c.Home(k) {
+			t.Fatal("home not deterministic")
+		}
+	}
+}
+
+func TestShuffleAccounting(t *testing.T) {
+	c, _ := NewCluster(2, 3)
+	rows := []Row{{Key: 1, Bytes: 100}, {Key: 2, Bytes: 100}, {Key: 3, Bytes: 100}}
+	// All rows originate at worker 0; rows homed at worker 0 are free.
+	stats := c.Shuffle(rows, func(int) int { return 0 }, nil)
+	if stats.RowsIn != 3 || stats.RowsShuffled != 3 {
+		t.Fatalf("counts wrong: %+v", stats)
+	}
+	if stats.RowsLocal+int(stats.BytesOnWire)/100 != 3 {
+		t.Fatalf("local + wire rows must cover all shuffled: %+v", stats)
+	}
+	if got := stats.ReductionFactor(); got != 1 {
+		t.Fatalf("unfiltered RF = %v", got)
+	}
+	if !strings.Contains(stats.String(), "rf 1.000") {
+		t.Fatalf("String: %s", stats)
+	}
+}
+
+func TestShuffleFilterCutsTraffic(t *testing.T) {
+	c, _ := NewCluster(4, 4)
+	var rows []Row
+	for k := uint32(0); k < 4000; k++ {
+		rows = append(rows, Row{Key: k, Bytes: 64})
+	}
+	keep := func(k uint32) bool { return k%10 == 0 }
+	unfiltered := c.Shuffle(rows, nil, nil)
+	filtered := c.Shuffle(rows, nil, keep)
+	if filtered.RowsShuffled != 400 {
+		t.Fatalf("filtered shuffle sent %d rows, want 400", filtered.RowsShuffled)
+	}
+	if filtered.BytesOnWire >= unfiltered.BytesOnWire/5 {
+		t.Fatalf("traffic not cut: %d vs %d", filtered.BytesOnWire, unfiltered.BytesOnWire)
+	}
+	if rf := filtered.ReductionFactor(); rf != 0.1 {
+		t.Fatalf("RF = %v, want 0.1", rf)
+	}
+}
+
+func TestShuffleBalance(t *testing.T) {
+	c, _ := NewCluster(8, 5)
+	var rows []Row
+	for k := uint32(0); k < 80000; k++ {
+		rows = append(rows, Row{Key: k, Bytes: 1})
+	}
+	stats := c.Shuffle(rows, nil, nil)
+	if skew := stats.MaxSkew(); skew > 1.1 {
+		t.Fatalf("hash partitioning skew %.3f too high", skew)
+	}
+}
+
+func TestEmptyShuffle(t *testing.T) {
+	c, _ := NewCluster(2, 6)
+	stats := c.Shuffle(nil, nil, nil)
+	if stats.ReductionFactor() != 1 || stats.MaxSkew() != 1 {
+		t.Fatalf("empty shuffle stats: %+v", stats)
+	}
+}
+
+func TestJoinShuffleWithRealCCF(t *testing.T) {
+	// End-to-end with a real filter: a CCF on the dimension side
+	// prefilters the fact shuffle; the traffic drop matches the filter's
+	// selectivity, and no qualifying row is lost.
+	f, err := core.New(core.Params{Variant: core.VariantChained, NumAttrs: 1, Capacity: 4096, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dimension: keys 0..999, attribute = key%5.
+	for k := uint64(0); k < 1000; k++ {
+		if err := f.Insert(k, []uint64{k % 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred := core.And(core.Eq(0, 2)) // selects keys ≡ 2 mod 5
+	c, _ := NewCluster(4, 8)
+	var fact []Row
+	for i := uint32(0); i < 5000; i++ {
+		fact = append(fact, Row{Key: i % 1500, Bytes: 32}) // keys 1000+ miss the dimension
+	}
+	filter := func(k uint32) bool { return f.Query(uint64(k), pred) }
+	unfiltered := c.Shuffle(fact, nil, nil)
+	filtered := c.Shuffle(fact, nil, filter)
+	// Selectivity: of keys 0..999, 1/5 qualify; keys 1000..1499 are absent.
+	// Expected RF ≈ (1000/5)/1500 ≈ 0.133 plus filter FPs.
+	rf := filtered.ReductionFactor()
+	if rf < 0.12 || rf > 0.20 {
+		t.Fatalf("filtered RF %.3f outside expected band", rf)
+	}
+	if filtered.BytesOnWire >= unfiltered.BytesOnWire {
+		t.Fatal("filter did not cut traffic")
+	}
+	// No false negatives: every truly-matching row must have been sent.
+	for _, r := range fact {
+		if r.Key < 1000 && r.Key%5 == 2 && !filter(r.Key) {
+			t.Fatalf("qualifying key %d dropped", r.Key)
+		}
+	}
+	// Two-sided accounting.
+	bs, ps, total := c.JoinShuffle(fact[:100], fact, nil, nil, nil, filter)
+	if total != bs.BytesOnWire+ps.BytesOnWire {
+		t.Fatal("join shuffle total mismatch")
+	}
+}

@@ -1,0 +1,243 @@
+// Package engine provides the minimal columnar relational machinery behind
+// the paper's join-processing evaluation (§3, §10): tables with a join-key
+// column and attribute columns, equality/in-list/range predicates, and the
+// exact semijoin computations that define the Reduction Factor metric
+// (Eq. 9).
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column is a named attribute column stored as int64 values.
+type Column struct {
+	Name string
+	Vals []int64
+}
+
+// Table is a columnar table: one join key per row plus attribute columns.
+// All columns must have exactly len(Keys) values.
+type Table struct {
+	Name string
+	Keys []uint32
+	Cols []Column
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.Keys) }
+
+// ColIdx returns the index of the named column.
+func (t *Table) ColIdx(name string) (int, error) {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: table %s has no column %s", t.Name, name)
+}
+
+// Validate checks structural invariants.
+func (t *Table) Validate() error {
+	for _, c := range t.Cols {
+		if len(c.Vals) != len(t.Keys) {
+			return fmt.Errorf("engine: table %s column %s has %d values for %d rows",
+				t.Name, c.Name, len(c.Vals), len(t.Keys))
+		}
+	}
+	return nil
+}
+
+// Op is a predicate operator.
+type Op int
+
+const (
+	// OpEq matches rows whose column equals Value.
+	OpEq Op = iota
+	// OpIn matches rows whose column is one of Values.
+	OpIn
+	// OpRange matches rows with Lo ≤ column ≤ Hi.
+	OpRange
+)
+
+// Pred is a predicate on one column of a table.
+type Pred struct {
+	Col    int
+	Op     Op
+	Value  int64
+	Values []int64
+	Lo, Hi int64
+}
+
+// Match reports whether the value v satisfies the predicate.
+func (p Pred) Match(v int64) bool {
+	switch p.Op {
+	case OpEq:
+		return v == p.Value
+	case OpIn:
+		for _, x := range p.Values {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	case OpRange:
+		return v >= p.Lo && v <= p.Hi
+	default:
+		return false
+	}
+}
+
+// MatchRow reports whether row satisfies all preds (conjunction).
+func MatchRow(t *Table, row int, preds []Pred) bool {
+	for _, p := range preds {
+		if !p.Match(t.Cols[p.Col].Vals[row]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountMatching returns the number of rows satisfying preds, the
+// M_predicate of Eq. 9.
+func CountMatching(t *Table, preds []Pred) int {
+	n := 0
+	for row := range t.Keys {
+		if MatchRow(t, row, preds) {
+			n++
+		}
+	}
+	return n
+}
+
+// KeySet is a set of join keys.
+type KeySet map[uint32]struct{}
+
+// Contains reports membership.
+func (s KeySet) Contains(k uint32) bool {
+	_, ok := s[k]
+	return ok
+}
+
+// MatchingKeySet returns the distinct keys of rows satisfying preds — the
+// exact (no false positive) filter a semijoin against this table applies.
+func MatchingKeySet(t *Table, preds []Pred) KeySet {
+	s := make(KeySet)
+	for row, k := range t.Keys {
+		if MatchRow(t, row, preds) {
+			s[k] = struct{}{}
+		}
+	}
+	return s
+}
+
+// DistinctKeys returns the number of distinct join keys in the table.
+func DistinctKeys(t *Table) int {
+	s := make(map[uint32]struct{}, len(t.Keys))
+	for _, k := range t.Keys {
+		s[k] = struct{}{}
+	}
+	return len(s)
+}
+
+// KeyFilter abstracts "does key k pass" — exact key sets, cuckoo filters
+// and CCF predicate probes all implement it via closures.
+type KeyFilter func(key uint32) bool
+
+// SemijoinCount returns the number of rows of t that satisfy preds and
+// whose key passes every filter: the M_semijoin (or M_ccf, M_cuckoo) of
+// Eq. 9, depending on the filters supplied.
+func SemijoinCount(t *Table, preds []Pred, filters []KeyFilter) int {
+	n := 0
+rows:
+	for row, k := range t.Keys {
+		if !MatchRow(t, row, preds) {
+			continue
+		}
+		for _, f := range filters {
+			if !f(k) {
+				continue rows
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// ColumnCardinality returns the number of distinct values in column col.
+func ColumnCardinality(t *Table, col int) int {
+	s := make(map[int64]struct{})
+	for _, v := range t.Cols[col].Vals {
+		s[v] = struct{}{}
+	}
+	return len(s)
+}
+
+// DupeStats returns the average and maximum number of distinct values of
+// column col per join key — Table 3's "Avg Dupes" and "Max Dupes".
+func DupeStats(t *Table, col int) (avg float64, max int) {
+	perKey := map[uint32]map[int64]struct{}{}
+	for row, k := range t.Keys {
+		m := perKey[k]
+		if m == nil {
+			m = map[int64]struct{}{}
+			perKey[k] = m
+		}
+		m[t.Cols[col].Vals[row]] = struct{}{}
+	}
+	if len(perKey) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for _, m := range perKey {
+		total += len(m)
+		if len(m) > max {
+			max = len(m)
+		}
+	}
+	return float64(total) / float64(len(perKey)), max
+}
+
+// DistinctVectorsPerKey returns, for each distinct key, the number of
+// distinct attribute vectors over the given columns — the A of Table 1's
+// sizing bounds. The result is sorted descending for stable output.
+func DistinctVectorsPerKey(t *Table, cols []int) []int {
+	perKey := map[uint32]map[string]struct{}{}
+	var buf []byte
+	for row, k := range t.Keys {
+		m := perKey[k]
+		if m == nil {
+			m = map[string]struct{}{}
+			perKey[k] = m
+		}
+		buf = buf[:0]
+		for _, c := range cols {
+			v := t.Cols[c].Vals[row]
+			for s := 0; s < 64; s += 8 {
+				buf = append(buf, byte(v>>uint(s)))
+			}
+		}
+		m[string(buf)] = struct{}{}
+	}
+	out := make([]int, 0, len(perKey))
+	for _, m := range perKey {
+		out = append(out, len(m))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// RawBits estimates the storage of the raw (key, columns) data using the
+// paper's accounting (§10.7): 32 bits for keys and high-cardinality
+// attributes, 8 bits for low-cardinality (< 256) attributes.
+func RawBits(t *Table, cols []int) int64 {
+	bitsPerRow := int64(32)
+	for _, c := range cols {
+		if ColumnCardinality(t, c) < 256 {
+			bitsPerRow += 8
+		} else {
+			bitsPerRow += 32
+		}
+	}
+	return bitsPerRow * int64(t.NumRows())
+}

@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Table {
+	return &Table{
+		Name: "t",
+		Keys: []uint32{1, 1, 2, 2, 3, 3, 3, 4},
+		Cols: []Column{
+			{Name: "a", Vals: []int64{10, 11, 10, 10, 12, 12, 13, 10}},
+			{Name: "b", Vals: []int64{5, 5, 6, 7, 5, 6, 7, 8}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tab := sample()
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Table{Name: "x", Keys: []uint32{1, 2}, Cols: []Column{{Name: "a", Vals: []int64{1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched column length accepted")
+	}
+}
+
+func TestColIdx(t *testing.T) {
+	tab := sample()
+	i, err := tab.ColIdx("b")
+	if err != nil || i != 1 {
+		t.Fatalf("ColIdx(b) = %d, %v", i, err)
+	}
+	if _, err := tab.ColIdx("zzz"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestPredMatch(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		v    int64
+		want bool
+	}{
+		{Pred{Op: OpEq, Value: 5}, 5, true},
+		{Pred{Op: OpEq, Value: 5}, 6, false},
+		{Pred{Op: OpIn, Values: []int64{1, 3, 5}}, 3, true},
+		{Pred{Op: OpIn, Values: []int64{1, 3, 5}}, 4, false},
+		{Pred{Op: OpIn}, 4, false},
+		{Pred{Op: OpRange, Lo: 2, Hi: 8}, 2, true},
+		{Pred{Op: OpRange, Lo: 2, Hi: 8}, 8, true},
+		{Pred{Op: OpRange, Lo: 2, Hi: 8}, 9, false},
+		{Pred{Op: Op(99)}, 1, false},
+	}
+	for i, c := range cases {
+		if got := c.p.Match(c.v); got != c.want {
+			t.Fatalf("case %d: Match(%d) = %v, want %v", i, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCountMatching(t *testing.T) {
+	tab := sample()
+	if got := CountMatching(tab, nil); got != 8 {
+		t.Fatalf("no preds: %d, want 8", got)
+	}
+	preds := []Pred{{Col: 0, Op: OpEq, Value: 10}}
+	if got := CountMatching(tab, preds); got != 4 {
+		t.Fatalf("a=10: %d, want 4", got)
+	}
+	preds = append(preds, Pred{Col: 1, Op: OpEq, Value: 5})
+	if got := CountMatching(tab, preds); got != 1 {
+		t.Fatalf("a=10 ∧ b=5: %d, want 1", got)
+	}
+}
+
+func TestMatchingKeySet(t *testing.T) {
+	tab := sample()
+	s := MatchingKeySet(tab, []Pred{{Col: 1, Op: OpEq, Value: 5}})
+	if len(s) != 2 || !s.Contains(1) || !s.Contains(3) {
+		t.Fatalf("keyset = %v, want {1,3}", s)
+	}
+	if s.Contains(4) {
+		t.Fatal("key 4 should not match")
+	}
+}
+
+func TestDistinctKeys(t *testing.T) {
+	if got := DistinctKeys(sample()); got != 4 {
+		t.Fatalf("DistinctKeys = %d, want 4", got)
+	}
+}
+
+func TestSemijoinCount(t *testing.T) {
+	tab := sample()
+	other := MatchingKeySet(tab, []Pred{{Col: 0, Op: OpEq, Value: 12}}) // keys {3}
+	got := SemijoinCount(tab, nil, []KeyFilter{other.Contains})
+	if got != 3 {
+		t.Fatalf("semijoin rows = %d, want 3 (key 3 has 3 rows)", got)
+	}
+	// With a base predicate too.
+	got = SemijoinCount(tab, []Pred{{Col: 1, Op: OpEq, Value: 7}}, []KeyFilter{other.Contains})
+	if got != 1 {
+		t.Fatalf("filtered semijoin = %d, want 1", got)
+	}
+	// Multiple filters intersect.
+	none := KeySet{}
+	got = SemijoinCount(tab, nil, []KeyFilter{other.Contains, none.Contains})
+	if got != 0 {
+		t.Fatalf("empty intersection = %d, want 0", got)
+	}
+	// No filters degenerate to CountMatching.
+	if SemijoinCount(tab, nil, nil) != CountMatching(tab, nil) {
+		t.Fatal("no-filter semijoin should equal predicate count")
+	}
+}
+
+func TestColumnCardinality(t *testing.T) {
+	tab := sample()
+	if got := ColumnCardinality(tab, 0); got != 4 {
+		t.Fatalf("card(a) = %d, want 4", got)
+	}
+	if got := ColumnCardinality(tab, 1); got != 4 {
+		t.Fatalf("card(b) = %d, want 4", got)
+	}
+}
+
+func TestDupeStats(t *testing.T) {
+	tab := sample()
+	// Distinct b per key: 1→{5}=1, 2→{6,7}=2, 3→{5,6,7}=3, 4→{8}=1.
+	avg, max := DupeStats(tab, 1)
+	if max != 3 {
+		t.Fatalf("max = %d, want 3", max)
+	}
+	if avg != 7.0/4.0 {
+		t.Fatalf("avg = %v, want 1.75", avg)
+	}
+	empty := &Table{Name: "e", Cols: []Column{{Name: "a"}}}
+	if a, m := DupeStats(empty, 0); a != 0 || m != 0 {
+		t.Fatal("empty table dupe stats must be zero")
+	}
+}
+
+func TestDistinctVectorsPerKey(t *testing.T) {
+	tab := sample()
+	// Vectors (a,b) per key: 1→{(10,5),(11,5)}=2, 2→{(10,6),(10,7)}=2,
+	// 3→{(12,5),(12,6),(13,7)}=3, 4→{(10,8)}=1. Sorted desc: [3,2,2,1].
+	got := DistinctVectorsPerKey(tab, []int{0, 1})
+	want := []int{3, 2, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRawBits(t *testing.T) {
+	tab := sample()
+	// Both columns low-cardinality: 32 + 8 + 8 = 48 bits/row × 8 rows.
+	if got := RawBits(tab, []int{0, 1}); got != 48*8 {
+		t.Fatalf("RawBits = %d, want %d", got, 48*8)
+	}
+	if got := RawBits(tab, []int{0}); got != 40*8 {
+		t.Fatalf("RawBits one col = %d, want %d", got, 40*8)
+	}
+}
+
+func TestSemijoinNeverExceedsPredicateCount(t *testing.T) {
+	prop := func(keys []uint32, valsRaw []int16, predVal int16) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		vals := make([]int64, len(keys))
+		for i := range vals {
+			if i < len(valsRaw) {
+				vals[i] = int64(valsRaw[i] % 16)
+			}
+		}
+		tab := &Table{Name: "p", Keys: keys, Cols: []Column{{Name: "c", Vals: vals}}}
+		preds := []Pred{{Col: 0, Op: OpEq, Value: int64(predVal % 16)}}
+		ks := MatchingKeySet(tab, preds)
+		mPred := CountMatching(tab, preds)
+		mSemi := SemijoinCount(tab, preds, []KeyFilter{ks.Contains})
+		// Semijoin against its own keyset changes nothing; against a
+		// stricter filter it can only shrink.
+		if mSemi != mPred {
+			return false
+		}
+		mNone := SemijoinCount(tab, preds, []KeyFilter{func(uint32) bool { return false }})
+		return mNone == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package engine
+
+// Grace hash join planning (§3): "reducing the number of tuples can change
+// a query plan from a Grace hash join that spills tuples to disk to a
+// simple hash join that can process all tuples in memory." This file
+// models that decision: given a memory budget, estimate whether the build
+// side fits and, if not, how many partitions a Grace join needs. The
+// buildside example uses it to show a CCF prefilter flipping the plan.
+
+// JoinPlan names the chosen strategy.
+type JoinPlan int
+
+const (
+	// PlanInMemory is a simple hash join: the whole build side fits.
+	PlanInMemory JoinPlan = iota
+	// PlanGrace partitions both inputs to disk and joins partition-wise.
+	PlanGrace
+)
+
+// String names the plan.
+func (p JoinPlan) String() string {
+	if p == PlanInMemory {
+		return "in-memory hash join"
+	}
+	return "Grace hash join (spills to disk)"
+}
+
+// BytesPerBuildRow is the modeled hash-table cost of one build row: key,
+// row pointer, and open-addressing slack at 75% load.
+const BytesPerBuildRow = 16 * 4 / 3
+
+// PlanBuild chooses a plan for a build side of buildRows rows under a
+// memory budget of memoryBytes, returning the plan and the number of Grace
+// partitions required (1 for in-memory). Partitions are sized so each
+// fits the budget, mirroring the classical Grace scheme.
+func PlanBuild(buildRows int, memoryBytes int64) (JoinPlan, int) {
+	if buildRows < 0 {
+		buildRows = 0
+	}
+	need := int64(buildRows) * BytesPerBuildRow
+	if memoryBytes <= 0 || need <= memoryBytes {
+		return PlanInMemory, 1
+	}
+	parts := int((need + memoryBytes - 1) / memoryBytes)
+	if parts < 2 {
+		parts = 2
+	}
+	return PlanGrace, parts
+}
+
+// SpillBytes returns the modeled bytes written to (and re-read from) disk
+// by the chosen plan: a Grace join spills both the build rows and — in
+// this simplified model — nothing else; an in-memory join spills nothing.
+func SpillBytes(plan JoinPlan, buildRows int) int64 {
+	if plan == PlanInMemory {
+		return 0
+	}
+	return int64(buildRows) * BytesPerBuildRow
+}

@@ -1,0 +1,60 @@
+package engine
+
+import "testing"
+
+func TestPlanBuild(t *testing.T) {
+	plan, parts := PlanBuild(100, 1<<20)
+	if plan != PlanInMemory || parts != 1 {
+		t.Fatalf("small build chose %v/%d", plan, parts)
+	}
+	plan, parts = PlanBuild(1_000_000, 1<<20)
+	if plan != PlanGrace {
+		t.Fatalf("1M rows in 1MiB chose %v", plan)
+	}
+	if parts < 2 {
+		t.Fatalf("grace join with %d partitions", parts)
+	}
+	// Each partition must fit the budget.
+	rowsPerPart := 1_000_000/parts + 1
+	if int64(rowsPerPart)*BytesPerBuildRow > 1<<20 {
+		t.Fatalf("partition of %d rows does not fit budget", rowsPerPart)
+	}
+}
+
+func TestPlanBuildEdges(t *testing.T) {
+	if plan, _ := PlanBuild(0, 100); plan != PlanInMemory {
+		t.Fatal("empty build should stay in memory")
+	}
+	if plan, _ := PlanBuild(-5, 100); plan != PlanInMemory {
+		t.Fatal("negative rows should clamp")
+	}
+	if plan, parts := PlanBuild(100, 0); plan != PlanInMemory || parts != 1 {
+		t.Fatal("zero budget means unlimited in this model")
+	}
+}
+
+func TestSpillBytes(t *testing.T) {
+	if SpillBytes(PlanInMemory, 1000) != 0 {
+		t.Fatal("in-memory plan spills")
+	}
+	if got := SpillBytes(PlanGrace, 1000); got != 1000*BytesPerBuildRow {
+		t.Fatalf("grace spill = %d", got)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if PlanInMemory.String() == PlanGrace.String() {
+		t.Fatal("plan names collide")
+	}
+}
+
+func TestCCFPrefilterFlipsPlan(t *testing.T) {
+	// The §3 scenario: the unfiltered build side spills; after a CCF-style
+	// prefilter removes 90% of rows, the same budget fits in memory.
+	budget := int64(200_000)
+	before, _ := PlanBuild(50_000, budget) // ~1.07 MB needed
+	after, _ := PlanBuild(5_000, budget)   // ~107 KB needed
+	if before != PlanGrace || after != PlanInMemory {
+		t.Fatalf("prefilter did not flip the plan: %v → %v", before, after)
+	}
+}

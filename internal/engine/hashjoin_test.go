@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func joinTables() (*Table, *Table) {
+	build := &Table{
+		Name: "dim",
+		Keys: []uint32{1, 2, 3, 4, 5},
+		Cols: []Column{{Name: "kind", Vals: []int64{1, 1, 2, 2, 1}}},
+	}
+	probe := &Table{
+		Name: "fact",
+		Keys: []uint32{1, 1, 2, 3, 3, 3, 6},
+		Cols: []Column{{Name: "role", Vals: []int64{4, 5, 4, 4, 4, 5, 4}}},
+	}
+	return build, probe
+}
+
+func TestHashJoinBasic(t *testing.T) {
+	build, probe := joinTables()
+	j := &HashJoin{}
+	rows, stats, err := j.Run(build, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 1,2,3 join; key 6 misses; key 4,5 unprobed. 2+1+3 = 6 outputs.
+	if len(rows) != 6 {
+		t.Fatalf("%d join rows, want 6", len(rows))
+	}
+	if stats.BuildRowsIn != 5 || stats.BuildDistinctKeys != 5 {
+		t.Fatalf("build stats %+v", stats)
+	}
+	if stats.Output != 6 || stats.ProbeRowsIn != 7 {
+		t.Fatalf("probe stats %+v", stats)
+	}
+}
+
+func TestHashJoinPredicates(t *testing.T) {
+	build, probe := joinTables()
+	j := &HashJoin{
+		BuildPreds: []Pred{{Col: 0, Op: OpEq, Value: 1}}, // kind = 1: keys 1,2,5
+		ProbePreds: []Pred{{Col: 0, Op: OpEq, Value: 4}}, // role = 4
+	}
+	rows, stats, err := j.Run(build, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe rows with role 4: keys 1,2,3,3,6. Build keys kind=1: 1,2,5.
+	// Matches: (1,1), (2,2) → 2 rows.
+	if len(rows) != 2 {
+		t.Fatalf("%d join rows, want 2: %+v", len(rows), rows)
+	}
+	if stats.BuildRowsIn != 3 {
+		t.Fatalf("build rows in = %d, want 3", stats.BuildRowsIn)
+	}
+}
+
+func TestHashJoinPrefilterShrinksBuildSide(t *testing.T) {
+	build, probe := joinTables()
+	// A key prefilter standing in for a CCF probe: only keys present in
+	// the probe side with role 4 ({1,2,3,6}).
+	allow := map[uint32]bool{1: true, 2: true, 3: true, 6: true}
+	unfiltered := &HashJoin{ProbePreds: []Pred{{Col: 0, Op: OpEq, Value: 4}}}
+	filtered := &HashJoin{
+		ProbePreds:  []Pred{{Col: 0, Op: OpEq, Value: 4}},
+		BuildFilter: func(k uint32) bool { return allow[k] },
+	}
+	rowsU, statsU, err := unfiltered.Run(build, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsF, statsF, err := filtered.Run(build, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualJoinResults(rowsU, rowsF) {
+		t.Fatal("prefilter changed the join result")
+	}
+	if statsF.BuildRowsIn >= statsU.BuildRowsIn {
+		t.Fatalf("prefilter did not shrink the build side: %d vs %d",
+			statsF.BuildRowsIn, statsU.BuildRowsIn)
+	}
+}
+
+func TestHashJoinProbeFilter(t *testing.T) {
+	build, probe := joinTables()
+	j := &HashJoin{ProbeFilter: func(k uint32) bool { return k == 3 }}
+	rows, stats, err := j.Run(build, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (key 3 thrice)", len(rows))
+	}
+	if stats.ProbeRowsIn != 3 {
+		t.Fatalf("probe rows in = %d, want 3", stats.ProbeRowsIn)
+	}
+}
+
+func TestHashJoinValidates(t *testing.T) {
+	bad := &Table{Name: "bad", Keys: []uint32{1}, Cols: []Column{{Name: "x"}}}
+	good := &Table{Name: "g", Keys: []uint32{1}}
+	j := &HashJoin{}
+	if _, _, err := j.Run(bad, good); err == nil {
+		t.Fatal("invalid build table accepted")
+	}
+	if _, _, err := j.Run(good, bad); err == nil {
+		t.Fatal("invalid probe table accepted")
+	}
+}
+
+func TestEqualJoinResults(t *testing.T) {
+	a := []JoinRow{{1, 0, 1}, {2, 1, 2}}
+	b := []JoinRow{{2, 1, 2}, {1, 0, 1}}
+	if !EqualJoinResults(a, b) {
+		t.Fatal("order should not matter")
+	}
+	if EqualJoinResults(a, a[:1]) {
+		t.Fatal("different lengths equal")
+	}
+	c := []JoinRow{{1, 0, 1}, {2, 1, 3}}
+	if EqualJoinResults(a, c) {
+		t.Fatal("different rows equal")
+	}
+}
+
+func TestHashJoinMatchesNestedLoopReference(t *testing.T) {
+	prop := func(bk, pk []uint8) bool {
+		if len(bk) > 60 {
+			bk = bk[:60]
+		}
+		if len(pk) > 60 {
+			pk = pk[:60]
+		}
+		build := &Table{Name: "b"}
+		for _, k := range bk {
+			build.Keys = append(build.Keys, uint32(k%16))
+		}
+		probe := &Table{Name: "p"}
+		for _, k := range pk {
+			probe.Keys = append(probe.Keys, uint32(k%16))
+		}
+		j := &HashJoin{}
+		got, _, err := j.Run(build, probe)
+		if err != nil {
+			return false
+		}
+		var want []JoinRow
+		for br, bkey := range build.Keys {
+			for pr, pkey := range probe.Keys {
+				if bkey == pkey {
+					want = append(want, JoinRow{Key: bkey, BuildRow: br, ProbeRow: pr})
+				}
+			}
+		}
+		return EqualJoinResults(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"errors"
+
+	"ccf/internal/core"
+	"ccf/internal/stats"
+	"ccf/internal/zipfmd"
+)
+
+// AblationResult collects the three design-choice ablations DESIGN.md calls
+// out: chain-cycle extension, the small-value optimization, and the
+// attribute-bits-versus-key-bits allocation (§8.1).
+type AblationResult struct {
+	// CycleExtensionLoad maps "on"/"off" to the mean load factor at first
+	// failure under heavy per-key duplication.
+	CycleExtensionLoad map[string]float64
+	// SmallValueFPR maps "on"/"off" to the attribute FPR on a
+	// low-cardinality column.
+	SmallValueFPR map[string]float64
+	// AttrVsKeyFPR maps a "k<bits>a<bits>" label to the predicate FPR at
+	// equal total entry width.
+	AttrVsKeyFPR map[string]float64
+}
+
+// Ablations runs the three ablations and prints one table per choice.
+func Ablations(cfg Config) (*AblationResult, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		CycleExtensionLoad: map[string]float64{},
+		SmallValueFPR:      map[string]float64{},
+		AttrVsKeyFPR:       map[string]float64{},
+	}
+
+	// 1. Cycle extension (§6.2): with extension disabled the raw chain
+	// recursion revisits pairs, so heavy keys exhaust their chains earlier
+	// and the attainable load factor drops.
+	for _, disabled := range []bool{false, true} {
+		label := "on"
+		if disabled {
+			label = "off"
+		}
+		loads := 0.0
+		for run := 0; run < cfg.Runs; run++ {
+			f, err := core.New(core.Params{
+				Variant: core.VariantChained, Buckets: 1024,
+				Seed:                  uint64(cfg.Seed + int64(run)),
+				DisableCycleExtension: disabled,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows, err := zipfmd.ZipfStream(int(float64(f.Capacity())*1.2), 10, 2.7, 500, cfg.Seed+int64(run))
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if err := f.Insert(r.Key, []uint64{r.Attr + 1<<20}); err != nil {
+					if errors.Is(err, core.ErrFull) || errors.Is(err, core.ErrChainLimit) {
+						break
+					}
+					return nil, err
+				}
+			}
+			loads += f.LoadFactor()
+		}
+		res.CycleExtensionLoad[label] = loads / float64(cfg.Runs)
+	}
+	t1 := stats.NewTable("cycle extension", "load factor at first failure (zipf, 10 dupes/key)")
+	t1.AddRow("on", res.CycleExtensionLoad["on"])
+	t1.AddRow("off", res.CycleExtensionLoad["off"])
+	cfg.printf("Ablation 1 — chain cycle extension (§6.2)\n%s\n", t1)
+
+	// 2. Small-value optimization (§9): exact storage of values < 2^|α|
+	// makes low-cardinality predicates exact; hashing them reintroduces
+	// collisions.
+	for _, disabled := range []bool{false, true} {
+		label := "on"
+		if disabled {
+			label = "off"
+		}
+		f, err := core.New(core.Params{
+			Variant: core.VariantChained, NumAttrs: 1, AttrBits: 4,
+			Capacity: 1 << 15, DisableSmallValueOpt: disabled, Seed: uint64(cfg.Seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k := uint64(0); k < 1<<14; k++ {
+			if err := f.Insert(k, []uint64{k % 10}); err != nil {
+				return nil, err
+			}
+		}
+		fp, probes := 0, 0
+		for k := uint64(0); k < 1<<14; k++ {
+			// Query a small value never stored for this key (mod 10 + 1..5
+			// offset wraps within 0..15, so it stays in small-value range).
+			if f.Query(k, core.And(core.Eq(0, (k%10+3)%16))) {
+				// The offset value can coincide with the stored one only
+				// when (k%10+3)%16 == k%10, which never happens.
+				fp++
+			}
+			probes++
+		}
+		res.SmallValueFPR[label] = float64(fp) / float64(probes)
+	}
+	t2 := stats.NewTable("small-value optimization", "attribute FPR (cardinality-10 column, |α|=4)")
+	t2.AddRow("on", res.SmallValueFPR["on"])
+	t2.AddRow("off", res.SmallValueFPR["off"])
+	cfg.printf("Ablation 2 — small-value optimization (§9)\n%s\n", t2)
+
+	// 3. Attribute bits versus key bits (§8.1): at equal entry width,
+	// spending bits on the attribute sketch lowers the predicate FPR more
+	// than spending them on the key fingerprint.
+	for _, c := range []struct {
+		label             string
+		keyBits, attrBits int
+	}{{"k12a4 (16 bits)", 12, 4}, {"k8a8 (16 bits)", 8, 8}} {
+		f, err := core.New(core.Params{
+			Variant: core.VariantChained, NumAttrs: 1,
+			KeyBits: c.keyBits, AttrBits: c.attrBits,
+			Capacity: 1 << 15, Seed: uint64(cfg.Seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k := uint64(0); k < 1<<14; k++ {
+			if err := f.Insert(k, []uint64{k<<6 + 1<<40}); err != nil {
+				return nil, err
+			}
+		}
+		fp, probes := 0, 0
+		for k := uint64(0); k < 1<<14; k++ {
+			if f.Query(k, core.And(core.Eq(0, k<<6+17+1<<40))) {
+				fp++
+			}
+			probes++
+		}
+		res.AttrVsKeyFPR[c.label] = float64(fp) / float64(probes)
+	}
+	t3 := stats.NewTable("allocation", "predicate FPR (present key, absent attribute)")
+	t3.AddRow("k12a4 (16 bits)", res.AttrVsKeyFPR["k12a4 (16 bits)"])
+	t3.AddRow("k8a8 (16 bits)", res.AttrVsKeyFPR["k8a8 (16 bits)"])
+	cfg.printf("Ablation 3 — attribute bits beat key bits for predicate queries (§8.1)\n%s\n", t3)
+	return res, nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	res, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle extension must matter a lot under heavy duplication.
+	if res.CycleExtensionLoad["on"] < res.CycleExtensionLoad["off"]*2 {
+		t.Fatalf("cycle extension gains too small: on %.3f off %.3f",
+			res.CycleExtensionLoad["on"], res.CycleExtensionLoad["off"])
+	}
+	if res.CycleExtensionLoad["on"] < 0.6 {
+		t.Fatalf("extension-on load %.3f too low", res.CycleExtensionLoad["on"])
+	}
+	// Small-value optimization must eliminate low-cardinality collisions.
+	if res.SmallValueFPR["on"] > 0.01 {
+		t.Fatalf("small-value FPR with optimization on: %.4f", res.SmallValueFPR["on"])
+	}
+	if res.SmallValueFPR["off"] < res.SmallValueFPR["on"]*5 && res.SmallValueFPR["off"] < 0.02 {
+		t.Fatalf("disabling the optimization should hurt: on %.5f off %.5f",
+			res.SmallValueFPR["on"], res.SmallValueFPR["off"])
+	}
+	// Attribute bits beat key bits at equal width (§8.1).
+	if res.AttrVsKeyFPR["k8a8 (16 bits)"] >= res.AttrVsKeyFPR["k12a4 (16 bits)"] {
+		t.Fatalf("attr bits should beat key bits: k8a8 %.4f k12a4 %.4f",
+			res.AttrVsKeyFPR["k8a8 (16 bits)"], res.AttrVsKeyFPR["k12a4 (16 bits)"])
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output printed")
+	}
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	cfg := QuickConfig()
+	cfg.W = buf
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := Config{Scale: 2}
+	if err := bad.setDefaults(); err == nil {
+		t.Fatal("scale 2 accepted")
+	}
+	var c Config
+	if err := c.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Scale != 0.01 || c.Runs != 5 || c.W == nil {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestTable2And3(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table2(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	if !strings.Contains(buf.String(), "movie_keyword") {
+		t.Fatal("output missing tables")
+	}
+	buf.Reset()
+	rows3, err := Table3(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows3 {
+		if r.PaperMax > 0 && r.MaxDupes > r.PaperMax {
+			t.Fatalf("%s.%s measured max dupes %d exceeds paper %d", r.Table, r.Column, r.MaxDupes, r.PaperMax)
+		}
+	}
+}
+
+func TestTable1BoundsDominate(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table1(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Actual > r.Predicted {
+			t.Fatalf("%s/%s: actual %d exceeds bound %d", r.Table, r.Variant, r.Actual, r.Predicted)
+		}
+		if float64(r.Actual) < 0.85*float64(r.Predicted) {
+			t.Fatalf("%s/%s: bound %d loose vs actual %d", r.Table, r.Variant, r.Predicted, r.Actual)
+		}
+	}
+}
+
+func TestFig2BoundsPredict(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig2(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The estimates are upper bounds (within sampling noise) and must
+		// be in the same regime as the measurements.
+		if r.Actual > r.Estimated*1.5+0.02 {
+			t.Fatalf("%+v: actual far above estimate", r)
+		}
+		if r.Estimated > 1 || r.Actual > 1 {
+			t.Fatalf("%+v: rates above 1", r)
+		}
+	}
+	// Attribute FPR at 4 bits must exceed attribute FPR at 8 bits.
+	mean := func(attrBits int) float64 {
+		s, n := 0.0, 0
+		for _, r := range rows {
+			if r.Category == "attribute" && r.AttrBits == attrBits {
+				s += r.Actual
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if mean(4) <= mean(8) {
+		t.Fatalf("attr FPR at 4 bits (%.4f) should exceed 8 bits (%.4f)", mean(4), mean(8))
+	}
+}
+
+func TestFig3PredictionsTight(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig3(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Actual > r.Predicted {
+			t.Fatalf("%s/%s: actual above bound", r.Table, r.Variant)
+		}
+		if r.Ratio < 0.85 {
+			t.Fatalf("%s/%s: ratio %.3f too loose", r.Table, r.Variant, r.Ratio)
+		}
+	}
+}
+
+func TestFig4ChainedBeatsPlain(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.Runs = 2
+	rows, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For high duplicate counts the chained filter must achieve a much
+	// higher load factor than the plain one (the paper's headline).
+	get := func(dist, typ string, b int, dupes float64) float64 {
+		for _, r := range rows {
+			if r.Dist == dist && r.Type == typ && r.BucketSize == b && r.AvgDupes == dupes {
+				return r.LoadFactor
+			}
+		}
+		t.Fatalf("missing cell %s/%s/b%d/%v", dist, typ, b, dupes)
+		return 0
+	}
+	for _, dist := range []string{"constant", "zipf"} {
+		chained := get(dist, "chained", 4, 12)
+		plain := get(dist, "plain", 4, 12)
+		if chained < plain*2 {
+			t.Fatalf("%s: chained %.3f not clearly above plain %.3f at 12 dupes", dist, chained, plain)
+		}
+		if chained < 0.55 {
+			t.Fatalf("%s: chained load %.3f too low", dist, chained)
+		}
+	}
+	// Chained load factors stay roughly flat across duplicate counts.
+	lo := get("constant", "chained", 6, 1)
+	hi := get("constant", "chained", 6, 12)
+	if hi < lo-0.2 {
+		t.Fatalf("chained load collapsed with duplicates: %.3f → %.3f", lo, hi)
+	}
+}
+
+func TestFig5EfficiencyBands(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig5(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Efficiency < 1 {
+			t.Fatalf("%+v: efficiency below the information-theoretic floor", r)
+		}
+		if r.FillPercent > 100 {
+			t.Fatalf("%+v: fill above 100%%", r)
+		}
+	}
+	// At the final fill level, small d should be at least competitive with
+	// the largest d (§8: lower d tends to use bits better).
+	final := map[int]float64{}
+	for _, r := range rows {
+		if r.Dist == "constant" {
+			final[r.MaxDupes] = r.Efficiency // last write per d = at-failure point
+		}
+	}
+	if final[2] > final[10]*1.6 {
+		t.Fatalf("d=2 efficiency %.2f far worse than d=10 %.2f", final[2], final[10])
+	}
+}

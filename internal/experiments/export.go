@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"os"
+
+	"ccf/internal/core"
+	"ccf/internal/joblight"
+)
+
+// ExportCounts evaluates the workload with the paper's large and small
+// filter settings for all three CCF variants and writes the per-instance
+// counts as CSV — the raw data behind Figures 6–9, ready for any plotting
+// tool. The output path is taken from the CCF_EXPORT environment variable,
+// defaulting to joblight_counts.csv in the working directory.
+func ExportCounts(cfg Config) (string, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return "", err
+	}
+	env, err := newJLEnv(cfg)
+	if err != nil {
+		return "", err
+	}
+	cfgs := map[string]joblight.BuildConfig{}
+	for _, v := range []core.Variant{core.VariantBloom, core.VariantMixed, core.VariantChained} {
+		cfgs[v.String()+"-large"] = joblight.LargeConfig(v)
+		cfgs[v.String()+"-small"] = joblight.SmallConfig(v)
+	}
+	counts, _, err := env.evaluate(cfgs)
+	if err != nil {
+		return "", err
+	}
+	path := os.Getenv("CCF_EXPORT")
+	if path == "" {
+		path = "joblight_counts.csv"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := joblight.WriteCountsCSV(f, counts); err != nil {
+		return "", err
+	}
+	cfg.printf("wrote %s (%d instances × 6 filter settings)\n", path, len(counts))
+	return path, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExportCounts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "counts.csv")
+	t.Setenv("CCF_EXPORT", path)
+	var buf bytes.Buffer
+	got, err := ExportCounts(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != path {
+		t.Fatalf("wrote to %s, want %s", got, path)
+	}
+	fd, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+	recs, err := csv.NewReader(fd).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("CSV has %d records", len(recs))
+	}
+	// 9 base columns + 6 filter settings × 2 columns each.
+	if len(recs[0]) != 9+12 {
+		t.Fatalf("header has %d columns, want 21: %v", len(recs[0]), recs[0])
+	}
+	for _, rec := range recs[1:] {
+		if len(rec) != len(recs[0]) {
+			t.Fatal("ragged CSV")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"ccf/internal/core"
+	"ccf/internal/stats"
+)
+
+// Fig2Row is one point of Figure 2: for a group of queries with a common
+// estimated FPR, the estimated versus the measured false-positive rate,
+// attributed to the key, the attribute sketch, or both.
+type Fig2Row struct {
+	AttrBits  int
+	Category  string // "key", "attribute", "overall"
+	Dupes     int    // duplicates per key (varies the attribute estimate)
+	Estimated float64
+	Actual    float64
+}
+
+// Fig2 reproduces Figure 2: the §7 bounds are good predictors of the actual
+// FPR. A chained CCF is loaded with keys holding 1..maxDupes distinct
+// attribute vectors; queries with absent keys measure the key FPR against
+// the Eq. 4 estimate, and queries with present keys but absent attribute
+// values measure the attribute FPR against the Eq. 7 estimate (the number
+// of fingerprint-holding entries probed grows with the duplicate count,
+// sweeping the estimate across the x-axis as in the paper's panels).
+func Fig2(cfg Config) ([]Fig2Row, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	var out []Fig2Row
+	dupeLevels := []int{1, 3, 6, 9, 12}
+	if cfg.Quick {
+		dupeLevels = []int{1, 6, 12}
+	}
+	const keysPerLevel = 2000
+	for _, attrBits := range []int{4, 8} {
+		f, err := core.New(core.Params{
+			Variant:  core.VariantChained,
+			AttrBits: attrBits,
+			Capacity: len(dupeLevels) * keysPerLevel * 16,
+			Seed:     uint64(cfg.Seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Keys are partitioned by duplicate level: key = level·M + i.
+		// Attribute values are per-key (key<<8 | d) and offset past 2^|α|
+		// so they are hashed, not stored exactly — exact small values would
+		// make the attribute FPR zero — and so the spurious-match events
+		// are independent across keys.
+		for li, dupes := range dupeLevels {
+			for i := 0; i < keysPerLevel; i++ {
+				key := uint64(li*1_000_000 + i)
+				for d := 0; d < dupes; d++ {
+					if err := f.Insert(key, []uint64{key<<8 + uint64(d) + 1<<40}); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+
+		// Key-attributed FPR: absent keys.
+		keyEst, keyAct := 0.0, 0.0
+		const absentProbes = 20000
+		for i := 0; i < absentProbes; i++ {
+			key := uint64(1<<40 + i)
+			keyEst += float64(f.PairFill(key)) / float64(int(1)<<f.Params().KeyBits)
+			if f.QueryKey(key) {
+				keyAct++
+			}
+		}
+		out = append(out, Fig2Row{
+			AttrBits: attrBits, Category: "key",
+			Estimated: keyEst / absentProbes, Actual: keyAct / absentProbes,
+		})
+
+		// Attribute-attributed FPR per duplicate level: present key, absent
+		// attribute value. Estimated per Eq. 7 with the realized entry
+		// count for the key.
+		for li, dupes := range dupeLevels {
+			est, act, n := 0.0, 0.0, 0
+			for i := 0; i < keysPerLevel; i++ {
+				key := uint64(li*1_000_000 + i)
+				perEntry := 1.0 / float64(int(1)<<attrBits)
+				e := float64(dupes) * perEntry
+				if e > 1 {
+					e = 1
+				}
+				est += e
+				// Attribute value 200 was never inserted for this key.
+				if f.Query(key, core.And(core.Eq(0, key<<8+200+1<<40))) {
+					act++
+				}
+				n++
+			}
+			out = append(out, Fig2Row{
+				AttrBits: attrBits, Category: "attribute", Dupes: dupes,
+				Estimated: est / float64(n), Actual: act / float64(n),
+			})
+		}
+
+		// Overall FPR: random queries over a mix of absent keys and absent
+		// attributes, estimate per Eq. 5's decomposition.
+		ovEst, ovAct := 0.0, 0.0
+		const mixedProbes = 10000
+		for i := 0; i < mixedProbes; i++ {
+			var key uint64
+			var est float64
+			if i%2 == 0 {
+				key = uint64(1<<41 + i)
+				pKey := float64(f.PairFill(key)) / float64(int(1)<<f.Params().KeyBits)
+				est = pKey // absent key dominates; attr term second-order
+			} else {
+				li := i % len(dupeLevels)
+				key = uint64(li*1_000_000 + i%keysPerLevel)
+				e := float64(dupeLevels[li]) / float64(int(1)<<attrBits)
+				if e > 1 {
+					e = 1
+				}
+				est = e
+			}
+			ovEst += est
+			if f.Query(key, core.And(core.Eq(0, key<<8+200+1<<40))) {
+				ovAct++
+			}
+		}
+		out = append(out, Fig2Row{
+			AttrBits: attrBits, Category: "overall",
+			Estimated: ovEst / mixedProbes, Actual: ovAct / mixedProbes,
+		})
+	}
+
+	t := stats.NewTable("attr bits", "category", "dupes/key", "estimated FPR", "actual FPR")
+	for _, r := range out {
+		t.AddRow(r.AttrBits, r.Category, r.Dupes, r.Estimated, r.Actual)
+	}
+	cfg.printf("Figure 2 — FPR bounds versus measured FPR (chained CCF)\n%s\n", t)
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ccf/internal/core"
+	"ccf/internal/imdb"
+	"ccf/internal/joblight"
+)
+
+// jlEnv caches the dataset, workload and baselines shared by the JOB-light
+// experiments (Figures 6–10 and the §10.6 aggregates).
+type jlEnv struct {
+	cfg         Config
+	ds          *imdb.Dataset
+	queries     []joblight.Query
+	cuckooProbe map[string]func(uint32) bool
+	binner      *core.Binner
+}
+
+func newJLEnv(cfg Config) (*jlEnv, error) {
+	ds, err := imdb.Generate(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := joblight.Workload(ds, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Quick {
+		queries = queries[:24]
+	}
+	cuckooProbe, _, err := joblight.BuildCuckooBaseline(ds, 12, uint64(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	binner, err := core.NewBinner(imdb.YearLo, imdb.YearHi, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &jlEnv{cfg: cfg, ds: ds, queries: queries, cuckooProbe: cuckooProbe, binner: binner}, nil
+}
+
+// binYears expands a year range to the full set of years covered by its
+// bins — the exact-semijoin-after-binning baseline of Figure 7.
+func (e *jlEnv) binYears(lo, hi int64) []int64 {
+	cond := e.binner.InRange(0, uint64(lo), uint64(hi))
+	bins := map[uint64]bool{}
+	for _, b := range cond.Values {
+		bins[b] = true
+	}
+	var years []int64
+	for y := int64(imdb.YearLo); y <= imdb.YearHi; y++ {
+		if bins[e.binner.Bin(uint64(y))] {
+			years = append(years, y)
+		}
+	}
+	return years
+}
+
+// evaluate builds one filter set per named configuration and evaluates the
+// full workload once, returning per-instance counts and per-name total
+// sketch sizes in bits.
+func (e *jlEnv) evaluate(cfgs map[string]joblight.BuildConfig) ([]joblight.Counts, map[string]int64, error) {
+	probers := make(map[string]map[string]joblight.Prober, len(cfgs))
+	sizes := make(map[string]int64, len(cfgs))
+	for name, bc := range cfgs {
+		ps, err := joblight.BuildAllFilters(e.ds, bc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: building %s: %w", name, err)
+		}
+		probers[name] = ps
+		sizes[name] = joblight.TotalSizeBits(ps)
+	}
+	counts, err := joblight.Evaluate(e.ds, e.queries, probers, e.cuckooProbe, e.binYears)
+	if err != nil {
+		return nil, nil, err
+	}
+	return counts, sizes, nil
+}
+
+// rfSeries extracts per-instance reduction factors for a named CCF variant
+// plus the baselines, sorted by the given baseline extractor.
+type rfPoint struct {
+	Exact   float64
+	Binned  float64
+	Cuckoo  float64
+	Variant map[string]float64
+}
+
+func rfPoints(counts []joblight.Counts) []rfPoint {
+	out := make([]rfPoint, 0, len(counts))
+	for i := range counts {
+		c := &counts[i]
+		p := rfPoint{
+			Exact:   c.RF(c.MSemi),
+			Binned:  c.RF(c.MSemiBinned),
+			Cuckoo:  c.RF(c.MCuckoo),
+			Variant: map[string]float64{},
+		}
+		for name, m := range c.MCCF {
+			p.Variant[name] = c.RF(m)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sortPointsBy(points []rfPoint, key func(rfPoint) float64) {
+	sort.SliceStable(points, func(i, j int) bool { return key(points[i]) < key(points[j]) })
+}
+
+// aggregateRF computes Σ m / Σ MPred over all instances for an extractor.
+func aggregateRF(counts []joblight.Counts, m func(*joblight.Counts) int) float64 {
+	num, den := 0, 0
+	for i := range counts {
+		num += m(&counts[i])
+		den += counts[i].MPred
+	}
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// fprVsBinned computes the false-positive rate of a filtered scan relative
+// to the binned exact semijoin (§10.6): the fraction of rows that pass the
+// filter but not the binned semijoin, among rows that could be false
+// positives.
+func fprVsBinned(counts []joblight.Counts, m func(*joblight.Counts) int) float64 {
+	fp, candidates := 0, 0
+	for i := range counts {
+		c := &counts[i]
+		fp += m(c) - c.MSemiBinned
+		candidates += c.MPred - c.MSemiBinned
+	}
+	if candidates <= 0 {
+		return 0
+	}
+	return float64(fp) / float64(candidates)
+}

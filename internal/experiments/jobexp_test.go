@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"ccf/internal/stats"
+)
+
+func TestFig6Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	results, err := Fig6(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d sizes, want 2 (large, small)", len(results))
+	}
+	for _, res := range results {
+		if res.Instances == 0 {
+			t.Fatal("no instances")
+		}
+		exact := res.ByExact["exact"]
+		for _, variant := range []string{"Bloom", "Mixed", "Chained"} {
+			series := res.ByExact[variant]
+			if len(series) != len(exact) {
+				t.Fatalf("%s series length mismatch", variant)
+			}
+			// No false negatives: every CCF RF ≥ its instance's exact RF
+			// (sorted jointly, so compare pointwise).
+			for i := range series {
+				if series[i] < exact[i]-1e-9 {
+					t.Fatalf("%s/%s: CCF RF %.4f below exact %.4f at instance %d",
+						res.Size, variant, series[i], exact[i], i)
+				}
+			}
+			// And clearly better than the cuckoo baseline on average.
+			cuckooMean := stats.Mean(res.ByCuckoo["cuckoo"])
+			ccfMean := stats.Mean(series)
+			if ccfMean > cuckooMean+0.05 {
+				t.Fatalf("%s/%s: CCF mean RF %.3f worse than cuckoo %.3f",
+					res.Size, variant, ccfMean, cuckooMean)
+			}
+		}
+	}
+	// Small filters have higher (worse) RFs than large ones on average.
+	largeMean := stats.Mean(results[0].ByExact["Chained"])
+	smallMean := stats.Mean(results[1].ByExact["Chained"])
+	if smallMean < largeMean-0.05 {
+		t.Fatalf("small filters (%.3f) should not beat large (%.3f)", smallMean, largeMean)
+	}
+}
+
+func TestFig7BinnedBaselineBetween(t *testing.T) {
+	var buf bytes.Buffer
+	results, err := Fig7(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		exact := stats.Mean(res.ByExact["exact"])
+		binned := stats.Mean(res.ByExact["binned-exact"])
+		chained := stats.Mean(res.ByExact["Chained"])
+		if binned < exact-1e-9 {
+			t.Fatalf("binned baseline %.4f below exact %.4f", binned, exact)
+		}
+		if chained < binned-1e-9 {
+			t.Fatalf("CCF %.4f below binned baseline %.4f (false negatives)", chained, binned)
+		}
+	}
+}
+
+func TestFig8Orderings(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig8(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var optimal, binned, cuckooRF float64
+	ccfRows := 0
+	for _, r := range rows {
+		switch r.Filter {
+		case "optimal (exact semijoin)":
+			optimal = r.TotalRF
+		case "optimal after binning":
+			binned = r.TotalRF
+		case "plain cuckoo filter":
+			cuckooRF = r.TotalRF
+		default:
+			ccfRows++
+			if r.TotalRF < 0 || r.TotalRF > 1 {
+				t.Fatalf("%+v: RF out of range", r)
+			}
+			if r.SizeMB <= 0 {
+				t.Fatalf("%+v: no size", r)
+			}
+		}
+	}
+	if ccfRows == 0 {
+		t.Fatal("no CCF sweep points")
+	}
+	if !(optimal <= binned && binned <= cuckooRF) {
+		t.Fatalf("baseline ordering violated: exact %.3f binned %.3f cuckoo %.3f",
+			optimal, binned, cuckooRF)
+	}
+	// Every CCF must beat the no-predicate cuckoo baseline and respect the
+	// binned floor.
+	for _, r := range rows {
+		if r.AttrBits == 0 {
+			continue
+		}
+		if r.TotalRF < binned-1e-9 {
+			t.Fatalf("%+v: beats the binned-exact floor (false negatives)", r)
+		}
+		if r.TotalRF > cuckooRF+0.02 {
+			t.Fatalf("%+v: worse than the cuckoo baseline", r)
+		}
+	}
+}
+
+func TestFig9Monotone(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig9(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("only %d join groups", len(rows))
+	}
+	for _, r := range rows {
+		if r.CCFRF < r.OptimalRF-1e-9 {
+			t.Fatalf("joins=%d: CCF %.3f below optimal %.3f", r.NumJoins, r.CCFRF, r.OptimalRF)
+		}
+		if r.CCFRF > r.NoPredRF+0.02 {
+			t.Fatalf("joins=%d: CCF %.3f worse than no-predicate %.3f", r.NumJoins, r.CCFRF, r.NoPredRF)
+		}
+	}
+	// More joins compound: the last group reduces at least as much as the first.
+	if rows[len(rows)-1].CCFRF > rows[0].CCFRF+0.1 {
+		t.Fatalf("RF did not improve with joins: first %.3f last %.3f",
+			rows[0].CCFRF, rows[len(rows)-1].CCFRF)
+	}
+}
+
+func TestFig10RelativeSizes(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig10(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOverall := false
+	for _, r := range rows {
+		if r.RelativeSize <= 0 {
+			t.Fatalf("%+v: non-positive relative size", r)
+		}
+		if r.RelativeSize > 1.6 {
+			t.Fatalf("%+v: sketch larger than 1.6× raw data", r)
+		}
+		if r.Table == "Overall" {
+			sawOverall = true
+		}
+	}
+	if !sawOverall {
+		t.Fatal("missing Overall rows")
+	}
+}
+
+func TestAggregateHeadlines(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Aggregate(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordering invariants from Eq. 9 and no-false-negatives.
+	if !(res.ExactRF <= res.BinnedExactRF+1e-9) {
+		t.Fatalf("exact %.3f above binned %.3f", res.ExactRF, res.BinnedExactRF)
+	}
+	if !(res.BinnedExactRF <= res.ChainedSmallRF+1e-9) {
+		t.Fatalf("binned %.3f above chained small %.3f", res.BinnedExactRF, res.ChainedSmallRF)
+	}
+	if !(res.ChainedLargeRF <= res.ChainedSmallRF+0.02) {
+		t.Fatalf("large %.3f worse than small %.3f", res.ChainedLargeRF, res.ChainedSmallRF)
+	}
+	// The paper's qualitative headline: the CCF lands much closer to the
+	// optimal semijoin than the key-only cuckoo filter does.
+	if res.CuckooRF-res.ChainedSmallRF < (res.CuckooRF-res.ExactRF)*0.4 {
+		t.Fatalf("CCF closes too little of the gap: exact %.3f ccf %.3f cuckoo %.3f",
+			res.ExactRF, res.ChainedSmallRF, res.CuckooRF)
+	}
+	if res.ChainedLargeFPR > 0.2 {
+		t.Fatalf("large chained FPR %.3f implausibly high", res.ChainedLargeFPR)
+	}
+	if res.TotalCCFBitsSmall <= 0 || res.RawBits <= 0 {
+		t.Fatal("size accounting missing")
+	}
+	if float64(res.TotalCCFBitsSmall) > 0.8*float64(res.RawBits) {
+		t.Fatalf("small CCFs (%d bits) not far below raw data (%d bits)",
+			res.TotalCCFBitsSmall, res.RawBits)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"ccf/internal/core"
+	"ccf/internal/engine"
+	"ccf/internal/imdb"
+	"ccf/internal/stats"
+)
+
+// Fig3Row is one point of Figure 3: predicted versus actual filled entries
+// for one (table, variant) pair on the IMDB workload.
+type Fig3Row struct {
+	Table     string
+	Variant   string
+	Predicted int
+	Actual    int
+	Ratio     float64
+}
+
+// Fig3 reproduces Figure 3: the Table 1 bounds on the number of entries
+// needed closely match the realized occupancy for the Bloom, Chained and
+// Mixed filters across the workload's tables.
+func Fig3(cfg Config) ([]Fig3Row, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ds, err := imdb.Generate(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tables := imdb.TableNames()
+	if cfg.Quick {
+		tables = []string{"title", "movie_companies", "movie_info_idx"}
+	}
+	var out []Fig3Row
+	for _, name := range tables {
+		tab, err := ds.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, 0, len(tab.Cols))
+		for ci := range tab.Cols {
+			cols = append(cols, ci)
+		}
+		mult := engine.DistinctVectorsPerKey(tab, cols)
+		for _, v := range []core.Variant{core.VariantBloom, core.VariantChained, core.VariantMixed} {
+			p := core.Params{Variant: v, NumAttrs: len(cols), Seed: uint64(cfg.Seed)}
+			f, occupied, err := buildOnTable(tab, cols, p)
+			if err != nil {
+				return nil, err
+			}
+			predicted := core.PredictEntries(v, mult, f.Params())
+			ratio := 1.0
+			if predicted > 0 {
+				ratio = float64(occupied) / float64(predicted)
+			}
+			out = append(out, Fig3Row{
+				Table: name, Variant: v.String(),
+				Predicted: predicted, Actual: occupied, Ratio: ratio,
+			})
+		}
+	}
+	t := stats.NewTable("table", "variant", "predicted", "actual", "actual/predicted")
+	for _, r := range out {
+		t.AddRow(r.Table, r.Variant, r.Predicted, r.Actual, r.Ratio)
+	}
+	cfg.printf("Figure 3 — predicted versus actual filled entries (scale %.4f)\n%s\n", cfg.Scale, t)
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"ccf/internal/core"
+	"ccf/internal/engine"
+	"ccf/internal/imdb"
+	"ccf/internal/stats"
+)
+
+// Table2Row pairs a measured statistic with the paper's published value.
+type Table2Row struct {
+	Table       string
+	Column      string
+	Rows        int
+	PaperRows   int
+	Cardinality int
+	PaperCard   int
+	AvgDupes    float64
+	PaperAvg    float64
+	MaxDupes    int
+	PaperMax    int
+}
+
+// Table2 regenerates Table 2 (tables, rows, predicate columns and their
+// cardinalities) from the synthetic dataset, alongside the paper's numbers
+// scaled to the run's scale factor.
+func Table2(cfg Config) ([]Table2Row, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ds, err := imdb.Generate(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := table23Rows(ds)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("table", "column", "rows", "paper·scale", "card", "paper card")
+	for _, r := range rows {
+		t.AddRow(r.Table, r.Column, r.Rows, int(float64(r.PaperRows)*cfg.Scale), r.Cardinality, r.PaperCard)
+	}
+	cfg.printf("Table 2 — tables and predicates (scale %.4f)\n%s\n", cfg.Scale, t)
+	return rows, nil
+}
+
+// Table3 regenerates Table 3 (average and maximum distinct duplicate
+// predicate values per join key).
+func Table3(cfg Config) ([]Table2Row, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ds, err := imdb.Generate(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := table23Rows(ds)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("table", "column", "avg dupes", "paper avg", "max dupes", "paper max")
+	for _, r := range rows {
+		t.AddRow(r.Table, r.Column, r.AvgDupes, r.PaperAvg, r.MaxDupes, r.PaperMax)
+	}
+	cfg.printf("Table 3 — distinct duplicate predicate values per key (scale %.4f)\n%s\n", cfg.Scale, t)
+	return rows, nil
+}
+
+func table23Rows(ds *imdb.Dataset) ([]Table2Row, error) {
+	measured, err := ds.Summarize()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table2Row, 0, len(measured))
+	for _, m := range measured {
+		spec, ts, err := imdb.SpecFor(m.Table, m.Column)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table2Row{
+			Table: m.Table, Column: m.Column,
+			Rows: m.Rows, PaperRows: ts.Rows,
+			Cardinality: m.Cardinality, PaperCard: spec.Cardinality,
+			AvgDupes: m.AvgDupes, PaperAvg: spec.AvgDupes,
+			MaxDupes: m.MaxDupes, PaperMax: spec.MaxDupes,
+		})
+	}
+	return out, nil
+}
+
+// Table1Row records one (table, variant) sizing check: the predicted
+// non-empty-entry bound of Table 1 versus the realized occupancy.
+type Table1Row struct {
+	Table     string
+	Variant   string
+	Predicted int
+	Actual    int
+}
+
+// Table1 verifies Table 1's sizing bounds on the IMDB workload: for each
+// table and variant, the bound n_k·E[min(A, ·)] must dominate and closely
+// track the realized number of occupied entries. It also prints the static
+// supported-queries matrix from the paper.
+func Table1(cfg Config) ([]Table1Row, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	cfg.printf("Table 1 — supported queries\n")
+	m := stats.NewTable("filter", "k", "(k,P)", "P", "# non-empty entries (bound)")
+	m.AddRow("Cuckoo filter", "yes", "no", "no", "n_k")
+	m.AddRow("CCF w/ Bloom", "yes", "yes", "yes", "n_k")
+	m.AddRow("CCF w/ conversion", "yes", "yes", "yes", "n_k·E[min(A,d)]")
+	m.AddRow("CCF w/ chaining", "yes", "yes", "no*", "n_k·E[min(A,d·Lmax)]")
+	cfg.printf("%s(*chained predicate-only queries use tombstoned views)\n\n", m)
+
+	ds, err := imdb.Generate(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table1Row
+	t := stats.NewTable("table", "variant", "predicted entries", "actual entries", "actual/predicted")
+	tables := imdb.TableNames()
+	if cfg.Quick {
+		tables = []string{"movie_companies", "movie_info_idx"}
+	}
+	for _, name := range tables {
+		tab, err := ds.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, 0, 2)
+		for ci := range tab.Cols {
+			cols = append(cols, ci)
+		}
+		mult := engine.DistinctVectorsPerKey(tab, cols)
+		for _, v := range []core.Variant{core.VariantBloom, core.VariantChained, core.VariantMixed} {
+			p := core.Params{Variant: v, NumAttrs: len(cols), Seed: uint64(cfg.Seed)}
+			f, occupied, err := buildOnTable(tab, cols, p)
+			if err != nil {
+				return nil, err
+			}
+			predicted := core.PredictEntries(v, mult, f.Params())
+			out = append(out, Table1Row{Table: name, Variant: v.String(), Predicted: predicted, Actual: occupied})
+			t.AddRow(name, v.String(), predicted, occupied, float64(occupied)/float64(predicted))
+		}
+	}
+	cfg.printf("Table 1 sizing bounds on the workload (scale %.4f)\n%s\n", cfg.Scale, t)
+	return out, nil
+}
+
+// buildOnTable inserts a whole engine table into a fresh CCF sized by the
+// Table 1 bound, returning the filter and its occupancy.
+func buildOnTable(tab *engine.Table, cols []int, p core.Params) (*core.Filter, int, error) {
+	resolved, err := core.New(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	rp := resolved.Params()
+	mult := engine.DistinctVectorsPerKey(tab, cols)
+	predicted := core.PredictEntries(rp.Variant, mult, rp)
+	rp.Buckets = core.RecommendBuckets(predicted, rp.BucketSize, rp.TargetLoad)
+	f, err := core.New(rp)
+	if err != nil {
+		return nil, 0, err
+	}
+	attrs := make([]uint64, len(cols))
+	for row, key := range tab.Keys {
+		for i, ci := range cols {
+			attrs[i] = uint64(tab.Cols[ci].Vals[row])
+		}
+		if err := f.Insert(uint64(key), attrs); err != nil {
+			return nil, 0, err
+		}
+	}
+	return f, f.OccupiedEntries(), nil
+}

@@ -1,0 +1,132 @@
+// Package hashing provides the hash functions used throughout the
+// conditional cuckoo filter implementation.
+//
+// The byte-string hash is Bob Jenkins' lookup3 (hashlittle2), the same
+// function used by the original cuckoo filter paper and by the CCF paper's
+// reference implementation (§10.8). For the hot paths that hash fixed-width
+// integer keys we additionally provide cheap 64-bit mixers derived from
+// splitmix64; all derived quantities (bucket index, fingerprint, alternate
+// bucket, chain successor) are obtained from independently salted mixes.
+package hashing
+
+import "encoding/binary"
+
+// rot32 rotates x left by k bits.
+func rot32(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+// jmix is lookup3's internal 96-bit mixing step.
+func jmix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= c
+	a ^= rot32(c, 4)
+	c += b
+	b -= a
+	b ^= rot32(a, 6)
+	a += c
+	c -= b
+	c ^= rot32(b, 8)
+	b += a
+	a -= c
+	a ^= rot32(c, 16)
+	c += b
+	b -= a
+	b ^= rot32(a, 19)
+	a += c
+	c -= b
+	c ^= rot32(b, 4)
+	b += a
+	return a, b, c
+}
+
+// jfinal is lookup3's final mixing of three 32-bit values into the result.
+func jfinal(a, b, c uint32) (uint32, uint32, uint32) {
+	c ^= b
+	c -= rot32(b, 14)
+	a ^= c
+	a -= rot32(c, 11)
+	b ^= a
+	b -= rot32(a, 25)
+	c ^= b
+	c -= rot32(b, 16)
+	a ^= c
+	a -= rot32(c, 4)
+	b ^= a
+	b -= rot32(a, 14)
+	c ^= b
+	c -= rot32(b, 24)
+	return a, b, c
+}
+
+// Lookup3 implements Jenkins' hashlittle2: it hashes key and returns two
+// 32-bit values. seed1 and seed2 seed the two results; passing different
+// seeds yields effectively independent hash functions.
+func Lookup3(key []byte, seed1, seed2 uint32) (h1, h2 uint32) {
+	length := len(key)
+	a := 0xdeadbeef + uint32(length) + seed1
+	b := a
+	c := a + seed2
+
+	i := 0
+	for length-i > 12 {
+		a += binary.LittleEndian.Uint32(key[i:])
+		b += binary.LittleEndian.Uint32(key[i+4:])
+		c += binary.LittleEndian.Uint32(key[i+8:])
+		a, b, c = jmix(a, b, c)
+		i += 12
+	}
+
+	tail := key[i:]
+	switch len(tail) {
+	case 12:
+		c += binary.LittleEndian.Uint32(tail[8:])
+		b += binary.LittleEndian.Uint32(tail[4:])
+		a += binary.LittleEndian.Uint32(tail[0:])
+	case 11:
+		c += uint32(tail[10]) << 16
+		fallthrough
+	case 10:
+		c += uint32(tail[9]) << 8
+		fallthrough
+	case 9:
+		c += uint32(tail[8])
+		fallthrough
+	case 8:
+		b += binary.LittleEndian.Uint32(tail[4:])
+		a += binary.LittleEndian.Uint32(tail[0:])
+	case 7:
+		b += uint32(tail[6]) << 16
+		fallthrough
+	case 6:
+		b += uint32(tail[5]) << 8
+		fallthrough
+	case 5:
+		b += uint32(tail[4])
+		fallthrough
+	case 4:
+		a += binary.LittleEndian.Uint32(tail[0:])
+	case 3:
+		a += uint32(tail[2]) << 16
+		fallthrough
+	case 2:
+		a += uint32(tail[1]) << 8
+		fallthrough
+	case 1:
+		a += uint32(tail[0])
+	case 0:
+		return c, b // zero-length strings require no mixing
+	}
+	_, b, c = jfinal(a, b, c)
+	return c, b
+}
+
+// Lookup3String is Lookup3 over the bytes of s without copying semantics
+// concerns for callers that hold strings.
+func Lookup3String(s string, seed1, seed2 uint32) (uint32, uint32) {
+	return Lookup3([]byte(s), seed1, seed2)
+}
+
+// Hash64 hashes an arbitrary byte string to a single 64-bit value using
+// lookup3's two 32-bit outputs.
+func Hash64(key []byte, seed uint64) uint64 {
+	h1, h2 := Lookup3(key, uint32(seed), uint32(seed>>32))
+	return uint64(h1)<<32 | uint64(h2)
+}

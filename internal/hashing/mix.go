@@ -1,0 +1,30 @@
+package hashing
+
+// Mix64 is the splitmix64 finalizer: a fast, high-quality bijective mixer
+// over 64-bit values. It is used for all integer-key derivations on the hot
+// path (bucket index, fingerprint, alternate bucket, chain successor).
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Key64 hashes a 64-bit key under a salt. Different salts give effectively
+// independent hash functions of the same key.
+func Key64(key, salt uint64) uint64 {
+	return Mix64(key ^ Mix64(salt^0x9e3779b97f4a7c15))
+}
+
+// Combine mixes two 64-bit values into one, order-sensitively.
+func Combine(a, b uint64) uint64 {
+	return Mix64(a ^ Mix64(b^0xd1b54a32d192ed03))
+}
+
+// Combine3 mixes three 64-bit values into one, order-sensitively. It is used
+// to derive chain successors from (pair, fingerprint, cycle salt).
+func Combine3(a, b, c uint64) uint64 {
+	return Combine(Combine(a, b), c)
+}

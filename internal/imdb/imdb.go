@@ -1,0 +1,356 @@
+// Package imdb generates a synthetic dataset that substitutes for the
+// proprietary pre-2017 IMDB snapshot the paper evaluates on (§10.3). The
+// generator is calibrated to the published statistics:
+//
+//   - Table 2: per-table row counts and predicate-column cardinalities.
+//   - Table 3: average and maximum number of distinct duplicate predicate
+//     values per join key.
+//
+// The CCF behaviours under study — load factor versus duplicate skew, FPR
+// versus sketch size, semijoin reduction factors — depend only on these
+// key-multiplicity and attribute statistics, so matching them preserves the
+// experiments' shape. A scale factor shrinks row counts proportionally for
+// laptop-scale runs.
+package imdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccf/internal/engine"
+	"ccf/internal/zipfmd"
+)
+
+// Movie universe and production_year domain (Table 2: title has 2,528,312
+// rows; production_year has 132 distinct values in [1880, 2019]).
+const (
+	FullTitleRows = 2528312
+	YearLo        = 1888
+	YearHi        = 2019 // 132 distinct years
+)
+
+// ColSpec describes one predicate column (Tables 2–3).
+type ColSpec struct {
+	Name        string
+	Cardinality int     // full-scale distinct values (Table 2)
+	AvgDupes    float64 // avg distinct values per join key (Table 3)
+	MaxDupes    int     // max distinct values per join key (Table 3)
+}
+
+// TableSpec describes one evaluated table.
+type TableSpec struct {
+	Name string
+	Rows int // full-scale row count (Table 2)
+	Cols []ColSpec
+}
+
+// Specs lists the six JOB-light tables with the paper's published
+// statistics. title is generated separately (one row per movie).
+var Specs = []TableSpec{
+	{Name: "cast_info", Rows: 36244344, Cols: []ColSpec{
+		{Name: "role_id", Cardinality: 11, AvgDupes: 4.70, MaxDupes: 11},
+	}},
+	{Name: "movie_companies", Rows: 2609129, Cols: []ColSpec{
+		{Name: "company_id", Cardinality: 234997, AvgDupes: 2.14, MaxDupes: 87},
+		{Name: "company_type_id", Cardinality: 2, AvgDupes: 1.54, MaxDupes: 2},
+	}},
+	{Name: "movie_info", Rows: 14835720, Cols: []ColSpec{
+		{Name: "info_type_id", Cardinality: 71, AvgDupes: 4.17, MaxDupes: 68},
+	}},
+	{Name: "movie_info_idx", Rows: 1380035, Cols: []ColSpec{
+		{Name: "info_type_id", Cardinality: 5, AvgDupes: 3.00, MaxDupes: 4},
+	}},
+	{Name: "movie_keyword", Rows: 4523930, Cols: []ColSpec{
+		{Name: "keyword_id", Cardinality: 134170, AvgDupes: 9.48, MaxDupes: 539},
+	}},
+}
+
+// TitleSpec describes the title table's two predicate columns.
+var TitleSpec = TableSpec{
+	Name: "title",
+	Rows: FullTitleRows,
+	Cols: []ColSpec{
+		{Name: "kind_id", Cardinality: 6, AvgDupes: 1.00, MaxDupes: 1},
+		{Name: "production_year", Cardinality: 132, AvgDupes: 1.00, MaxDupes: 1},
+	},
+}
+
+// Dataset holds the generated tables, keyed by name ("title", "cast_info",
+// ...). All joins are on the movie id stored in each table's key column.
+type Dataset struct {
+	Tables    map[string]*engine.Table
+	Scale     float64
+	NumMovies int
+}
+
+// Table returns the named table.
+func (d *Dataset) Table(name string) (*engine.Table, error) {
+	t, ok := d.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("imdb: no table %s", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the six table names in a stable order.
+func TableNames() []string {
+	return []string{"title", "cast_info", "movie_companies", "movie_info", "movie_info_idx", "movie_keyword"}
+}
+
+// Generate builds the synthetic dataset at the given scale in (0, 1] with a
+// deterministic seed. Scale 1 reproduces full row counts; the paper-scale
+// experiments in this repository default to a small scale.
+func Generate(scale float64, seed int64) (*Dataset, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("imdb: scale %v outside (0,1]", scale)
+	}
+	numMovies := int(float64(FullTitleRows) * scale)
+	if numMovies < 200 {
+		numMovies = 200
+	}
+	ds := &Dataset{
+		Tables:    make(map[string]*engine.Table, 6),
+		Scale:     scale,
+		NumMovies: numMovies,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds.Tables["title"] = generateTitle(numMovies, rng)
+	for _, spec := range Specs {
+		t, err := generateFact(spec, numMovies, scale, rng)
+		if err != nil {
+			return nil, fmt.Errorf("imdb: %s: %w", spec.Name, err)
+		}
+		ds.Tables[spec.Name] = t
+	}
+	for _, t := range ds.Tables {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// generateTitle emits one row per movie id with skewed kind_id (6 values,
+// most movies are kind 1 or 7→episode-like) and production_year skewed
+// toward recent years, mirroring IMDB's shape.
+func generateTitle(numMovies int, rng *rand.Rand) *engine.Table {
+	keys := make([]uint32, numMovies)
+	kind := make([]int64, numMovies)
+	year := make([]int64, numMovies)
+	for i := 0; i < numMovies; i++ {
+		keys[i] = uint32(i + 1)
+		kind[i] = skewedValue(rng, 6, 1.2)
+		// Quadratic skew toward recent years.
+		u := rng.Float64()
+		year[i] = YearHi - int64(math.Floor(float64(YearHi-YearLo+1)*u*u))
+		if year[i] < YearLo {
+			year[i] = YearLo
+		}
+	}
+	return &engine.Table{
+		Name: "title",
+		Keys: keys,
+		Cols: []engine.Column{
+			{Name: "kind_id", Vals: kind},
+			{Name: "production_year", Vals: year},
+		},
+	}
+}
+
+// generateFact builds one fact table. Per join key, the number of distinct
+// values of the primary predicate column is drawn from a truncated
+// Zipf-Mandelbrot distribution (offset 2.7, support [1, MaxDupes]) with α
+// solved so the mean equals the published AvgDupes; rows replicate
+// (key, value) pairs as needed to approximate the published row count.
+func generateFact(spec TableSpec, numMovies int, scale float64, rng *rand.Rand) (*engine.Table, error) {
+	primary := spec.Cols[0]
+	targetRows := int(float64(spec.Rows) * scale)
+	if targetRows < 100 {
+		targetRows = 100
+	}
+
+	// Choose the number of participating movies so that
+	// keys · avgDupes · rep ≈ targetRows with integer rep ≥ 1.
+	keysNeeded := int(float64(targetRows) / primary.AvgDupes)
+	coverage := 1.0
+	if keysNeeded < numMovies {
+		coverage = float64(keysNeeded) / float64(numMovies)
+	}
+	numKeys := int(float64(numMovies) * coverage)
+	if numKeys < 1 {
+		numKeys = 1
+	}
+
+	// Zipf-Mandelbrot is decreasing, so its mean on [1, max] is at most the
+	// uniform mean (max+1)/2. Targets above that (movie_info_idx: mean 3.0
+	// on [1,4]) are hit by mirroring: sample max+1−X with X solved for the
+	// mirrored mean.
+	targetMean := primary.AvgDupes
+	mirrored := false
+	uniformMean := zipfmd.MeanFor(0, 2.7, primary.MaxDupes)
+	if targetMean > uniformMean {
+		mirrored = true
+		targetMean = float64(primary.MaxDupes+1) - targetMean
+	}
+	alpha, err := zipfmd.SolveAlpha(targetMean, 2.7, primary.MaxDupes)
+	if err != nil {
+		alpha = 0 // closest achievable shape
+	}
+	zm, err := zipfmd.New(alpha, 2.7, primary.MaxDupes, rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	sampleDupes := func() int {
+		n := zm.Sample()
+		if mirrored {
+			n = primary.MaxDupes + 1 - n
+		}
+		return n
+	}
+
+	var keys []uint32
+	colVals := make([][]int64, len(spec.Cols))
+
+	// Sample participating movie ids without replacement via a stride walk
+	// (deterministic, spreads coverage over the id space).
+	stride := numMovies / numKeys
+	if stride < 1 {
+		stride = 1
+	}
+	rowsPerPair := float64(targetRows) / (float64(numKeys) * primary.AvgDupes)
+	for i := 0; i < numKeys; i++ {
+		movie := uint32(i*stride%numMovies + 1)
+		nDistinct := sampleDupes()
+		vals := distinctSkewedValues(rng, primary.Cardinality, nDistinct)
+		rowInKey := rng.Intn(16) // random phase so values stay balanced
+		for _, v := range vals {
+			reps := replicate(rng, rowsPerPair)
+			for r := 0; r < reps; r++ {
+				keys = append(keys, movie)
+				colVals[0] = append(colVals[0], v)
+				for c := 1; c < len(spec.Cols); c++ {
+					colVals[c] = append(colVals[c], secondaryValue(rowInKey, spec.Cols[c]))
+				}
+				rowInKey++
+			}
+		}
+	}
+
+	cols := make([]engine.Column, len(spec.Cols))
+	for i, cs := range spec.Cols {
+		cols[i] = engine.Column{Name: cs.Name, Vals: colVals[i]}
+	}
+	return &engine.Table{Name: spec.Name, Keys: keys, Cols: cols}, nil
+}
+
+// replicate converts a fractional expected replication into an integer
+// count ≥ 1 with the right mean.
+func replicate(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	base := int(mean)
+	if rng.Float64() < mean-float64(base) {
+		base++
+	}
+	return base
+}
+
+// skewedValue draws a value in [1, card] with power-law skew: low ids are
+// common, high ids rare, mirroring IMDB's id distributions.
+func skewedValue(rng *rand.Rand, card int, exponent float64) int64 {
+	u := rng.Float64()
+	v := int64(math.Floor(float64(card)*math.Pow(u, exponent))) + 1
+	if v > int64(card) {
+		v = int64(card)
+	}
+	return v
+}
+
+// distinctSkewedValues draws n distinct skewed values from [1, card].
+func distinctSkewedValues(rng *rand.Rand, card, n int) []int64 {
+	if n > card {
+		n = card
+	}
+	seen := make(map[int64]struct{}, n)
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		v := skewedValue(rng, card, 2.0)
+		if _, ok := seen[v]; ok {
+			// Dense fallback when the skewed draw keeps colliding.
+			for w := int64(1); w <= int64(card); w++ {
+				if _, ok := seen[w]; !ok {
+					v = w
+					break
+				}
+			}
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// secondaryValue assigns a non-primary column value (e.g. company_type_id)
+// by per-key round-robin: a movie's rows alternate through the domain, the
+// structure that reproduces the published per-key distinct counts (a movie
+// with ≥2 company rows almost always has both company types).
+func secondaryValue(rowInKey int, cs ColSpec) int64 {
+	return int64(rowInKey%cs.Cardinality) + 1
+}
+
+// Stats summarizes a generated table for the Table 2 / Table 3 harness.
+type Stats struct {
+	Table       string
+	Rows        int
+	Column      string
+	Cardinality int
+	AvgDupes    float64
+	MaxDupes    int
+}
+
+// Summarize computes the Table 2/3 statistics for every (table, predicate
+// column) pair in the dataset, in the paper's row order.
+func (d *Dataset) Summarize() ([]Stats, error) {
+	var out []Stats
+	order := []TableSpec{Specs[0], Specs[1], Specs[2], Specs[3], Specs[4], TitleSpec}
+	for _, spec := range order {
+		t, err := d.Table(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cs := range spec.Cols {
+			ci, err := t.ColIdx(cs.Name)
+			if err != nil {
+				return nil, err
+			}
+			avg, max := engine.DupeStats(t, ci)
+			out = append(out, Stats{
+				Table:       spec.Name,
+				Rows:        t.NumRows(),
+				Column:      cs.Name,
+				Cardinality: engine.ColumnCardinality(t, ci),
+				AvgDupes:    avg,
+				MaxDupes:    max,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SpecFor returns the published ColSpec for a (table, column) pair.
+func SpecFor(table, column string) (ColSpec, TableSpec, error) {
+	all := append(append([]TableSpec(nil), Specs...), TitleSpec)
+	for _, ts := range all {
+		if ts.Name != table {
+			continue
+		}
+		for _, cs := range ts.Cols {
+			if cs.Name == column {
+				return cs, ts, nil
+			}
+		}
+	}
+	return ColSpec{}, TableSpec{}, fmt.Errorf("imdb: no spec for %s.%s", table, column)
+}

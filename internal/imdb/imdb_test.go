@@ -1,0 +1,209 @@
+package imdb
+
+import (
+	"math"
+	"testing"
+)
+
+func genSmall(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(0.004, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(0, 1); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := Generate(1.5, 1); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+}
+
+func TestAllTablesPresent(t *testing.T) {
+	ds := genSmall(t)
+	for _, name := range TableNames() {
+		tab, err := ds.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.NumRows() == 0 {
+			t.Fatalf("table %s is empty", name)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ds.Table("nope"); err == nil {
+		t.Fatal("missing table lookup should error")
+	}
+}
+
+func TestRowCountsScale(t *testing.T) {
+	ds := genSmall(t)
+	for _, spec := range Specs {
+		tab, err := ds.Table(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(spec.Rows) * ds.Scale
+		got := float64(tab.NumRows())
+		if got < want*0.5 || got > want*1.6 {
+			t.Fatalf("%s: %d rows, want ≈%.0f (±60%%)", spec.Name, tab.NumRows(), want)
+		}
+	}
+	title, _ := ds.Table("title")
+	if title.NumRows() != ds.NumMovies {
+		t.Fatalf("title rows %d != NumMovies %d", title.NumRows(), ds.NumMovies)
+	}
+}
+
+func TestTitleOneRowPerMovie(t *testing.T) {
+	ds := genSmall(t)
+	title, _ := ds.Table("title")
+	seen := map[uint32]bool{}
+	for _, k := range title.Keys {
+		if seen[k] {
+			t.Fatalf("duplicate movie id %d in title", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestProductionYearDomain(t *testing.T) {
+	ds := genSmall(t)
+	title, _ := ds.Table("title")
+	ci, err := title.ColIdx("production_year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int64]bool{}
+	for _, y := range title.Cols[ci].Vals {
+		if y < YearLo || y > YearHi {
+			t.Fatalf("year %d outside [%d,%d]", y, YearLo, YearHi)
+		}
+		distinct[y] = true
+	}
+	// The domain has 132 values; at this scale nearly all should appear.
+	if len(distinct) < 100 {
+		t.Fatalf("only %d distinct years", len(distinct))
+	}
+}
+
+func TestDupeStatsNearSpec(t *testing.T) {
+	ds := genSmall(t)
+	stats, err := ds.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stats {
+		spec, _, err := SpecFor(s.Table, s.Column)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Primary columns must be close to the published Avg Dupes; the
+		// secondary company_type_id emerges from row draws so allow slack.
+		tol := 0.35
+		if s.Column == "company_type_id" {
+			tol = 0.6
+		}
+		if math.Abs(s.AvgDupes-spec.AvgDupes)/spec.AvgDupes > tol {
+			t.Fatalf("%s.%s avg dupes %.2f, spec %.2f", s.Table, s.Column, s.AvgDupes, spec.AvgDupes)
+		}
+		if s.MaxDupes > spec.MaxDupes {
+			t.Fatalf("%s.%s max dupes %d exceeds spec %d", s.Table, s.Column, s.MaxDupes, spec.MaxDupes)
+		}
+		// Low-cardinality columns must realize their full cardinality.
+		if spec.Cardinality <= 16 && s.Cardinality != spec.Cardinality {
+			t.Fatalf("%s.%s cardinality %d, spec %d", s.Table, s.Column, s.Cardinality, spec.Cardinality)
+		}
+	}
+}
+
+func TestKeysWithinMovieUniverse(t *testing.T) {
+	ds := genSmall(t)
+	for _, name := range TableNames() {
+		tab, _ := ds.Table(name)
+		for _, k := range tab.Keys {
+			if k == 0 || int(k) > ds.NumMovies {
+				t.Fatalf("%s: key %d outside movie universe [1,%d]", name, k, ds.NumMovies)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := Generate(0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range TableNames() {
+		ta, _ := a.Table(name)
+		tb, _ := b.Table(name)
+		if ta.NumRows() != tb.NumRows() {
+			t.Fatalf("%s: row counts differ across identical seeds", name)
+		}
+		for i := range ta.Keys {
+			if ta.Keys[i] != tb.Keys[i] {
+				t.Fatalf("%s: keys diverge at row %d", name, i)
+			}
+		}
+	}
+	c, err := Generate(0.002, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := c.Table("cast_info")
+	ta, _ := a.Table("cast_info")
+	same := ta.NumRows() == tc.NumRows()
+	if same {
+		diff := false
+		for i := range ta.Keys {
+			if ta.Keys[i] != tc.Keys[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSpecFor(t *testing.T) {
+	cs, ts, err := SpecFor("movie_keyword", "keyword_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MaxDupes != 539 || ts.Rows != 4523930 {
+		t.Fatalf("wrong spec returned: %+v %+v", cs, ts)
+	}
+	if _, _, err := SpecFor("title", "kind_id"); err != nil {
+		t.Fatal("title spec lookup failed")
+	}
+	if _, _, err := SpecFor("x", "y"); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestSummarizeRowOrder(t *testing.T) {
+	ds := genSmall(t)
+	stats, err := ds.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 8 {
+		t.Fatalf("%d stat rows, want 8 (Table 2 has 8 rows)", len(stats))
+	}
+	if stats[0].Table != "cast_info" || stats[len(stats)-1].Column != "production_year" {
+		t.Fatalf("row order wrong: first %s, last %s", stats[0].Table, stats[len(stats)-1].Column)
+	}
+}

@@ -1,0 +1,58 @@
+package joblight
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCountsCSV emits the per-instance evaluation counts as CSV so the
+// paper's figures can be regenerated in any plotting tool: one row per
+// qualifying (query, base table) instance with the raw counts and the
+// derived reduction factors for every baseline and CCF variant.
+func WriteCountsCSV(w io.Writer, counts []Counts) error {
+	if len(counts) == 0 {
+		return nil
+	}
+	variants := make([]string, 0, len(counts[0].MCCF))
+	for name := range counts[0].MCCF {
+		variants = append(variants, name)
+	}
+	sort.Strings(variants)
+
+	cw := csv.NewWriter(w)
+	header := []string{
+		"query", "base", "m_pred", "m_semijoin", "m_semijoin_binned", "m_cuckoo",
+		"rf_exact", "rf_binned", "rf_cuckoo",
+	}
+	for _, v := range variants {
+		header = append(header, "m_"+v, "rf_"+v)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
+	for i := range counts {
+		c := &counts[i]
+		rec := []string{
+			strconv.Itoa(c.QueryID), c.Base,
+			strconv.Itoa(c.MPred), strconv.Itoa(c.MSemi),
+			strconv.Itoa(c.MSemiBinned), strconv.Itoa(c.MCuckoo),
+			f(c.RF(c.MSemi)), f(c.RF(c.MSemiBinned)), f(c.RF(c.MCuckoo)),
+		}
+		for _, v := range variants {
+			m, ok := c.MCCF[v]
+			if !ok {
+				return fmt.Errorf("joblight: instance %d/%s missing variant %s", c.QueryID, c.Base, v)
+			}
+			rec = append(rec, strconv.Itoa(m), f(c.RF(m)))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,79 @@
+package joblight
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCountsCSV(t *testing.T) {
+	counts := []Counts{
+		{QueryID: 1, Base: "title", MPred: 100, MSemi: 20, MSemiBinned: 25, MCuckoo: 80,
+			MCCF: map[string]int{"Chained": 27, "Bloom": 30}},
+		{QueryID: 2, Base: "cast_info", MPred: 0, MSemi: 0, MSemiBinned: 0, MCuckoo: 0,
+			MCCF: map[string]int{"Chained": 0, "Bloom": 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCountsCSV(&buf, counts); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want header + 2", len(recs))
+	}
+	header := strings.Join(recs[0], ",")
+	for _, col := range []string{"rf_exact", "rf_Bloom", "rf_Chained", "m_cuckoo"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("header missing %s: %s", col, header)
+		}
+	}
+	// Variants sorted: Bloom before Chained.
+	if idxOf(recs[0], "m_Bloom") > idxOf(recs[0], "m_Chained") {
+		t.Fatal("variant columns not sorted")
+	}
+	// Spot-check a reduction factor.
+	rfExact, err := strconv.ParseFloat(recs[1][idxOf(recs[0], "rf_exact")], 64)
+	if err != nil || rfExact != 0.2 {
+		t.Fatalf("rf_exact = %v, want 0.2", rfExact)
+	}
+	// Zero-denominator instance encodes RF 1 per Counts.RF.
+	rfZero, _ := strconv.ParseFloat(recs[2][idxOf(recs[0], "rf_exact")], 64)
+	if rfZero != 1 {
+		t.Fatalf("zero-denominator RF = %v, want 1", rfZero)
+	}
+}
+
+func idxOf(header []string, name string) int {
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestWriteCountsCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCountsCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty counts should write nothing")
+	}
+}
+
+func TestWriteCountsCSVMissingVariant(t *testing.T) {
+	counts := []Counts{
+		{QueryID: 1, Base: "a", MPred: 1, MCCF: map[string]int{"Chained": 1}},
+		{QueryID: 2, Base: "b", MPred: 1, MCCF: map[string]int{}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCountsCSV(&buf, counts); err == nil {
+		t.Fatal("missing variant should error")
+	}
+}

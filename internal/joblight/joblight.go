@@ -1,0 +1,357 @@
+// Package joblight implements a JOB-light-style workload over the synthetic
+// IMDB dataset and the reduction-factor evaluation of §10.3–10.6.
+//
+// The published workload statistics are reproduced structurally: 70 queries
+// joining 2–5 of the six tables on movie id (every query goes through
+// title, the join hub), 55 queries with inequality predicates on
+// title.production_year, and 237 qualifying (query, table) instances — a
+// base-table instance qualifies when at least one other table in the query
+// carries a predicate whose CCF can be applied.
+package joblight
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccf/internal/engine"
+	"ccf/internal/imdb"
+)
+
+// QueryPred is a predicate of a workload query, addressed by table and
+// column name.
+type QueryPred struct {
+	Table  string
+	Col    string
+	Op     engine.Op
+	Value  int64
+	Values []int64
+	Lo, Hi int64
+}
+
+// Query is one workload query: a star join of Tables on movie id with
+// conjunctive predicates.
+type Query struct {
+	ID     int
+	Tables []string
+	Preds  []QueryPred
+}
+
+// PredsOn returns the query's predicates on the given table.
+func (q *Query) PredsOn(table string) []QueryPred {
+	var out []QueryPred
+	for _, p := range q.Preds {
+		if p.Table == table {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// HasPredOn reports whether the query has any predicate on table.
+func (q *Query) HasPredOn(table string) bool { return len(q.PredsOn(table)) > 0 }
+
+// factTables are the non-hub tables, in a stable order.
+var factTables = []string{"cast_info", "movie_companies", "movie_info", "movie_info_idx", "movie_keyword"}
+
+// Table-count distribution: 12×2 + 25×3 + 22×4 + 11×5 = 70 queries and 242
+// table instances. Five of the two-table queries carry predicates only on
+// title, so their title instance does not qualify: 242 − 5 = 237 qualifying
+// instances, matching §10.3.
+var tableCounts = buildTableCounts()
+
+func buildTableCounts() []int {
+	var out []int
+	for i := 0; i < 12; i++ {
+		out = append(out, 2)
+	}
+	for i := 0; i < 25; i++ {
+		out = append(out, 3)
+	}
+	for i := 0; i < 22; i++ {
+		out = append(out, 4)
+	}
+	for i := 0; i < 11; i++ {
+		out = append(out, 5)
+	}
+	return out
+}
+
+// Workload generates the 70-query workload deterministically from the
+// dataset (predicate values are drawn from the generated data so
+// selectivities are realistic).
+func Workload(ds *imdb.Dataset, seed int64) ([]Query, error) {
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]Query, 0, len(tableCounts))
+	yearRangeBudget := 55
+	titleOnlyPreds := 5 // two-table queries with predicates only on title
+
+	for id, nTables := range tableCounts {
+		q := Query{ID: id + 1, Tables: []string{"title"}}
+		// Pick nTables−1 distinct fact tables, rotating for coverage.
+		perm := rng.Perm(len(factTables))
+		for _, ti := range perm[:nTables-1] {
+			q.Tables = append(q.Tables, factTables[ti])
+		}
+
+		// Title predicates: production_year ranges for the first 55
+		// queries that can take one; kind_id equality otherwise.
+		useYear := yearRangeBudget > 0
+		if useYear {
+			yearRangeBudget--
+			lo := int64(imdb.YearLo) + int64(rng.Intn(100))
+			hi := lo + int64(10+rng.Intn(30))
+			if hi > imdb.YearHi {
+				hi = imdb.YearHi
+			}
+			q.Preds = append(q.Preds, QueryPred{
+				Table: "title", Col: "production_year", Op: engine.OpRange, Lo: lo, Hi: hi,
+			})
+		} else {
+			q.Preds = append(q.Preds, QueryPred{
+				Table: "title", Col: "kind_id", Op: engine.OpEq, Value: int64(rng.Intn(6)) + 1,
+			})
+		}
+
+		// Fact-table predicates. The designated two-table queries skip
+		// them so exactly 237 instances qualify.
+		skipFactPreds := nTables == 2 && titleOnlyPreds > 0
+		if skipFactPreds {
+			titleOnlyPreds--
+		} else {
+			for _, tn := range q.Tables[1:] {
+				p, err := factPredicate(ds, tn, rng)
+				if err != nil {
+					return nil, err
+				}
+				q.Preds = append(q.Preds, p)
+			}
+		}
+		queries = append(queries, q)
+	}
+	return queries, nil
+}
+
+// factPredicate picks an equality predicate on one of the table's predicate
+// columns, with the value sampled from the table's data so it selects a
+// realistic fraction of rows.
+func factPredicate(ds *imdb.Dataset, table string, rng *rand.Rand) (QueryPred, error) {
+	tab, err := ds.Table(table)
+	if err != nil {
+		return QueryPred{}, err
+	}
+	// movie_companies alternates between its two predicate columns, giving
+	// the workload its mix of single- and multi-attribute CCF probes.
+	col := tab.Cols[0].Name
+	if table == "movie_companies" && rng.Intn(2) == 0 {
+		col = "company_type_id"
+	}
+	ci, err := tab.ColIdx(col)
+	if err != nil {
+		return QueryPred{}, err
+	}
+	row := rng.Intn(tab.NumRows())
+	return QueryPred{Table: table, Col: col, Op: engine.OpEq, Value: tab.Cols[ci].Vals[row]}, nil
+}
+
+// QualifyingInstances returns the (query, base-table) pairs where at least
+// one other table in the query has a predicate — the instances a CCF can
+// reduce (§10.3's 237).
+func QualifyingInstances(queries []Query) []InstanceRef {
+	var out []InstanceRef
+	for qi := range queries {
+		q := &queries[qi]
+		for _, base := range q.Tables {
+			qualifies := false
+			for _, other := range q.Tables {
+				if other != base && q.HasPredOn(other) {
+					qualifies = true
+					break
+				}
+			}
+			if qualifies {
+				out = append(out, InstanceRef{Query: q, Base: base})
+			}
+		}
+	}
+	return out
+}
+
+// InstanceRef identifies one qualifying (query, base table) pair.
+type InstanceRef struct {
+	Query *Query
+	Base  string
+}
+
+// enginePreds converts the query's predicates on a table to engine
+// predicates, optionally replacing production_year ranges by their binned
+// in-list (the "after binning" baseline of Figure 7).
+func enginePreds(tab *engine.Table, preds []QueryPred, binYears func(lo, hi int64) []int64) ([]engine.Pred, error) {
+	var out []engine.Pred
+	for _, p := range preds {
+		ci, err := tab.ColIdx(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		ep := engine.Pred{Col: ci, Op: p.Op, Value: p.Value, Values: p.Values, Lo: p.Lo, Hi: p.Hi}
+		if binYears != nil && p.Col == "production_year" && p.Op == engine.OpRange {
+			ep = engine.Pred{Col: ci, Op: engine.OpIn, Values: binYears(p.Lo, p.Hi)}
+		}
+		out = append(out, ep)
+	}
+	return out, nil
+}
+
+// Counts holds the row counts behind the reduction factors of one instance.
+type Counts struct {
+	QueryID int
+	Base    string
+	// MPred is the rows matching the base table's own predicates (the
+	// denominator of Eq. 9).
+	MPred int
+	// MSemi is the exact semijoin output (no false positives).
+	MSemi int
+	// MSemiBinned is the exact semijoin with production_year pre-binned
+	// (Figure 7's baseline).
+	MSemiBinned int
+	// MCuckoo applies key-only cuckoo filters (the pre-built state of the
+	// art the paper compares against).
+	MCuckoo int
+	// MCCF applies each CCF variant with predicates, keyed by variant name.
+	MCCF map[string]int
+}
+
+// RF returns m / MPred, guarding the empty-scan case.
+func (c *Counts) RF(m int) float64 {
+	if c.MPred == 0 {
+		return 1
+	}
+	return float64(m) / float64(c.MPred)
+}
+
+// Prober answers CCF probes for one table: does key k have a row satisfying
+// the table's predicates?
+type Prober interface {
+	ProbeKey(key uint32) bool
+	Probe(key uint32, preds []QueryPred) (bool, error)
+}
+
+// Evaluate computes the Counts for every qualifying instance.
+//
+// probers maps variant name → table name → Prober (the pre-built CCFs);
+// cuckooProbe maps table name → key-only membership (the baseline);
+// binYears expands a year range to the years covered by its bins.
+func Evaluate(
+	ds *imdb.Dataset,
+	queries []Query,
+	probers map[string]map[string]Prober,
+	cuckooProbe map[string]func(uint32) bool,
+	binYears func(lo, hi int64) []int64,
+) ([]Counts, error) {
+	instances := QualifyingInstances(queries)
+	out := make([]Counts, 0, len(instances))
+	for _, inst := range instances {
+		c, err := evaluateInstance(ds, inst, probers, cuckooProbe, binYears)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *c)
+	}
+	return out, nil
+}
+
+func evaluateInstance(
+	ds *imdb.Dataset,
+	inst InstanceRef,
+	probers map[string]map[string]Prober,
+	cuckooProbe map[string]func(uint32) bool,
+	binYears func(lo, hi int64) []int64,
+) (*Counts, error) {
+	q := inst.Query
+	baseTab, err := ds.Table(inst.Base)
+	if err != nil {
+		return nil, err
+	}
+	// Base predicates are evaluated exactly — including production_year
+	// when the base is title ("we omitted this binning" for base scans,
+	// §10.3).
+	basePreds, err := enginePreds(baseTab, q.PredsOn(inst.Base), nil)
+	if err != nil {
+		return nil, err
+	}
+
+	others := make([]string, 0, len(q.Tables)-1)
+	for _, t := range q.Tables {
+		if t != inst.Base {
+			others = append(others, t)
+		}
+	}
+
+	// Exact and binned key sets per other table.
+	exactSets := make([]engine.KeyFilter, 0, len(others))
+	binnedSets := make([]engine.KeyFilter, 0, len(others))
+	cuckooFilters := make([]engine.KeyFilter, 0, len(others))
+	for _, ot := range others {
+		otab, err := ds.Table(ot)
+		if err != nil {
+			return nil, err
+		}
+		exactPreds, err := enginePreds(otab, q.PredsOn(ot), nil)
+		if err != nil {
+			return nil, err
+		}
+		binnedPreds, err := enginePreds(otab, q.PredsOn(ot), binYears)
+		if err != nil {
+			return nil, err
+		}
+		es := engine.MatchingKeySet(otab, exactPreds)
+		exactSets = append(exactSets, es.Contains)
+		if len(binnedPreds) == len(exactPreds) {
+			bs := engine.MatchingKeySet(otab, binnedPreds)
+			binnedSets = append(binnedSets, bs.Contains)
+		} else {
+			binnedSets = append(binnedSets, es.Contains)
+		}
+		cp, ok := cuckooProbe[ot]
+		if !ok {
+			return nil, fmt.Errorf("joblight: no cuckoo filter for %s", ot)
+		}
+		cuckooFilters = append(cuckooFilters, engine.KeyFilter(func(k uint32) bool { return cp(k) }))
+	}
+
+	c := &Counts{
+		QueryID: q.ID,
+		Base:    inst.Base,
+		MPred:   engine.CountMatching(baseTab, basePreds),
+		MCCF:    map[string]int{},
+	}
+	c.MSemi = engine.SemijoinCount(baseTab, basePreds, exactSets)
+	c.MSemiBinned = engine.SemijoinCount(baseTab, basePreds, binnedSets)
+	c.MCuckoo = engine.SemijoinCount(baseTab, basePreds, cuckooFilters)
+
+	for variant, tableProbers := range probers {
+		filters := make([]engine.KeyFilter, 0, len(others))
+		var probeErr error
+		for _, ot := range others {
+			pr, ok := tableProbers[ot]
+			if !ok {
+				return nil, fmt.Errorf("joblight: variant %s has no prober for %s", variant, ot)
+			}
+			preds := q.PredsOn(ot)
+			filters = append(filters, func(k uint32) bool {
+				if len(preds) == 0 {
+					return pr.ProbeKey(k)
+				}
+				ok, err := pr.Probe(k, preds)
+				if err != nil && probeErr == nil {
+					probeErr = err
+				}
+				return ok
+			})
+		}
+		c.MCCF[variant] = engine.SemijoinCount(baseTab, basePreds, filters)
+		if probeErr != nil {
+			return nil, probeErr
+		}
+	}
+	return c, nil
+}

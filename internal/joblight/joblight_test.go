@@ -1,0 +1,287 @@
+package joblight
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ccf/internal/core"
+	"ccf/internal/engine"
+	"ccf/internal/imdb"
+)
+
+func smallDataset(t *testing.T) *imdb.Dataset {
+	t.Helper()
+	ds, err := imdb.Generate(0.002, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestWorkloadStructure(t *testing.T) {
+	ds := smallDataset(t)
+	queries, err := Workload(ds, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 70 {
+		t.Fatalf("%d queries, want 70", len(queries))
+	}
+	yearRanges := 0
+	instances := 0
+	for _, q := range queries {
+		if len(q.Tables) < 2 || len(q.Tables) > 5 {
+			t.Fatalf("query %d joins %d tables, want 2–5", q.ID, len(q.Tables))
+		}
+		if q.Tables[0] != "title" {
+			t.Fatalf("query %d does not go through title", q.ID)
+		}
+		seen := map[string]bool{}
+		for _, tn := range q.Tables {
+			if seen[tn] {
+				t.Fatalf("query %d repeats table %s", q.ID, tn)
+			}
+			seen[tn] = true
+		}
+		instances += len(q.Tables)
+		for _, p := range q.Preds {
+			if p.Table == "title" && p.Col == "production_year" && p.Op == engine.OpRange {
+				yearRanges++
+				if p.Lo > p.Hi || p.Lo < imdb.YearLo || p.Hi > imdb.YearHi {
+					t.Fatalf("query %d has invalid year range [%d,%d]", q.ID, p.Lo, p.Hi)
+				}
+			}
+		}
+	}
+	if yearRanges != 55 {
+		t.Fatalf("%d queries with production_year ranges, want 55 (§10.3)", yearRanges)
+	}
+	if instances != 242 {
+		t.Fatalf("%d table instances, want 242", instances)
+	}
+	qualifying := QualifyingInstances(queries)
+	if len(qualifying) != 237 {
+		t.Fatalf("%d qualifying instances, want 237 (§10.3)", len(qualifying))
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	ds := smallDataset(t)
+	a, err := Workload(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Workload(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if strings.Join(a[i].Tables, ",") != strings.Join(b[i].Tables, ",") {
+			t.Fatalf("query %d tables differ across runs", i)
+		}
+		if len(a[i].Preds) != len(b[i].Preds) {
+			t.Fatalf("query %d predicate counts differ", i)
+		}
+	}
+}
+
+func TestPredsOn(t *testing.T) {
+	q := Query{
+		Tables: []string{"title", "cast_info"},
+		Preds: []QueryPred{
+			{Table: "title", Col: "kind_id"},
+			{Table: "cast_info", Col: "role_id"},
+		},
+	}
+	if len(q.PredsOn("title")) != 1 || !q.HasPredOn("cast_info") {
+		t.Fatal("PredsOn/HasPredOn broken")
+	}
+	if q.HasPredOn("movie_info") {
+		t.Fatal("HasPredOn on absent table")
+	}
+}
+
+func TestBuildTableFilterAllVariantsAndTables(t *testing.T) {
+	ds := smallDataset(t)
+	for _, v := range []core.Variant{core.VariantChained, core.VariantBloom, core.VariantMixed} {
+		for _, name := range imdb.TableNames() {
+			tf, err := BuildTableFilter(ds, name, SmallConfig(v))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", v, name, err)
+			}
+			if tf.F.Rows() == 0 {
+				t.Fatalf("%s/%s: empty filter", v, name)
+			}
+			if lf := tf.F.LoadFactor(); lf > 0.97 {
+				t.Fatalf("%s/%s: load factor %.3f suspiciously high", v, name, lf)
+			}
+		}
+	}
+}
+
+func TestTableFilterNoFalseNegatives(t *testing.T) {
+	ds := smallDataset(t)
+	tab, _ := ds.Table("cast_info")
+	ci, _ := tab.ColIdx("role_id")
+	tf, err := BuildTableFilter(ds, "cast_info", SmallConfig(core.VariantChained))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < tab.NumRows(); row += 7 {
+		preds := []QueryPred{{Table: "cast_info", Col: "role_id", Op: engine.OpEq, Value: tab.Cols[ci].Vals[row]}}
+		ok, err := tf.Probe(tab.Keys[row], preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("false negative: row %d key %d role %d", row, tab.Keys[row], tab.Cols[ci].Vals[row])
+		}
+	}
+}
+
+func TestTitleFilterYearBinning(t *testing.T) {
+	ds := smallDataset(t)
+	tab, _ := ds.Table("title")
+	yi, _ := tab.ColIdx("production_year")
+	tf, err := BuildTableFilter(ds, "title", SmallConfig(core.VariantChained))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every title row must pass a range predicate containing its year.
+	for row := 0; row < tab.NumRows(); row += 11 {
+		y := tab.Cols[yi].Vals[row]
+		preds := []QueryPred{{Table: "title", Col: "production_year", Op: engine.OpRange, Lo: y - 2, Hi: y + 2}}
+		ok, err := tf.Probe(tab.Keys[row], preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("false negative: title key %d year %d", tab.Keys[row], y)
+		}
+	}
+}
+
+func TestToPredicateErrors(t *testing.T) {
+	ds := smallDataset(t)
+	tf, err := BuildTableFilter(ds, "cast_info", SmallConfig(core.VariantChained))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.ToPredicate([]QueryPred{{Col: "nope", Op: engine.OpEq}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := tf.ToPredicate([]QueryPred{{Col: "role_id", Op: engine.OpRange, Lo: 1, Hi: 3}}); err == nil {
+		t.Fatal("range on unbinned column accepted")
+	}
+}
+
+func TestBuildCuckooBaseline(t *testing.T) {
+	ds := smallDataset(t)
+	probe, filters, err := BuildCuckooBaseline(ds, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe) != 6 || len(filters) != 6 {
+		t.Fatalf("baseline covers %d tables, want 6", len(probe))
+	}
+	tab, _ := ds.Table("movie_keyword")
+	for i := 0; i < tab.NumRows(); i += 13 {
+		if !probe["movie_keyword"](tab.Keys[i]) {
+			t.Fatalf("cuckoo baseline false negative for key %d", tab.Keys[i])
+		}
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	ds := smallDataset(t)
+	queries, err := Workload(ds, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries = queries[:12] // keep the test fast; all table counts appear
+	probers := map[string]map[string]Prober{}
+	for _, v := range []core.Variant{core.VariantChained, core.VariantBloom} {
+		ps, err := BuildAllFilters(ds, SmallConfig(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		probers[v.String()] = ps
+	}
+	cuckooProbe, _, err := BuildCuckooBaseline(ds, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binner, err := core.NewBinner(imdb.YearLo, imdb.YearHi, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binYears := func(lo, hi int64) []int64 {
+		cond := binner.InRange(0, uint64(lo), uint64(hi))
+		bins := map[uint64]bool{}
+		for _, b := range cond.Values {
+			bins[b] = true
+		}
+		var years []int64
+		for y := int64(imdb.YearLo); y <= imdb.YearHi; y++ {
+			if bins[binner.Bin(uint64(y))] {
+				years = append(years, y)
+			}
+		}
+		return years
+	}
+	counts, err := Evaluate(ds, queries, probers, cuckooProbe, binYears)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) == 0 {
+		t.Fatal("no instances evaluated")
+	}
+	for _, c := range counts {
+		// Eq. 9 orderings: exact ≤ binned-exact ≤ any CCF ≤ MPred, and
+		// exact ≤ cuckoo ≤ MPred. (CCFs can only add false positives to the
+		// binned-exact semijoin.)
+		if c.MSemi > c.MSemiBinned {
+			t.Fatalf("q%d/%s: exact %d > binned %d", c.QueryID, c.Base, c.MSemi, c.MSemiBinned)
+		}
+		if c.MSemiBinned > c.MPred {
+			t.Fatalf("q%d/%s: binned %d > mpred %d", c.QueryID, c.Base, c.MSemiBinned, c.MPred)
+		}
+		if c.MCuckoo < c.MSemi || c.MCuckoo > c.MPred {
+			t.Fatalf("q%d/%s: cuckoo %d outside [%d,%d]", c.QueryID, c.Base, c.MCuckoo, c.MSemi, c.MPred)
+		}
+		for v, m := range c.MCCF {
+			if m < c.MSemiBinned {
+				t.Fatalf("q%d/%s: %s CCF %d below binned-exact %d (false negatives!)",
+					c.QueryID, c.Base, v, m, c.MSemiBinned)
+			}
+			if m > c.MPred {
+				t.Fatalf("q%d/%s: %s CCF %d above mpred %d", c.QueryID, c.Base, v, m, c.MPred)
+			}
+		}
+		if c.RF(c.MSemi) > 1 || c.RF(c.MSemi) < 0 {
+			t.Fatalf("RF out of range")
+		}
+	}
+}
+
+func TestRFZeroDenominator(t *testing.T) {
+	c := Counts{MPred: 0}
+	if c.RF(5) != 1 {
+		t.Fatal("zero-denominator RF should be 1")
+	}
+}
+
+func TestPlainVariantFailsAtReasonableSize(t *testing.T) {
+	// §10.5: "none of these figures have results for Plain CCF filters as
+	// they did not result in reasonably sized filters" — movie_keyword's
+	// 400+ distinct duplicates per key cannot fit a bucket pair.
+	ds := smallDataset(t)
+	_, err := BuildTableFilter(ds, "movie_keyword", SmallConfig(core.VariantPlain))
+	if err == nil {
+		t.Fatal("plain filter over movie_keyword should fail")
+	}
+	if !errors.Is(err, core.ErrFull) {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+}

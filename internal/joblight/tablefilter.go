@@ -1,0 +1,266 @@
+package joblight
+
+import (
+	"errors"
+	"fmt"
+
+	"ccf/internal/core"
+	"ccf/internal/cuckoo"
+	"ccf/internal/engine"
+	"ccf/internal/imdb"
+)
+
+// BuildConfig bundles the sketch parameters of one evaluation point. The
+// paper's "large" and "small" settings are provided as constructors.
+type BuildConfig struct {
+	Variant     core.Variant
+	KeyBits     int
+	AttrBits    int
+	BloomBits   int
+	BloomHashes int
+	YearBins    int
+	TargetLoad  float64
+	Seed        uint64
+}
+
+// LargeConfig is the paper's large setting: 12-bit fingerprints, 8-bit
+// attributes, 4 Bloom hashes, a generous Bloom sketch (§10.5).
+func LargeConfig(v core.Variant) BuildConfig {
+	return BuildConfig{
+		Variant: v, KeyBits: 12, AttrBits: 8,
+		BloomBits: 48, BloomHashes: 4, YearBins: 16,
+		TargetLoad: 0.75, Seed: 1,
+	}
+}
+
+// SmallConfig is the paper's small setting: 7-bit fingerprints, 4-bit
+// attributes, 2 Bloom hashes (§10.5).
+func SmallConfig(v core.Variant) BuildConfig {
+	return BuildConfig{
+		Variant: v, KeyBits: 7, AttrBits: 4,
+		BloomBits: 16, BloomHashes: 2, YearBins: 16,
+		TargetLoad: 0.75, Seed: 1,
+	}
+}
+
+// TableFilter is a pre-built CCF over one table's join key and predicate
+// columns; it implements Prober.
+type TableFilter struct {
+	Table   string
+	F       *core.Filter
+	cols    []string
+	colIdx  map[string]int
+	binner  *core.Binner
+	yearPos int // attribute index of production_year, -1 if absent
+}
+
+// predColumns returns the predicate columns sketched for a table.
+func predColumns(table string) []string {
+	switch table {
+	case "title":
+		return []string{"kind_id", "production_year"}
+	case "movie_companies":
+		return []string{"company_id", "company_type_id"}
+	case "cast_info":
+		return []string{"role_id"}
+	case "movie_info", "movie_info_idx":
+		return []string{"info_type_id"}
+	case "movie_keyword":
+		return []string{"keyword_id"}
+	default:
+		return nil
+	}
+}
+
+// BuildTableFilter constructs the CCF for one table: it predicts the number
+// of occupied entries from the per-key distinct-vector counts (Table 1),
+// sizes the table per §8, and inserts every row with production_year
+// binned. Plain variants may return core.ErrFull, reproducing §10.5's
+// observation that no reasonably sized Plain filter exists.
+func BuildTableFilter(ds *imdb.Dataset, table string, cfg BuildConfig) (*TableFilter, error) {
+	tab, err := ds.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	cols := predColumns(table)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("joblight: no predicate columns for %s", table)
+	}
+	colIdx := make(map[string]int, len(cols))
+	engCols := make([]int, len(cols))
+	yearPos := -1
+	for i, c := range cols {
+		ci, err := tab.ColIdx(c)
+		if err != nil {
+			return nil, err
+		}
+		engCols[i] = ci
+		colIdx[c] = i
+		if c == "production_year" {
+			yearPos = i
+		}
+	}
+	var binner *core.Binner
+	if yearPos >= 0 {
+		binner, err = core.NewBinner(imdb.YearLo, imdb.YearHi, cfg.YearBins)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	params := core.Params{
+		Variant:     cfg.Variant,
+		KeyBits:     cfg.KeyBits,
+		AttrBits:    cfg.AttrBits,
+		NumAttrs:    len(cols),
+		BloomBits:   cfg.BloomBits,
+		BloomHashes: cfg.BloomHashes,
+		TargetLoad:  cfg.TargetLoad,
+		Seed:        cfg.Seed,
+	}
+	if err := validateConfig(&params); err != nil {
+		return nil, err
+	}
+	mult := engine.DistinctVectorsPerKey(tab, engCols)
+	predicted := core.PredictEntries(cfg.Variant, mult, params)
+	params.Buckets = core.RecommendBuckets(predicted, params.BucketSize, params.TargetLoad)
+
+	f, err := core.New(params)
+	if err != nil {
+		return nil, err
+	}
+	tf := &TableFilter{Table: table, F: f, cols: cols, colIdx: colIdx, binner: binner, yearPos: yearPos}
+	attrs := make([]uint64, len(cols))
+	for row, key := range tab.Keys {
+		for i, ci := range engCols {
+			v := uint64(tab.Cols[ci].Vals[row])
+			if i == yearPos {
+				v = binner.Bin(v)
+			}
+			attrs[i] = v
+		}
+		if err := f.Insert(uint64(key), attrs); err != nil {
+			if errors.Is(err, core.ErrChainLimit) {
+				continue // row discarded; queries stay conservative
+			}
+			return tf, fmt.Errorf("joblight: %s %s filter: %w", table, cfg.Variant, err)
+		}
+	}
+	return tf, nil
+}
+
+func validateConfig(p *core.Params) error {
+	tmp := *p
+	_, err := core.New(tmp)
+	return err
+}
+
+// ProbeKey reports whether any row with the key may exist in the table.
+func (tf *TableFilter) ProbeKey(key uint32) bool {
+	return tf.F.QueryKey(uint64(key))
+}
+
+// Probe converts the query predicates to a CCF predicate (with year ranges
+// binned, §9.1) and queries the filter.
+func (tf *TableFilter) Probe(key uint32, preds []QueryPred) (bool, error) {
+	ccfPred, err := tf.ToPredicate(preds)
+	if err != nil {
+		return true, err
+	}
+	return tf.F.Query(uint64(key), ccfPred), nil
+}
+
+// ToPredicate converts workload predicates on this table into the CCF's
+// predicate form.
+func (tf *TableFilter) ToPredicate(preds []QueryPred) (core.Predicate, error) {
+	var out core.Predicate
+	for _, p := range preds {
+		pos, ok := tf.colIdx[p.Col]
+		if !ok {
+			return nil, fmt.Errorf("joblight: column %s not sketched for %s", p.Col, tf.Table)
+		}
+		switch {
+		case p.Col == "production_year" && p.Op == engine.OpRange:
+			out = append(out, tf.binner.InRange(pos, uint64(p.Lo), uint64(p.Hi)))
+		case p.Op == engine.OpEq:
+			v := uint64(p.Value)
+			if pos == tf.yearPos {
+				v = tf.binner.Bin(v)
+			}
+			out = append(out, core.Eq(pos, v))
+		case p.Op == engine.OpIn:
+			vals := make([]uint64, 0, len(p.Values))
+			for _, x := range p.Values {
+				v := uint64(x)
+				if pos == tf.yearPos {
+					v = tf.binner.Bin(v)
+				}
+				vals = append(vals, v)
+			}
+			out = append(out, core.In(pos, vals...))
+		case p.Op == engine.OpRange:
+			return nil, fmt.Errorf("joblight: range predicate on unbinned column %s", p.Col)
+		default:
+			return nil, fmt.Errorf("joblight: unsupported op %v", p.Op)
+		}
+	}
+	return out, nil
+}
+
+// SizeBits returns the sketch size.
+func (tf *TableFilter) SizeBits() int64 { return tf.F.SizeBits() }
+
+// BuildAllFilters builds one TableFilter per table for the config. When the
+// Plain variant fails (as §10.5 reports it must for reasonable sizes), the
+// error is returned with whatever filters were built.
+func BuildAllFilters(ds *imdb.Dataset, cfg BuildConfig) (map[string]Prober, error) {
+	out := make(map[string]Prober, 6)
+	for _, name := range imdb.TableNames() {
+		tf, err := BuildTableFilter(ds, name, cfg)
+		if err != nil {
+			return out, err
+		}
+		out[name] = tf
+	}
+	return out, nil
+}
+
+// TotalSizeBits sums the sketch sizes of a filter set.
+func TotalSizeBits(probers map[string]Prober) int64 {
+	var total int64
+	for _, p := range probers {
+		if tf, ok := p.(*TableFilter); ok {
+			total += tf.SizeBits()
+		}
+	}
+	return total
+}
+
+// BuildCuckooBaseline builds the key-only cuckoo filter per table (the
+// pre-built state of the art, Figures 6b/6d): distinct keys only, sized for
+// ~95% load.
+func BuildCuckooBaseline(ds *imdb.Dataset, keyBits int, seed uint64) (map[string]func(uint32) bool, map[string]*cuckoo.Filter, error) {
+	probe := make(map[string]func(uint32) bool, 6)
+	filters := make(map[string]*cuckoo.Filter, 6)
+	for _, name := range imdb.TableNames() {
+		tab, err := ds.Table(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cf, err := cuckoo.New(engine.DistinctKeys(tab), cuckoo.Options{
+			FingerprintBits: keyBits, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, k := range tab.Keys {
+			if _, err := cf.InsertUnique(uint64(k)); err != nil {
+				return nil, nil, fmt.Errorf("joblight: cuckoo baseline %s: %w", name, err)
+			}
+		}
+		cfLocal := cf
+		probe[name] = func(k uint32) bool { return cfLocal.Contains(uint64(k)) }
+		filters[name] = cf
+	}
+	return probe, filters, nil
+}

@@ -1,0 +1,133 @@
+// Package sampling implements the sketches §10.4 of the paper relies on to
+// size a CCF without a full pass over the data: "the predicted number of
+// entries needed can be estimated from the data using a bottom-k [Cohen &
+// Kaplan 2007] or two-level [Chen & Yi 2017] sampling scheme".
+//
+// BottomK estimates the number of distinct keys; EntryEstimator combines a
+// bottom-k sample of keys with per-sampled-key distinct attribute-vector
+// counts (the two-level scheme) to estimate the per-key multiplicity
+// distribution and hence the Table 1 entry bounds.
+package sampling
+
+import (
+	"errors"
+	"math"
+
+	"ccf/internal/hashing"
+)
+
+// BottomK is a bottom-k sketch over 64-bit items: it retains the k
+// smallest salted hashes of the distinct items seen and estimates the
+// distinct count as (k−1)/h_(k) with hashes normalized to (0, 1].
+type BottomK struct {
+	k    int
+	salt uint64
+	// heap is a max-heap of the k smallest hashes, so the largest retained
+	// hash is at the root and can be evicted in O(log k).
+	heap []uint64
+	in   map[uint64]struct{}
+}
+
+// NewBottomK returns a bottom-k sketch with k ≥ 2 slots.
+func NewBottomK(k int, salt uint64) (*BottomK, error) {
+	if k < 2 {
+		return nil, errors.New("sampling: bottom-k needs k ≥ 2")
+	}
+	return &BottomK{k: k, salt: salt, in: make(map[uint64]struct{}, k)}, nil
+}
+
+// Add offers an item to the sketch and reports whether it is currently
+// retained (callers tracking side state use the eviction callback variant).
+func (b *BottomK) Add(item uint64) bool {
+	evicted, kept := b.add(item)
+	_ = evicted
+	return kept
+}
+
+// AddWithEviction offers an item; if the sketch evicts a previously
+// retained hash to make room, the evicted hash is returned with ok=true.
+func (b *BottomK) AddWithEviction(item uint64) (hash uint64, kept bool, evicted uint64, hasEvicted bool) {
+	h := hashing.Key64(item, b.salt)
+	if _, ok := b.in[h]; ok {
+		return h, true, 0, false
+	}
+	if len(b.heap) < b.k {
+		b.push(h)
+		return h, true, 0, false
+	}
+	if h >= b.heap[0] {
+		return h, false, 0, false
+	}
+	ev := b.heap[0]
+	b.popRoot()
+	delete(b.in, ev)
+	b.push(h)
+	return h, true, ev, true
+}
+
+func (b *BottomK) add(item uint64) (uint64, bool) {
+	_, kept, ev, has := b.AddWithEviction(item)
+	if has {
+		return ev, kept
+	}
+	return 0, kept
+}
+
+func (b *BottomK) push(h uint64) {
+	b.heap = append(b.heap, h)
+	b.in[h] = struct{}{}
+	i := len(b.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.heap[parent] >= b.heap[i] {
+			break
+		}
+		b.heap[parent], b.heap[i] = b.heap[i], b.heap[parent]
+		i = parent
+	}
+}
+
+func (b *BottomK) popRoot() {
+	n := len(b.heap) - 1
+	b.heap[0] = b.heap[n]
+	b.heap = b.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && b.heap[l] > b.heap[largest] {
+			largest = l
+		}
+		if r < n && b.heap[r] > b.heap[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		b.heap[i], b.heap[largest] = b.heap[largest], b.heap[i]
+		i = largest
+	}
+}
+
+// Retained returns the number of hashes currently held (≤ k).
+func (b *BottomK) Retained() int { return len(b.heap) }
+
+// Contains reports whether the item's hash is currently retained.
+func (b *BottomK) Contains(item uint64) bool {
+	_, ok := b.in[hashing.Key64(item, b.salt)]
+	return ok
+}
+
+// Estimate returns the estimated number of distinct items offered.
+func (b *BottomK) Estimate() float64 {
+	if len(b.heap) < b.k {
+		// Sketch not full: the sample is exhaustive.
+		return float64(len(b.heap))
+	}
+	// kth smallest hash normalized to (0, 1].
+	kth := float64(b.heap[0]) / float64(math.MaxUint64)
+	if kth == 0 {
+		return float64(b.k)
+	}
+	return float64(b.k-1) / kth
+}

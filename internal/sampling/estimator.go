@@ -1,0 +1,87 @@
+package sampling
+
+import (
+	"sort"
+
+	"ccf/internal/hashing"
+)
+
+// EntryEstimator implements the two-level sampling scheme (§10.4): a
+// bottom-k sample of join keys (level one) with, for each sampled key, the
+// exact set of distinct attribute-vector fingerprints observed (level two).
+// From the sample it estimates the distinct key count, the per-key
+// multiplicity distribution A, and the Table 1 entry bounds
+// n_k·E[min(A, cap)] used to size a CCF before building it.
+type EntryEstimator struct {
+	keys   *BottomK
+	salt   uint64
+	perKey map[uint64]map[uint64]struct{} // key hash → distinct vector hashes
+}
+
+// NewEntryEstimator returns an estimator sampling up to k keys.
+func NewEntryEstimator(k int, salt uint64) (*EntryEstimator, error) {
+	keys, err := NewBottomK(k, salt)
+	if err != nil {
+		return nil, err
+	}
+	return &EntryEstimator{
+		keys:   keys,
+		salt:   salt,
+		perKey: make(map[uint64]map[uint64]struct{}, k),
+	}, nil
+}
+
+// Add offers one row: the join key and its attribute values.
+func (e *EntryEstimator) Add(key uint64, attrs []uint64) {
+	vec := e.salt ^ 0x7d2f
+	for i, a := range attrs {
+		vec = hashing.Combine3(vec, uint64(i), a)
+	}
+	hash, kept, evicted, hasEvicted := e.keys.AddWithEviction(key)
+	if hasEvicted {
+		delete(e.perKey, evicted)
+	}
+	if !kept {
+		return
+	}
+	m := e.perKey[hash]
+	if m == nil {
+		m = make(map[uint64]struct{}, 4)
+		e.perKey[hash] = m
+	}
+	m[vec] = struct{}{}
+}
+
+// DistinctKeys estimates the number of distinct keys offered.
+func (e *EntryEstimator) DistinctKeys() float64 { return e.keys.Estimate() }
+
+// SampleMultiplicities returns the per-key distinct-vector counts of the
+// sampled keys, sorted descending — an unbiased sample of the workload's A
+// distribution.
+func (e *EntryEstimator) SampleMultiplicities() []int {
+	out := make([]int, 0, len(e.perKey))
+	for _, m := range e.perKey {
+		out = append(out, len(m))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// EstimateEntries estimates Σ min(A_i, perKeyCap) over all distinct keys:
+// the estimated distinct-key count times the sample mean of min(A, cap).
+// perKeyCap ≤ 0 means uncapped (Σ A_i).
+func (e *EntryEstimator) EstimateEntries(perKeyCap int) float64 {
+	sample := e.SampleMultiplicities()
+	if len(sample) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, a := range sample {
+		if perKeyCap > 0 && a > perKeyCap {
+			a = perKeyCap
+		}
+		total += float64(a)
+	}
+	meanCapped := total / float64(len(sample))
+	return e.DistinctKeys() * meanCapped
+}

@@ -1,0 +1,197 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"ccf/internal/core"
+	"ccf/internal/engine"
+	"ccf/internal/imdb"
+)
+
+func TestBottomKValidation(t *testing.T) {
+	if _, err := NewBottomK(1, 0); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestBottomKExactWhenSmall(t *testing.T) {
+	b, err := NewBottomK(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		b.Add(i)
+		b.Add(i) // duplicates must not inflate
+	}
+	if got := b.Estimate(); got != 50 {
+		t.Fatalf("estimate %v, want exactly 50 (sample not full)", got)
+	}
+	if b.Retained() != 50 {
+		t.Fatalf("retained %d, want 50", b.Retained())
+	}
+}
+
+func TestBottomKEstimateAccuracy(t *testing.T) {
+	for _, distinct := range []int{1000, 10000, 100000} {
+		b, err := NewBottomK(512, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < distinct; i++ {
+			b.Add(uint64(i) * 2654435761)
+			if i%3 == 0 {
+				b.Add(uint64(i) * 2654435761) // repeat offers
+			}
+		}
+		got := b.Estimate()
+		relErr := math.Abs(got-float64(distinct)) / float64(distinct)
+		// Standard error ≈ 1/√k ≈ 4.4%; allow 3σ.
+		if relErr > 0.14 {
+			t.Fatalf("distinct=%d: estimate %.0f (rel err %.3f)", distinct, got, relErr)
+		}
+	}
+}
+
+func TestBottomKRetainsSmallest(t *testing.T) {
+	b, err := NewBottomK(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		b.Add(i)
+	}
+	if b.Retained() != 8 {
+		t.Fatalf("retained %d, want 8", b.Retained())
+	}
+	// Every retained hash must be among the 8 smallest of all offered.
+	kept := 0
+	for i := uint64(0); i < 1000; i++ {
+		if b.Contains(i) {
+			kept++
+		}
+	}
+	if kept != 8 {
+		t.Fatalf("Contains reports %d retained items", kept)
+	}
+}
+
+func TestEntryEstimatorMatchesExactBounds(t *testing.T) {
+	ds, err := imdb.Generate(0.004, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cast_info", "movie_keyword", "title"} {
+		tab, err := ds.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols := make([]int, len(tab.Cols))
+		for i := range cols {
+			cols[i] = i
+		}
+		est, err := NewEntryEstimator(1024, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attrs := make([]uint64, len(cols))
+		for row, key := range tab.Keys {
+			for i, ci := range cols {
+				attrs[i] = uint64(tab.Cols[ci].Vals[row])
+			}
+			est.Add(uint64(key), attrs)
+		}
+		exactMult := engine.DistinctVectorsPerKey(tab, cols)
+		p := core.Params{MaxDupes: 3}
+		for _, cap := range []int{0, 3} { // chained-unlimited and mixed-style caps
+			variant := core.VariantChained
+			if cap == 3 {
+				variant = core.VariantMixed
+			}
+			exact := core.PredictEntries(variant, exactMult, p)
+			got := est.EstimateEntries(cap)
+			relErr := math.Abs(got-float64(exact)) / float64(exact)
+			if relErr > 0.15 {
+				t.Fatalf("%s cap=%d: estimate %.0f vs exact %d (rel err %.3f)",
+					name, cap, got, exact, relErr)
+			}
+		}
+	}
+}
+
+func TestEntryEstimatorEviction(t *testing.T) {
+	est, err := NewEntryEstimator(4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		for d := uint64(0); d < 3; d++ {
+			est.Add(k, []uint64{d})
+		}
+	}
+	// Level-two state must track level-one membership exactly.
+	if got := len(est.SampleMultiplicities()); got != 4 {
+		t.Fatalf("%d sampled keys, want 4", got)
+	}
+	for _, a := range est.SampleMultiplicities() {
+		if a != 3 {
+			t.Fatalf("sampled multiplicity %d, want 3", a)
+		}
+	}
+}
+
+func TestEntryEstimatorEmpty(t *testing.T) {
+	est, err := NewEntryEstimator(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.EstimateEntries(0) != 0 {
+		t.Fatal("empty estimator should estimate 0")
+	}
+	if est.DistinctKeys() != 0 {
+		t.Fatal("empty estimator should count 0 keys")
+	}
+}
+
+func TestEstimatorSizesAWorkingFilter(t *testing.T) {
+	// End-to-end: size a chained CCF from the sample, then insert the full
+	// data — it must fit without ErrFull and land near the target load.
+	ds, err := imdb.Generate(0.004, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Table("movie_companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewEntryEstimator(512, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := make([]uint64, 2)
+	for row, key := range tab.Keys {
+		attrs[0] = uint64(tab.Cols[0].Vals[row])
+		attrs[1] = uint64(tab.Cols[1].Vals[row])
+		est.Add(uint64(key), attrs)
+	}
+	predicted := int(est.EstimateEntries(0) * 1.05) // small safety margin
+	f, err := core.New(core.Params{
+		Variant:  core.VariantChained,
+		NumAttrs: 2,
+		Buckets:  core.RecommendBuckets(predicted, 6, 0.75),
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row, key := range tab.Keys {
+		attrs[0] = uint64(tab.Cols[0].Vals[row])
+		attrs[1] = uint64(tab.Cols[1].Vals[row])
+		if err := f.Insert(uint64(key), attrs); err != nil {
+			t.Fatalf("sampled sizing overflowed: %v", err)
+		}
+	}
+	if lf := f.LoadFactor(); lf < 0.3 || lf > 0.9 {
+		t.Fatalf("load factor %.3f far from the 0.75 target", lf)
+	}
+}

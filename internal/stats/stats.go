@@ -1,0 +1,200 @@
+// Package stats provides the small numeric and text-rendering helpers the
+// experiment harness uses to summarize runs and print paper-style tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Table accumulates rows of strings and renders them with aligned columns,
+// in the style of the paper's printed tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with four significant decimals.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 0.001 {
+		return fmt.Sprintf("%.4f", v)
+	}
+	return fmt.Sprintf("%.3e", v)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series renders an (x, y) series as a compact ASCII sparkline-style chart
+// for figure output: one line per downsampled x with a bar proportional to y.
+func Series(name string, xs, ys []float64, width int) string {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return name + ": (no data)\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxY := Max(ys)
+	if maxY <= 0 {
+		maxY = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", name)
+	step := 1
+	if len(xs) > 24 {
+		step = len(xs) / 24
+	}
+	for i := 0; i < len(xs); i += step {
+		bar := int(math.Round(ys[i] / maxY * float64(width)))
+		if bar < 0 {
+			bar = 0
+		}
+		fmt.Fprintf(&b, "  x=%-10s y=%-10s |%s\n",
+			FormatFloat(xs[i]), FormatFloat(ys[i]), strings.Repeat("*", bar))
+	}
+	return b.String()
+}
+
+// Downsample returns at most n evenly spaced elements of xs, always
+// including the first and last.
+func Downsample(xs []float64, n int) []float64 {
+	if n <= 0 || len(xs) <= n {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(xs) - 1) / (n - 1)
+		out = append(out, xs[idx])
+	}
+	return out
+}

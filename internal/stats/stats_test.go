@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", m)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-element stddev not 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.1380899) > 1e-6 {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty min/max not infinities")
+	}
+	if Min([]float64{3, -1, 2}) != -1 || Max([]float64{3, -1, 2}) != 3 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("filter", "rf", "fpr")
+	tb.AddRow("chained", 0.28, 0.061)
+	tb.AddRow("cuckoo", 0.68, 0.0)
+	s := tb.String()
+	if !strings.Contains(s, "filter") || !strings.Contains(s, "chained") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+	if !strings.Contains(s, "0.2800") {
+		t.Fatalf("float not formatted:\n%s", s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(3) != "3" {
+		t.Fatalf("integer formatting: %q", FormatFloat(3))
+	}
+	if FormatFloat(0.25) != "0.2500" {
+		t.Fatalf("decimal formatting: %q", FormatFloat(0.25))
+	}
+	if !strings.Contains(FormatFloat(1e-6), "e") {
+		t.Fatalf("tiny value formatting: %q", FormatFloat(1e-6))
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series("fig", []float64{1, 2, 3}, []float64{0.1, 0.2, 0.3}, 10)
+	if !strings.Contains(s, "fig") || !strings.Contains(s, "*") {
+		t.Fatalf("series rendering broken:\n%s", s)
+	}
+	if got := Series("empty", nil, nil, 10); !strings.Contains(got, "no data") {
+		t.Fatalf("empty series: %q", got)
+	}
+	if got := Series("mismatch", []float64{1}, nil, 10); !strings.Contains(got, "no data") {
+		t.Fatalf("mismatched series: %q", got)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	ds := Downsample(xs, 10)
+	if len(ds) != 10 {
+		t.Fatalf("len = %d, want 10", len(ds))
+	}
+	if ds[0] != 0 || ds[9] != 99 {
+		t.Fatalf("endpoints not preserved: %v", ds)
+	}
+	if got := Downsample(xs[:5], 10); len(got) != 5 {
+		t.Fatalf("short input should pass through, got %d", len(got))
+	}
+}

@@ -1,0 +1,174 @@
+// Package zipfmd implements the truncated Zipf-Mandelbrot distribution used
+// by the paper's multiset experiments (§10.1): p(x) ∝ (c + x)^(−α) on the
+// integer support [1, max], with offset c = 2.7 in the paper's setup. It
+// also provides the constant-duplicates stream and a solver that picks α to
+// achieve a target mean, matching "We vary α to obtain the desired average
+// number of duplicates per key."
+package zipfmd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist samples from a truncated Zipf-Mandelbrot distribution.
+type Dist struct {
+	alpha float64
+	c     float64
+	max   int
+	cdf   []float64 // cdf[i] = P(X <= i+1)
+	rng   *rand.Rand
+}
+
+// New returns a Zipf-Mandelbrot distribution with mass p(x) ∝ (c+x)^(−α)
+// on {1, ..., max}, using a deterministic RNG seeded with seed.
+func New(alpha, c float64, max int, seed int64) (*Dist, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("zipfmd: max %d < 1", max)
+	}
+	if c <= -1 {
+		return nil, fmt.Errorf("zipfmd: offset c = %v must exceed -1", c)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("zipfmd: negative alpha %v", alpha)
+	}
+	d := &Dist{alpha: alpha, c: c, max: max, rng: rand.New(rand.NewSource(seed))}
+	d.cdf = make([]float64, max)
+	total := 0.0
+	for x := 1; x <= max; x++ {
+		total += math.Pow(c+float64(x), -alpha)
+		d.cdf[x-1] = total
+	}
+	for i := range d.cdf {
+		d.cdf[i] /= total
+	}
+	return d, nil
+}
+
+// Alpha returns the shape parameter.
+func (d *Dist) Alpha() float64 { return d.alpha }
+
+// Max returns the largest value in the support.
+func (d *Dist) Max() int { return d.max }
+
+// Sample draws one value from the distribution.
+func (d *Dist) Sample() int {
+	u := d.rng.Float64()
+	return sort.SearchFloat64s(d.cdf, u) + 1
+}
+
+// Prob returns p(x) for x in [1, max].
+func (d *Dist) Prob(x int) float64 {
+	if x < 1 || x > d.max {
+		return 0
+	}
+	if x == 1 {
+		return d.cdf[0]
+	}
+	return d.cdf[x-1] - d.cdf[x-2]
+}
+
+// Mean returns the exact expected value Σ x·p(x).
+func (d *Dist) Mean() float64 {
+	m := 0.0
+	prev := 0.0
+	for x := 1; x <= d.max; x++ {
+		p := d.cdf[x-1] - prev
+		prev = d.cdf[x-1]
+		m += float64(x) * p
+	}
+	return m
+}
+
+// MeanFor computes the mean of the distribution with the given parameters
+// without allocating a sampler.
+func MeanFor(alpha, c float64, max int) float64 {
+	total, weighted := 0.0, 0.0
+	for x := 1; x <= max; x++ {
+		p := math.Pow(c+float64(x), -alpha)
+		total += p
+		weighted += float64(x) * p
+	}
+	return weighted / total
+}
+
+// SolveAlpha finds α such that the truncated Zipf-Mandelbrot mean equals
+// targetMean, by bisection. The mean is strictly decreasing in α, from
+// (max+1)/2 at α=0 toward 1 as α→∞.
+func SolveAlpha(targetMean, c float64, max int) (float64, error) {
+	lo, hi := 0.0, 64.0
+	mLo := MeanFor(lo, c, max) // largest achievable mean
+	mHi := MeanFor(hi, c, max) // smallest achievable mean
+	if targetMean > mLo || targetMean < mHi {
+		return 0, fmt.Errorf("zipfmd: target mean %v outside achievable range [%v, %v]", targetMean, mHi, mLo)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if MeanFor(mid, c, max) > targetMean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Row is one element of a duplicate-key stream: a key together with a
+// distinct attribute value (the paper's multiset experiment inserts unique
+// (key, attribute) pairs).
+type Row struct {
+	Key  uint64
+	Attr uint64
+}
+
+// ConstantStream returns a stream of rows where every key appears exactly
+// dupes times with attribute values 0..dupes-1, shuffled with the given
+// seed, containing at least total rows ("the order of items is randomly
+// permuted", §10.1).
+func ConstantStream(total, dupes int, seed int64) []Row {
+	if dupes < 1 {
+		dupes = 1
+	}
+	nKeys := (total + dupes - 1) / dupes
+	rows := make([]Row, 0, nKeys*dupes)
+	for k := 0; k < nKeys; k++ {
+		for d := 0; d < dupes; d++ {
+			rows = append(rows, Row{Key: uint64(k + 1), Attr: uint64(d)})
+		}
+	}
+	shuffle(rows, seed)
+	return rows
+}
+
+// ZipfStream returns a shuffled stream of at least total rows where each
+// key's duplicate count is drawn from the truncated Zipf-Mandelbrot
+// distribution with the paper's parameters (offset c, support [1, max]) and
+// α solved so the mean duplicate count equals meanDupes.
+func ZipfStream(total int, meanDupes, c float64, max int, seed int64) ([]Row, error) {
+	alpha, err := SolveAlpha(meanDupes, c, max)
+	if err != nil {
+		return nil, err
+	}
+	d, err := New(alpha, c, max, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, total+max)
+	key := uint64(1)
+	for len(rows) < total {
+		n := d.Sample()
+		for i := 0; i < n; i++ {
+			rows = append(rows, Row{Key: key, Attr: uint64(i)})
+		}
+		key++
+	}
+	shuffle(rows, seed^0x5bd1e995)
+	return rows, nil
+}
+
+func shuffle(rows []Row, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+}

@@ -1,0 +1,195 @@
+package zipfmd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 2.7, 0, 1); err == nil {
+		t.Fatal("max 0 should error")
+	}
+	if _, err := New(1, -2, 10, 1); err == nil {
+		t.Fatal("c <= -1 should error")
+	}
+	if _, err := New(-1, 2.7, 10, 1); err == nil {
+		t.Fatal("negative alpha should error")
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	d, err := New(1.5, 2.7, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for x := 1; x <= 500; x++ {
+		sum += d.Prob(x)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if d.Prob(0) != 0 || d.Prob(501) != 0 {
+		t.Fatal("out-of-support probability not zero")
+	}
+}
+
+func TestProbMonotoneDecreasing(t *testing.T) {
+	d, err := New(2.0, 2.7, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x < 100; x++ {
+		if d.Prob(x) < d.Prob(x+1) {
+			t.Fatalf("p(%d)=%v < p(%d)=%v", x, d.Prob(x), x+1, d.Prob(x+1))
+		}
+	}
+}
+
+func TestSampleInSupport(t *testing.T) {
+	d, err := New(1.0, 2.7, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		x := d.Sample()
+		if x < 1 || x > 50 {
+			t.Fatalf("sample %d outside [1,50]", x)
+		}
+	}
+}
+
+func TestSampleMeanMatchesExactMean(t *testing.T) {
+	d, err := New(1.2, 2.7, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Mean()
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample())
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("sample mean %v, exact mean %v", got, want)
+	}
+}
+
+func TestMeanForBoundaries(t *testing.T) {
+	// α=0 is uniform: mean = (max+1)/2.
+	if m := MeanFor(0, 2.7, 9); math.Abs(m-5) > 1e-9 {
+		t.Fatalf("uniform mean %v, want 5", m)
+	}
+	// Large α concentrates on 1.
+	if m := MeanFor(50, 2.7, 500); m > 1.001 {
+		t.Fatalf("high-alpha mean %v, want ≈1", m)
+	}
+}
+
+func TestSolveAlpha(t *testing.T) {
+	for _, target := range []float64{1.5, 2, 4, 8, 12} {
+		alpha, err := SolveAlpha(target, 2.7, 500)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		got := MeanFor(alpha, 2.7, 500)
+		if math.Abs(got-target) > 1e-6 {
+			t.Fatalf("target %v: solved alpha %v gives mean %v", target, alpha, got)
+		}
+	}
+	if _, err := SolveAlpha(1000, 2.7, 500); err == nil {
+		t.Fatal("unachievable mean should error")
+	}
+	if _, err := SolveAlpha(0.5, 2.7, 500); err == nil {
+		t.Fatal("mean below 1 should error")
+	}
+}
+
+func TestConstantStream(t *testing.T) {
+	rows := ConstantStream(100, 4, 5)
+	if len(rows) < 100 {
+		t.Fatalf("stream too short: %d", len(rows))
+	}
+	counts := map[uint64]map[uint64]bool{}
+	for _, r := range rows {
+		if counts[r.Key] == nil {
+			counts[r.Key] = map[uint64]bool{}
+		}
+		if counts[r.Key][r.Attr] {
+			t.Fatalf("duplicate (key,attr) pair (%d,%d)", r.Key, r.Attr)
+		}
+		counts[r.Key][r.Attr] = true
+	}
+	for k, attrs := range counts {
+		if len(attrs) != 4 {
+			t.Fatalf("key %d has %d attrs, want 4", k, len(attrs))
+		}
+	}
+}
+
+func TestConstantStreamShuffled(t *testing.T) {
+	rows := ConstantStream(1000, 5, 9)
+	// If shuffled, the first 5 rows almost surely do not all share key 1.
+	allSame := true
+	for _, r := range rows[:5] {
+		if r.Key != rows[0].Key {
+			allSame = false
+		}
+	}
+	inOrder := true
+	for i := 1; i < 20; i++ {
+		if rows[i].Key < rows[i-1].Key {
+			inOrder = false
+		}
+	}
+	if allSame && inOrder {
+		t.Fatal("stream does not appear shuffled")
+	}
+}
+
+func TestZipfStream(t *testing.T) {
+	rows, err := ZipfStream(5000, 6.0, 2.7, 500, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5000 {
+		t.Fatalf("stream too short: %d", len(rows))
+	}
+	perKey := map[uint64]int{}
+	for _, r := range rows {
+		perKey[r.Key]++
+	}
+	mean := float64(len(rows)) / float64(len(perKey))
+	if mean < 4 || mean > 9 {
+		t.Fatalf("empirical mean dupes %v, want ≈6", mean)
+	}
+	// Attribute values within a key must be distinct.
+	seen := map[[2]uint64]bool{}
+	for _, r := range rows {
+		k := [2]uint64{r.Key, r.Attr}
+		if seen[k] {
+			t.Fatalf("duplicate pair %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestZipfStreamDeterministic(t *testing.T) {
+	a, err := ZipfStream(500, 3, 2.7, 500, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfStream(500, 3, 2.7, 500, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ across runs with same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across runs with same seed", i)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package ccf
+
+import "sync"
+
+// SyncFilter wraps a Filter with a read-write mutex so a pre-built filter
+// can serve concurrent queries while being updated. Queries take the read
+// lock; Insert, Delete and UnmarshalBinary take the write lock.
+//
+// In the paper's deployment model filters are built once and then queried
+// read-only, in which case the plain Filter is safe to share without
+// locking as long as no goroutine mutates it.
+type SyncFilter struct {
+	mu sync.RWMutex
+	f  *Filter
+}
+
+// NewSync returns a synchronized filter configured by p.
+func NewSync(p Params) (*SyncFilter, error) {
+	f, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncFilter{f: f}, nil
+}
+
+// WrapSync wraps an existing filter. The caller must not use f directly
+// afterwards.
+func WrapSync(f *Filter) *SyncFilter { return &SyncFilter{f: f} }
+
+// Insert adds a row.
+func (s *SyncFilter) Insert(key uint64, attrs []uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Insert(key, attrs)
+}
+
+// Delete removes a row (Plain variant only).
+func (s *SyncFilter) Delete(key uint64, attrs []uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Delete(key, attrs)
+}
+
+// Query reports whether a matching row may exist.
+func (s *SyncFilter) Query(key uint64, pred Predicate) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.Query(key, pred)
+}
+
+// QueryKey reports whether any row with the key may exist.
+func (s *SyncFilter) QueryKey(key uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.QueryKey(key)
+}
+
+// PredicateFilter extracts a key-only view for pred (Algorithm 2).
+func (s *SyncFilter) PredicateFilter(pred Predicate) (*KeyView, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.PredicateFilter(pred)
+}
+
+// LoadFactor returns the fraction of occupied entries.
+func (s *SyncFilter) LoadFactor() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.LoadFactor()
+}
+
+// SizeBits returns the packed sketch size in bits.
+func (s *SyncFilter) SizeBits() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.SizeBits()
+}
+
+// Rows returns the number of accepted rows.
+func (s *SyncFilter) Rows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.Rows()
+}
+
+// MarshalBinary encodes the filter.
+func (s *SyncFilter) MarshalBinary() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.MarshalBinary()
+}
+
+// UnmarshalBinary decodes a filter produced by MarshalBinary.
+func (s *SyncFilter) UnmarshalBinary(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.UnmarshalBinary(data)
+}
