@@ -42,6 +42,14 @@
 // once, stored, and shipped to query processors, the deployment model the
 // paper targets. PredicateFilter extracts a key-only membership filter for
 // a fixed predicate (Algorithm 2).
+//
+// # Serving
+//
+// For concurrent traffic, SyncFilter guards one filter with a single
+// read-write lock, and ShardedFilter stripes keys across independently
+// locked shards with batched insert/query entry points. The ccfd daemon
+// (cmd/ccfd) serves named sharded filters over HTTP/JSON with a cache of
+// predicate key-views for repeated pushdown predicates.
 package ccf
 
 import (

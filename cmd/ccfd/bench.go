@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ccf"
+	"ccf/internal/core"
+	"ccf/internal/server"
+	"ccf/internal/shard"
+	"ccf/internal/zipfmd"
+)
+
+// BenchResult is one machine-readable benchmark record; the JSON file is
+// an array of these, the perf trajectory future PRs compare against.
+type BenchResult struct {
+	Op      string  `json:"op"`   // insert | query
+	Impl    string  `json:"impl"` // sync | sharded
+	Variant string  `json:"variant"`
+	Shards  int     `json:"shards"` // 1 for sync
+	Batch   int     `json:"batch"`  // 1 = point calls
+	NsPerOp float64 `json:"ns_per_op"`
+	QPS     float64 `json:"qps"`
+	Cores   int     `json:"cores"`
+	Alpha   float64 `json:"alpha"`
+	Keys    int     `json:"keys"`
+	Ops     int     `json:"ops"`
+}
+
+// benchConfig parameterizes one bench run.
+type benchConfig struct {
+	keys    int
+	queries int
+	batch   int
+	shards  []int
+	variant core.Variant
+	alpha   float64
+	clients int
+	seed    int64
+}
+
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	keys := fs.Int("keys", 100000, "distinct keys inserted")
+	queries := fs.Int("queries", 1000000, "queries replayed")
+	batch := fs.Int("batch", 1024, "keys per batched request")
+	shardsFlag := fs.String("shards", "1,4,16", "comma-separated shard counts")
+	variantFlag := fs.String("variant", "chained", "filter variant")
+	alpha := fs.Float64("alpha", 1.1, "Zipf-Mandelbrot skew of the query workload")
+	clients := fs.Int("clients", 0, "concurrent client goroutines (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "workload and hashing seed")
+	out := fs.String("out", "BENCH_serve.json", "JSON results path (empty = skip)")
+	fs.Parse(args)
+
+	variant, err := server.ParseVariant(*variantFlag)
+	if err != nil {
+		return err
+	}
+	if *keys < 1 || *queries < 1 || *batch < 1 {
+		return fmt.Errorf("-keys, -queries and -batch must be at least 1")
+	}
+	if *clients < 0 {
+		return fmt.Errorf("-clients must be non-negative")
+	}
+	var shardCounts []int
+	for _, s := range strings.Split(*shardsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shards entry %q", s)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+	nClients := *clients
+	if nClients == 0 {
+		nClients = runtime.GOMAXPROCS(0)
+	}
+	cfg := benchConfig{
+		keys: *keys, queries: *queries, batch: *batch, shards: shardCounts,
+		variant: variant, alpha: *alpha, clients: nClients, seed: *seed,
+	}
+	results, err := runBench(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records to %s\n", len(results), *out)
+	}
+	return nil
+}
+
+// runBench replays a Zipf-skewed workload against the single-lock
+// SyncFilter and the sharded filter at each shard count, writing a table
+// to w and returning the JSON records.
+func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
+	keys := make([]uint64, cfg.keys)
+	attrs := make([][]uint64, cfg.keys)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + uint64(cfg.seed)
+		attrs[i] = []uint64{uint64(i % 8), uint64(i % 5)}
+	}
+	// Zipf-Mandelbrot rank sampling (the paper's multiset skew, c = 2.7):
+	// rank r maps to the r-th key, so a few hot keys dominate the replay.
+	dist, err := zipfmd.New(cfg.alpha, 2.7, cfg.keys, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	workload := make([]uint64, cfg.queries)
+	for i := range workload {
+		workload[i] = keys[dist.Sample()-1]
+	}
+	pred := core.And(core.Eq(0, 1))
+	params := core.Params{Variant: cfg.variant, NumAttrs: 2, Capacity: cfg.keys * 2, Seed: uint64(cfg.seed)}
+	mkResult := func(op, impl string, shards, batch, ops int, elapsed time.Duration) BenchResult {
+		ns := float64(elapsed.Nanoseconds()) / float64(ops)
+		return BenchResult{
+			Op: op, Impl: impl, Variant: cfg.variant.String(), Shards: shards,
+			Batch: batch, NsPerOp: ns, QPS: 1e9 / ns, Cores: runtime.GOMAXPROCS(0),
+			Alpha: cfg.alpha, Keys: cfg.keys, Ops: ops,
+		}
+	}
+	var results []BenchResult
+
+	// Single-lock baseline: point calls from concurrent clients.
+	sf, err := ccf.NewSync(params)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := inParallel(cfg.clients, cfg.keys, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sf.Insert(keys[i], attrs[i])
+		}
+	})
+	results = append(results, mkResult("insert", "sync", 1, 1, cfg.keys, elapsed))
+	elapsed = inParallel(cfg.clients, len(workload), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sf.Query(workload[i], pred)
+		}
+	})
+	results = append(results, mkResult("query", "sync", 1, 1, len(workload), elapsed))
+
+	// Sharded: batched calls from concurrent clients. Workers stays 1 so
+	// the client goroutines are the only parallelism, the server shape.
+	for _, n := range cfg.shards {
+		s, err := shard.New(shard.Options{Shards: n, Workers: 1, Params: params})
+		if err != nil {
+			return nil, err
+		}
+		elapsed = inParallelBatched(cfg.clients, cfg.keys, cfg.batch, func(lo, hi int) {
+			s.InsertBatch(keys[lo:hi], attrs[lo:hi])
+		})
+		results = append(results, mkResult("insert", "sharded", n, cfg.batch, cfg.keys, elapsed))
+		elapsed = inParallelBatched(cfg.clients, len(workload), cfg.batch, func(lo, hi int) {
+			s.QueryBatch(workload[lo:hi], pred)
+		})
+		results = append(results, mkResult("query", "sharded", n, cfg.batch, len(workload), elapsed))
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "%-7s %-8s %-8s %7s %6s %12s %14s\n",
+			"op", "impl", "variant", "shards", "batch", "ns/op", "qps")
+		for _, r := range results {
+			fmt.Fprintf(w, "%-7s %-8s %-8s %7d %6d %12.1f %14.0f\n",
+				r.Op, r.Impl, r.Variant, r.Shards, r.Batch, r.NsPerOp, r.QPS)
+		}
+	}
+	return results, nil
+}
+
+// inParallel splits [0, n) into one contiguous chunk per client, runs fn
+// on each concurrently, and returns the wall time.
+func inParallel(clients, n int, fn func(lo, hi int)) time.Duration {
+	if clients > n {
+		clients = n
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		lo, hi := c*n/clients, (c+1)*n/clients
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// inParallelBatched is inParallel with each client walking its chunk in
+// batch-sized requests.
+func inParallelBatched(clients, n, batch int, fn func(lo, hi int)) time.Duration {
+	return inParallel(clients, n, func(lo, hi int) {
+		for ; lo < hi; lo += batch {
+			end := lo + batch
+			if end > hi {
+				end = hi
+			}
+			fn(lo, end)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Command ccfd is the conditional-cuckoo-filter daemon: it serves named,
+// sharded filters over HTTP for the paper's pushdown deployment (filters
+// built once, probed at high rate by query processors, §3), and ships a
+// bench mode that replays a Zipf-skewed workload against the sharded and
+// single-lock implementations.
+//
+// Usage:
+//
+//	ccfd serve [-addr :8437] [-cache 64]
+//	ccfd bench [-keys 100000] [-queries 1000000] [-batch 1024]
+//	           [-shards 1,4,16] [-variant chained] [-alpha 1.1]
+//	           [-clients 0] [-seed 1] [-out BENCH_serve.json]
+//
+// serve exposes the internal/server API:
+//
+//	PUT    /filters/{name}           create or replace a filter
+//	POST   /filters/{name}/insert    batched inserts
+//	POST   /filters/{name}/query     batched queries (via_view caches
+//	                                 predicate key-views across requests)
+//	GET    /filters/{name}/snapshot  binary snapshot
+//	POST   /filters/{name}/restore   restore from a snapshot
+//	DELETE /filters/{name}           drop a filter
+//	GET    /stats, GET /healthz
+//
+// bench prints a table and writes machine-readable JSON records
+// ({op, impl, variant, shards, batch, ns_per_op, qps, cores}) for the
+// perf trajectory tracked across PRs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccf/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serveCmd(os.Args[2:])
+	case "bench":
+		err = benchCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ccfd: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccfd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  ccfd serve [-addr :8437] [-cache 64]
+  ccfd bench [-keys N] [-queries N] [-batch N] [-shards 1,4,16]
+             [-variant chained|plain|bloom|mixed] [-alpha 1.1]
+             [-clients 0] [-seed 1] [-out BENCH_serve.json]
+`)
+}
+
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8437", "listen address")
+	cache := fs.Int("cache", server.DefaultViewCacheCap, "predicate view-cache capacity per filter")
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ccfd: serving on %s\n", ln.Addr())
+	return serveUntilDone(ctx, ln, *cache)
+}
+
+// serveUntilDone runs the HTTP API on ln until ctx is cancelled, then
+// shuts down gracefully; tests drive it directly with a cancelable
+// context and a :0 listener.
+func serveUntilDone(ctx context.Context, ln net.Listener, cacheCap int) error {
+	srv := &http.Server{Handler: server.NewHandler(server.NewRegistry(cacheCap))}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "ccfd: shut down")
+	return nil
+}

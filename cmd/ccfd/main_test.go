@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ccf/internal/core"
+	"ccf/internal/server"
+)
+
+// startDaemon runs the real serve loop on an ephemeral port and returns
+// its base URL plus a shutdown function that waits for graceful exit.
+func startDaemon(t *testing.T) (string, func() error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- serveUntilDone(ctx, ln, 16) }()
+	url := "http://" + ln.Addr().String()
+	// Wait for the daemon to answer.
+	for i := 0; ; i++ {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if i > 100 {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return url, func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("shutdown timed out")
+		}
+	}
+}
+
+func post(t *testing.T, url string, body any, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: unmarshal %q: %v", url, data, err)
+		}
+	}
+}
+
+// TestDaemonServesConcurrentBatches boots ccfd's serve loop and drives
+// concurrent batched inserts and queries over real HTTP, then shuts down
+// gracefully — the daemon-level -race exercise.
+func TestDaemonServesConcurrentBatches(t *testing.T) {
+	url, shutdown := startDaemon(t)
+
+	req, _ := http.NewRequest("PUT", url+"/filters/jobs", bytes.NewReader([]byte(
+		`{"variant":"chained","shards":4,"capacity":65536,"num_attrs":2}`)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create filter: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 5; it++ {
+				keys := make([]uint64, 64)
+				attrs := make([][]uint64, 64)
+				for i := range keys {
+					keys[i] = uint64(g*10000+it*64+i)*7919 + 3
+					attrs[i] = []uint64{uint64(i % 4), uint64(i % 3)}
+				}
+				var ins server.InsertResponse
+				post(t, url+"/filters/jobs/insert", server.InsertRequest{Keys: keys, Attrs: attrs}, &ins)
+				if ins.Accepted != 64 {
+					t.Errorf("writer %d: accepted %d", g, ins.Accepted)
+					return
+				}
+				var q server.QueryResponse
+				post(t, url+"/filters/jobs/query", server.QueryRequest{
+					Keys:      keys,
+					Predicate: []server.CondJSON{{Attr: 0, Values: []uint64{0, 1, 2, 3}}},
+					ViaView:   it%2 == 1,
+				}, &q)
+				for i, ok := range q.Results {
+					if !ok {
+						t.Errorf("writer %d: lost key %d", g, keys[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var st server.StatsResponse
+	resp, err = http.Get(url + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	resp.Body.Close()
+	if got := st.Filters["jobs"].Rows; got != 3*5*64 {
+		t.Fatalf("rows = %d, want %d", got, 3*5*64)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestBenchEmitsJSONRecords runs a miniature bench pass and checks the
+// machine-readable records cover both implementations and every shard
+// count, with sane rates.
+func TestBenchEmitsJSONRecords(t *testing.T) {
+	cfg := benchConfig{
+		keys: 2000, queries: 8000, batch: 256, shards: []int{1, 4},
+		variant: core.VariantChained, alpha: 1.1, clients: 2, seed: 1,
+	}
+	var buf bytes.Buffer
+	results, err := runBench(cfg, &buf)
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	if len(results) != 2+2*len(cfg.shards) {
+		t.Fatalf("got %d records", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[fmt.Sprintf("%s/%s/%d", r.Op, r.Impl, r.Shards)] = true
+		if r.QPS <= 0 || r.NsPerOp <= 0 || r.Cores < 1 || r.Variant != "Chained" {
+			t.Fatalf("bad record: %+v", r)
+		}
+	}
+	for _, want := range []string{"insert/sync/1", "query/sync/1", "insert/sharded/1",
+		"query/sharded/1", "insert/sharded/4", "query/sharded/4"} {
+		if !seen[want] {
+			t.Fatalf("missing record %s (have %v)", want, seen)
+		}
+	}
+	// Records round-trip through JSON with the documented field names.
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, field := range []string{"op", "impl", "variant", "shards", "batch", "ns_per_op", "qps", "cores"} {
+		if _, ok := decoded[0][field]; !ok {
+			t.Fatalf("JSON record missing %q: %s", field, data)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no table output")
+	}
+}

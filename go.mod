@@ -1,0 +1,3 @@
+module ccf
+
+go 1.22

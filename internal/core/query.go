@@ -10,8 +10,7 @@ func (f *Filter) Query(key uint64, pred Predicate) bool {
 		// and let the caller discover the programming error via QueryErr.
 		return true
 	}
-	ok, _ := f.QueryErr(key, pred)
-	return ok
+	return f.QueryUnchecked(key, pred)
 }
 
 // QueryErr is Query with predicate validation errors surfaced.
@@ -19,13 +18,21 @@ func (f *Filter) QueryErr(key uint64, pred Predicate) (bool, error) {
 	if err := pred.Validate(f.p.NumAttrs); err != nil {
 		return true, err
 	}
+	return f.QueryUnchecked(key, pred), nil
+}
+
+// QueryUnchecked is Query without the per-call predicate validation:
+// batch callers (internal/shard) validate once per batch and fan out, so
+// the per-key path is just hashing and bucket probes. pred must already
+// have passed Predicate.Validate for this filter's NumAttrs.
+func (f *Filter) QueryUnchecked(key uint64, pred Predicate) bool {
 	fp := f.fingerprint(key)
 	home := f.homeBucket(key)
 	switch f.p.Variant {
 	case VariantChained:
-		return f.queryChained(fp, home, pred), nil
+		return f.queryChained(fp, home, pred)
 	default:
-		return f.queryPair(fp, home, pred), nil
+		return f.queryPair(fp, home, pred)
 	}
 }
 

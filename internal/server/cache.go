@@ -1,0 +1,163 @@
+package server
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ccf/internal/core"
+	"ccf/internal/shard"
+)
+
+// CanonicalPredicate renders a predicate as a canonical string cache key:
+// conditions sorted by attribute, values sorted and deduplicated, so two
+// predicates that admit the same rows (up to conjunct order and value
+// repetition) share one cached key-view. An empty predicate canonicalizes
+// to "".
+func CanonicalPredicate(pred core.Predicate) string {
+	if len(pred) == 0 {
+		return ""
+	}
+	conds := make([]core.Cond, len(pred))
+	for i, c := range pred {
+		vs := append([]uint64(nil), c.Values...)
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+		uniq := vs[:0]
+		for j, v := range vs {
+			if j == 0 || v != vs[j-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		conds[i] = core.Cond{Attr: c.Attr, Values: uniq}
+	}
+	sort.SliceStable(conds, func(a, b int) bool {
+		if conds[a].Attr != conds[b].Attr {
+			return conds[a].Attr < conds[b].Attr
+		}
+		return lessValues(conds[a].Values, conds[b].Values)
+	})
+	var b strings.Builder
+	for i, c := range conds {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.Itoa(c.Attr))
+		b.WriteByte('=')
+		for j, v := range c.Values {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(v, 10))
+		}
+	}
+	return b.String()
+}
+
+func lessValues(a, b []uint64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// CacheStats reports view-cache effectiveness for /stats.
+type CacheStats struct {
+	Capacity      int    `json:"capacity"`
+	Entries       int    `json:"entries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Evictions     uint64 `json:"evictions"`
+}
+
+// viewCache is an LRU of predicate key-views. Entries are stamped with the
+// owning filter's version at extraction time; a lookup against a newer
+// version discards the entry (write invalidation), so a cached view never
+// hides rows inserted after it was built.
+type viewCache struct {
+	mu            sync.Mutex
+	cap           int
+	ll            *list.List // front = most recently used
+	byKey         map[string]*list.Element
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+	evictions     uint64
+}
+
+type cacheEntry struct {
+	key     string
+	version uint64
+	view    *shard.KeyView
+}
+
+func newViewCache(capacity int) *viewCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &viewCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached view for key if it was extracted at version.
+func (c *viewCache) get(key string, version uint64) (*shard.KeyView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.version != version {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+		c.invalidations++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.view, true
+}
+
+// put stores a view extracted at version, evicting the least recently
+// used entry when full.
+func (c *viewCache) put(key string, version uint64, view *shard.KeyView) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		// A slow extraction can finish after a concurrent request already
+		// cached a fresher view; keep the newer one.
+		if ent.version <= version {
+			ent.version = version
+			ent.view = view
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, version: version, view: view})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *viewCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:      c.cap,
+		Entries:       c.ll.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"testing"
+
+	"ccf/internal/core"
+)
+
+func TestCanonicalPredicate(t *testing.T) {
+	cases := []struct {
+		name string
+		pred core.Predicate
+		want string
+	}{
+		{"empty", nil, ""},
+		{"eq", core.And(core.Eq(2, 7)), "2=7"},
+		{"sorted values", core.And(core.In(0, 9, 3, 3, 1)), "0=1,3,9"},
+		{"sorted conds", core.And(core.Eq(3, 1), core.Eq(0, 5)), "0=5;3=1"},
+	}
+	for _, c := range cases {
+		if got := CanonicalPredicate(c.pred); got != c.want {
+			t.Errorf("%s: got %q, want %q", c.name, got, c.want)
+		}
+	}
+	// Reordered conjuncts and repeated values canonicalize identically.
+	a := core.And(core.Eq(1, 4), core.In(0, 2, 8))
+	b := core.And(core.In(0, 8, 2, 2), core.Eq(1, 4))
+	if CanonicalPredicate(a) != CanonicalPredicate(b) {
+		t.Errorf("equivalent predicates canonicalize differently: %q vs %q",
+			CanonicalPredicate(a), CanonicalPredicate(b))
+	}
+}
+
+func TestViewCacheLRUAndInvalidation(t *testing.T) {
+	c := newViewCache(2)
+	if _, ok := c.get("a", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", 1, nil)
+	c.put("b", 1, nil)
+	if _, ok := c.get("a", 1); !ok {
+		t.Fatal("miss on fresh entry")
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.put("c", 1, nil)
+	if _, ok := c.get("b", 1); ok {
+		t.Fatal("LRU kept the least recently used entry")
+	}
+	if _, ok := c.get("a", 1); !ok {
+		t.Fatal("LRU evicted the most recently used entry")
+	}
+	// A version bump invalidates on lookup.
+	if _, ok := c.get("a", 2); ok {
+		t.Fatal("stale entry served across versions")
+	}
+	st := c.stats()
+	if st.Invalidations != 1 || st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 2/3", st.Hits, st.Misses)
+	}
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ccf/internal/core"
+	"ccf/internal/shard"
+)
+
+// maxBodyBytes bounds request bodies (batches and snapshots).
+const maxBodyBytes = 1 << 30
+
+// CreateRequest is the body of PUT /filters/{name}.
+type CreateRequest struct {
+	Variant  string `json:"variant"` // plain | chained | bloom | mixed
+	Shards   int    `json:"shards"`
+	Workers  int    `json:"workers"`
+	Capacity int    `json:"capacity"`
+	NumAttrs int    `json:"num_attrs"`
+	KeyBits  int    `json:"key_bits"`
+	AttrBits int    `json:"attr_bits"`
+	Seed     uint64 `json:"seed"`
+}
+
+// InsertRequest is the body of POST /filters/{name}/insert.
+type InsertRequest struct {
+	Keys  []uint64   `json:"keys"`
+	Attrs [][]uint64 `json:"attrs"`
+}
+
+// InsertResponse reports per-row failures sparsely by row index.
+type InsertResponse struct {
+	Accepted int            `json:"accepted"`
+	Errors   map[int]string `json:"errors,omitempty"`
+}
+
+// CondJSON is one predicate conjunct.
+type CondJSON struct {
+	Attr   int      `json:"attr"`
+	Values []uint64 `json:"values"`
+}
+
+// QueryRequest is the body of POST /filters/{name}/query. With ViaView
+// the batch is answered from the (cached) predicate key-view instead of
+// probing attribute sketches per key — the right choice for pushdown
+// predicates that repeat across many batches.
+type QueryRequest struct {
+	Keys      []uint64   `json:"keys"`
+	Predicate []CondJSON `json:"predicate,omitempty"`
+	ViaView   bool       `json:"via_view,omitempty"`
+}
+
+// QueryResponse carries one result per key; ViewCacheHit is set only for
+// via-view queries.
+type QueryResponse struct {
+	Results      []bool `json:"results"`
+	ViewCacheHit *bool  `json:"view_cache_hit,omitempty"`
+}
+
+// FilterStats is one filter's entry in GET /stats.
+type FilterStats struct {
+	shard.Stats
+	ViewCache CacheStats `json:"view_cache"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Filters map[string]FilterStats `json:"filters"`
+}
+
+// ParseVariant maps a wire name to a core variant; empty means Chained.
+func ParseVariant(s string) (core.Variant, error) {
+	switch strings.ToLower(s) {
+	case "", "chained":
+		return core.VariantChained, nil
+	case "plain":
+		return core.VariantPlain, nil
+	case "bloom":
+		return core.VariantBloom, nil
+	case "mixed":
+		return core.VariantMixed, nil
+	default:
+		return 0, fmt.Errorf("server: unknown variant %q", s)
+	}
+}
+
+func toPredicate(conds []CondJSON) core.Predicate {
+	if len(conds) == 0 {
+		return nil
+	}
+	pred := make(core.Predicate, len(conds))
+	for i, c := range conds {
+		pred[i] = core.Cond{Attr: c.Attr, Values: c.Values}
+	}
+	return pred
+}
+
+// NewHandler returns the HTTP API over a registry:
+//
+//	PUT    /filters/{name}           create or replace a filter
+//	DELETE /filters/{name}           drop a filter
+//	POST   /filters/{name}/insert    batched inserts
+//	POST   /filters/{name}/query     batched queries (optionally via view)
+//	GET    /filters/{name}/snapshot  whole-set binary snapshot
+//	POST   /filters/{name}/restore   create or replace from a snapshot
+//	GET    /stats                    registry-wide stats
+//	GET    /healthz                  liveness probe
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /filters/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		variant, err := ParseVariant(req.Variant)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		_, err = reg.Create(r.PathValue("name"), shard.Options{
+			Shards:  req.Shards,
+			Workers: req.Workers,
+			Params: core.Params{
+				Variant:  variant,
+				Capacity: req.Capacity,
+				NumAttrs: req.NumAttrs,
+				KeyBits:  req.KeyBits,
+				AttrBits: req.AttrBits,
+				Seed:     req.Seed,
+			},
+		})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+
+	mux.HandleFunc("DELETE /filters/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if !reg.Delete(r.PathValue("name")) {
+			httpError(w, http.StatusNotFound, errors.New("server: no such filter"))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /filters/{name}/insert", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := lookup(w, r, reg)
+		if !ok {
+			return
+		}
+		var req InsertRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if len(req.Keys) != len(req.Attrs) {
+			httpError(w, http.StatusBadRequest, shard.ErrBatchShape)
+			return
+		}
+		errs := e.Filter().InsertBatch(req.Keys, req.Attrs)
+		resp := InsertResponse{Accepted: len(req.Keys)}
+		for i, err := range errs {
+			if err != nil {
+				if resp.Errors == nil {
+					resp.Errors = make(map[int]string)
+				}
+				resp.Errors[i] = err.Error()
+				resp.Accepted--
+			}
+		}
+		writeJSON(w, resp)
+	})
+
+	mux.HandleFunc("POST /filters/{name}/query", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := lookup(w, r, reg)
+		if !ok {
+			return
+		}
+		var req QueryRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		pred := toPredicate(req.Predicate)
+		if err := pred.Validate(e.Filter().Params().NumAttrs); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var resp QueryResponse
+		if req.ViaView {
+			view, hit, err := e.PredicateView(pred)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			resp.Results = view.ContainsBatch(req.Keys)
+			resp.ViewCacheHit = &hit
+		} else {
+			resp.Results = e.Filter().QueryBatch(req.Keys, pred)
+		}
+		if resp.Results == nil {
+			resp.Results = []bool{}
+		}
+		writeJSON(w, resp)
+	})
+
+	mux.HandleFunc("GET /filters/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := lookup(w, r, reg)
+		if !ok {
+			return
+		}
+		data, err := e.Filter().Snapshot()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+
+	mux.HandleFunc("POST /filters/{name}/restore", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sf, err := shard.FromSnapshot(data, 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		reg.Set(r.PathValue("name"), sf)
+		w.WriteHeader(http.StatusCreated)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		resp := StatsResponse{Filters: make(map[string]FilterStats)}
+		for _, name := range reg.Names() {
+			e, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			resp.Filters[name] = FilterStats{Stats: e.Filter().Stats(), ViewCache: e.CacheStats()}
+		}
+		writeJSON(w, resp)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+
+	return mux
+}
+
+func lookup(w http.ResponseWriter, r *http.Request, reg *Registry) (*Entry, bool) {
+	e, ok := reg.Get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("server: no such filter"))
+	}
+	return e, ok
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

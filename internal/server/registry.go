@@ -1,0 +1,123 @@
+// Package server turns the sharded conditional cuckoo filter into a
+// serving subsystem: a registry of named filters (one per join-graph
+// table in the paper's pushdown deployment, §3), an LRU cache of
+// predicate key-views so repeated pushdown predicates skip Algorithm-2
+// re-extraction, and an HTTP/JSON API over both (see NewHandler).
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ccf/internal/core"
+	"ccf/internal/shard"
+)
+
+// DefaultViewCacheCap is the per-filter predicate-view cache capacity
+// when NewRegistry is given zero.
+const DefaultViewCacheCap = 64
+
+// Registry maps filter names to sharded instances, each paired with its
+// predicate-view cache. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	entries  map[string]*Entry
+	cacheCap int
+}
+
+// Entry is a registered filter plus its view cache.
+type Entry struct {
+	name  string
+	sf    *shard.ShardedFilter
+	cache *viewCache
+}
+
+// NewRegistry returns an empty registry whose per-filter view caches hold
+// up to cacheCap predicates (0 means DefaultViewCacheCap).
+func NewRegistry(cacheCap int) *Registry {
+	if cacheCap == 0 {
+		cacheCap = DefaultViewCacheCap
+	}
+	return &Registry{entries: make(map[string]*Entry), cacheCap: cacheCap}
+}
+
+// Create builds a sharded filter from opts and registers it under name,
+// replacing any existing filter (PUT semantics).
+func (r *Registry) Create(name string, opts shard.Options) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty filter name")
+	}
+	sf, err := shard.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.Set(name, sf), nil
+}
+
+// Set registers an existing sharded filter under name with a fresh view
+// cache, replacing any previous entry.
+func (r *Registry) Set(name string, sf *shard.ShardedFilter) *Entry {
+	e := &Entry{name: name, sf: sf, cache: newViewCache(r.cacheCap)}
+	r.mu.Lock()
+	r.entries[name] = e
+	r.mu.Unlock()
+	return e
+}
+
+// Get returns the entry registered under name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	return e, ok
+}
+
+// Delete removes the entry registered under name.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	_, ok := r.entries[name]
+	delete(r.entries, name)
+	r.mu.Unlock()
+	return ok
+}
+
+// Names returns the registered filter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the entry's registered name.
+func (e *Entry) Name() string { return e.name }
+
+// Filter returns the underlying sharded filter.
+func (e *Entry) Filter() *shard.ShardedFilter { return e.sf }
+
+// CacheStats returns the entry's view-cache counters.
+func (e *Entry) CacheStats() CacheStats { return e.cache.stats() }
+
+// PredicateView returns a key-only view for pred, serving it from the
+// cache when one was extracted at the filter's current version. The
+// second result reports a cache hit. The version is read before
+// extraction, so a write that races with a rebuild leaves a view stamped
+// too old — it re-extracts next time rather than serving stale rows.
+func (e *Entry) PredicateView(pred core.Predicate) (*shard.KeyView, bool, error) {
+	key := CanonicalPredicate(pred)
+	version := e.sf.Version()
+	if v, ok := e.cache.get(key, version); ok {
+		return v, true, nil
+	}
+	v, err := e.sf.PredicateFilter(pred)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.put(key, version, v)
+	return v, false, nil
+}

@@ -1,0 +1,361 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ccf/internal/core"
+	"ccf/internal/shard"
+)
+
+func testRegistry(t *testing.T) (*Registry, *Entry) {
+	t.Helper()
+	reg := NewRegistry(4)
+	e, err := reg.Create("movies", shard.Options{
+		Shards: 4,
+		Params: core.Params{NumAttrs: 2, Capacity: 1 << 14, Seed: 3},
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return reg, e
+}
+
+func insertRows(t *testing.T, e *Entry, n int) ([]uint64, [][]uint64) {
+	t.Helper()
+	keys := make([]uint64, n)
+	attrs := make([][]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 5
+		attrs[i] = []uint64{uint64(i % 4), uint64(i % 6)}
+	}
+	for i, err := range e.Filter().InsertBatch(keys, attrs) {
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return keys, attrs
+}
+
+// TestPredicateViewCacheHitAndInvalidation is the acceptance test for the
+// pushdown cache: a repeated predicate is served from cache (including
+// under a reordered-but-equivalent spelling), and a write invalidates it.
+func TestPredicateViewCacheHitAndInvalidation(t *testing.T) {
+	_, e := testRegistry(t)
+	keys, _ := insertRows(t, e, 2000)
+
+	pred := core.And(core.Eq(0, 1), core.Eq(1, 2))
+	if _, hit, err := e.PredicateView(pred); err != nil || hit {
+		t.Fatalf("first extraction: hit=%v err=%v, want miss", hit, err)
+	}
+	view, hit, err := e.PredicateView(pred)
+	if err != nil || !hit {
+		t.Fatalf("repeat extraction: hit=%v err=%v, want hit", hit, err)
+	}
+	// An equivalent spelling of the predicate must hit the same entry.
+	if _, hit, _ = e.PredicateView(core.And(core.Eq(1, 2), core.Eq(0, 1))); !hit {
+		t.Fatal("reordered predicate missed the cache")
+	}
+	// The view answers like the filter.
+	for _, k := range keys[:100] {
+		if e.Filter().Query(k, pred) && !view.Contains(k) {
+			t.Fatalf("view dropped key %d", k)
+		}
+	}
+	st := e.CacheStats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 2 hits / 1 miss", st)
+	}
+
+	// A write bumps the version: the next lookup must re-extract.
+	if err := e.Filter().Insert(1e9, []uint64{1, 2}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	view2, hit, err := e.PredicateView(pred)
+	if err != nil || hit {
+		t.Fatalf("post-write extraction: hit=%v err=%v, want miss", hit, err)
+	}
+	if !view2.Contains(1e9) {
+		t.Fatal("re-extracted view is missing the new row")
+	}
+	if st := e.CacheStats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// And the refreshed view is cached again.
+	if _, hit, _ := e.PredicateView(pred); !hit {
+		t.Fatal("refreshed view not re-cached")
+	}
+}
+
+func TestViewCacheEvictsByPredicate(t *testing.T) {
+	_, e := testRegistry(t) // cache capacity 4
+	insertRows(t, e, 500)
+	for i := 0; i < 6; i++ {
+		if _, hit, err := e.PredicateView(core.And(core.Eq(0, uint64(i)))); err != nil || hit {
+			t.Fatalf("pred %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	// Predicates 0 and 1 were evicted by 4 and 5; 5 is still resident.
+	if _, hit, _ := e.PredicateView(core.And(core.Eq(0, 5))); !hit {
+		t.Fatal("most recent predicate evicted")
+	}
+	if _, hit, _ := e.PredicateView(core.And(core.Eq(0, 0))); hit {
+		t.Fatal("oldest predicate survived a full cache")
+	}
+}
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path string, body, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		t.Fatalf("%s %s: %d %s", method, path, resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: unmarshal %q: %v", method, path, data, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	reg := NewRegistry(0)
+	ts := httptest.NewServer(NewHandler(reg))
+	defer ts.Close()
+
+	doJSON(t, ts, "PUT", "/filters/titles", CreateRequest{
+		Variant: "chained", Shards: 4, Capacity: 1 << 14, NumAttrs: 2, Seed: 9,
+	}, nil)
+
+	keys := []uint64{10, 20, 30, 1 << 60}
+	attrs := [][]uint64{{1, 2}, {1, 3}, {2, 2}, {7, 7}}
+	var ins InsertResponse
+	doJSON(t, ts, "POST", "/filters/titles/insert", InsertRequest{Keys: keys, Attrs: attrs}, &ins)
+	if ins.Accepted != 4 || len(ins.Errors) != 0 {
+		t.Fatalf("insert response = %+v", ins)
+	}
+
+	// Batched query with a predicate: key 10 matches attr0=1, key 30 doesn't.
+	var q QueryResponse
+	doJSON(t, ts, "POST", "/filters/titles/query", QueryRequest{
+		Keys:      []uint64{10, 20, 30, 40, 1 << 60},
+		Predicate: []CondJSON{{Attr: 0, Values: []uint64{1}}},
+	}, &q)
+	if len(q.Results) != 5 || !q.Results[0] || !q.Results[1] {
+		t.Fatalf("query results = %v", q.Results)
+	}
+	if q.ViewCacheHit != nil {
+		t.Fatal("direct query reported a view-cache state")
+	}
+
+	// Via-view queries: first a miss, then a hit; /stats agrees.
+	for i, wantHit := range []bool{false, true, true} {
+		doJSON(t, ts, "POST", "/filters/titles/query", QueryRequest{
+			Keys:      []uint64{10, 30},
+			Predicate: []CondJSON{{Attr: 1, Values: []uint64{2}}},
+			ViaView:   true,
+		}, &q)
+		if q.ViewCacheHit == nil || *q.ViewCacheHit != wantHit {
+			t.Fatalf("via-view query %d: cache hit = %v, want %v", i, q.ViewCacheHit, wantHit)
+		}
+		if !q.Results[0] || !q.Results[1] {
+			t.Fatalf("via-view query %d: results = %v", i, q.Results)
+		}
+	}
+	var st StatsResponse
+	doJSON(t, ts, "GET", "/stats", nil, &st)
+	fs, ok := st.Filters["titles"]
+	if !ok {
+		t.Fatalf("stats missing filter: %+v", st)
+	}
+	if fs.Rows != 4 || fs.Shards != 4 || fs.ViewCache.Hits != 2 || fs.ViewCache.Misses != 1 {
+		t.Fatalf("stats = %+v", fs)
+	}
+
+	// Snapshot → restore under a new name preserves contents.
+	resp, err := ts.Client().Get(ts.URL + "/filters/titles/snapshot")
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	snap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(snap) == 0 {
+		t.Fatalf("snapshot: %d, %d bytes", resp.StatusCode, len(snap))
+	}
+	rresp, err := ts.Client().Post(ts.URL+"/filters/copy/restore", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil || rresp.StatusCode != http.StatusCreated {
+		t.Fatalf("restore: %v %v", err, rresp.Status)
+	}
+	rresp.Body.Close()
+	doJSON(t, ts, "POST", "/filters/copy/query", QueryRequest{Keys: keys}, &q)
+	for i, ok := range q.Results {
+		if !ok {
+			t.Fatalf("restored copy lost key %d", keys[i])
+		}
+	}
+
+	// Delete; the name stops resolving.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/filters/copy", nil)
+	dresp, err := ts.Client().Do(req)
+	if err != nil || dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %v %v", err, dresp.Status)
+	}
+	dresp.Body.Close()
+	qresp, err := ts.Client().Post(ts.URL+"/filters/copy/query", "application/json", bytes.NewReader([]byte(`{"keys":[1]}`)))
+	if err != nil || qresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("query deleted filter: %v %v", err, qresp.Status)
+	}
+	qresp.Body.Close()
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	reg := NewRegistry(0)
+	ts := httptest.NewServer(NewHandler(reg))
+	defer ts.Close()
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"PUT", "/filters/x", `{"variant":"wat"}`, http.StatusBadRequest},
+		{"PUT", "/filters/x", `not json`, http.StatusBadRequest},
+		{"POST", "/filters/none/query", `{"keys":[1]}`, http.StatusNotFound},
+		{"POST", "/filters/none/insert", `{"keys":[1],"attrs":[[0,0]]}`, http.StatusNotFound},
+		{"GET", "/filters/none/snapshot", "", http.StatusNotFound},
+		{"POST", "/filters/x/restore", "garbage", http.StatusBadRequest},
+		{"DELETE", "/filters/none", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader([]byte(c.body)))
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", c.method, c.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: got %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+
+	// Shape mismatch and bad predicate attribute on a live filter.
+	doJSON(t, ts, "PUT", "/filters/x", CreateRequest{Capacity: 1024, NumAttrs: 1}, nil)
+	for _, body := range []string{
+		`{"keys":[1,2],"attrs":[[0]]}`,
+	} {
+		resp, err := ts.Client().Post(ts.URL+"/filters/x/insert", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil || resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("insert shape mismatch: %v %v", err, resp.Status)
+		}
+		resp.Body.Close()
+	}
+	resp, err := ts.Client().Post(ts.URL+"/filters/x/query", "application/json",
+		bytes.NewReader([]byte(`{"keys":[1],"predicate":[{"attr":5,"values":[1]}]}`)))
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("query bad predicate: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+}
+
+// TestHTTPConcurrent exercises the full HTTP stack under -race:
+// concurrent batched inserts, direct queries, via-view queries and stats.
+func TestHTTPConcurrent(t *testing.T) {
+	reg := NewRegistry(8)
+	ts := httptest.NewServer(NewHandler(reg))
+	defer ts.Close()
+	doJSON(t, ts, "PUT", "/filters/t", CreateRequest{Shards: 8, Capacity: 1 << 16, NumAttrs: 1}, nil)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 10; it++ {
+				keys := make([]uint64, 50)
+				attrs := make([][]uint64, 50)
+				for i := range keys {
+					keys[i] = uint64(g*1000+it*50+i) * 2654435761
+					attrs[i] = []uint64{uint64(i % 3)}
+				}
+				var ins InsertResponse
+				doJSON(t, ts, "POST", "/filters/t/insert", InsertRequest{Keys: keys, Attrs: attrs}, &ins)
+				if ins.Accepted != 50 {
+					t.Errorf("writer %d: accepted %d of 50: %+v", g, ins.Accepted, ins.Errors)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 10; it++ {
+				keys := make([]uint64, 100)
+				for i := range keys {
+					keys[i] = uint64(g*100+i) * 2654435761
+				}
+				var q QueryResponse
+				doJSON(t, ts, "POST", "/filters/t/query", QueryRequest{
+					Keys:      keys,
+					Predicate: []CondJSON{{Attr: 0, Values: []uint64{uint64(g % 3)}}},
+					ViaView:   it%2 == 0,
+				}, &q)
+				if len(q.Results) != 100 {
+					t.Errorf("reader %d: %d results", g, len(q.Results))
+					return
+				}
+				var st StatsResponse
+				doJSON(t, ts, "GET", "/stats", nil, &st)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// All 4*10*50 inserted keys must be queryable afterwards.
+	var st StatsResponse
+	doJSON(t, ts, "GET", "/stats", nil, &st)
+	if got := st.Filters["t"].Rows; got != 2000 {
+		t.Fatalf("rows = %d, want 2000", got)
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	for s, want := range map[string]core.Variant{
+		"": core.VariantChained, "chained": core.VariantChained, "Plain": core.VariantPlain,
+		"bloom": core.VariantBloom, "MIXED": core.VariantMixed,
+	} {
+		got, err := ParseVariant(s)
+		if err != nil || got != want {
+			t.Errorf("ParseVariant(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseVariant("nope"); err == nil {
+		t.Error("ParseVariant accepted junk")
+	}
+	if fmt.Sprint(core.VariantChained) != "Chained" {
+		t.Error("variant String changed")
+	}
+}

@@ -1,0 +1,641 @@
+// Package shard partitions a conditional cuckoo filter across N
+// independent core.Filter shards so a pre-built filter can absorb mixed
+// read/write traffic from many goroutines.
+//
+// Keys are routed to shards by a salted hash that is independent of the
+// in-shard bucket hash, so sharding does not skew bucket occupancy. Each
+// shard carries its own read-write lock; readers of different shards never
+// contend, and writers block only their own shard — unlike ccf.SyncFilter,
+// whose single lock serializes the whole table.
+//
+// The batch entry points (InsertBatch, QueryBatch) group a request by shard
+// first and take each shard's lock once per batch, not once per key; with
+// Options.Workers > 0 the per-shard groups are processed by a worker pool.
+// This is the deployment shape the paper targets (§3): filters built once,
+// shipped to query processors, and probed at high rate during predicate
+// pushdown, where per-key call overhead dominates unbatched designs.
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ccf/internal/core"
+	"ccf/internal/hashing"
+)
+
+// saltShard seeds the key→shard routing hash. It is distinct from every
+// salt used inside core so routing is independent of bucket placement.
+const saltShard = 0x9009
+
+// snapshotMagic begins a sharded snapshot ("CCFS").
+const snapshotMagic = 0x53464343
+
+// Errors returned by the sharded batch operations.
+var (
+	// ErrBatchShape reports keys and attrs slices of different lengths.
+	ErrBatchShape = errors.New("shard: keys and attrs have different lengths")
+	// ErrShardCount reports a Restore snapshot whose shard count does not
+	// match the receiver.
+	ErrShardCount = errors.New("shard: snapshot shard count mismatch")
+)
+
+// Options configures a ShardedFilter.
+type Options struct {
+	// Shards is the number of partitions. Default 1.
+	Shards int
+	// Workers bounds the goroutines used by batch operations. 0 means
+	// GOMAXPROCS; 1 runs batches entirely on the calling goroutine.
+	Workers int
+	// Params configures each shard's filter. Capacity (or Buckets, if set)
+	// is divided evenly across shards.
+	Params core.Params
+}
+
+// cell is one shard: a filter behind its own read-write lock, padded so
+// two shards' locks never share a cache line under write contention.
+type cell struct {
+	mu sync.RWMutex
+	f  *core.Filter
+	_  [64]byte
+}
+
+// ShardedFilter is a conditional cuckoo filter partitioned by key hash
+// across independent shards. All methods are safe for concurrent use.
+type ShardedFilter struct {
+	cells   []cell
+	seed    atomic.Uint64 // routing salt base; atomic because Restore may swap it
+	workers int
+	version atomic.Uint64 // bumped by every successful mutation; see Version
+	// gen counts completed Restores; it is bumped while every shard lock
+	// is held. Operations capture it before routing and re-check it under
+	// the shard lock: a mismatch means a Restore swapped the contents
+	// (even one restoring an identical seed) and the operation must
+	// re-route. The seed alone cannot detect that, since snapshots of the
+	// same filter carry the same seed.
+	gen atomic.Uint64
+}
+
+// New returns a sharded filter configured by opts.
+func New(opts Options) (*ShardedFilter, error) {
+	n := opts.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: invalid shard count %d", n)
+	}
+	p := opts.Params
+	if p.Buckets != 0 {
+		p.Buckets = (p.Buckets + uint32(n) - 1) / uint32(n)
+	} else if p.Capacity != 0 {
+		p.Capacity = (p.Capacity + n - 1) / n
+	}
+	w := opts.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("shard: invalid worker count %d", opts.Workers)
+	}
+	s := &ShardedFilter{cells: make([]cell, n), workers: w}
+	for i := range s.cells {
+		f, err := core.New(p)
+		if err != nil {
+			return nil, err
+		}
+		s.cells[i].f = f
+	}
+	s.seed.Store(s.cells[0].f.Params().Seed)
+	return s, nil
+}
+
+// Shards returns the number of partitions.
+func (s *ShardedFilter) Shards() int { return len(s.cells) }
+
+// Params returns the effective per-shard parameters, read under the
+// shard lock so it cannot race with Restore swapping filters.
+func (s *ShardedFilter) Params() core.Params {
+	c := &s.cells[0]
+	c.mu.RLock()
+	p := c.f.Params()
+	c.mu.RUnlock()
+	return p
+}
+
+// Version returns a counter bumped by every successful mutation (Insert,
+// Delete, InsertBatch, Restore). Caches layered above the filter compare
+// versions to detect staleness; see internal/server.
+func (s *ShardedFilter) Version() uint64 { return s.version.Load() }
+
+// router is an immutable snapshot of the key→shard routing function.
+// Operations (and extracted key-views) capture one up front so routing
+// stays self-consistent even if Restore swaps the seed mid-flight.
+type router struct {
+	seed uint64
+	n    int
+}
+
+func (r router) shardOf(key uint64) int {
+	if r.n == 1 {
+		return 0
+	}
+	return int(hashing.Key64(key, r.seed^saltShard) % uint64(r.n))
+}
+
+// group builds a counting-sort permutation of keys by shard: order lists
+// key indexes grouped by shard, and start[i]:start[i+1] bounds shard i's
+// span. A single flat slice keeps batch grouping allocation-light.
+func (r router) group(keys []uint64) (order []int32, start []int32) {
+	shards := make([]int32, len(keys))
+	counts := make([]int32, r.n+1)
+	for i, k := range keys {
+		sh := int32(r.shardOf(k))
+		shards[i] = sh
+		counts[sh+1]++
+	}
+	for i := 0; i < r.n; i++ {
+		counts[i+1] += counts[i]
+	}
+	start = append([]int32(nil), counts...)
+	order = make([]int32, len(keys))
+	for i := range keys {
+		sh := shards[i]
+		order[counts[sh]] = int32(i)
+		counts[sh]++
+	}
+	return order, start
+}
+
+// router returns the current routing snapshot.
+func (s *ShardedFilter) router() router {
+	return router{seed: s.seed.Load(), n: len(s.cells)}
+}
+
+// shardOf routes a key to its shard under the current routing.
+func (s *ShardedFilter) shardOf(key uint64) int { return s.router().shardOf(key) }
+
+// withShard routes key to its shard, acquires that shard's lock (write
+// when mutate, read otherwise) and runs fn with the shard's filter.
+// Routing is computed before the lock, so a concurrent Restore can swap
+// the contents (and possibly the seed) in between; since Restore bumps
+// gen while holding every shard lock, re-checking gen after acquiring
+// ours detects that, and we re-route. The retry makes point operations
+// atomic with respect to Restore: they apply either fully before or
+// fully after it, never with stale routing against fresh contents.
+func (s *ShardedFilter) withShard(key uint64, mutate bool, fn func(f *core.Filter)) {
+	for {
+		gen := s.gen.Load()
+		rt := s.router()
+		c := &s.cells[rt.shardOf(key)]
+		if mutate {
+			c.mu.Lock()
+		} else {
+			c.mu.RLock()
+		}
+		ok := s.gen.Load() == gen
+		if ok {
+			fn(c.f)
+		}
+		if mutate {
+			c.mu.Unlock()
+		} else {
+			c.mu.RUnlock()
+		}
+		if ok {
+			return
+		}
+	}
+}
+
+// Insert adds a row, locking only the key's shard.
+func (s *ShardedFilter) Insert(key uint64, attrs []uint64) error {
+	var err error
+	s.withShard(key, true, func(f *core.Filter) { err = f.Insert(key, attrs) })
+	if err == nil {
+		s.version.Add(1)
+	}
+	return err
+}
+
+// Delete removes a row (Plain variant only), locking only the key's shard.
+func (s *ShardedFilter) Delete(key uint64, attrs []uint64) error {
+	var err error
+	s.withShard(key, true, func(f *core.Filter) { err = f.Delete(key, attrs) })
+	if err == nil {
+		s.version.Add(1)
+	}
+	return err
+}
+
+// Query reports whether a matching row may exist, under the key's shard
+// read lock.
+func (s *ShardedFilter) Query(key uint64, pred core.Predicate) bool {
+	var ok bool
+	s.withShard(key, false, func(f *core.Filter) { ok = f.Query(key, pred) })
+	return ok
+}
+
+// QueryKey reports whether any row with the key may exist.
+func (s *ShardedFilter) QueryKey(key uint64) bool {
+	var ok bool
+	s.withShard(key, false, func(f *core.Filter) { ok = f.QueryKey(key) })
+	return ok
+}
+
+// minKeysPerWorker bounds worker-pool fan-out: spawning a goroutine costs
+// a few microseconds, so it only pays once a worker has a few hundred
+// ~100ns probes to amortize it over. Smaller batches run inline — the
+// right shape for servers whose request handlers are already concurrent.
+const minKeysPerWorker = 512
+
+// runGroups runs fn once per non-empty shard group, on the calling
+// goroutine when only one worker (or one group) is available and on a
+// worker pool otherwise. fn receives the shard index and the key indexes
+// routed to it.
+func runGroups(workers int, order, start []int32, fn func(sh int, idxs []int32)) {
+	var groups []int
+	for sh := 0; sh+1 < len(start); sh++ {
+		if start[sh+1] > start[sh] {
+			groups = append(groups, sh)
+		}
+	}
+	w := workers
+	if max := len(order)/minKeysPerWorker + 1; w > max {
+		w = max
+	}
+	if w > len(groups) {
+		w = len(groups)
+	}
+	if w <= 1 {
+		for _, sh := range groups {
+			fn(sh, order[start[sh]:start[sh+1]])
+		}
+		return
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for sh := range ch {
+				fn(sh, order[start[sh]:start[sh+1]])
+			}
+		}()
+	}
+	for _, sh := range groups {
+		ch <- sh
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// InsertBatch adds rows, grouping them by shard and taking each shard's
+// write lock once. The result has one entry per key, nil on success; a
+// shape mismatch between keys and attrs returns a single ErrBatchShape.
+func (s *ShardedFilter) InsertBatch(keys []uint64, attrs [][]uint64) []error {
+	if len(attrs) != len(keys) {
+		return []error{ErrBatchShape}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	errs := make([]error, len(keys))
+	for {
+		gen := s.gen.Load()
+		rt := s.router()
+		var stale atomic.Bool
+		apply := func(sh int, idxs []int32) {
+			c := &s.cells[sh]
+			c.mu.Lock()
+			switch {
+			case s.gen.Load() != gen:
+				// A Restore completed after routing; rows applied so far
+				// went into the filters it discarded, so the whole batch
+				// retries against the restored contents.
+				stale.Store(true)
+			case idxs == nil: // single shard: all keys
+				for i := range keys {
+					errs[i] = c.f.Insert(keys[i], attrs[i])
+				}
+			default:
+				for _, i := range idxs {
+					errs[i] = c.f.Insert(keys[i], attrs[i])
+				}
+			}
+			c.mu.Unlock()
+		}
+		if rt.n == 1 {
+			apply(0, nil)
+		} else {
+			order, start := rt.group(keys)
+			runGroups(s.workers, order, start, apply)
+		}
+		if !stale.Load() {
+			break
+		}
+	}
+	for _, err := range errs {
+		if err == nil {
+			s.version.Add(1)
+			break
+		}
+	}
+	return errs
+}
+
+// QueryBatch answers one membership query per key under pred, grouping
+// keys by shard and taking each shard's read lock once. The predicate is
+// validated once per shard group — under the same lock hold as the
+// probes, so a concurrent Restore cannot change NumAttrs between
+// validation and probing; an invalid predicate yields all true, matching
+// Query's conservative no-false-negatives contract. A Restore that races
+// the batch is detected by the generation check and the batch retries,
+// so results always reflect one consistent routing.
+func (s *ShardedFilter) QueryBatch(keys []uint64, pred core.Predicate) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]bool, len(keys))
+	for {
+		gen := s.gen.Load()
+		rt := s.router()
+		var stale atomic.Bool
+		queryShard := func(sh int, idxs []int32) {
+			c := &s.cells[sh]
+			c.mu.RLock()
+			f := c.f
+			switch {
+			case s.gen.Load() != gen:
+				stale.Store(true)
+			case pred.Validate(f.Params().NumAttrs) != nil:
+				if idxs == nil {
+					for i := range out {
+						out[i] = true
+					}
+				} else {
+					for _, i := range idxs {
+						out[i] = true
+					}
+				}
+			case idxs == nil: // single shard: all keys
+				for i, k := range keys {
+					out[i] = f.QueryUnchecked(k, pred)
+				}
+			default:
+				for _, i := range idxs {
+					out[i] = f.QueryUnchecked(keys[i], pred)
+				}
+			}
+			c.mu.RUnlock()
+		}
+		if rt.n == 1 {
+			queryShard(0, nil)
+		} else {
+			order, start := rt.group(keys)
+			runGroups(s.workers, order, start, queryShard)
+		}
+		if !stale.Load() {
+			return out
+		}
+	}
+}
+
+// PredicateFilter extracts a key-only view per shard (Algorithm 2) and
+// returns them bundled behind the routing captured at extraction time,
+// so a later Restore (which may change the routing seed) cannot make an
+// existing view mis-route keys. All shard read locks are held for the
+// duration, so the view is a consistent cut of the whole filter.
+func (s *ShardedFilter) PredicateFilter(pred core.Predicate) (*KeyView, error) {
+	for i := range s.cells {
+		s.cells[i].mu.RLock()
+	}
+	defer func() {
+		for i := range s.cells {
+			s.cells[i].mu.RUnlock()
+		}
+	}()
+	rt := s.router() // stable while the read locks exclude Restore
+	views := make([]*core.KeyView, len(s.cells))
+	for i := range s.cells {
+		v, err := s.cells[i].f.PredicateFilter(pred)
+		if err != nil {
+			return nil, err
+		}
+		views[i] = v
+	}
+	return &KeyView{rt: rt, workers: s.workers, views: views}, nil
+}
+
+// Freeze snapshots every shard into its immutable bit-packed form
+// (vector variants only), taken as a consistent cut under all shard read
+// locks and returned behind the routing captured at freeze time.
+func (s *ShardedFilter) Freeze() (*FrozenSet, error) {
+	for i := range s.cells {
+		s.cells[i].mu.RLock()
+	}
+	defer func() {
+		for i := range s.cells {
+			s.cells[i].mu.RUnlock()
+		}
+	}()
+	rt := s.router() // stable while the read locks exclude Restore
+	shards := make([]*core.Frozen, len(s.cells))
+	for i := range s.cells {
+		fr, err := s.cells[i].f.Freeze()
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = fr
+	}
+	return &FrozenSet{rt: rt, shards: shards}, nil
+}
+
+// Stats aggregates shard occupancy for monitoring.
+type Stats struct {
+	Shards     int       `json:"shards"`
+	Rows       int       `json:"rows"`
+	Occupied   int       `json:"occupied"`
+	Capacity   int       `json:"capacity"`
+	LoadFactor float64   `json:"load_factor"`
+	SizeBits   int64     `json:"size_bits"`
+	Version    uint64    `json:"version"`
+	ShardLoads []float64 `json:"shard_loads"`
+}
+
+// Stats returns aggregate and per-shard occupancy.
+func (s *ShardedFilter) Stats() Stats {
+	st := Stats{Shards: len(s.cells), Version: s.Version()}
+	st.ShardLoads = make([]float64, len(s.cells))
+	for i := range s.cells {
+		c := &s.cells[i]
+		c.mu.RLock()
+		st.Rows += c.f.Rows()
+		st.Occupied += c.f.OccupiedEntries()
+		st.Capacity += c.f.Capacity()
+		st.SizeBits += c.f.SizeBits()
+		st.ShardLoads[i] = c.f.LoadFactor()
+		c.mu.RUnlock()
+	}
+	if st.Capacity > 0 {
+		st.LoadFactor = float64(st.Occupied) / float64(st.Capacity)
+	}
+	return st
+}
+
+// Rows returns the total number of accepted rows.
+func (s *ShardedFilter) Rows() int { return s.Stats().Rows }
+
+// LoadFactor returns the aggregate load factor.
+func (s *ShardedFilter) LoadFactor() float64 { return s.Stats().LoadFactor }
+
+// SizeBits returns the total packed sketch size in bits.
+func (s *ShardedFilter) SizeBits() int64 { return s.Stats().SizeBits }
+
+// Snapshot serializes the whole shard set: a header followed by each
+// shard's MarshalBinary payload, length-prefixed. All shard read locks
+// are held for the duration (acquired in index order, the same order
+// Restore takes write locks), so the snapshot can never mix shards from
+// before and after a concurrent Restore. An InsertBatch in flight may
+// still be captured partially: batches take shard locks group by group,
+// so only rows already applied when Snapshot acquired the locks appear.
+func (s *ShardedFilter) Snapshot() ([]byte, error) {
+	for i := range s.cells {
+		s.cells[i].mu.RLock()
+	}
+	defer func() {
+		for i := range s.cells {
+			s.cells[i].mu.RUnlock()
+		}
+	}()
+	var buf bytes.Buffer
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], snapshotMagic)
+	buf.Write(tmp[:])
+	binary.LittleEndian.PutUint64(tmp[:], uint64(len(s.cells)))
+	buf.Write(tmp[:])
+	for i := range s.cells {
+		b, err := s.cells[i].f.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint64(tmp[:], uint64(len(b)))
+		buf.Write(tmp[:])
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
+
+// parseSnapshot splits a snapshot into per-shard payloads.
+func parseSnapshot(data []byte) ([][]byte, error) {
+	if len(data) < 16 {
+		return nil, errors.New("shard: truncated snapshot")
+	}
+	if binary.LittleEndian.Uint64(data) != snapshotMagic {
+		return nil, errors.New("shard: bad snapshot magic")
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if n == 0 || n > 1<<20 {
+		return nil, fmt.Errorf("shard: corrupt shard count %d", n)
+	}
+	parts := make([][]byte, 0, n)
+	off := 16
+	for i := uint64(0); i < n; i++ {
+		if off+8 > len(data) {
+			return nil, errors.New("shard: truncated snapshot")
+		}
+		// Compare as uint64 against the remaining bytes before converting:
+		// a crafted huge length must not overflow the int arithmetic below.
+		l64 := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		if l64 > uint64(len(data)-off) {
+			return nil, errors.New("shard: truncated snapshot")
+		}
+		l := int(l64)
+		parts = append(parts, data[off:off+l])
+		off += l
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("shard: %d trailing bytes", len(data)-off)
+	}
+	return parts, nil
+}
+
+// decodeShards unmarshals the per-shard payloads of a parsed snapshot.
+func decodeShards(parts [][]byte) ([]*core.Filter, error) {
+	filters := make([]*core.Filter, len(parts))
+	for i, b := range parts {
+		f := new(core.Filter)
+		if err := f.UnmarshalBinary(b); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		filters[i] = f
+	}
+	return filters, nil
+}
+
+// Restore replaces the shard contents with a snapshot taken from a filter
+// with the same shard count. Every shard write lock is acquired (in
+// index order) and held across the whole content-and-seed swap, so the
+// restore is atomic with respect to concurrent operations: no insert can
+// route with the old seed into a new shard, and no reader sees a mix of
+// old and new shards.
+func (s *ShardedFilter) Restore(data []byte) error {
+	parts, err := parseSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if len(parts) != len(s.cells) {
+		return fmt.Errorf("%w: snapshot %d, filter %d", ErrShardCount, len(parts), len(s.cells))
+	}
+	// Decode before locking so a corrupt snapshot leaves the filter whole.
+	fresh, err := decodeShards(parts)
+	if err != nil {
+		return err
+	}
+	for i := range s.cells {
+		s.cells[i].mu.Lock()
+	}
+	for i := range s.cells {
+		s.cells[i].f = fresh[i]
+	}
+	s.seed.Store(fresh[0].Params().Seed)
+	s.gen.Add(1) // bumped under all locks; see the gen field
+	for i := range s.cells {
+		s.cells[i].mu.Unlock()
+	}
+	s.version.Add(1)
+	return nil
+}
+
+// FromSnapshot builds a new sharded filter from a Snapshot payload. The
+// shard count and per-shard parameters come from the snapshot; workers
+// follows the same default as Options.Workers.
+func FromSnapshot(data []byte, workers int) (*ShardedFilter, error) {
+	parts, err := parseSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("shard: invalid worker count %d", workers)
+	}
+	filters, err := decodeShards(parts)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedFilter{cells: make([]cell, len(parts)), workers: workers}
+	for i, f := range filters {
+		s.cells[i].f = f
+	}
+	s.seed.Store(s.cells[0].f.Params().Seed)
+	return s, nil
+}

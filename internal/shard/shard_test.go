@@ -1,0 +1,486 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ccf/internal/core"
+)
+
+func mkRows(n int) (keys []uint64, attrs [][]uint64) {
+	keys = make([]uint64, n)
+	attrs = make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = uint64(i)*2654435761 + 17
+		attrs[i] = []uint64{uint64(i % 7), uint64(i % 3)}
+	}
+	return keys, attrs
+}
+
+func newTest(t *testing.T, shards int, v core.Variant) *ShardedFilter {
+	t.Helper()
+	s, err := New(Options{
+		Shards: shards,
+		Params: core.Params{Variant: v, NumAttrs: 2, Capacity: 1 << 14, Seed: 42},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNoFalseNegativesAcrossVariants(t *testing.T) {
+	for _, v := range []core.Variant{core.VariantPlain, core.VariantChained, core.VariantBloom, core.VariantMixed} {
+		t.Run(v.String(), func(t *testing.T) {
+			s := newTest(t, 8, v)
+			keys, attrs := mkRows(5000)
+			for i, err := range s.InsertBatch(keys, attrs) {
+				if err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			// Exact-row queries must all hit.
+			for i := range keys {
+				pred := core.And(core.Eq(0, attrs[i][0]), core.Eq(1, attrs[i][1]))
+				if !s.Query(keys[i], pred) {
+					t.Fatalf("false negative for key %d", keys[i])
+				}
+			}
+			res := s.QueryBatch(keys, nil)
+			for i, ok := range res {
+				if !ok {
+					t.Fatalf("batch false negative for key %d", keys[i])
+				}
+			}
+			if got := s.Rows(); got != len(keys) {
+				t.Fatalf("Rows = %d, want %d", got, len(keys))
+			}
+		})
+	}
+}
+
+func TestBatchMatchesSingleCalls(t *testing.T) {
+	s := newTest(t, 4, core.VariantChained)
+	keys, attrs := mkRows(3000)
+	s.InsertBatch(keys, attrs)
+	probe := make([]uint64, 0, 6000)
+	probe = append(probe, keys...)
+	for i := 0; i < 3000; i++ {
+		probe = append(probe, uint64(i)*7919+1e12)
+	}
+	pred := core.And(core.Eq(0, 3))
+	batch := s.QueryBatch(probe, pred)
+	for i, k := range probe {
+		if got := s.Query(k, pred); got != batch[i] {
+			t.Fatalf("key %d: single=%v batch=%v", k, got, batch[i])
+		}
+	}
+}
+
+func TestInsertBatchShapeError(t *testing.T) {
+	s := newTest(t, 2, core.VariantChained)
+	errs := s.InsertBatch([]uint64{1, 2}, [][]uint64{{0, 0}})
+	if len(errs) != 1 || !errors.Is(errs[0], ErrBatchShape) {
+		t.Fatalf("got %v, want [ErrBatchShape]", errs)
+	}
+}
+
+func TestShardingSpreadsKeys(t *testing.T) {
+	s := newTest(t, 8, core.VariantChained)
+	keys, attrs := mkRows(8000)
+	s.InsertBatch(keys, attrs)
+	st := s.Stats()
+	if st.Shards != 8 {
+		t.Fatalf("Shards = %d", st.Shards)
+	}
+	for i, load := range st.ShardLoads {
+		if load == 0 {
+			t.Fatalf("shard %d received no keys", i)
+		}
+	}
+}
+
+func TestKeyViewMatchesDirectQueries(t *testing.T) {
+	s := newTest(t, 4, core.VariantChained)
+	keys, attrs := mkRows(2000)
+	s.InsertBatch(keys, attrs)
+	pred := core.And(core.Eq(0, 2))
+	view, err := s.PredicateFilter(pred)
+	if err != nil {
+		t.Fatalf("PredicateFilter: %v", err)
+	}
+	probe := append(append([]uint64(nil), keys...), 1e15, 1e15+1, 1e15+2)
+	got := view.ContainsBatch(probe)
+	for i, k := range probe {
+		direct := s.Query(k, pred)
+		if got[i] != view.Contains(k) {
+			t.Fatalf("key %d: ContainsBatch=%v Contains=%v", k, got[i], view.Contains(k))
+		}
+		// The view can only widen (extra FPs), never lose a positive.
+		if direct && !got[i] {
+			t.Fatalf("key %d: view dropped a direct positive", k)
+		}
+	}
+	if view.MatchingEntries() == 0 {
+		t.Fatal("view has no matching entries")
+	}
+	if view.SizeBits() <= 0 {
+		t.Fatal("view size not accounted")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := newTest(t, 4, core.VariantChained)
+	keys, attrs := mkRows(2000)
+	s.InsertBatch(keys, attrs)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// Restore into a same-shape filter.
+	dst := newTest(t, 4, core.VariantChained)
+	if err := dst.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i, ok := range dst.QueryBatch(keys, nil) {
+		if !ok {
+			t.Fatalf("restored filter lost key %d", keys[i])
+		}
+	}
+	if dst.Rows() != s.Rows() {
+		t.Fatalf("rows: restored %d, want %d", dst.Rows(), s.Rows())
+	}
+
+	// Restore with a mismatched shard count must fail cleanly.
+	bad := newTest(t, 2, core.VariantChained)
+	if err := bad.Restore(snap); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("Restore mismatch: %v, want ErrShardCount", err)
+	}
+
+	// FromSnapshot rebuilds shape from the payload alone.
+	fresh, err := FromSnapshot(snap, 0)
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	if fresh.Shards() != 4 {
+		t.Fatalf("FromSnapshot shards = %d", fresh.Shards())
+	}
+	for i, ok := range fresh.QueryBatch(keys, nil) {
+		if !ok {
+			t.Fatalf("FromSnapshot lost key %d", keys[i])
+		}
+	}
+
+	// Corrupt payloads are rejected without panicking.
+	for _, bad := range [][]byte{nil, snap[:8], snap[:len(snap)-3], append(append([]byte(nil), snap...), 0)} {
+		if _, err := FromSnapshot(bad, 0); err == nil {
+			t.Fatal("corrupt snapshot accepted")
+		}
+	}
+}
+
+// TestSnapshotHugeLengthRejected covers a crafted per-shard length near
+// MaxInt64: the parser must report truncation, not overflow the offset
+// arithmetic and panic on the slice bounds.
+func TestSnapshotHugeLengthRejected(t *testing.T) {
+	crafted := make([]byte, 32)
+	binary.LittleEndian.PutUint64(crafted[0:], snapshotMagic)
+	binary.LittleEndian.PutUint64(crafted[8:], 1)                   // one shard
+	binary.LittleEndian.PutUint64(crafted[16:], 0x7FFFFFFFFFFFFFF7) // huge length
+	if _, err := FromSnapshot(crafted, 0); err == nil {
+		t.Fatal("huge-length snapshot accepted")
+	}
+}
+
+// TestKeyViewSurvivesRestore pins the routing contract: a view keeps
+// answering as of extraction time even after Restore swaps in filters
+// built with a different seed (and so a different shard routing).
+func TestKeyViewSurvivesRestore(t *testing.T) {
+	s := newTest(t, 4, core.VariantChained)
+	keys, attrs := mkRows(1500)
+	s.InsertBatch(keys, attrs)
+	view, err := s.PredicateFilter(nil)
+	if err != nil {
+		t.Fatalf("PredicateFilter: %v", err)
+	}
+
+	other, err := New(Options{
+		Shards: 4,
+		Params: core.Params{Variant: core.VariantChained, NumAttrs: 2, Capacity: 1 << 14, Seed: 99},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	other.Insert(1e15, []uint64{0, 0})
+	snap, err := other.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := s.Params().Seed; got != 99 {
+		t.Fatalf("restored seed = %d, want 99", got)
+	}
+	// The old view must still find every pre-restore key: its routing was
+	// captured at extraction, so the seed swap cannot cause misroutes.
+	for i, ok := range view.ContainsBatch(keys) {
+		if !ok {
+			t.Fatalf("view lost key %d after restore", keys[i])
+		}
+	}
+	// The filter itself now answers for the restored contents.
+	if !s.QueryKey(1e15) {
+		t.Fatal("restored filter missing its key")
+	}
+}
+
+func TestFreezeShards(t *testing.T) {
+	s := newTest(t, 4, core.VariantChained)
+	keys, attrs := mkRows(1000)
+	s.InsertBatch(keys, attrs)
+	frozen, err := s.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if len(frozen.Shards()) != 4 {
+		t.Fatalf("got %d frozen shards", len(frozen.Shards()))
+	}
+	if frozen.Rows() != len(keys) {
+		t.Fatalf("frozen rows = %d, want %d", frozen.Rows(), len(keys))
+	}
+	if frozen.SizeBits() <= 0 {
+		t.Fatal("frozen size not accounted")
+	}
+	// The set routes keys itself; no access to the internal shard hash
+	// is needed to query it.
+	for i, k := range keys {
+		if !frozen.Query(k, nil) {
+			t.Fatalf("frozen set lost key %d (row %d)", k, i)
+		}
+		if !frozen.QueryKey(k) {
+			t.Fatalf("frozen set QueryKey missed %d", k)
+		}
+	}
+}
+
+func TestVersionBumpsOnWrites(t *testing.T) {
+	s := newTest(t, 2, core.VariantChained)
+	v0 := s.Version()
+	s.Insert(1, []uint64{0, 0})
+	if s.Version() == v0 {
+		t.Fatal("Insert did not bump version")
+	}
+	v1 := s.Version()
+	s.InsertBatch([]uint64{2, 3}, [][]uint64{{0, 0}, {0, 0}})
+	if s.Version() == v1 {
+		t.Fatal("InsertBatch did not bump version")
+	}
+	v2 := s.Version()
+	s.QueryBatch([]uint64{1, 2, 3}, nil)
+	if s.Version() != v2 {
+		t.Fatal("QueryBatch bumped version")
+	}
+	// Failed mutations change nothing, so they must not invalidate
+	// cached views by bumping the version.
+	if err := s.Insert(9, []uint64{1, 2, 3}); !errors.Is(err, core.ErrAttrCount) {
+		t.Fatalf("Insert wrong arity: %v", err)
+	}
+	for _, err := range s.InsertBatch([]uint64{10, 11}, [][]uint64{{0}, {0}}) {
+		if !errors.Is(err, core.ErrAttrCount) {
+			t.Fatalf("InsertBatch wrong arity: %v", err)
+		}
+	}
+	if s.Version() != v2 {
+		t.Fatal("failed mutations bumped version")
+	}
+}
+
+// TestConcurrentRestore races Restore against readers, writers and
+// Params under -race: the routing seed and filter pointers swap while
+// batches are in flight.
+func TestConcurrentRestore(t *testing.T) {
+	s := newTest(t, 4, core.VariantChained)
+	keys, attrs := mkRows(1000)
+	s.InsertBatch(keys, attrs)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 10; it++ {
+				if err := s.Restore(snap); err != nil {
+					t.Errorf("Restore: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pred := core.And(core.Eq(0, uint64(g%7)))
+			for it := 0; it < 30; it++ {
+				s.QueryBatch(keys[:200], pred)
+				s.Params()
+				s.InsertBatch(keys[200:210], attrs[200:210])
+				s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The snapshot's rows survive every interleaving.
+	for i, ok := range s.QueryBatch(keys, nil) {
+		if !ok {
+			t.Fatalf("key %d lost across concurrent restores", keys[i])
+		}
+	}
+}
+
+// TestInsertBatchAtomicVsSameSeedRestore pins the generation check: a
+// Restore of a snapshot with the SAME seed (the common case — a snapshot
+// of this very filter) racing an InsertBatch must leave the batch either
+// fully applied (it retried after the restore) or fully absent (the
+// restore wiped it); a partial batch means stale-detection failed and
+// rows reported as inserted are silently gone. The seed alone cannot
+// catch this, which is why gen exists.
+func TestInsertBatchAtomicVsSameSeedRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sweep race regression")
+	}
+	// Sweep the restore start across the batch's lifetime: some round
+	// lands the restore between worker-group applications, the window
+	// that tore batches before the generation check existed.
+	for round := 0; round < 12; round++ {
+		s, err := New(Options{
+			Shards:  16,
+			Workers: 8,
+			Params:  core.Params{Variant: core.VariantChained, NumAttrs: 2, Capacity: 1 << 18, Seed: 5},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		snap, err := s.Snapshot() // empty filter, same seed
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		const n = 200000
+		keys := make([]uint64, n)
+		attrs := make([][]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(i)*2654435761 + 3
+			attrs[i] = []uint64{uint64(i % 4), uint64(i % 3)}
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i, err := range s.InsertBatch(keys, attrs) {
+				if err != nil {
+					t.Errorf("insert %d: %v", i, err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+			if err := s.Restore(snap); err != nil {
+				t.Errorf("Restore: %v", err)
+			}
+		}()
+		wg.Wait()
+		present := 0
+		for _, ok := range s.QueryBatch(keys, nil) {
+			if ok {
+				present++
+			}
+		}
+		// All-or-nothing, modulo key-fingerprint false positives on the
+		// "nothing" side.
+		if present > n/100 && present < n {
+			t.Fatalf("round %d: torn batch: %d/%d keys present after racing restore", round, present, n)
+		}
+	}
+}
+
+// TestConcurrentBatchOps is the -race exercise required for the sharded
+// filter: concurrent batch inserts, batch queries, point ops, view
+// extraction and snapshots.
+func TestConcurrentBatchOps(t *testing.T) {
+	s, err := New(Options{
+		Shards:  8,
+		Workers: 4,
+		Params:  core.Params{Variant: core.VariantChained, NumAttrs: 2, Capacity: 1 << 16, Seed: 7},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const (
+		writers = 4
+		readers = 4
+		perG    = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]uint64, perG)
+			attrs := make([][]uint64, perG)
+			for i := range keys {
+				keys[i] = uint64(w*perG+i) * 11400714819323198485
+				attrs[i] = []uint64{uint64(i % 5), uint64(i % 2)}
+			}
+			for chunk := 0; chunk < perG; chunk += 100 {
+				s.InsertBatch(keys[chunk:chunk+100], attrs[chunk:chunk+100])
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			keys := make([]uint64, 256)
+			for i := range keys {
+				keys[i] = uint64(r*256+i) * 11400714819323198485
+			}
+			pred := core.And(core.Eq(0, uint64(r%5)))
+			for it := 0; it < 20; it++ {
+				s.QueryBatch(keys, pred)
+				s.Query(keys[it%len(keys)], nil)
+				s.QueryKey(keys[(it*7)%len(keys)])
+				if it%5 == 0 {
+					if _, err := s.PredicateFilter(pred); err != nil {
+						t.Errorf("PredicateFilter: %v", err)
+					}
+				}
+				if it%7 == 0 {
+					if _, err := s.Snapshot(); err != nil {
+						t.Errorf("Snapshot: %v", err)
+					}
+				}
+				s.Stats()
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Every inserted key must be present afterwards.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perG; i++ {
+			k := uint64(w*perG+i) * 11400714819323198485
+			if !s.QueryKey(k) {
+				t.Fatalf("key %d lost after concurrent run", k)
+			}
+		}
+	}
+}

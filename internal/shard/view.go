@@ -1,0 +1,103 @@
+package shard
+
+import "ccf/internal/core"
+
+// KeyView is a sharded key-only membership filter for a fixed predicate
+// (Algorithm 2): one core.KeyView per shard behind the routing function
+// captured when the view was extracted. Views are immutable, so lookups
+// take no locks; a view extracted before later inserts (or a Restore)
+// simply does not reflect them — callers that need freshness compare
+// ShardedFilter.Version (see internal/server's cache).
+type KeyView struct {
+	rt      router
+	workers int
+	views   []*core.KeyView
+}
+
+// Contains reports whether key may have a row satisfying the view's
+// predicate.
+func (v *KeyView) Contains(key uint64) bool {
+	return v.views[v.rt.shardOf(key)].Contains(key)
+}
+
+// ContainsBatch answers Contains for every key, grouping by shard so the
+// per-shard view stays hot in cache across its span of the batch.
+func (v *KeyView) ContainsBatch(keys []uint64) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]bool, len(keys))
+	if len(v.views) == 1 {
+		kv := v.views[0]
+		for i, k := range keys {
+			out[i] = kv.Contains(k)
+		}
+		return out
+	}
+	order, start := v.rt.group(keys)
+	runGroups(v.workers, order, start, func(sh int, idxs []int32) {
+		kv := v.views[sh]
+		for _, i := range idxs {
+			out[i] = kv.Contains(keys[i])
+		}
+	})
+	return out
+}
+
+// SizeBits returns the total packed size of the per-shard views.
+func (v *KeyView) SizeBits() int64 {
+	var n int64
+	for _, kv := range v.views {
+		n += kv.SizeBits()
+	}
+	return n
+}
+
+// MatchingEntries returns the total live entries across shards.
+func (v *KeyView) MatchingEntries() int {
+	n := 0
+	for _, kv := range v.views {
+		n += kv.MatchingEntries()
+	}
+	return n
+}
+
+// FrozenSet bundles the per-shard immutable Frozen snapshots produced by
+// ShardedFilter.Freeze behind the routing captured at freeze time, so
+// callers can query the frozen set without being able to reproduce the
+// internal key→shard hash.
+type FrozenSet struct {
+	rt     router
+	shards []*core.Frozen
+}
+
+// Query reports whether the frozen set may contain a matching row.
+func (fs *FrozenSet) Query(key uint64, pred core.Predicate) bool {
+	return fs.shards[fs.rt.shardOf(key)].Query(key, pred)
+}
+
+// QueryKey reports whether any row with the key may exist.
+func (fs *FrozenSet) QueryKey(key uint64) bool {
+	return fs.shards[fs.rt.shardOf(key)].QueryKey(key)
+}
+
+// Shards returns the underlying snapshots, indexed by shard.
+func (fs *FrozenSet) Shards() []*core.Frozen { return fs.shards }
+
+// Rows returns the total rows across shards.
+func (fs *FrozenSet) Rows() int {
+	n := 0
+	for _, fr := range fs.shards {
+		n += fr.Rows()
+	}
+	return n
+}
+
+// SizeBits returns the total packed size across shards.
+func (fs *FrozenSet) SizeBits() int64 {
+	var n int64
+	for _, fr := range fs.shards {
+		n += fr.SizeBits()
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+package ccf
+
+import "ccf/internal/shard"
+
+// ShardedFilter partitions a filter across independent shards, each
+// behind its own read-write lock, with batch insert/query entry points
+// that group keys by shard. For mixed read/write traffic from many
+// goroutines it replaces SyncFilter's single global lock; see
+// internal/shard for the serving subsystem built on it and cmd/ccfd for
+// the daemon.
+type ShardedFilter = shard.ShardedFilter
+
+// ShardOptions configures a ShardedFilter.
+type ShardOptions = shard.Options
+
+// ShardedKeyView is a sharded key-only predicate view (Algorithm 2).
+type ShardedKeyView = shard.KeyView
+
+// FrozenSet is the routed bundle of per-shard Frozen snapshots returned
+// by ShardedFilter.Freeze.
+type FrozenSet = shard.FrozenSet
+
+// NewSharded returns a sharded filter configured by opts.
+func NewSharded(opts ShardOptions) (*ShardedFilter, error) { return shard.New(opts) }
+
+// ShardedFromSnapshot rebuilds a sharded filter from a
+// ShardedFilter.Snapshot payload.
+func ShardedFromSnapshot(data []byte, workers int) (*ShardedFilter, error) {
+	return shard.FromSnapshot(data, workers)
+}
