@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"ccf/internal/core"
+	"ccf/internal/shard"
+)
+
+// allocReport benchmarks the storage engine's hot paths with allocation
+// accounting — the CLI form of the packed engine's contract that Query,
+// Insert (vector variants) and the sharded batch probe are allocation-free
+// in steady state. Each row is measured with testing.Benchmark, so the
+// numbers match `go test -bench` output.
+func allocReport(w io.Writer, seed uint64) error {
+	type row struct {
+		name string
+		res  testing.BenchmarkResult
+	}
+	var rows []row
+
+	for _, v := range []core.Variant{core.VariantPlain, core.VariantChained, core.VariantBloom, core.VariantMixed} {
+		f, err := loadedCore(v, seed)
+		if err != nil {
+			return err
+		}
+		pred := core.And(core.Eq(0, 3), core.Eq(1, 2))
+		rows = append(rows, row{"query/" + v.String(), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.Query(uint64(i)&(1<<15-1), pred)
+			}
+		})})
+	}
+
+	for _, v := range []core.Variant{core.VariantPlain, core.VariantChained, core.VariantMixed} {
+		v := v
+		rows = append(rows, row{"insert/" + v.String(), testing.Benchmark(func(b *testing.B) {
+			var f *core.Filter
+			var err error
+			attrs := []uint64{0, 0}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i&(1<<15-1) == 0 {
+					b.StopTimer()
+					f, err = core.New(core.Params{Variant: v, NumAttrs: 2, Capacity: 1 << 16, Seed: seed})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				k := uint64(i) & (1<<15 - 1)
+				attrs[0], attrs[1] = k%16, k%7
+				if err := f.Insert(k, attrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})})
+	}
+
+	for _, shards := range []int{1, 4} {
+		s, keys, err := loadedShards(shards, seed)
+		if err != nil {
+			return err
+		}
+		pred := core.And(core.Eq(0, 3))
+		const batch = 1024
+		dst := make([]bool, 0, batch)
+		rows = append(rows, row{fmt.Sprintf("querybatch/shards=%d", shards),
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					lo := (i * batch) % (len(keys) - batch)
+					dst = s.QueryBatchInto(dst[:0], keys[lo:lo+batch], pred)
+				}
+			})})
+	}
+
+	fmt.Fprintf(w, "%-24s %12s %12s %10s\n", "path", "ns/op", "allocs/op", "B/op")
+	for _, r := range rows {
+		ns := float64(r.res.T.Nanoseconds()) / float64(r.res.N)
+		if len(r.name) > 10 && r.name[:10] == "querybatch" {
+			// Batch rows: latency per key, allocations per whole batch op.
+			fmt.Fprintf(w, "%-24s %12.2f %12d %10d  (ns per key; allocs per batch)\n",
+				r.name, ns/1024, r.res.AllocsPerOp(), r.res.AllocedBytesPerOp())
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %12.2f %12d %10d\n",
+			r.name, ns, r.res.AllocsPerOp(), r.res.AllocedBytesPerOp())
+	}
+	return nil
+}
+
+func loadedCore(v core.Variant, seed uint64) (*core.Filter, error) {
+	f, err := core.New(core.Params{Variant: v, NumAttrs: 2, Capacity: 1 << 16, BloomBits: 24, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	for k := uint64(0); k < 1<<15; k++ {
+		if err := f.Insert(k, []uint64{k % 16, k % 7}); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func loadedShards(shards int, seed uint64) (*shard.ShardedFilter, []uint64, error) {
+	s, err := shard.New(shard.Options{
+		Shards:  shards,
+		Workers: 1,
+		Params:  core.Params{NumAttrs: 1, Capacity: 1 << 16, Seed: seed},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := make([]uint64, 1<<15)
+	attrs := make([][]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + seed
+		attrs[i] = []uint64{uint64(i % 11)}
+	}
+	for _, err := range s.InsertBatch(keys, attrs) {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, keys, nil
+}

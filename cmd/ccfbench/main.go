@@ -3,10 +3,16 @@
 // Usage:
 //
 //	ccfbench [-scale 0.01] [-seed 1] [-runs 5] [-quick] <experiment>...
+//	ccfbench -allocs
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 aggregate all. Output is printed as aligned text tables; see
 // EXPERIMENTS.md for the recorded paper-versus-measured comparison.
+//
+// -allocs skips the experiments and prints the storage engine's hot-path
+// latency and allocation report (ns/op, allocs/op, B/op for Query, Insert
+// and the sharded QueryBatch), the machine-readable form of the packed
+// engine's allocation-free contract.
 package main
 
 import (
@@ -55,8 +61,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for data, workload and hashing")
 	runs := flag.Int("runs", 5, "repetitions for the multiset experiments (paper: 20)")
 	quick := flag.Bool("quick", false, "trim parameter grids for a fast pass")
+	allocs := flag.Bool("allocs", false, "print the hot-path ns/op and allocs/op report and exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *allocs {
+		if err := allocReport(os.Stdout, uint64(*seed)); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -21,18 +21,23 @@ import (
 
 // BenchResult is one machine-readable benchmark record; the JSON file is
 // an array of these, the perf trajectory future PRs compare against.
+// AllocsPerOp and BytesPerOp are process-wide heap deltas divided by the
+// operation count, so the packed engine's allocation-free steady state is
+// machine-visible alongside latency.
 type BenchResult struct {
-	Op      string  `json:"op"`   // insert | query
-	Impl    string  `json:"impl"` // sync | sharded
-	Variant string  `json:"variant"`
-	Shards  int     `json:"shards"` // 1 for sync
-	Batch   int     `json:"batch"`  // 1 = point calls
-	NsPerOp float64 `json:"ns_per_op"`
-	QPS     float64 `json:"qps"`
-	Cores   int     `json:"cores"`
-	Alpha   float64 `json:"alpha"`
-	Keys    int     `json:"keys"`
-	Ops     int     `json:"ops"`
+	Op          string  `json:"op"`   // insert | query
+	Impl        string  `json:"impl"` // sync | sharded
+	Variant     string  `json:"variant"`
+	Shards      int     `json:"shards"` // 1 for sync
+	Batch       int     `json:"batch"`  // 1 = point calls
+	NsPerOp     float64 `json:"ns_per_op"`
+	QPS         float64 `json:"qps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Cores       int     `json:"cores"`
+	Alpha       float64 `json:"alpha"`
+	Keys        int     `json:"keys"`
+	Ops         int     `json:"ops"`
 }
 
 // benchConfig parameterizes one bench run.
@@ -125,12 +130,15 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 	}
 	pred := core.And(core.Eq(0, 1))
 	params := core.Params{Variant: cfg.variant, NumAttrs: 2, Capacity: cfg.keys * 2, Seed: uint64(cfg.seed)}
-	mkResult := func(op, impl string, shards, batch, ops int, elapsed time.Duration) BenchResult {
-		ns := float64(elapsed.Nanoseconds()) / float64(ops)
+	mkResult := func(op, impl string, shards, batch, ops int, m measurement) BenchResult {
+		ns := float64(m.elapsed.Nanoseconds()) / float64(ops)
 		return BenchResult{
 			Op: op, Impl: impl, Variant: cfg.variant.String(), Shards: shards,
-			Batch: batch, NsPerOp: ns, QPS: 1e9 / ns, Cores: runtime.GOMAXPROCS(0),
-			Alpha: cfg.alpha, Keys: cfg.keys, Ops: ops,
+			Batch: batch, NsPerOp: ns, QPS: 1e9 / ns,
+			AllocsPerOp: float64(m.allocs) / float64(ops),
+			BytesPerOp:  float64(m.bytes) / float64(ops),
+			Cores:       runtime.GOMAXPROCS(0),
+			Alpha:       cfg.alpha, Keys: cfg.keys, Ops: ops,
 		}
 	}
 	var results []BenchResult
@@ -140,61 +148,100 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	elapsed := inParallel(cfg.clients, cfg.keys, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sf.Insert(keys[i], attrs[i])
-		}
+	m := measured(func() time.Duration {
+		return inParallel(cfg.clients, cfg.keys, func(c, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sf.Insert(keys[i], attrs[i])
+			}
+		})
 	})
-	results = append(results, mkResult("insert", "sync", 1, 1, cfg.keys, elapsed))
-	elapsed = inParallel(cfg.clients, len(workload), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sf.Query(workload[i], pred)
-		}
+	results = append(results, mkResult("insert", "sync", 1, 1, cfg.keys, m))
+	m = measured(func() time.Duration {
+		return inParallel(cfg.clients, len(workload), func(c, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sf.Query(workload[i], pred)
+			}
+		})
 	})
-	results = append(results, mkResult("query", "sync", 1, 1, len(workload), elapsed))
+	results = append(results, mkResult("query", "sync", 1, 1, len(workload), m))
 
-	// Sharded: batched calls from concurrent clients. Workers stays 1 so
-	// the client goroutines are the only parallelism, the server shape.
+	// Sharded: batched calls from concurrent clients through the *Into
+	// entry points with one recycled result buffer per client — the
+	// steady-state server shape, which the allocs/op column verifies is
+	// allocation-free. Workers stays 1 so the client goroutines are the
+	// only parallelism.
 	for _, n := range cfg.shards {
 		s, err := shard.New(shard.Options{Shards: n, Workers: 1, Params: params})
 		if err != nil {
 			return nil, err
 		}
-		elapsed = inParallelBatched(cfg.clients, cfg.keys, cfg.batch, func(lo, hi int) {
-			s.InsertBatch(keys[lo:hi], attrs[lo:hi])
+		errBufs := make([][]error, cfg.clients)
+		m = measured(func() time.Duration {
+			return inParallelBatched(cfg.clients, cfg.keys, cfg.batch, func(c, lo, hi int) {
+				errBufs[c] = s.InsertBatchInto(errBufs[c][:0], keys[lo:hi], attrs[lo:hi])
+			})
 		})
-		results = append(results, mkResult("insert", "sharded", n, cfg.batch, cfg.keys, elapsed))
-		elapsed = inParallelBatched(cfg.clients, len(workload), cfg.batch, func(lo, hi int) {
-			s.QueryBatch(workload[lo:hi], pred)
+		results = append(results, mkResult("insert", "sharded", n, cfg.batch, cfg.keys, m))
+		outBufs := make([][]bool, cfg.clients)
+		m = measured(func() time.Duration {
+			return inParallelBatched(cfg.clients, len(workload), cfg.batch, func(c, lo, hi int) {
+				outBufs[c] = s.QueryBatchInto(outBufs[c][:0], workload[lo:hi], pred)
+			})
 		})
-		results = append(results, mkResult("query", "sharded", n, cfg.batch, len(workload), elapsed))
+		results = append(results, mkResult("query", "sharded", n, cfg.batch, len(workload), m))
 	}
 
 	if w != nil {
-		fmt.Fprintf(w, "%-7s %-8s %-8s %7s %6s %12s %14s\n",
-			"op", "impl", "variant", "shards", "batch", "ns/op", "qps")
+		fmt.Fprintf(w, "%-7s %-8s %-8s %7s %6s %12s %14s %12s %12s\n",
+			"op", "impl", "variant", "shards", "batch", "ns/op", "qps", "allocs/op", "B/op")
 		for _, r := range results {
-			fmt.Fprintf(w, "%-7s %-8s %-8s %7d %6d %12.1f %14.0f\n",
-				r.Op, r.Impl, r.Variant, r.Shards, r.Batch, r.NsPerOp, r.QPS)
+			fmt.Fprintf(w, "%-7s %-8s %-8s %7d %6d %12.1f %14.0f %12.4f %12.1f\n",
+				r.Op, r.Impl, r.Variant, r.Shards, r.Batch, r.NsPerOp, r.QPS,
+				r.AllocsPerOp, r.BytesPerOp)
 		}
 	}
 	return results, nil
 }
 
+// measurement pairs wall time with the process-wide heap delta of a run.
+type measurement struct {
+	elapsed time.Duration
+	allocs  uint64
+	bytes   uint64
+}
+
+// measured runs fn between two MemStats readings. The deltas include the
+// benchmark harness's own client goroutines, so a steady-state
+// allocation-free path reports a small near-zero fraction per op rather
+// than exactly zero.
+func measured(fn func() time.Duration) measurement {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	elapsed := fn()
+	runtime.ReadMemStats(&after)
+	return measurement{
+		elapsed: elapsed,
+		allocs:  after.Mallocs - before.Mallocs,
+		bytes:   after.TotalAlloc - before.TotalAlloc,
+	}
+}
+
 // inParallel splits [0, n) into one contiguous chunk per client, runs fn
-// on each concurrently, and returns the wall time.
-func inParallel(clients, n int, fn func(lo, hi int)) time.Duration {
+// on each concurrently, and returns the wall time. fn receives the client
+// index so callers can keep per-client scratch (recycled result buffers).
+func inParallel(clients, n int, fn func(c, lo, hi int)) time.Duration {
 	if clients > n {
 		clients = n
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
+		c := c
 		lo, hi := c*n/clients, (c+1)*n/clients
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fn(lo, hi)
+			fn(c, lo, hi)
 		}()
 	}
 	wg.Wait()
@@ -203,14 +250,14 @@ func inParallel(clients, n int, fn func(lo, hi int)) time.Duration {
 
 // inParallelBatched is inParallel with each client walking its chunk in
 // batch-sized requests.
-func inParallelBatched(clients, n, batch int, fn func(lo, hi int)) time.Duration {
-	return inParallel(clients, n, func(lo, hi int) {
+func inParallelBatched(clients, n, batch int, fn func(c, lo, hi int)) time.Duration {
+	return inParallel(clients, n, func(c, lo, hi int) {
 		for ; lo < hi; lo += batch {
 			end := lo + batch
 			if end > hi {
 				end = hi
 			}
-			fn(lo, end)
+			fn(c, lo, end)
 		}
 	})
 }

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+)
+
+// These tests pin the packed engine's allocation discipline: steady-state
+// probes and inserts must not allocate. They are the machine-checked form
+// of the "allocation-free probe/insert paths" contract — a regression
+// here shows up as a test failure, not a slow drift in benchmark numbers.
+
+func loadedFilter(t testing.TB, v Variant) *Filter {
+	t.Helper()
+	f, err := New(Params{Variant: v, NumAttrs: 2, Capacity: 1 << 14, BloomBits: 24, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1<<13; k++ {
+		if err := f.Insert(k, []uint64{k % 16, k % 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestQuerySteadyStateZeroAlloc(t *testing.T) {
+	for _, v := range allVariants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := loadedFilter(t, v)
+			pred := And(Eq(0, 3), Eq(1, 2))
+			var k uint64
+			if n := testing.AllocsPerRun(500, func() {
+				f.Query(k, pred)
+				f.Query(k, nil)
+				f.QueryKey(k)
+				k++
+			}); n != 0 {
+				t.Errorf("%s: Query allocates %.2f allocs/op, want 0", v, n)
+			}
+		})
+	}
+}
+
+func TestInsertSteadyStateZeroAlloc(t *testing.T) {
+	// The vector variants must insert without allocating: the kick-chain
+	// carrier and staging vectors are per-filter scratch. (VariantBloom is
+	// excluded: a fresh key necessarily allocates its per-entry sketch.)
+	// Mixed is driven with unique keys so no conversion sketch is built.
+	for _, v := range []Variant{VariantPlain, VariantChained, VariantMixed} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := mustFilter(t, Params{Variant: v, NumAttrs: 2, Capacity: 1 << 15, Seed: 9})
+			attrs := []uint64{0, 0}
+			k := uint64(0)
+			insert := func() {
+				attrs[0], attrs[1] = k%16, k%7
+				if err := f.Insert(k, attrs); err != nil {
+					t.Fatal(err)
+				}
+				k++
+			}
+			for i := 0; i < 1000; i++ { // warm the kick-path scratch
+				insert()
+			}
+			if n := testing.AllocsPerRun(1000, insert); n != 0 {
+				t.Errorf("%s: Insert allocates %.2f allocs/op, want 0", v, n)
+			}
+		})
+	}
+}
+
+func TestDeleteSteadyStateZeroAlloc(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantPlain, NumAttrs: 2, Capacity: 1 << 14, Seed: 11})
+	attrs := []uint64{1, 2}
+	k := uint64(0)
+	if n := testing.AllocsPerRun(500, func() {
+		if err := f.Insert(k, attrs); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Delete(k, attrs); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	}); n != 0 {
+		t.Errorf("Insert+Delete allocates %.2f allocs/op, want 0", n)
+	}
+}
+
+// Benchmarks for the CI bench-smoke job: core probe and insert cost with
+// allocation reporting, per variant.
+
+func BenchmarkCoreQuery(b *testing.B) {
+	for _, v := range allVariants() {
+		b.Run(v.String(), func(b *testing.B) {
+			f := loadedFilter(b, v)
+			pred := And(Eq(0, 3), Eq(1, 2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Query(uint64(i)&(1<<13-1), pred)
+			}
+		})
+	}
+}
+
+func BenchmarkCoreQueryKey(b *testing.B) {
+	f := loadedFilter(b, VariantChained)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.QueryKey(uint64(i))
+	}
+}
+
+func BenchmarkCoreInsert(b *testing.B) {
+	for _, v := range []Variant{VariantPlain, VariantChained, VariantMixed} {
+		b.Run(v.String(), func(b *testing.B) {
+			var f *Filter
+			var err error
+			attrs := []uint64{0, 0}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i&(1<<14-1) == 0 {
+					b.StopTimer()
+					f, err = New(Params{Variant: v, NumAttrs: 2, Capacity: 1 << 15, Seed: 42})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				k := uint64(i) & (1<<14 - 1)
+				attrs[0], attrs[1] = k%16, k%7
+				if err := f.Insert(k, attrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSizingOverflowRejected pins the nextPow2 guard: bucket counts (or
+// Capacity/TargetLoad derivations) above 2^31 must fail with a sizing
+// error instead of wrapping to a zero-bucket table.
+func TestSizingOverflowRejected(t *testing.T) {
+	cases := []Params{
+		{Buckets: 1<<31 + 1},
+		{Buckets: 1<<32 - 1},
+		{Capacity: 1 << 40},
+		{Capacity: 1 << 33, TargetLoad: 0.5, BucketSize: 1},
+	}
+	for i, p := range cases {
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d (%+v): oversized filter accepted", i, p)
+		}
+	}
+	// The boundary itself is representable and must keep working.
+	p := Params{}
+	if err := p.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if got := nextPow2(1 << 31); got != 1<<31 {
+		t.Fatalf("nextPow2(2^31) = %d, want 2^31", got)
+	}
+	if got := nextPow2(1<<31 + 1); got != 0 {
+		// Documents the wrap the guard exists for.
+		t.Fatalf("nextPow2(2^31+1) = %d, expected wrap to 0", got)
+	}
+}
+
+// TestInsertBloomSkipsTombstonedEntry pins the false-negative fix: a
+// Bloom-variant entry tombstoned by a predicate view must never absorb
+// new rows for its key, because its sketch can no longer match any query.
+// The fixed insert path skips tombstoned slots when looking for the key's
+// existing entry and creates a fresh live entry instead.
+func TestInsertBloomSkipsTombstonedEntry(t *testing.T) {
+	f := mustFilter(t, Params{Variant: VariantBloom, NumAttrs: 1, Capacity: 1 << 10, BloomBits: 64, Seed: 17})
+	const key = 12345
+	if err := f.Insert(key, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Tombstone the key's entry, simulating a view erasure on a filter
+	// that later keeps absorbing rows.
+	fp := f.fingerprint(key)
+	marked := 0
+	for idx, got := range f.fps {
+		if got == fp {
+			f.flags[idx] |= flagTombstone
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Fatal("key not present; test is vacuous")
+	}
+	if err := f.Insert(key, []uint64{99}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Query(key, And(Eq(0, 99))) {
+		t.Fatal("row inserted after tombstoning is invisible (false negative)")
+	}
+}

@@ -31,6 +31,7 @@ func (f *Filter) CompressAttributes(newBits int) (*Filter, error) {
 	g.origAttrBits = f.p.AttrBits
 	copy(g.fps, f.fps)
 	copy(g.flags, f.flags)
+	g.rebuildWords()
 	g.occupied = f.occupied
 	g.rows = f.rows
 	g.discarded = f.discarded

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"ccf/internal/bloom"
 	"ccf/internal/hashing"
 )
 
@@ -27,17 +26,11 @@ const (
 // hardChainCap bounds chain walks even when MaxChain is unlimited.
 const hardChainCap = 4096
 
-// convGroup is the shared Bloom filter of a converted set of entries
-// (VariantMixed, §6.1). The paper packs the filter's bits across the d
-// entries; we share one object and account for its size with the packed
-// formula (Params.ConversionBloomBits).
-type convGroup struct {
-	bf *bloom.Filter
-}
-
 // Filter is a Conditional Cuckoo Filter over 64-bit keys with fixed-arity
-// 64-bit attribute vectors. It is not safe for concurrent mutation; wrap it
-// if concurrent use is needed.
+// 64-bit attribute vectors. Entry storage lives in the embedded packed
+// bucketTable (see bucket.go). It is not safe for concurrent mutation; wrap
+// it if concurrent use is needed. Queries are safe for concurrent readers:
+// they never touch the mutation scratch state.
 type Filter struct {
 	p        Params
 	m        uint32
@@ -45,11 +38,7 @@ type Filter struct {
 	fpMask   uint16
 	attrMask uint16
 
-	fps    []uint16        // m·b key fingerprints; 0 = empty slot
-	flags  []uint8         // m·b entry flags
-	attrs  []uint16        // m·b·NumAttrs attribute fingerprints (vector variants)
-	blooms []*bloom.Filter // m·b per-entry sketches (VariantBloom)
-	groups []*convGroup    // m·b shared group pointers (VariantMixed)
+	bucketTable
 
 	rngState  uint64
 	occupied  int // non-empty entries
@@ -66,6 +55,10 @@ type Filter struct {
 	// their key's chain — a diagnostic for duplicate skew (§8's sizing
 	// discussion). Depths beyond the histogram accumulate in the last bin.
 	chainDepths [16]int
+
+	// scratch is the reusable mutation-path state (carried entry, kick
+	// path, attribute staging); see probeScratch.
+	scratch probeScratch
 }
 
 // New returns a filter configured by p. Zero-valued fields of p take the
@@ -86,21 +79,17 @@ func New(p Params) (*Filter, error) {
 		mask:     m - 1,
 		fpMask:   uint16(1<<p.KeyBits - 1),
 		attrMask: uint16(1<<p.AttrBits - 1),
-		fps:      make([]uint16, int(m)*p.BucketSize),
-		flags:    make([]uint8, int(m)*p.BucketSize),
 		rngState: p.Seed ^ 0x510e527f,
 	}
-	switch p.Variant {
-	case VariantBloom:
-		f.blooms = make([]*bloom.Filter, int(m)*p.BucketSize)
-	case VariantMixed:
-		f.attrs = make([]uint16, int(m)*p.BucketSize*p.NumAttrs)
-		f.groups = make([]*convGroup, int(m)*p.BucketSize)
-	default:
-		f.attrs = make([]uint16, int(m)*p.BucketSize*p.NumAttrs)
-	}
+	f.initTable(m, p)
+	f.scratch.init(&f.bucketTable)
 	return f, nil
 }
+
+// maxBuckets is the largest representable power-of-two bucket count;
+// nextPow2 would wrap to 0 above it. Params.setDefaults rejects sizings
+// that exceed it.
+const maxBuckets = uint64(1) << 31
 
 func nextPow2(v uint32) uint32 {
 	if v == 0 {
@@ -184,83 +173,28 @@ func (f *Filter) pairBuckets(l uint32, fp uint16) (uint32, uint32, bool) {
 	return l, l2, l == l2
 }
 
-// forEachInPair calls fn with the flat index of every slot in the pair,
-// visiting each slot exactly once even when the pair is degenerate. fn
-// returning false stops the walk.
-func (f *Filter) forEachInPair(l1, l2 uint32, fn func(idx int) bool) {
-	base := int(l1) * f.p.BucketSize
-	for j := 0; j < f.p.BucketSize; j++ {
-		if !fn(base + j) {
-			return
+// countFpInBucket returns the number of slots in the bucket holding κ.
+func (f *Filter) countFpInBucket(bucket uint32, fp uint16) int {
+	if !f.bucketMayContain(bucket, fp) {
+		return 0
+	}
+	base := int(bucket) * f.bsz
+	n := 0
+	for j := 0; j < f.bsz; j++ {
+		if f.fps[base+j] == fp {
+			n++
 		}
 	}
-	if l2 == l1 {
-		return
-	}
-	base = int(l2) * f.p.BucketSize
-	for j := 0; j < f.p.BucketSize; j++ {
-		if !fn(base + j) {
-			return
-		}
-	}
+	return n
 }
 
 // countFpInPair returns the number of entries in the pair holding κ.
 func (f *Filter) countFpInPair(l1, l2 uint32, fp uint16) int {
-	n := 0
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] == fp {
-			n++
-		}
-		return true
-	})
+	n := f.countFpInBucket(l1, fp)
+	if l2 != l1 {
+		n += f.countFpInBucket(l2, fp)
+	}
 	return n
-}
-
-// carried is an entry in flight during a kick chain.
-type carried struct {
-	fp   uint16
-	flag uint8
-	attr []uint16
-	bf   *bloom.Filter
-	grp  *convGroup
-}
-
-func (f *Filter) newCarried() *carried {
-	c := &carried{}
-	if f.attrs != nil {
-		c.attr = make([]uint16, f.p.NumAttrs)
-	}
-	return c
-}
-
-// swapEntry exchanges the slot's contents with c.
-func (f *Filter) swapEntry(idx int, c *carried) {
-	f.fps[idx], c.fp = c.fp, f.fps[idx]
-	f.flags[idx], c.flag = c.flag, f.flags[idx]
-	if f.attrs != nil {
-		base := idx * f.p.NumAttrs
-		for j := 0; j < f.p.NumAttrs; j++ {
-			f.attrs[base+j], c.attr[j] = c.attr[j], f.attrs[base+j]
-		}
-	}
-	if f.blooms != nil {
-		f.blooms[idx], c.bf = c.bf, f.blooms[idx]
-	}
-	if f.groups != nil {
-		f.groups[idx], c.grp = c.grp, f.groups[idx]
-	}
-}
-
-// emptySlotInBucket returns the flat index of an empty slot in bucket, or -1.
-func (f *Filter) emptySlotInBucket(bucket uint32) int {
-	base := int(bucket) * f.p.BucketSize
-	for j := 0; j < f.p.BucketSize; j++ {
-		if f.fps[base+j] == 0 {
-			return base + j
-		}
-	}
-	return -1
 }
 
 // placeWithKicks inserts the carried entry into the pair (l1, l2), kicking
@@ -285,22 +219,24 @@ func (f *Filter) placeWithKicks(l1, l2 uint32, c *carried) bool {
 	if l2 != l1 && f.nextRand()&1 == 1 {
 		cur = l2
 	}
-	var path []int
+	path := f.scratch.path[:0]
 	for kick := 0; kick < f.p.MaxKicks; kick++ {
-		j := int(f.nextRand()) % f.p.BucketSize
-		idx := int(cur)*f.p.BucketSize + j
+		j := int(f.nextRand()) % f.bsz
+		idx := int(cur)*f.bsz + j
 		f.swapEntry(idx, c) // c now holds the victim
-		path = append(path, idx)
+		path = append(path, int32(idx))
 		cur = f.altBucket(cur, c.fp)
 		if slot := f.emptySlotInBucket(cur); slot >= 0 {
 			f.swapEntry(slot, c)
 			f.occupied++
+			f.scratch.path = path
 			return true
 		}
 	}
 	for i := len(path) - 1; i >= 0; i-- {
-		f.swapEntry(path[i], c)
+		f.swapEntry(int(path[i]), c)
 	}
+	f.scratch.path = path
 	return false
 }
 

@@ -65,9 +65,10 @@ func (f *Filter) Freeze() (*Frozen, error) {
 
 // headerClone copies geometry, parameters and hashing state without entry
 // storage; the clone's derivation methods (fingerprint, buckets, chain
-// walk) behave identically to the source's.
+// walk) behave identically to the source's. The bucketTable geometry is
+// carried so probe arithmetic stays valid, but no slot slices are.
 func (f *Filter) headerClone() *Filter {
-	return &Filter{
+	h := &Filter{
 		p:            f.p,
 		m:            f.m,
 		mask:         f.mask,
@@ -75,6 +76,9 @@ func (f *Filter) headerClone() *Filter {
 		attrMask:     f.attrMask,
 		origAttrBits: f.origAttrBits,
 	}
+	h.bsz = f.bsz
+	h.nattr = f.nattr
+	return h
 }
 
 // keyAt returns the packed fingerprint of entry idx.
@@ -123,18 +127,12 @@ func (fr *Frozen) Query(key uint64, pred Predicate) bool {
 	h.initChainSeq(&seq, fp, home)
 	for {
 		l1, l2 := seq.buckets()
-		count := 0
-		match := false
-		fr.forEachInPair(l1, l2, func(idx int) bool {
-			if fr.keyAt(idx) != fp {
-				return true
-			}
-			count++
-			if !match && fr.matches(idx, pred) {
-				match = true
-			}
-			return true
-		})
+		count, match := fr.bucketCountMatch(l1, fp, pred)
+		if l2 != l1 {
+			c2, m2 := fr.bucketCountMatch(l2, fp, pred)
+			count += c2
+			match = match || m2
+		}
 		if match {
 			return true
 		}
@@ -147,38 +145,43 @@ func (fr *Frozen) Query(key uint64, pred Predicate) bool {
 	}
 }
 
-func (fr *Frozen) queryPair(fp uint16, home uint32, pred Predicate) bool {
-	h := fr.header
-	l1 := home
-	l2 := h.altBucket(home, fp)
+// bucketCountMatch mirrors Filter.bucketCountMatch over the bit-packed
+// columns: copies of κ in the bucket, and whether any satisfies pred.
+func (fr *Frozen) bucketCountMatch(bucket uint32, fp uint16, pred Predicate) (int, bool) {
+	b := fr.header.p.BucketSize
+	base := int(bucket) * b
+	count := 0
 	match := false
-	fr.forEachInPair(l1, l2, func(idx int) bool {
-		if fr.keyAt(idx) == fp && fr.matches(idx, pred) {
-			match = true
-			return false
+	for j := 0; j < b; j++ {
+		if fr.keyAt(base+j) != fp {
+			continue
 		}
-		return true
-	})
-	return match
+		count++
+		if !match && fr.matches(base+j, pred) {
+			match = true
+		}
+	}
+	return count, match
 }
 
-func (fr *Frozen) forEachInPair(l1, l2 uint32, fn func(idx int) bool) {
+func (fr *Frozen) bucketMatch(bucket uint32, fp uint16, pred Predicate) bool {
 	b := fr.header.p.BucketSize
-	base := int(l1) * b
+	base := int(bucket) * b
 	for j := 0; j < b; j++ {
-		if !fn(base + j) {
-			return
+		if fr.keyAt(base+j) == fp && fr.matches(base+j, pred) {
+			return true
 		}
 	}
-	if l2 == l1 {
-		return
+	return false
+}
+
+func (fr *Frozen) queryPair(fp uint16, home uint32, pred Predicate) bool {
+	l1 := home
+	l2 := fr.header.altBucket(home, fp)
+	if fr.bucketMatch(l1, fp, pred) {
+		return true
 	}
-	base = int(l2) * b
-	for j := 0; j < b; j++ {
-		if !fn(base + j) {
-			return
-		}
-	}
+	return l2 != l1 && fr.bucketMatch(l2, fp, pred)
 }
 
 // QueryKey reports whether any row with the key may be present.
@@ -187,15 +190,21 @@ func (fr *Frozen) QueryKey(key uint64) bool {
 	fp := h.fingerprint(key)
 	l1 := h.homeBucket(key)
 	l2 := h.altBucket(l1, fp)
-	found := false
-	fr.forEachInPair(l1, l2, func(idx int) bool {
-		if fr.keyAt(idx) == fp {
-			found = true
-			return false
-		}
+	if fr.bucketHasKey(l1, fp) {
 		return true
-	})
-	return found
+	}
+	return l2 != l1 && fr.bucketHasKey(l2, fp)
+}
+
+func (fr *Frozen) bucketHasKey(bucket uint32, fp uint16) bool {
+	b := fr.header.p.BucketSize
+	base := int(bucket) * b
+	for j := 0; j < b; j++ {
+		if fr.keyAt(base+j) == fp {
+			return true
+		}
+	}
+	return false
 }
 
 // Rows returns the number of rows the source filter had accepted.
@@ -363,6 +372,7 @@ func (fr *Frozen) Thaw() (*Filter, error) {
 			f.attrs[base+j] = fr.attrAt(j, idx)
 		}
 	}
+	f.rebuildWords()
 	f.occupied = fr.occupied
 	f.rows = fr.rows
 	return f, nil

@@ -56,6 +56,99 @@ func FuzzInsertQuery(f *testing.F) {
 	})
 }
 
+// FuzzDifferential drives the packed bucket engine against an exact
+// shadow model across all four variants, including Delete on the Plain
+// variant, asserting the no-false-negative guarantee after every
+// operation tape. Deletes are alias-aware: deleting a row also releases
+// the model rows whose sketched form (fingerprint, bucket pair, attribute
+// vector) is identical, because the filter legitimately deduplicated them
+// into the one entry being removed — the standard deletion caveat of
+// every cuckoo filter.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3, 4, 1, 5, 6, 2}, uint8(0))
+	f.Add([]byte{7, 7, 0, 7, 7, 3, 7, 7, 1}, uint8(1))
+	f.Add([]byte{9, 1, 0, 9, 1, 3, 9, 1, 3, 9, 1, 2}, uint8(2))
+	f.Add([]byte{0xff, 0x10, 0, 0xff, 0x10, 3}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, tape []byte, variantSel uint8) {
+		variant := []Variant{VariantPlain, VariantChained, VariantBloom, VariantMixed}[variantSel%4]
+		filt, err := New(Params{Variant: variant, NumAttrs: 1, Capacity: 2048, BloomBits: 24, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type row struct{ k, a uint64 }
+		model := map[row]bool{}
+		// sameSlot reports whether two rows sketch to the same entry: same
+		// key fingerprint, same bucket pair, same attribute vector.
+		sameSlot := func(x, y row) bool {
+			fx, fy := filt.fingerprint(x.k), filt.fingerprint(y.k)
+			if fx != fy {
+				return false
+			}
+			hx, hy := filt.homeBucket(x.k), filt.homeBucket(y.k)
+			if hx != hy && hx != filt.altBucket(hy, fy) {
+				return false
+			}
+			return filt.attrFingerprint(0, x.a) == filt.attrFingerprint(0, y.a)
+		}
+		check := func(op int) {
+			for r := range model {
+				if !filt.Query(r.k, And(Eq(0, r.a))) {
+					t.Fatalf("%s op %d: false negative for %+v", variant, op, r)
+				}
+			}
+		}
+		for i := 0; i+3 <= len(tape); i += 3 {
+			k := uint64(tape[i]) % 48
+			a := uint64(tape[i+1]) % 24
+			r := row{k, a}
+			switch tape[i+2] % 4 {
+			case 0, 1: // insert
+				err := filt.Insert(k, []uint64{a})
+				if err == ErrFull && variant == VariantPlain {
+					continue
+				}
+				if err != nil && err != ErrChainLimit {
+					t.Fatalf("%s: insert(%d,%d): %v", variant, k, a, err)
+				}
+				model[r] = true
+			case 2: // query (also an absent-key probe when not inserted)
+				want := model[r]
+				if got := filt.Query(k, And(Eq(0, a))); want && !got {
+					t.Fatalf("%s: false negative for %+v", variant, r)
+				}
+			case 3: // delete
+				err := filt.Delete(k, []uint64{a})
+				if variant != VariantPlain {
+					if err != ErrUnsupported {
+						t.Fatalf("%s: Delete returned %v, want ErrUnsupported", variant, err)
+					}
+					continue
+				}
+				if err == ErrNotFound {
+					// Either the row was never stored, or cross-key
+					// aliasing deduplicated it away at insert time; the
+					// model row (if any) was already released by the
+					// sameSlot sweep of an earlier delete.
+					continue
+				}
+				if err != nil {
+					t.Fatalf("delete(%d,%d): %v", k, a, err)
+				}
+				for other := range model {
+					if sameSlot(r, other) {
+						delete(model, other)
+					}
+				}
+			}
+		}
+		check(len(tape))
+		if filt.OccupiedEntries() > filt.Capacity() || filt.OccupiedEntries() < 0 {
+			t.Fatalf("occupancy %d outside [0,%d]", filt.OccupiedEntries(), filt.Capacity())
+		}
+	})
+}
+
 // FuzzUnmarshal hardens the decoder: arbitrary bytes must never panic, and
 // any buffer that decodes successfully must re-encode to a filter that can
 // serve queries.

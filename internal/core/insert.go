@@ -10,6 +10,11 @@ import (
 // distinct (key, attribute) pairs (§10.1), and Table 1's sizing counts
 // distinct attribute vectors per key.
 //
+// Steady-state inserts are allocation-free: the kick-chain carrier and the
+// attribute staging vector are per-filter scratch buffers (bucket.go), so
+// only the Bloom-sketch variants allocate, and only when a new entry needs
+// its own sketch.
+//
 // Errors: ErrAttrCount for a bad vector; ErrFull when a cuckoo insertion
 // exhausts its kicks (the filter is unchanged); ErrChainLimit when
 // VariantChained discards a row at Lmax (queries for the row still return
@@ -45,12 +50,14 @@ func (f *Filter) attrVector(attrs []uint64, dst []uint16) {
 }
 
 // vectorAt reports whether the entry at idx holds exactly the fingerprint
-// vector vec (and is a plain vector entry).
+// vector vec (and is a live, plain vector entry). Converted entries have
+// no vector; tombstoned entries (§6.2) can never match again, so treating
+// one as "already present" would silently drop a row.
 func (f *Filter) vectorAt(idx int, vec []uint16) bool {
-	if f.flags[idx]&flagConverted != 0 {
+	if f.flags[idx]&(flagConverted|flagTombstone) != 0 {
 		return false
 	}
-	base := idx * f.p.NumAttrs
+	base := idx * f.nattr
 	for j, v := range vec {
 		if f.attrs[base+j] != v {
 			return false
@@ -59,23 +66,33 @@ func (f *Filter) vectorAt(idx int, vec []uint16) bool {
 	return true
 }
 
+// bucketHasVector reports whether the bucket stores (κ, α), pre-screened
+// by the packed word compare.
+func (f *Filter) bucketHasVector(bucket uint32, fp uint16, vec []uint16) bool {
+	if !f.bucketMayContain(bucket, fp) {
+		return false
+	}
+	base := int(bucket) * f.bsz
+	for j := 0; j < f.bsz; j++ {
+		if f.fps[base+j] == fp && f.vectorAt(base+j, vec) {
+			return true
+		}
+	}
+	return false
+}
+
 // pairHasVector reports whether the pair already stores (κ, α).
 func (f *Filter) pairHasVector(l1, l2 uint32, fp uint16, vec []uint16) bool {
-	found := false
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] == fp && f.vectorAt(idx, vec) {
-			found = true
-			return false
-		}
+	if f.bucketHasVector(l1, fp, vec) {
 		return true
-	})
-	return found
+	}
+	return l2 != l1 && f.bucketHasVector(l2, fp, vec)
 }
 
 // insertPlain is the baseline: every distinct (κ, α) occupies an entry in
 // the key's single bucket pair; the pair caps the key at 2b copies (§4.3).
 func (f *Filter) insertPlain(fp uint16, home uint32, attrs []uint64) error {
-	c := f.newCarried()
+	c := f.resetCarried()
 	c.fp = fp
 	f.attrVector(attrs, c.attr)
 	l1, l2, _ := f.pairBuckets(home, fp)
@@ -91,7 +108,7 @@ func (f *Filter) insertPlain(fp uint16, home uint32, attrs []uint64) error {
 // insertChained implements Algorithm 4: walk the chain of bucket pairs
 // until one holds fewer than d copies of κ, then cuckoo-insert there.
 func (f *Filter) insertChained(fp uint16, home uint32, attrs []uint64) error {
-	c := f.newCarried()
+	c := f.resetCarried()
 	c.fp = fp
 	f.attrVector(attrs, c.attr)
 	var seq chainSeq
@@ -124,22 +141,43 @@ func (f *Filter) recordChainDepth(pairs int) {
 	f.chainDepths[idx]++
 }
 
+// findLiveFpInPair returns the flat index of a live (non-tombstoned) entry
+// holding κ in the pair, or -1. Tombstoned entries are skipped: they
+// belong to predicate views and can never match a query again, so reusing
+// one as "the existing entry" for a key would absorb new rows into a
+// sketch that always answers false — a latent false negative.
+func (f *Filter) findLiveFpInPair(l1, l2 uint32, fp uint16) int {
+	if idx := f.findLiveFpInBucket(l1, fp); idx >= 0 {
+		return idx
+	}
+	if l2 != l1 {
+		return f.findLiveFpInBucket(l2, fp)
+	}
+	return -1
+}
+
+func (f *Filter) findLiveFpInBucket(bucket uint32, fp uint16) int {
+	if !f.bucketMayContain(bucket, fp) {
+		return -1
+	}
+	base := int(bucket) * f.bsz
+	for j := 0; j < f.bsz; j++ {
+		idx := base + j
+		if f.fps[idx] == fp && f.flags[idx]&flagTombstone == 0 {
+			return idx
+		}
+	}
+	return -1
+}
+
 // insertBloom implements the Bloom attribute sketch variant (§5.2):
 // duplicate keys share one entry, whose Bloom filter accumulates their
 // (attribute, value) pairs. Occupancy therefore matches a plain cuckoo
 // filter over distinct keys (Table 1).
 func (f *Filter) insertBloom(fp uint16, home uint32, attrs []uint64) error {
 	l1, l2, _ := f.pairBuckets(home, fp)
-	existing := -1
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] == fp {
-			existing = idx
-			return false
-		}
-		return true
-	})
-	if existing >= 0 {
-		bf := f.blooms[existing]
+	if existing := f.findLiveFpInPair(l1, l2, fp); existing >= 0 {
+		bf := f.sketchAt(f.sketch[existing])
 		for j, v := range attrs {
 			bf.Add(f.bloomElemRaw(j, v))
 		}
@@ -149,10 +187,11 @@ func (f *Filter) insertBloom(fp uint16, home uint32, attrs []uint64) error {
 	for j, v := range attrs {
 		bf.Add(f.bloomElemRaw(j, v))
 	}
-	c := f.newCarried()
+	c := f.resetCarried()
 	c.fp = fp
-	c.bf = bf
+	c.sketch = f.addSketch(bf)
 	if !f.placeWithKicks(l1, l2, c) {
+		f.popSketch() // rollback restored c.sketch as the arena's last ref
 		return ErrFull
 	}
 	return nil
@@ -165,23 +204,18 @@ func (f *Filter) insertBloom(fp uint16, home uint32, attrs []uint64) error {
 func (f *Filter) insertMixed(fp uint16, home uint32, attrs []uint64) error {
 	l1, l2, _ := f.pairBuckets(home, fp)
 
-	// An existing converted group absorbs the row.
-	var grp *convGroup
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] == fp && f.flags[idx]&flagConverted != 0 {
-			grp = f.groups[idx]
-			return false
-		}
-		return true
-	})
-	if grp != nil {
+	// An existing converted group absorbs the row; tombstoned members of a
+	// view clone never reach here (clones are not inserted into), but skip
+	// them anyway so a tombstoned entry can never resurrect a group.
+	if idx := f.findConvertedInPair(l1, l2, fp); idx >= 0 {
+		grp := f.sketchAt(f.sketch[idx])
 		for j, v := range attrs {
-			grp.bf.Add(f.bloomElemFp(j, f.attrFingerprint(j, v)))
+			grp.Add(f.bloomElemFp(j, f.attrFingerprint(j, v)))
 		}
 		return nil
 	}
 
-	c := f.newCarried()
+	c := f.resetCarried()
 	c.fp = fp
 	f.attrVector(attrs, c.attr)
 	if f.pairHasVector(l1, l2, fp, c.attr) {
@@ -197,33 +231,70 @@ func (f *Filter) insertMixed(fp uint16, home uint32, attrs []uint64) error {
 	return nil
 }
 
+// findConvertedInPair returns the index of a live converted entry for κ in
+// the pair, or -1.
+func (f *Filter) findConvertedInPair(l1, l2 uint32, fp uint16) int {
+	if idx := f.findConvertedInBucket(l1, fp); idx >= 0 {
+		return idx
+	}
+	if l2 != l1 {
+		return f.findConvertedInBucket(l2, fp)
+	}
+	return -1
+}
+
+func (f *Filter) findConvertedInBucket(bucket uint32, fp uint16) int {
+	if !f.bucketMayContain(bucket, fp) {
+		return -1
+	}
+	base := int(bucket) * f.bsz
+	for j := 0; j < f.bsz; j++ {
+		idx := base + j
+		if f.fps[idx] == fp &&
+			f.flags[idx]&flagConverted != 0 && f.flags[idx]&flagTombstone == 0 {
+			return idx
+		}
+	}
+	return -1
+}
+
 // convert rehashes the d vector entries for κ in the pair (plus the
 // incoming vector newVec) into a single Bloom filter sized per Algorithm 3,
-// marking the entries as converted. The entries keep their slots; the group
-// object carries the shared filter.
+// marking the entries as converted. The entries keep their slots; the
+// shared filter lives in the sketch arena and the entries reference it by
+// index.
 func (f *Filter) convert(l1, l2 uint32, fp uint16, newVec []uint16) {
-	grp := &convGroup{bf: bloom.NewWithSalt(
+	grp := bloom.NewWithSalt(
 		f.p.ConversionBloomBits(),
 		f.p.ConversionBloomHashes(),
 		f.p.Seed^saltEntryBf^uint64(fp),
-	)}
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] != fp {
-			return true
-		}
-		base := idx * f.p.NumAttrs
-		for j := 0; j < f.p.NumAttrs; j++ {
-			grp.bf.Add(f.bloomElemFp(j, f.attrs[base+j]))
-			f.attrs[base+j] = 0
-		}
-		f.flags[idx] |= flagConverted
-		f.groups[idx] = grp
-		return true
-	})
+	)
+	ref := f.addSketch(grp)
+	f.convertBucket(l1, fp, grp, ref)
+	if l2 != l1 {
+		f.convertBucket(l2, fp, grp, ref)
+	}
 	for j, v := range newVec {
-		grp.bf.Add(f.bloomElemFp(j, v))
+		grp.Add(f.bloomElemFp(j, v))
 	}
 	f.converted++
+}
+
+func (f *Filter) convertBucket(bucket uint32, fp uint16, grp *bloom.Filter, ref int32) {
+	base := int(bucket) * f.bsz
+	for j := 0; j < f.bsz; j++ {
+		idx := base + j
+		if f.fps[idx] != fp {
+			continue
+		}
+		abase := idx * f.nattr
+		for k := 0; k < f.nattr; k++ {
+			grp.Add(f.bloomElemFp(k, f.attrs[abase+k]))
+			f.attrs[abase+k] = 0
+		}
+		f.flags[idx] |= flagConverted
+		f.sketch[idx] = ref
+	}
 }
 
 // Delete removes the row (key, attrs) from a VariantPlain filter, enabling
@@ -240,38 +311,46 @@ func (f *Filter) Delete(key uint64, attrs []uint64) error {
 	}
 	fp := f.fingerprint(key)
 	l1, l2, _ := f.pairBuckets(f.homeBucket(key), fp)
-	vec := make([]uint16, f.p.NumAttrs)
+	vec := f.scratch.vec
 	f.attrVector(attrs, vec)
-	removed := false
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] == fp && f.vectorAt(idx, vec) {
-			f.clearEntry(idx)
-			removed = true
-			return false
-		}
-		return true
-	})
-	if !removed {
+	idx := f.findVectorInBucket(l1, fp, vec)
+	if idx < 0 && l2 != l1 {
+		idx = f.findVectorInBucket(l2, fp, vec)
+	}
+	if idx < 0 {
 		return ErrNotFound
 	}
+	f.clearEntry(idx)
 	f.rows--
 	return nil
 }
 
+func (f *Filter) findVectorInBucket(bucket uint32, fp uint16, vec []uint16) int {
+	if !f.bucketMayContain(bucket, fp) {
+		return -1
+	}
+	base := int(bucket) * f.bsz
+	for j := 0; j < f.bsz; j++ {
+		if f.fps[base+j] == fp && f.vectorAt(base+j, vec) {
+			return base + j
+		}
+	}
+	return -1
+}
+
 func (f *Filter) clearEntry(idx int) {
-	f.fps[idx] = 0
+	f.setFp(idx, 0)
 	f.flags[idx] = 0
 	if f.attrs != nil {
-		base := idx * f.p.NumAttrs
-		for j := 0; j < f.p.NumAttrs; j++ {
+		base := idx * f.nattr
+		for j := 0; j < f.nattr; j++ {
 			f.attrs[base+j] = 0
 		}
 	}
-	if f.blooms != nil {
-		f.blooms[idx] = nil
-	}
-	if f.groups != nil {
-		f.groups[idx] = nil
+	if f.sketch != nil {
+		// The arena slot, if any, becomes unreachable; the arena is
+		// grow-only because only the sketch-free Plain variant deletes.
+		f.sketch[idx] = sketchNone
 	}
 	f.occupied--
 }

@@ -59,7 +59,8 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 	}
 
 	if f.p.Variant == VariantBloom {
-		for _, bf := range f.blooms {
+		for _, ref := range f.sketch {
+			bf := f.sketchAt(ref)
 			if bf == nil {
 				w(0)
 				continue
@@ -74,32 +75,38 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 	}
 
 	if f.p.Variant == VariantMixed {
-		// Collect distinct groups, serialize each once.
-		groupIdx := map[*convGroup]uint64{}
-		var distinct []*convGroup
-		for _, g := range f.groups {
-			if g == nil {
+		// Serialize each referenced group sketch once, in first-appearance
+		// slot order, then the per-slot references — the same wire layout
+		// the pointer-based storage produced, so group sharing survives a
+		// round trip byte-identically.
+		outIdx := make([]int32, len(f.arena))
+		for i := range outIdx {
+			outIdx[i] = -1
+		}
+		var distinct []int32
+		for _, ref := range f.sketch {
+			if ref == sketchNone {
 				continue
 			}
-			if _, ok := groupIdx[g]; !ok {
-				groupIdx[g] = uint64(len(distinct))
-				distinct = append(distinct, g)
+			if outIdx[ref] < 0 {
+				outIdx[ref] = int32(len(distinct))
+				distinct = append(distinct, ref)
 			}
 		}
 		w(uint64(len(distinct)))
-		for _, g := range distinct {
-			bb, err := g.bf.MarshalBinary()
+		for _, ref := range distinct {
+			bb, err := f.arena[ref].MarshalBinary()
 			if err != nil {
 				return nil, err
 			}
 			w(uint64(len(bb)))
 			buf.Write(bb)
 		}
-		for _, g := range f.groups {
-			if g == nil {
+		for _, ref := range f.sketch {
+			if ref == sketchNone {
 				w(^uint64(0))
 			} else {
-				w(groupIdx[g])
+				w(uint64(outIdx[ref]))
 			}
 		}
 	}
@@ -217,7 +224,7 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 			if err := bf.UnmarshalBinary(bb); err != nil {
 				return fmt.Errorf("ccf: entry bloom: %w", err)
 			}
-			g.blooms[i] = bf
+			g.sketch[i] = g.addSketch(bf)
 		}
 	}
 	if p.Variant == VariantMixed {
@@ -228,8 +235,10 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 		if nGroups < 0 || nGroups > n {
 			return fmt.Errorf("ccf: corrupt group count %d", nGroups)
 		}
-		groups := make([]*convGroup, nGroups)
-		for i := range groups {
+		// Wire group order becomes the arena order, so per-slot references
+		// decode directly as arena references.
+		g.arena = make([]*bloom.Filter, nGroups)
+		for i := range g.arena {
 			blen := int(r.u64())
 			bb := r.bytes(blen)
 			if r.err != nil {
@@ -239,7 +248,7 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 			if err := bf.UnmarshalBinary(bb); err != nil {
 				return fmt.Errorf("ccf: group bloom: %w", err)
 			}
-			groups[i] = &convGroup{bf: bf}
+			g.arena[i] = bf
 		}
 		for i := 0; i < n; i++ {
 			idx := r.u64()
@@ -252,7 +261,7 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 			if idx >= uint64(nGroups) {
 				return fmt.Errorf("ccf: group reference %d out of range", idx)
 			}
-			g.groups[i] = groups[idx]
+			g.sketch[i] = int32(idx)
 		}
 	}
 	if r.err != nil {
@@ -261,6 +270,7 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	if r.off != len(data) {
 		return fmt.Errorf("ccf: %d trailing bytes", len(data)-r.off)
 	}
+	g.rebuildWords()
 	g.occupied = occupied
 	g.rows = rows
 	g.discarded = discarded

@@ -86,12 +86,13 @@ func TestMarshalMixedGroupSharingPreserved(t *testing.T) {
 	if err := g.UnmarshalBinary(data); err != nil {
 		t.Fatal(err)
 	}
-	// Distinct group objects must be shared after decoding: count them.
-	distinct := map[*convGroup]bool{}
+	// Distinct group sketches must be shared after decoding: count the
+	// arena references.
+	distinct := map[int32]bool{}
 	perGroupRefs := 0
-	for _, grp := range g.groups {
-		if grp != nil {
-			distinct[grp] = true
+	for _, ref := range g.sketch {
+		if ref != sketchNone {
+			distinct[ref] = true
 			perGroupRefs++
 		}
 	}

@@ -194,6 +194,19 @@ func (p *Params) setDefaults() error {
 	if p.Variant < VariantPlain || p.Variant > VariantMixed {
 		return fmt.Errorf("ccf: unknown variant %d", int(p.Variant))
 	}
+	// Sizing guard: nextPow2 operates on uint32 and wraps to 0 above 2^31,
+	// which would silently build a zero-bucket table. Reject both an
+	// explicit Buckets and a Capacity/TargetLoad derivation that exceed it.
+	if uint64(p.Buckets) > maxBuckets {
+		return fmt.Errorf("ccf: Buckets %d exceeds the 2^31 bucket limit", p.Buckets)
+	}
+	if p.Buckets == 0 {
+		need := float64(p.Capacity) / p.TargetLoad / float64(p.BucketSize)
+		if need >= float64(maxBuckets) {
+			return fmt.Errorf("ccf: Capacity %d at TargetLoad %v needs %.0f buckets, exceeding the 2^31 bucket limit",
+				p.Capacity, p.TargetLoad, need)
+		}
+	}
 	return nil
 }
 

@@ -41,7 +41,7 @@ func (p Predicate) Validate(numAttrs int) error {
 // matchVector reports whether the fingerprint vector at attrs satisfies p
 // under the filter's attribute fingerprinting.
 func (f *Filter) matchVector(entryIdx int, p Predicate) bool {
-	base := entryIdx * f.p.NumAttrs
+	base := entryIdx * f.nattr
 	for _, c := range p {
 		got := f.attrs[base+c.Attr]
 		ok := false
@@ -61,7 +61,7 @@ func (f *Filter) matchVector(entryIdx int, p Predicate) bool {
 // matchBloomEntry reports whether the per-entry Bloom sketch satisfies p.
 // The Bloom variant inserts raw (attribute, value) pairs (§5.2).
 func (f *Filter) matchBloomEntry(entryIdx int, p Predicate) bool {
-	bf := f.blooms[entryIdx]
+	bf := f.sketchAt(f.sketch[entryIdx])
 	if bf == nil {
 		return len(p) == 0
 	}
@@ -81,13 +81,15 @@ func (f *Filter) matchBloomEntry(entryIdx int, p Predicate) bool {
 }
 
 // matchGroup reports whether a converted group's Bloom filter satisfies p.
-// Conversion inserts (attribute, attribute-fingerprint) pairs, adding the
-// second collision layer the paper describes (§6.1).
-func (f *Filter) matchGroup(g *convGroup, p Predicate) bool {
+// The group sketch is resolved by arena reference (§6.1's shared filter);
+// conversion inserts (attribute, attribute-fingerprint) pairs, adding the
+// second collision layer the paper describes.
+func (f *Filter) matchGroup(ref int32, p Predicate) bool {
+	bf := f.sketchAt(ref)
 	for _, c := range p {
 		ok := false
 		for _, v := range c.Values {
-			if g.bf.Contains(f.bloomElemFp(c.Attr, f.attrFingerprint(c.Attr, v))) {
+			if bf.Contains(f.bloomElemFp(c.Attr, f.attrFingerprint(c.Attr, v))) {
 				ok = true
 				break
 			}

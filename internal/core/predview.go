@@ -38,7 +38,8 @@ func (f *Filter) PredicateFilter(pred Predicate) (*KeyView, error) {
 		return &KeyView{f: clone, bitsPer: f.p.KeyBits + 1, variant: f.p.Variant}, nil
 	default:
 		// Erase non-matching entries outright; the result is an ordinary
-		// cuckoo filter of key fingerprints.
+		// cuckoo filter of key fingerprints. The word mirror is rebuilt
+		// once after the bulk erase.
 		for idx := range clone.fps {
 			if clone.fps[idx] == 0 {
 				continue
@@ -49,6 +50,7 @@ func (f *Filter) PredicateFilter(pred Predicate) (*KeyView, error) {
 				clone.occupied--
 			}
 		}
+		clone.rebuildWords()
 		return &KeyView{f: clone, bitsPer: f.p.KeyBits, variant: f.p.Variant}, nil
 	}
 }
@@ -64,22 +66,19 @@ func (f *Filter) shallowKeyClone() *Filter {
 		mask:     f.mask,
 		fpMask:   f.fpMask,
 		attrMask: f.attrMask,
-		fps:      append([]uint16(nil), f.fps...),
-		flags:    append([]uint8(nil), f.flags...),
 		occupied: f.occupied,
 		rows:     f.rows,
 	}
-	// Predicate matching in entryMatches consults attrs/blooms/groups of
-	// the ORIGINAL filter during PredicateFilter construction; the clone
-	// itself never needs them because its queries are key-only. Leaving
-	// them nil keeps the view cheap. Chained key-only walks only read fps
-	// and flags.
-	if f.p.Variant == VariantChained {
-		// queryChained with an empty predicate touches entryMatches, which
-		// for the chained variant reads f.attrs only when pred is
-		// non-empty; key-only queries are safe with nil attrs.
-		clone.attrs = nil
-	}
+	clone.bsz = f.bsz
+	clone.nattr = f.nattr
+	clone.fps = append([]uint16(nil), f.fps...)
+	clone.flags = append([]uint8(nil), f.flags...)
+	clone.rebuildWords()
+	// Predicate matching in entryMatches consults attrs/sketches of the
+	// ORIGINAL filter during PredicateFilter construction; the clone
+	// itself never needs them because its queries are key-only (with an
+	// empty predicate, entryMatches never dereferences attribute storage).
+	// Leaving them nil keeps the view cheap.
 	return clone
 }
 
@@ -92,15 +91,24 @@ func (v *KeyView) Contains(key uint64) bool {
 		return v.f.queryChained(fp, home, nil)
 	}
 	l1, l2, _ := v.f.pairBuckets(home, fp)
-	found := false
-	v.f.forEachInPair(l1, l2, func(idx int) bool {
-		if v.f.fps[idx] == fp && v.f.flags[idx]&flagTombstone == 0 {
-			found = true
-			return false
-		}
+	if v.bucketContains(l1, fp) {
 		return true
-	})
-	return found
+	}
+	return l2 != l1 && v.bucketContains(l2, fp)
+}
+
+func (v *KeyView) bucketContains(bucket uint32, fp uint16) bool {
+	f := v.f
+	if !f.bucketMayContain(bucket, fp) {
+		return false
+	}
+	base := int(bucket) * f.bsz
+	for j := 0; j < f.bsz; j++ {
+		if f.fps[base+j] == fp && f.flags[base+j]&flagTombstone == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // SizeBits returns the packed size of the view: m·b·|κ| for erasable

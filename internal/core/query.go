@@ -4,6 +4,10 @@ package core
 // whose attributes satisfy pred (Algorithm 1). A nil or empty predicate is
 // a key-only query. Query never returns a false negative: if a matching row
 // was inserted (or discarded at the chain limit), the result is true.
+//
+// Queries are allocation-free and safe for concurrent readers: the probe
+// loops walk the packed bucket storage inline (bucket.go) and never touch
+// the filter's mutation scratch.
 func (f *Filter) Query(key uint64, pred Predicate) bool {
 	if err := pred.Validate(f.p.NumAttrs); err != nil {
 		// An invalid predicate cannot have been inserted; stay conservative
@@ -39,36 +43,40 @@ func (f *Filter) QueryUnchecked(key uint64, pred Predicate) bool {
 // QueryKey reports whether any row with the key may be present. For every
 // variant only the key's first bucket pair needs checking: Lemma 2
 // guarantees a chained key keeps d copies in its first pair, so "there is
-// no penalty for probing more buckets at query time" (§7.1).
+// no penalty for probing more buckets at query time" (§7.1). For the
+// packed b=4 layout this is two word compares and no per-slot work.
 func (f *Filter) QueryKey(key uint64) bool {
 	fp := f.fingerprint(key)
 	l1, l2, _ := f.pairBuckets(f.homeBucket(key), fp)
-	found := false
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] == fp {
-			found = true
-			return false
-		}
+	if f.bucketHasFp(l1, fp) {
 		return true
-	})
-	return found
+	}
+	return l2 != l1 && f.bucketHasFp(l2, fp)
+}
+
+// bucketMatch reports whether the bucket holds an entry for κ satisfying
+// pred, pre-screened by the packed word compare so absent keys cost no
+// per-slot work.
+func (f *Filter) bucketMatch(bucket uint32, fp uint16, pred Predicate) bool {
+	if !f.bucketMayContain(bucket, fp) {
+		return false
+	}
+	base := int(bucket) * f.bsz
+	for j := 0; j < f.bsz; j++ {
+		if f.fps[base+j] == fp && f.entryMatches(base+j, pred) {
+			return true
+		}
+	}
+	return false
 }
 
 // queryPair checks the key's single bucket pair (Plain, Bloom, Mixed).
 func (f *Filter) queryPair(fp uint16, home uint32, pred Predicate) bool {
 	l1, l2, _ := f.pairBuckets(home, fp)
-	match := false
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] != fp {
-			return true
-		}
-		if f.entryMatches(idx, pred) {
-			match = true
-			return false
-		}
+	if f.bucketMatch(l1, fp, pred) {
 		return true
-	})
-	return match
+	}
+	return l2 != l1 && f.bucketMatch(l2, fp, pred)
 }
 
 // entryMatches dispatches predicate matching on the entry's sketch type.
@@ -85,10 +93,32 @@ func (f *Filter) entryMatches(idx int, pred Predicate) bool {
 	case f.p.Variant == VariantBloom:
 		return f.matchBloomEntry(idx, pred)
 	case f.flags[idx]&flagConverted != 0:
-		return f.matchGroup(f.groups[idx], pred)
+		return f.matchGroup(f.sketch[idx], pred)
 	default:
 		return f.matchVector(idx, pred)
 	}
+}
+
+// bucketCountMatch returns the number of copies of κ in the bucket and
+// whether any of them satisfies pred, in one pass.
+func (f *Filter) bucketCountMatch(bucket uint32, fp uint16, pred Predicate) (int, bool) {
+	if !f.bucketMayContain(bucket, fp) {
+		return 0, false
+	}
+	base := int(bucket) * f.bsz
+	count := 0
+	match := false
+	for j := 0; j < f.bsz; j++ {
+		idx := base + j
+		if f.fps[idx] != fp {
+			continue
+		}
+		count++
+		if !match && f.entryMatches(idx, pred) {
+			match = true
+		}
+	}
+	return count, match
 }
 
 // queryChained implements Algorithm 5: walk the chain; a pair holding
@@ -102,18 +132,12 @@ func (f *Filter) queryChained(fp uint16, home uint32, pred Predicate) bool {
 	f.initChainSeq(&seq, fp, home)
 	for {
 		l1, l2 := seq.buckets()
-		count := 0
-		match := false
-		f.forEachInPair(l1, l2, func(idx int) bool {
-			if f.fps[idx] != fp {
-				return true
-			}
-			count++
-			if !match && f.entryMatches(idx, pred) {
-				match = true
-			}
-			return true
-		})
+		count, match := f.bucketCountMatch(l1, fp, pred)
+		if l2 != l1 {
+			c2, m2 := f.bucketCountMatch(l2, fp, pred)
+			count += c2
+			match = match || m2
+		}
 		if match {
 			return true
 		}
@@ -164,12 +188,20 @@ func (f *Filter) CountFingerprint(key uint64) int {
 func (f *Filter) PairFill(key uint64) int {
 	fp := f.fingerprint(key)
 	l1, l2, _ := f.pairBuckets(f.homeBucket(key), fp)
+	n := f.bucketFill(l1)
+	if l2 != l1 {
+		n += f.bucketFill(l2)
+	}
+	return n
+}
+
+func (f *Filter) bucketFill(bucket uint32) int {
+	base := int(bucket) * f.bsz
 	n := 0
-	f.forEachInPair(l1, l2, func(idx int) bool {
-		if f.fps[idx] != 0 {
+	for j := 0; j < f.bsz; j++ {
+		if f.fps[base+j] != 0 {
 			n++
 		}
-		return true
-	})
+	}
 	return n
 }

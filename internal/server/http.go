@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"ccf/internal/core"
 	"ccf/internal/shard"
@@ -14,6 +15,19 @@ import (
 
 // maxBodyBytes bounds request bodies (batches and snapshots).
 const maxBodyBytes = 1 << 30
+
+// Result-buffer pools: the query and insert handlers run once per request
+// on the hottest server path, so they probe through the shard layer's
+// *Into entry points with recycled slices instead of re-slicing per
+// request. Buffers are returned to the pool after the response is encoded;
+// outliers above maxPooledResults are dropped so one huge batch cannot pin
+// multi-MB buffers for the steady state of small requests.
+const maxPooledResults = 64 << 10
+
+var (
+	boolBufPool = sync.Pool{New: func() any { return new([]bool) }}
+	errBufPool  = sync.Pool{New: func() any { return new([]error) }}
+)
 
 // CreateRequest is the body of PUT /filters/{name}.
 type CreateRequest struct {
@@ -162,7 +176,8 @@ func NewHandler(reg *Registry) http.Handler {
 			httpError(w, http.StatusBadRequest, shard.ErrBatchShape)
 			return
 		}
-		errs := e.Filter().InsertBatch(req.Keys, req.Attrs)
+		bufp := errBufPool.Get().(*[]error)
+		errs := e.Filter().InsertBatchInto(*bufp, req.Keys, req.Attrs)
 		resp := InsertResponse{Accepted: len(req.Keys)}
 		for i, err := range errs {
 			if err != nil {
@@ -172,6 +187,10 @@ func NewHandler(reg *Registry) http.Handler {
 				resp.Errors[i] = err.Error()
 				resp.Accepted--
 			}
+		}
+		if cap(errs) <= maxPooledResults {
+			*bufp = errs[:0]
+			errBufPool.Put(bufp)
 		}
 		writeJSON(w, resp)
 	})
@@ -190,22 +209,28 @@ func NewHandler(reg *Registry) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
+		bufp := boolBufPool.Get().(*[]bool)
 		var resp QueryResponse
 		if req.ViaView {
 			view, hit, err := e.PredicateView(pred)
 			if err != nil {
+				boolBufPool.Put(bufp)
 				httpError(w, http.StatusBadRequest, err)
 				return
 			}
-			resp.Results = view.ContainsBatch(req.Keys)
+			resp.Results = view.ContainsBatchInto(*bufp, req.Keys)
 			resp.ViewCacheHit = &hit
 		} else {
-			resp.Results = e.Filter().QueryBatch(req.Keys, pred)
+			resp.Results = e.Filter().QueryBatchInto(*bufp, req.Keys, pred)
 		}
 		if resp.Results == nil {
 			resp.Results = []bool{}
 		}
 		writeJSON(w, resp)
+		if cap(resp.Results) <= maxPooledResults {
+			*bufp = resp.Results[:0]
+			boolBufPool.Put(bufp)
+		}
 	})
 
 	mux.HandleFunc("GET /filters/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {

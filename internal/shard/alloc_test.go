@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"testing"
+
+	"ccf/internal/core"
+)
+
+// These tests pin the serving path's allocation discipline: a batch probe
+// through the sharded filter must not allocate in steady state when the
+// caller recycles its result buffer via the *Into entry points. The
+// grouping scratch cycles through a pool; the single-worker grouped path
+// runs with direct method calls, no closures and no goroutines.
+
+func loadedSharded(t testing.TB, shards int) (*ShardedFilter, []uint64) {
+	t.Helper()
+	s, err := New(Options{
+		Shards:  shards,
+		Workers: 1,
+		Params:  core.Params{NumAttrs: 2, Capacity: 1 << 14, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, attrs := mkRows(1 << 13)
+	for _, err := range s.InsertBatch(keys, attrs) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, keys
+}
+
+func TestQueryBatchIntoSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	for _, shards := range []int{1, 4} {
+		s, keys := loadedSharded(t, shards)
+		pred := core.And(core.Eq(0, 3))
+		batch := keys[:1024]
+		dst := make([]bool, 0, len(batch))
+		dst = s.QueryBatchInto(dst, batch, pred) // warm the grouping scratch pool
+		if n := testing.AllocsPerRun(200, func() {
+			dst = s.QueryBatchInto(dst[:0], batch, pred)
+		}); n != 0 {
+			t.Errorf("shards=%d: QueryBatchInto allocates %.2f allocs/op, want 0", shards, n)
+		}
+	}
+}
+
+func TestInsertBatchIntoSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	s, err := New(Options{
+		Shards:  4,
+		Workers: 1,
+		Params:  core.Params{NumAttrs: 1, Capacity: 1 << 18, Seed: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 256
+	keys := make([]uint64, batch)
+	attrs := make([][]uint64, batch)
+	for i := range attrs {
+		attrs[i] = []uint64{uint64(i % 5)}
+	}
+	next := uint64(0)
+	fill := func() {
+		for i := range keys {
+			keys[i] = next*2654435761 + 1
+			next++
+		}
+	}
+	errs := make([]error, 0, batch)
+	fill()
+	errs = s.InsertBatchInto(errs, keys, attrs) // warm scratch + kick paths
+	if n := testing.AllocsPerRun(50, func() {
+		fill()
+		errs = s.InsertBatchInto(errs[:0], keys, attrs)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("InsertBatchInto allocates %.2f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkShardedQueryBatch is the committed serving-path benchmark: the
+// batched sharded probe with a recycled result buffer, reported per key.
+func BenchmarkShardedQueryBatch(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "shards=1", 4: "shards=4", 16: "shards=16"}[shards], func(b *testing.B) {
+			s, keys := loadedSharded(b, shards)
+			pred := core.And(core.Eq(0, 3))
+			const batch = 1024
+			dst := make([]bool, 0, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i * batch) % (len(keys) - batch)
+				dst = s.QueryBatchInto(dst[:0], keys[lo:lo+batch], pred)
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				nsPerKey := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / batch
+				b.ReportMetric(nsPerKey, "ns/key")
+			}
+		})
+	}
+}
+
+func BenchmarkShardedInsertBatch(b *testing.B) {
+	s, err := New(Options{
+		Shards:  4,
+		Workers: 1,
+		Params:  core.Params{NumAttrs: 1, Capacity: 1 << 22, Seed: 8},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 1024
+	keys := make([]uint64, batch)
+	attrs := make([][]uint64, batch)
+	for i := range attrs {
+		attrs[i] = []uint64{uint64(i % 5)}
+	}
+	errs := make([]error, 0, batch)
+	next := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = next*2654435761 + 3
+			next++
+		}
+		errs = s.InsertBatchInto(errs[:0], keys, attrs)
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		nsPerKey := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / batch
+		b.ReportMetric(nsPerKey, "ns/key")
+	}
+}

@@ -148,28 +148,58 @@ func (r router) shardOf(key uint64) int {
 	return int(hashing.Key64(key, r.seed^saltShard) % uint64(r.n))
 }
 
-// group builds a counting-sort permutation of keys by shard: order lists
-// key indexes grouped by shard, and start[i]:start[i+1] bounds shard i's
-// span. A single flat slice keeps batch grouping allocation-light.
-func (r router) group(keys []uint64) (order []int32, start []int32) {
-	shards := make([]int32, len(keys))
-	counts := make([]int32, r.n+1)
+// batchScratch holds the reusable grouping buffers of one batch
+// operation. Instances cycle through a package-level pool so steady-state
+// batches allocate nothing beyond their result slice.
+type batchScratch struct {
+	shards []int32
+	counts []int32
+	order  []int32
+	start  []int32
+	groups []int32
+	// stale is the batch's Restore-race flag. It lives in the pooled
+	// scratch (not a local) so the parallel fan-out closure captures only
+	// read-only values and the caller's frame stays heap-free.
+	stale atomic.Bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// i32buf returns buf resized to n, reusing its backing array when large
+// enough.
+func i32buf(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// group builds a counting-sort permutation of keys by shard into the
+// scratch buffers: sc.order lists key indexes grouped by shard, and
+// sc.start[i]:sc.start[i+1] bounds shard i's span.
+func (r router) group(keys []uint64, sc *batchScratch) (order, start []int32) {
+	sc.shards = i32buf(sc.shards, len(keys))
+	sc.counts = i32buf(sc.counts, r.n+1)
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
 	for i, k := range keys {
 		sh := int32(r.shardOf(k))
-		shards[i] = sh
-		counts[sh+1]++
+		sc.shards[i] = sh
+		sc.counts[sh+1]++
 	}
 	for i := 0; i < r.n; i++ {
-		counts[i+1] += counts[i]
+		sc.counts[i+1] += sc.counts[i]
 	}
-	start = append([]int32(nil), counts...)
-	order = make([]int32, len(keys))
+	sc.start = i32buf(sc.start, r.n+1)
+	copy(sc.start, sc.counts)
+	sc.order = i32buf(sc.order, len(keys))
 	for i := range keys {
-		sh := shards[i]
-		order[counts[sh]] = int32(i)
-		counts[sh]++
+		sh := sc.shards[i]
+		sc.order[sc.counts[sh]] = int32(i)
+		sc.counts[sh]++
 	}
-	return order, start
+	return sc.order, sc.start
 }
 
 // router returns the current routing snapshot.
@@ -254,30 +284,34 @@ func (s *ShardedFilter) QueryKey(key uint64) bool {
 // right shape for servers whose request handlers are already concurrent.
 const minKeysPerWorker = 512
 
-// runGroups runs fn once per non-empty shard group, on the calling
-// goroutine when only one worker (or one group) is available and on a
-// worker pool otherwise. fn receives the shard index and the key indexes
-// routed to it.
-func runGroups(workers int, order, start []int32, fn func(sh int, idxs []int32)) {
-	var groups []int
+// groupWorkers stages the non-empty shard groups in sc.groups and returns
+// how many workers the grouped spans justify. Callers run the groups
+// inline when the answer is ≤ 1 — with direct method calls, so the
+// steady-state batch path creates no closures or goroutines — and fan out
+// to runGroupsParallel otherwise.
+func groupWorkers(workers int, sc *batchScratch) int {
+	start := sc.start
+	sc.groups = sc.groups[:0]
 	for sh := 0; sh+1 < len(start); sh++ {
 		if start[sh+1] > start[sh] {
-			groups = append(groups, sh)
+			sc.groups = append(sc.groups, int32(sh))
 		}
 	}
 	w := workers
-	if max := len(order)/minKeysPerWorker + 1; w > max {
+	if max := len(sc.order)/minKeysPerWorker + 1; w > max {
 		w = max
 	}
-	if w > len(groups) {
-		w = len(groups)
+	if w > len(sc.groups) {
+		w = len(sc.groups)
 	}
-	if w <= 1 {
-		for _, sh := range groups {
-			fn(sh, order[start[sh]:start[sh+1]])
-		}
-		return
-	}
+	return w
+}
+
+// runGroupsParallel runs fn once per staged shard group on a pool of w
+// workers (w ≥ 2, from groupWorkers). fn receives the shard index and the
+// key indexes routed to it.
+func runGroupsParallel(w int, sc *batchScratch, fn func(sh int, idxs []int32)) {
+	order, start := sc.order, sc.start
 	ch := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -289,8 +323,8 @@ func runGroups(workers int, order, start []int32, fn func(sh int, idxs []int32))
 			}
 		}()
 	}
-	for _, sh := range groups {
-		ch <- sh
+	for _, sh := range sc.groups {
+		ch <- int(sh)
 	}
 	close(ch)
 	wg.Wait()
@@ -306,38 +340,40 @@ func (s *ShardedFilter) InsertBatch(keys []uint64, attrs [][]uint64) []error {
 	if len(keys) == 0 {
 		return nil
 	}
-	errs := make([]error, len(keys))
+	return s.InsertBatchInto(nil, keys, attrs)
+}
+
+// InsertBatchInto is InsertBatch writing results into dst (grown if its
+// capacity is short), so callers that recycle result buffers insert with
+// no per-batch allocation.
+func (s *ShardedFilter) InsertBatchInto(dst []error, keys []uint64, attrs [][]uint64) []error {
+	if len(attrs) != len(keys) {
+		return append(dst[:0], ErrBatchShape)
+	}
+	errs := dst
+	if cap(errs) < len(keys) {
+		errs = make([]error, len(keys))
+	} else {
+		errs = errs[:len(keys)]
+		for i := range errs {
+			errs[i] = nil
+		}
+	}
+	if len(keys) == 0 {
+		return errs
+	}
 	for {
 		gen := s.gen.Load()
 		rt := s.router()
-		var stale atomic.Bool
-		apply := func(sh int, idxs []int32) {
-			c := &s.cells[sh]
-			c.mu.Lock()
-			switch {
-			case s.gen.Load() != gen:
-				// A Restore completed after routing; rows applied so far
-				// went into the filters it discarded, so the whole batch
-				// retries against the restored contents.
-				stale.Store(true)
-			case idxs == nil: // single shard: all keys
-				for i := range keys {
-					errs[i] = c.f.Insert(keys[i], attrs[i])
-				}
-			default:
-				for _, i := range idxs {
-					errs[i] = c.f.Insert(keys[i], attrs[i])
-				}
-			}
-			c.mu.Unlock()
-		}
 		if rt.n == 1 {
-			apply(0, nil)
-		} else {
-			order, start := rt.group(keys)
-			runGroups(s.workers, order, start, apply)
+			var stale atomic.Bool
+			s.insertShardGroup(0, nil, keys, attrs, errs, gen, &stale)
+			if !stale.Load() {
+				break
+			}
+			continue
 		}
-		if !stale.Load() {
+		if s.insertGrouped(rt, keys, attrs, errs, gen) {
 			break
 		}
 	}
@@ -348,6 +384,56 @@ func (s *ShardedFilter) InsertBatch(keys []uint64, attrs [][]uint64) []error {
 		}
 	}
 	return errs
+}
+
+// insertGrouped applies a multi-shard batch insert under one grouping
+// pass, reporting false when a racing Restore invalidated the routing and
+// the batch must retry. The single-worker path runs with direct method
+// calls — no closure, no goroutines — so steady-state grouped inserts
+// allocate nothing; the parallel fan-out closure captures only read-only
+// parameters, keeping the caller's frame off the heap.
+func (s *ShardedFilter) insertGrouped(rt router, keys []uint64, attrs [][]uint64,
+	errs []error, gen uint64) bool {
+	sc := scratchPool.Get().(*batchScratch)
+	sc.stale.Store(false)
+	rt.group(keys, sc)
+	if w := groupWorkers(s.workers, sc); w <= 1 {
+		for _, sh := range sc.groups {
+			s.insertShardGroup(int(sh), sc.order[sc.start[sh]:sc.start[sh+1]],
+				keys, attrs, errs, gen, &sc.stale)
+		}
+	} else {
+		runGroupsParallel(w, sc, func(sh int, idxs []int32) {
+			s.insertShardGroup(sh, idxs, keys, attrs, errs, gen, &sc.stale)
+		})
+	}
+	done := !sc.stale.Load()
+	scratchPool.Put(sc)
+	return done
+}
+
+// insertShardGroup applies one shard's span of a batch insert under the
+// shard write lock. idxs == nil means "all keys" (single-shard routing).
+// A generation mismatch means a Restore completed after routing; rows
+// applied so far went into the filters it discarded, so the whole batch
+// retries against the restored contents.
+func (s *ShardedFilter) insertShardGroup(sh int, idxs []int32, keys []uint64,
+	attrs [][]uint64, errs []error, gen uint64, stale *atomic.Bool) {
+	c := &s.cells[sh]
+	c.mu.Lock()
+	switch {
+	case s.gen.Load() != gen:
+		stale.Store(true)
+	case idxs == nil:
+		for i := range keys {
+			errs[i] = c.f.Insert(keys[i], attrs[i])
+		}
+	default:
+		for _, i := range idxs {
+			errs[i] = c.f.Insert(keys[i], attrs[i])
+		}
+	}
+	c.mu.Unlock()
 }
 
 // QueryBatch answers one membership query per key under pred, grouping
@@ -362,49 +448,98 @@ func (s *ShardedFilter) QueryBatch(keys []uint64, pred core.Predicate) []bool {
 	if len(keys) == 0 {
 		return nil
 	}
-	out := make([]bool, len(keys))
+	return s.QueryBatchInto(nil, keys, pred)
+}
+
+// QueryBatchInto is QueryBatch writing results into dst (grown if its
+// capacity is short). Together with the pooled grouping scratch this
+// makes the steady-state sharded probe path allocation-free: servers and
+// benchmark loops recycle one result buffer per client.
+func (s *ShardedFilter) QueryBatchInto(dst []bool, keys []uint64, pred core.Predicate) []bool {
+	out := dst
+	if cap(out) < len(keys) {
+		out = make([]bool, len(keys))
+	} else {
+		out = out[:len(keys)]
+	}
+	if len(keys) == 0 {
+		return out
+	}
 	for {
 		gen := s.gen.Load()
 		rt := s.router()
-		var stale atomic.Bool
-		queryShard := func(sh int, idxs []int32) {
-			c := &s.cells[sh]
-			c.mu.RLock()
-			f := c.f
-			switch {
-			case s.gen.Load() != gen:
-				stale.Store(true)
-			case pred.Validate(f.Params().NumAttrs) != nil:
-				if idxs == nil {
-					for i := range out {
-						out[i] = true
-					}
-				} else {
-					for _, i := range idxs {
-						out[i] = true
-					}
-				}
-			case idxs == nil: // single shard: all keys
-				for i, k := range keys {
-					out[i] = f.QueryUnchecked(k, pred)
-				}
-			default:
-				for _, i := range idxs {
-					out[i] = f.QueryUnchecked(keys[i], pred)
-				}
-			}
-			c.mu.RUnlock()
-		}
 		if rt.n == 1 {
-			queryShard(0, nil)
-		} else {
-			order, start := rt.group(keys)
-			runGroups(s.workers, order, start, queryShard)
+			var stale atomic.Bool
+			s.queryShardGroup(0, nil, keys, pred, out, gen, &stale)
+			if !stale.Load() {
+				return out
+			}
+			continue
 		}
-		if !stale.Load() {
+		if s.queryGrouped(rt, keys, pred, out, gen) {
 			return out
 		}
 	}
+}
+
+// queryGrouped answers a multi-shard batch query under one grouping pass,
+// reporting false when a racing Restore invalidated the routing and the
+// batch must retry. Like insertGrouped, the single-worker path uses
+// direct method calls and the parallel closure captures only read-only
+// parameters, so steady-state grouped probes allocate nothing.
+func (s *ShardedFilter) queryGrouped(rt router, keys []uint64, pred core.Predicate,
+	out []bool, gen uint64) bool {
+	sc := scratchPool.Get().(*batchScratch)
+	sc.stale.Store(false)
+	rt.group(keys, sc)
+	if w := groupWorkers(s.workers, sc); w <= 1 {
+		for _, sh := range sc.groups {
+			s.queryShardGroup(int(sh), sc.order[sc.start[sh]:sc.start[sh+1]],
+				keys, pred, out, gen, &sc.stale)
+		}
+	} else {
+		runGroupsParallel(w, sc, func(sh int, idxs []int32) {
+			s.queryShardGroup(sh, idxs, keys, pred, out, gen, &sc.stale)
+		})
+	}
+	done := !sc.stale.Load()
+	scratchPool.Put(sc)
+	return done
+}
+
+// queryShardGroup answers one shard's span of a batch query under the
+// shard read lock. The predicate is validated once per group — under the
+// same lock hold as the probes, so a concurrent Restore cannot change
+// NumAttrs between validation and probing; an invalid predicate yields
+// all true, matching Query's conservative no-false-negatives contract.
+func (s *ShardedFilter) queryShardGroup(sh int, idxs []int32, keys []uint64,
+	pred core.Predicate, out []bool, gen uint64, stale *atomic.Bool) {
+	c := &s.cells[sh]
+	c.mu.RLock()
+	f := c.f
+	switch {
+	case s.gen.Load() != gen:
+		stale.Store(true)
+	case pred.Validate(f.Params().NumAttrs) != nil:
+		if idxs == nil {
+			for i := range out {
+				out[i] = true
+			}
+		} else {
+			for _, i := range idxs {
+				out[i] = true
+			}
+		}
+	case idxs == nil: // single shard: all keys
+		for i, k := range keys {
+			out[i] = f.QueryUnchecked(k, pred)
+		}
+	default:
+		for _, i := range idxs {
+			out[i] = f.QueryUnchecked(keys[i], pred)
+		}
+	}
+	c.mu.RUnlock()
 }
 
 // PredicateFilter extracts a key-only view per shard (Algorithm 2) and

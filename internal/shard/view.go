@@ -26,7 +26,22 @@ func (v *KeyView) ContainsBatch(keys []uint64) []bool {
 	if len(keys) == 0 {
 		return nil
 	}
-	out := make([]bool, len(keys))
+	return v.ContainsBatchInto(nil, keys)
+}
+
+// ContainsBatchInto is ContainsBatch writing results into dst (grown if
+// its capacity is short), using the pooled grouping scratch so repeated
+// view probes allocate nothing beyond a reused result buffer.
+func (v *KeyView) ContainsBatchInto(dst []bool, keys []uint64) []bool {
+	out := dst
+	if cap(out) < len(keys) {
+		out = make([]bool, len(keys))
+	} else {
+		out = out[:len(keys)]
+	}
+	if len(keys) == 0 {
+		return out
+	}
 	if len(v.views) == 1 {
 		kv := v.views[0]
 		for i, k := range keys {
@@ -34,14 +49,32 @@ func (v *KeyView) ContainsBatch(keys []uint64) []bool {
 		}
 		return out
 	}
-	order, start := v.rt.group(keys)
-	runGroups(v.workers, order, start, func(sh int, idxs []int32) {
-		kv := v.views[sh]
-		for _, i := range idxs {
-			out[i] = kv.Contains(keys[i])
-		}
-	})
+	v.containsGrouped(keys, out)
 	return out
+}
+
+// containsGrouped fans a batch over the per-shard views. The
+// single-worker path runs inline; the parallel closure captures only
+// read-only parameters, keeping ContainsBatchInto's frame heap-free.
+func (v *KeyView) containsGrouped(keys []uint64, out []bool) {
+	sc := scratchPool.Get().(*batchScratch)
+	v.rt.group(keys, sc)
+	if w := groupWorkers(v.workers, sc); w <= 1 {
+		for _, sh := range sc.groups {
+			kv := v.views[sh]
+			for _, i := range sc.order[sc.start[sh]:sc.start[sh+1]] {
+				out[i] = kv.Contains(keys[i])
+			}
+		}
+	} else {
+		runGroupsParallel(w, sc, func(sh int, idxs []int32) {
+			kv := v.views[sh]
+			for _, i := range idxs {
+				out[i] = kv.Contains(keys[i])
+			}
+		})
+	}
+	scratchPool.Put(sc)
 }
 
 // SizeBits returns the total packed size of the per-shard views.
