@@ -16,6 +16,7 @@ import (
 	"ccf/internal/core"
 	"ccf/internal/server"
 	"ccf/internal/shard"
+	"ccf/internal/store"
 	"ccf/internal/zipfmd"
 )
 
@@ -26,7 +27,7 @@ import (
 // machine-visible alongside latency.
 type BenchResult struct {
 	Op          string  `json:"op"`   // insert | query
-	Impl        string  `json:"impl"` // sync | sharded
+	Impl        string  `json:"impl"` // sync | sharded | sharded+wal
 	Variant     string  `json:"variant"`
 	Shards      int     `json:"shards"` // 1 for sync
 	Batch       int     `json:"batch"`  // 1 = point calls
@@ -38,6 +39,7 @@ type BenchResult struct {
 	Alpha       float64 `json:"alpha"`
 	Keys        int     `json:"keys"`
 	Ops         int     `json:"ops"`
+	Fsync       string  `json:"fsync,omitempty"` // sharded+wal only
 }
 
 // benchConfig parameterizes one bench run.
@@ -50,6 +52,11 @@ type benchConfig struct {
 	alpha   float64
 	clients int
 	seed    int64
+	// durableFsync, when non-empty, adds a WAL-backed insert pass per
+	// shard count under that fsync policy ("off" skips it).
+	durableFsync string
+	// durableDir hosts the throwaway store directories; empty = TempDir.
+	durableDir string
 }
 
 func benchCmd(args []string) error {
@@ -63,6 +70,8 @@ func benchCmd(args []string) error {
 	clients := fs.Int("clients", 0, "concurrent client goroutines (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "workload and hashing seed")
 	out := fs.String("out", "BENCH_serve.json", "JSON results path (empty = skip)")
+	durableFsync := fs.String("durable-fsync", "interval", "also bench WAL-backed inserts under this fsync policy (always|interval|never, off = skip)")
+	durableDir := fs.String("durable-dir", "", "directory for the durable bench's throwaway stores (empty = temp)")
 	fs.Parse(args)
 
 	variant, err := server.ParseVariant(*variantFlag)
@@ -90,6 +99,7 @@ func benchCmd(args []string) error {
 	cfg := benchConfig{
 		keys: *keys, queries: *queries, batch: *batch, shards: shardCounts,
 		variant: variant, alpha: *alpha, clients: nClients, seed: *seed,
+		durableFsync: *durableFsync, durableDir: *durableDir,
 	}
 	results, err := runBench(cfg, os.Stdout)
 	if err != nil {
@@ -191,16 +201,78 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 		results = append(results, mkResult("query", "sharded", n, cfg.batch, len(workload), m))
 	}
 
+	// Durable mode: the same batched insert through the store's WAL, so
+	// BENCH_serve.json records what durability costs on the write path.
+	if cfg.durableFsync != "" && cfg.durableFsync != "off" {
+		policy, err := store.ParseFsyncPolicy(cfg.durableFsync)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range cfg.shards {
+			dir, err := os.MkdirTemp(cfg.durableDir, "ccfd-bench-*")
+			if err != nil {
+				return nil, err
+			}
+			r, err := benchDurableInsert(cfg, policy, dir, n, keys, attrs, mkResult)
+			os.RemoveAll(dir)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, r)
+		}
+	}
+
 	if w != nil {
-		fmt.Fprintf(w, "%-7s %-8s %-8s %7s %6s %12s %14s %12s %12s\n",
-			"op", "impl", "variant", "shards", "batch", "ns/op", "qps", "allocs/op", "B/op")
+		fmt.Fprintf(w, "%-7s %-12s %-8s %7s %6s %12s %14s %12s %12s %-8s\n",
+			"op", "impl", "variant", "shards", "batch", "ns/op", "qps", "allocs/op", "B/op", "fsync")
 		for _, r := range results {
-			fmt.Fprintf(w, "%-7s %-8s %-8s %7d %6d %12.1f %14.0f %12.4f %12.1f\n",
+			fmt.Fprintf(w, "%-7s %-12s %-8s %7d %6d %12.1f %14.0f %12.4f %12.1f %-8s\n",
 				r.Op, r.Impl, r.Variant, r.Shards, r.Batch, r.NsPerOp, r.QPS,
-				r.AllocsPerOp, r.BytesPerOp)
+				r.AllocsPerOp, r.BytesPerOp, r.Fsync)
 		}
 	}
 	return results, nil
+}
+
+// benchDurableInsert replays the insert workload through a WAL-backed
+// filter in a throwaway store at one shard count.
+func benchDurableInsert(cfg benchConfig, policy store.FsyncPolicy, dir string, shards int,
+	keys []uint64, attrs [][]uint64,
+	mkResult func(op, impl string, shards, batch, ops int, m measurement) BenchResult) (BenchResult, error) {
+	st, err := store.Open(store.Options{Dir: dir, Fsync: policy})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer st.Close()
+	params := core.Params{Variant: cfg.variant, NumAttrs: 2, Capacity: cfg.keys * 2, Seed: uint64(cfg.seed)}
+	s, err := shard.New(shard.Options{Shards: shards, Workers: 1, Params: params})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	fl, err := st.Create("bench", s)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	errBufs := make([][]error, cfg.clients)
+	var insErr error
+	var mu sync.Mutex
+	m := measured(func() time.Duration {
+		return inParallelBatched(cfg.clients, cfg.keys, cfg.batch, func(c, lo, hi int) {
+			errs, err := fl.InsertBatchInto(errBufs[c][:0], keys[lo:hi], attrs[lo:hi])
+			errBufs[c] = errs
+			if err != nil {
+				mu.Lock()
+				insErr = err
+				mu.Unlock()
+			}
+		})
+	})
+	if insErr != nil {
+		return BenchResult{}, insErr
+	}
+	r := mkResult("insert", "sharded+wal", shards, cfg.batch, cfg.keys, m)
+	r.Fsync = policy.String()
+	return r, nil
 }
 
 // measurement pairs wall time with the process-wide heap delta of a run.

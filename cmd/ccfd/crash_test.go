@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ccf/internal/server"
+	"ccf/internal/store"
+)
+
+func putFilter(t *testing.T, url, name, body string) {
+	t.Helper()
+	req, err := http.NewRequest("PUT", url+"/filters/"+name, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT %s: %v", name, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT %s: %s", name, resp.Status)
+	}
+}
+
+// TestRestartRoundTrip is the HTTP-level durability test: create, fill
+// and query a filter; shut the daemon down gracefully; boot a second
+// daemon on the same -data-dir and require identical answers — then keep
+// writing to prove the recovered store accepts new traffic.
+func TestRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serveConfig{dataDir: dir, fsync: store.FsyncInterval, flushEvery: time.Millisecond}
+
+	url, shutdown := startDaemon(t, cfg)
+	putFilter(t, url, "jobs", `{"variant":"chained","shards":4,"capacity":65536,"num_attrs":2}`)
+	keys := make([]uint64, 500)
+	attrs := make([][]uint64, 500)
+	for i := range keys {
+		keys[i] = uint64(i)*6364136223846793005 + 17
+		attrs[i] = []uint64{uint64(i % 4), uint64(i % 7)}
+	}
+	var ins server.InsertResponse
+	post(t, url+"/filters/jobs/insert", server.InsertRequest{Keys: keys, Attrs: attrs}, &ins)
+	if ins.Accepted != len(keys) {
+		t.Fatalf("accepted %d of %d", ins.Accepted, len(keys))
+	}
+	query := server.QueryRequest{
+		Keys:      append(append([]uint64{}, keys...), 999999999, 123456789),
+		Predicate: []server.CondJSON{{Attr: 0, Values: []uint64{0, 1}}},
+	}
+	var before server.QueryResponse
+	post(t, url+"/filters/jobs/query", query, &before)
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	url2, shutdown2 := startDaemon(t, cfg)
+	var after server.QueryResponse
+	post(t, url2+"/filters/jobs/query", query, &after)
+	if len(after.Results) != len(before.Results) {
+		t.Fatalf("result lengths differ: %d vs %d", len(after.Results), len(before.Results))
+	}
+	for i := range before.Results {
+		if before.Results[i] != after.Results[i] {
+			t.Fatalf("key %d: before restart %v, after %v", query.Keys[i], before.Results[i], after.Results[i])
+		}
+	}
+	// The recovered filter keeps absorbing writes.
+	post(t, url2+"/filters/jobs/insert", server.InsertRequest{
+		Keys: []uint64{42}, Attrs: [][]uint64{{1, 1}},
+	}, &ins)
+	var q server.QueryResponse
+	post(t, url2+"/filters/jobs/query", server.QueryRequest{Keys: []uint64{42}}, &q)
+	if len(q.Results) != 1 || !q.Results[0] {
+		t.Fatalf("post-restart insert lost: %+v", q)
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+const crashHelperEnv = "CCFD_CRASH_HELPER_DIR"
+
+// TestCrashHelperProcess is not a test: it is the child half of
+// TestCrashRecoverySIGKILL, re-executed from the test binary. It serves a
+// durable daemon with -fsync always until the parent kills it.
+func TestCrashHelperProcess(t *testing.T) {
+	dir := os.Getenv(crashHelperEnv)
+	if dir == "" {
+		t.Skip("helper for TestCrashRecoverySIGKILL")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("CCFD_ADDR=%s\n", ln.Addr())
+	os.Stdout.Sync()
+	serveUntilDone(context.Background(), ln, serveConfig{
+		cacheCap: 16, dataDir: dir, fsync: store.FsyncAlways,
+		flushEvery: time.Millisecond, quiet: true,
+	})
+}
+
+// TestCrashRecoverySIGKILL is the acceptance test for crash safety: a
+// real ccfd child process under concurrent write load is SIGKILLed, its
+// WAL tail is additionally garbled with trailing garbage, and recovery
+// must still answer true for every insert the daemon acked (fsync=always
+// means acked implies durable).
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting helper: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if addr, ok := strings.CutPrefix(sc.Text(), "CCFD_ADDR="); ok {
+				addrc <- addr
+				return
+			}
+		}
+	}()
+	var url string
+	select {
+	case addr := <-addrc:
+		url = "http://" + addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("helper daemon never reported its address")
+	}
+
+	putFilter(t, url, "jobs", `{"variant":"chained","shards":2,"capacity":131072,"num_attrs":2}`)
+
+	// Hammer inserts from two writers; kill mid-stream; keep only keys
+	// whose batch was acked with a 2xx before the kill.
+	var mu sync.Mutex
+	var acked []uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < 2; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for it := 0; ; it++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				keys := make([]uint64, 32)
+				attrs := make([][]uint64, 32)
+				for i := range keys {
+					keys[i] = uint64(wtr*1_000_000+it*32+i)*2654435761 + 7
+					attrs[i] = []uint64{uint64(i % 4), uint64(i % 3)}
+				}
+				body, _ := json.Marshal(server.InsertRequest{Keys: keys, Attrs: attrs})
+				resp, err := http.Post(url+"/filters/jobs/insert", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // daemon died mid-request: batch not acked
+				}
+				var ins server.InsertResponse
+				derr := json.NewDecoder(resp.Body).Decode(&ins)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || derr != nil || ins.Accepted != len(keys) {
+					return
+				}
+				mu.Lock()
+				acked = append(acked, keys...)
+				mu.Unlock()
+			}
+		}(wtr)
+	}
+
+	// Let writes accumulate, then SIGKILL mid-load.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 2000 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	cmd.Wait()
+	mu.Lock()
+	ackedKeys := append([]uint64(nil), acked...)
+	mu.Unlock()
+	if len(ackedKeys) == 0 {
+		t.Fatal("no batches were acked before the kill")
+	}
+
+	// Garble the WAL tail on top of the crash: recovery must truncate it.
+	fdir := filepath.Join(dir, "filters", "f-jobs")
+	entries, err := os.ReadDir(fdir)
+	if err != nil {
+		t.Fatalf("filter dir: %v", err)
+	}
+	var newestWAL string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && (newestWAL == "" || e.Name() > newestWAL) {
+			newestWAL = e.Name()
+		}
+	}
+	if newestWAL == "" {
+		t.Fatal("no WAL file on disk after kill")
+	}
+	wf, err := os.OpenFile(filepath.Join(fdir, newestWAL), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf.Write([]byte{0xde, 0xad, 0xbe})
+	wf.Close()
+
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer st.Close()
+	stats := st.RecoveryStats()
+	if stats.Filters != 1 || stats.TornTails == 0 {
+		t.Fatalf("recovery stats: %+v", stats)
+	}
+	fl := st.Get("jobs")
+	if fl == nil {
+		t.Fatal("filter not recovered")
+	}
+	sf := fl.Live()
+	for _, k := range ackedKeys {
+		if !sf.QueryKey(k) {
+			t.Fatalf("acked key %d lost in crash (stats %+v, %d acked)", k, stats, len(ackedKeys))
+		}
+	}
+	t.Logf("recovered %d acked keys after SIGKILL: %+v", len(ackedKeys), stats)
+}

@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	ccfd serve [-addr :8437] [-cache 64]
+//	ccfd serve [-addr :8437] [-cache 64] [-max-body 67108864]
+//	           [-data-dir DIR] [-fsync always|interval|never]
+//	           [-fsync-interval 5ms] [-checkpoint-bytes N]
+//	           [-checkpoint-records N]
 //	ccfd bench [-keys 100000] [-queries 1000000] [-batch 1024]
 //	           [-shards 1,4,16] [-variant chained] [-alpha 1.1]
 //	           [-clients 0] [-seed 1] [-out BENCH_serve.json]
+//	           [-durable-fsync interval] [-durable-dir DIR]
 //
 // serve exposes the internal/server API:
 //
@@ -22,9 +26,16 @@
 //	DELETE /filters/{name}           drop a filter
 //	GET    /stats, GET /healthz
 //
+// With -data-dir the daemon is durable: every mutation is written to a
+// per-filter WAL before it is acknowledged, background checkpoints fold
+// the log into checksummed segments, and startup recovers the newest
+// valid segment plus the WAL tail — so restarts (including SIGKILL)
+// serve the same answers as before. See the README's Durability section.
+//
 // bench prints a table and writes machine-readable JSON records
 // ({op, impl, variant, shards, batch, ns_per_op, qps, cores}) for the
-// perf trajectory tracked across PRs.
+// perf trajectory tracked across PRs; the sharded+wal records measure
+// the WAL's cost on the insert path.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"ccf/internal/server"
+	"ccf/internal/store"
 )
 
 func main() {
@@ -69,18 +81,54 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  ccfd serve [-addr :8437] [-cache 64]
+  ccfd serve [-addr :8437] [-cache 64] [-max-body BYTES]
+             [-data-dir DIR] [-fsync always|interval|never]
+             [-fsync-interval 5ms] [-checkpoint-bytes N] [-checkpoint-records N]
   ccfd bench [-keys N] [-queries N] [-batch N] [-shards 1,4,16]
              [-variant chained|plain|bloom|mixed] [-alpha 1.1]
              [-clients 0] [-seed 1] [-out BENCH_serve.json]
+             [-durable-fsync always|interval|never|off] [-durable-dir DIR]
 `)
+}
+
+// serveConfig carries everything serveUntilDone needs; tests build it
+// directly and drive the loop with a cancelable context.
+type serveConfig struct {
+	cacheCap    int
+	maxBody     int64
+	dataDir     string // empty = in-memory only
+	fsync       store.FsyncPolicy
+	flushEvery  time.Duration
+	ckptBytes   int64
+	ckptRecords int
+	quiet       bool // suppress stderr chatter (tests)
 }
 
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8437", "listen address")
 	cache := fs.Int("cache", server.DefaultViewCacheCap, "predicate view-cache capacity per filter")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum HTTP request body bytes (oversize gets 413)")
+	dataDir := fs.String("data-dir", "", "durable store directory (empty = in-memory only)")
+	fsyncFlag := fs.String("fsync", "interval", "WAL fsync policy: always|interval|never")
+	flushEvery := fs.Duration("fsync-interval", 5*time.Millisecond, "group-commit flush cadence for -fsync interval|never")
+	ckptBytes := fs.Int64("checkpoint-bytes", 64<<20, "checkpoint a filter after this many WAL bytes (0 disables)")
+	ckptRecords := fs.Int("checkpoint-records", 1<<20, "checkpoint a filter after this many WAL records (0 disables)")
 	fs.Parse(args)
+
+	policy, err := store.ParseFsyncPolicy(*fsyncFlag)
+	if err != nil {
+		return err
+	}
+	cfg := serveConfig{
+		cacheCap:    *cache,
+		maxBody:     *maxBody,
+		dataDir:     *dataDir,
+		fsync:       policy,
+		flushEvery:  *flushEvery,
+		ckptBytes:   *ckptBytes,
+		ckptRecords: *ckptRecords,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -89,29 +137,83 @@ func serveCmd(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ccfd: serving on %s\n", ln.Addr())
-	return serveUntilDone(ctx, ln, *cache)
+	return serveUntilDone(ctx, ln, cfg)
+}
+
+// disabledToNeg maps the flag convention "0 disables" onto the store's
+// "negative disables, 0 means default".
+func disabledToNeg[T int | int64](v T) T {
+	if v == 0 {
+		return -1
+	}
+	return v
 }
 
 // serveUntilDone runs the HTTP API on ln until ctx is cancelled, then
-// shuts down gracefully; tests drive it directly with a cancelable
-// context and a :0 listener.
-func serveUntilDone(ctx context.Context, ln net.Listener, cacheCap int) error {
-	srv := &http.Server{Handler: server.NewHandler(server.NewRegistry(cacheCap))}
+// shuts down gracefully: HTTP drains first, then the store is flushed,
+// fsynced and closed. Tests drive it directly with a :0 listener.
+func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error {
+	logf := func(format string, args ...any) {
+		if !cfg.quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	reg := server.NewRegistry(cfg.cacheCap)
+	var st *store.Store
+	if cfg.dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:               cfg.dataDir,
+			Fsync:             cfg.fsync,
+			FlushInterval:     cfg.flushEvery,
+			CheckpointBytes:   disabledToNeg(cfg.ckptBytes),
+			CheckpointRecords: disabledToNeg(cfg.ckptRecords),
+			Logf:              logf,
+		})
+		if err != nil {
+			return fmt.Errorf("opening store: %w", err)
+		}
+		rs := st.RecoveryStats()
+		logf("ccfd: recovered %d filters from %s (%d segments loaded, %d bad; %d WAL records replayed, %d skipped, %d torn tails) in %s; fsync=%s",
+			rs.Filters, cfg.dataDir, rs.SegmentsLoaded, rs.SegmentsBad,
+			rs.RecordsReplayed, rs.RecordsSkipped, rs.TornTails,
+			rs.Duration.Round(time.Microsecond), cfg.fsync)
+		reg.AttachStore(st)
+	}
+
+	srv := &http.Server{Handler: server.NewHandlerOpts(reg, server.HandlerOptions{MaxBodyBytes: cfg.maxBody})}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		if st != nil {
+			st.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return err
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		if st != nil {
+			st.Close()
+		}
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "ccfd: shut down")
+	if st != nil {
+		// Flush and fsync every WAL so a graceful stop loses nothing even
+		// under -fsync never.
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
+		logf("ccfd: store flushed and synced")
+	}
+	logf("ccfd: shut down")
 	return nil
 }

@@ -18,15 +18,19 @@ import (
 
 // startDaemon runs the real serve loop on an ephemeral port and returns
 // its base URL plus a shutdown function that waits for graceful exit.
-func startDaemon(t *testing.T) (string, func() error) {
+func startDaemon(t *testing.T, cfg serveConfig) (string, func() error) {
 	t.Helper()
+	if cfg.cacheCap == 0 {
+		cfg.cacheCap = 16
+	}
+	cfg.quiet = true
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
-	go func() { errc <- serveUntilDone(ctx, ln, 16) }()
+	go func() { errc <- serveUntilDone(ctx, ln, cfg) }()
 	url := "http://" + ln.Addr().String()
 	// Wait for the daemon to answer.
 	for i := 0; ; i++ {
@@ -77,7 +81,7 @@ func post(t *testing.T, url string, body any, out any) {
 // concurrent batched inserts and queries over real HTTP, then shuts down
 // gracefully — the daemon-level -race exercise.
 func TestDaemonServesConcurrentBatches(t *testing.T) {
-	url, shutdown := startDaemon(t)
+	url, shutdown := startDaemon(t, serveConfig{})
 
 	req, _ := http.NewRequest("PUT", url+"/filters/jobs", bytes.NewReader([]byte(
 		`{"variant":"chained","shards":4,"capacity":65536,"num_attrs":2}`)))
@@ -147,13 +151,14 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 	cfg := benchConfig{
 		keys: 2000, queries: 8000, batch: 256, shards: []int{1, 4},
 		variant: core.VariantChained, alpha: 1.1, clients: 2, seed: 1,
+		durableFsync: "interval", durableDir: t.TempDir(),
 	}
 	var buf bytes.Buffer
 	results, err := runBench(cfg, &buf)
 	if err != nil {
 		t.Fatalf("runBench: %v", err)
 	}
-	if len(results) != 2+2*len(cfg.shards) {
+	if len(results) != 2+3*len(cfg.shards) {
 		t.Fatalf("got %d records", len(results))
 	}
 	seen := map[string]bool{}
@@ -162,9 +167,13 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 		if r.QPS <= 0 || r.NsPerOp <= 0 || r.Cores < 1 || r.Variant != "Chained" {
 			t.Fatalf("bad record: %+v", r)
 		}
+		if r.Impl == "sharded+wal" && r.Fsync != "interval" {
+			t.Fatalf("durable record missing fsync policy: %+v", r)
+		}
 	}
 	for _, want := range []string{"insert/sync/1", "query/sync/1", "insert/sharded/1",
-		"query/sharded/1", "insert/sharded/4", "query/sharded/4"} {
+		"query/sharded/1", "insert/sharded/4", "query/sharded/4",
+		"insert/sharded+wal/1", "insert/sharded+wal/4"} {
 		if !seen[want] {
 			t.Fatalf("missing record %s (have %v)", want, seen)
 		}

@@ -136,7 +136,9 @@ func (r *reader) u16s(n int) []uint16 {
 	if r.err != nil {
 		return nil
 	}
-	if r.off+2*n > len(r.data) {
+	// n comes from wire data on some paths: reject negative (wrapped) and
+	// impossibly large counts before they reach make() or the offset math.
+	if n < 0 || n > len(r.data) || r.off+2*n > len(r.data) {
 		r.err = errors.New("ccf: truncated buffer")
 		return nil
 	}
@@ -152,7 +154,7 @@ func (r *reader) bytes(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
-	if r.off+n > len(r.data) {
+	if n < 0 || r.off+n > len(r.data) {
 		r.err = errors.New("ccf: truncated buffer")
 		return nil
 	}

@@ -13,8 +13,15 @@ import (
 	"ccf/internal/shard"
 )
 
-// maxBodyBytes bounds request bodies (batches and snapshots).
-const maxBodyBytes = 1 << 30
+// DefaultMaxBodyBytes bounds request bodies (batches and snapshots) when
+// HandlerOptions does not say otherwise. Oversized bodies get 413.
+const DefaultMaxBodyBytes = 64 << 20
+
+// HandlerOptions tunes NewHandlerOpts.
+type HandlerOptions struct {
+	// MaxBodyBytes caps request bodies; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
 
 // Result-buffer pools: the query and insert handlers run once per request
 // on the hottest server path, so they probe through the shard layer's
@@ -125,10 +132,19 @@ func toPredicate(conds []CondJSON) core.Predicate {
 //	GET    /stats                    registry-wide stats
 //	GET    /healthz                  liveness probe
 func NewHandler(reg *Registry) http.Handler {
+	return NewHandlerOpts(reg, HandlerOptions{})
+}
+
+// NewHandlerOpts is NewHandler with explicit limits.
+func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /filters/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var req CreateRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxBody) {
 			return
 		}
 		variant, err := ParseVariant(req.Variant)
@@ -149,15 +165,20 @@ func NewHandler(reg *Registry) http.Handler {
 			},
 		})
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, registryErrorCode(err), err)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
 	})
 
 	mux.HandleFunc("DELETE /filters/{name}", func(w http.ResponseWriter, r *http.Request) {
-		if !reg.Delete(r.PathValue("name")) {
+		ok, err := reg.Delete(r.PathValue("name"))
+		if !ok {
 			httpError(w, http.StatusNotFound, errors.New("server: no such filter"))
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -169,7 +190,7 @@ func NewHandler(reg *Registry) http.Handler {
 			return
 		}
 		var req InsertRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxBody) {
 			return
 		}
 		if len(req.Keys) != len(req.Attrs) {
@@ -177,7 +198,19 @@ func NewHandler(reg *Registry) http.Handler {
 			return
 		}
 		bufp := errBufPool.Get().(*[]error)
-		errs := e.Filter().InsertBatchInto(*bufp, req.Keys, req.Attrs)
+		errs, storeErr := e.InsertBatchInto(*bufp, req.Keys, req.Attrs)
+		if storeErr != nil {
+			// WAL append or fsync failed: rows may not survive a crash, so
+			// the batch must not be acked.
+			if errs == nil {
+				errBufPool.Put(bufp)
+			} else if cap(errs) <= maxPooledResults {
+				*bufp = errs[:0]
+				errBufPool.Put(bufp)
+			}
+			httpError(w, http.StatusInternalServerError, storeErr)
+			return
+		}
 		resp := InsertResponse{Accepted: len(req.Keys)}
 		for i, err := range errs {
 			if err != nil {
@@ -201,7 +234,7 @@ func NewHandler(reg *Registry) http.Handler {
 			return
 		}
 		var req QueryRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxBody) {
 			return
 		}
 		pred := toPredicate(req.Predicate)
@@ -248,17 +281,15 @@ func NewHandler(reg *Registry) http.Handler {
 	})
 
 	mux.HandleFunc("POST /filters/{name}/restore", func(w http.ResponseWriter, r *http.Request) {
-		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, bodyErrorCode(err), err)
 			return
 		}
-		sf, err := shard.FromSnapshot(data, 0)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if _, err := reg.Restore(r.PathValue("name"), data); err != nil {
+			httpError(w, registryErrorCode(err), err)
 			return
 		}
-		reg.Set(r.PathValue("name"), sf)
 		w.WriteHeader(http.StatusCreated)
 	})
 
@@ -289,13 +320,33 @@ func lookup(w http.ResponseWriter, r *http.Request, reg *Registry) (*Entry, bool
 	return e, ok
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any, maxBody int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		httpError(w, bodyErrorCode(err), fmt.Errorf("server: bad request body: %w", err))
 		return false
 	}
 	return true
+}
+
+// bodyErrorCode maps a request-body read failure to a status: 413 when
+// the MaxBytesReader limit tripped, 400 otherwise.
+func bodyErrorCode(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// registryErrorCode maps a registry failure to a status: 500 for
+// durability-layer failures, 400 for bad input.
+func registryErrorCode(err error) int {
+	var sf *StoreFailure
+	if errors.As(err, &sf) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

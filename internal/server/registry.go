@@ -12,6 +12,7 @@ import (
 
 	"ccf/internal/core"
 	"ccf/internal/shard"
+	"ccf/internal/store"
 )
 
 // DefaultViewCacheCap is the per-filter predicate-view cache capacity
@@ -24,13 +25,28 @@ type Registry struct {
 	mu       sync.RWMutex
 	entries  map[string]*Entry
 	cacheCap int
+	st       *store.Store // nil = in-memory only
+	// catMu serializes Create/Restore/Delete end to end so the store's
+	// catalog op and the registry map update cannot interleave with a
+	// racing create or delete of the same name (e.g. a DELETE dropping
+	// the on-disk state of a filter a concurrent PUT just acked).
+	catMu sync.Mutex
 }
 
-// Entry is a registered filter plus its view cache.
+// StoreFailure marks a durability-layer error (WAL append, fsync, disk)
+// as opposed to bad client input; HTTP handlers map it to 500.
+type StoreFailure struct{ Err error }
+
+func (e *StoreFailure) Error() string { return "server: durable store: " + e.Err.Error() }
+func (e *StoreFailure) Unwrap() error { return e.Err }
+
+// Entry is a registered filter plus its view cache and, when the
+// registry has a store attached, its durable log handle.
 type Entry struct {
 	name  string
 	sf    *shard.ShardedFilter
 	cache *viewCache
+	log   *store.Filter // nil = not durable
 }
 
 // NewRegistry returns an empty registry whose per-filter view caches hold
@@ -42,8 +58,29 @@ func NewRegistry(cacheCap int) *Registry {
 	return &Registry{entries: make(map[string]*Entry), cacheCap: cacheCap}
 }
 
+// AttachStore makes the registry durable: filters the store recovered on
+// boot are registered immediately, and every later Create/Delete/Restore
+// and batched insert goes through the store's WAL before acking. Call
+// before serving traffic.
+func (r *Registry) AttachStore(st *store.Store) {
+	r.mu.Lock()
+	r.st = st
+	r.mu.Unlock()
+	for name, fl := range st.Filters() {
+		r.put(&Entry{name: name, sf: fl.Live(), cache: newViewCache(r.cacheCap), log: fl})
+	}
+}
+
+func (r *Registry) store() *store.Store {
+	r.mu.RLock()
+	st := r.st
+	r.mu.RUnlock()
+	return st
+}
+
 // Create builds a sharded filter from opts and registers it under name,
-// replacing any existing filter (PUT semantics).
+// replacing any existing filter (PUT semantics). With a store attached
+// the creation is durable before Create returns.
 func (r *Registry) Create(name string, opts shard.Options) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: empty filter name")
@@ -52,17 +89,64 @@ func (r *Registry) Create(name string, opts shard.Options) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.Set(name, sf), nil
+	r.catMu.Lock()
+	defer r.catMu.Unlock()
+	var log *store.Filter
+	if st := r.store(); st != nil {
+		if log, err = st.Create(name, sf); err != nil {
+			return nil, &StoreFailure{err}
+		}
+	}
+	e := &Entry{name: name, sf: sf, cache: newViewCache(r.cacheCap), log: log}
+	r.put(e)
+	return e, nil
+}
+
+// Restore registers a filter rebuilt from a Snapshot payload under name,
+// replacing any existing entry; with a store attached, the snapshot is
+// durably logged first.
+func (r *Registry) Restore(name string, data []byte) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty filter name")
+	}
+	sf, err := shard.FromSnapshot(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.catMu.Lock()
+	defer r.catMu.Unlock()
+	var log *store.Filter
+	if st := r.store(); st != nil {
+		log, err = st.Restore(name, data, sf)
+		if err != nil && log == nil {
+			return nil, &StoreFailure{err}
+		}
+		// log non-nil with err: the store already swapped its live filter
+		// (only the fsync outcome is unknown), so the registry must still
+		// install the new entry — keeping the old one would send durable
+		// inserts to the new filter while queries read the old.
+	}
+	e := &Entry{name: name, sf: sf, cache: newViewCache(r.cacheCap), log: log}
+	r.put(e)
+	if err != nil {
+		return e, &StoreFailure{err}
+	}
+	return e, nil
 }
 
 // Set registers an existing sharded filter under name with a fresh view
-// cache, replacing any previous entry.
+// cache, replacing any previous entry. The entry is not durable — use
+// Create or Restore when a store is attached.
 func (r *Registry) Set(name string, sf *shard.ShardedFilter) *Entry {
 	e := &Entry{name: name, sf: sf, cache: newViewCache(r.cacheCap)}
-	r.mu.Lock()
-	r.entries[name] = e
-	r.mu.Unlock()
+	r.put(e)
 	return e
+}
+
+func (r *Registry) put(e *Entry) {
+	r.mu.Lock()
+	r.entries[e.name] = e
+	r.mu.Unlock()
 }
 
 // Get returns the entry registered under name.
@@ -73,13 +157,25 @@ func (r *Registry) Get(name string) (*Entry, bool) {
 	return e, ok
 }
 
-// Delete removes the entry registered under name.
-func (r *Registry) Delete(name string) bool {
+// Delete removes the entry registered under name, and with a store
+// attached removes its on-disk state too. The bool reports whether the
+// name existed; a non-nil error means the in-memory entry is gone but
+// the durable drop failed.
+func (r *Registry) Delete(name string) (bool, error) {
+	r.catMu.Lock()
+	defer r.catMu.Unlock()
 	r.mu.Lock()
 	_, ok := r.entries[name]
 	delete(r.entries, name)
+	st := r.st
 	r.mu.Unlock()
-	return ok
+	if !ok || st == nil {
+		return ok, nil
+	}
+	if err := st.Drop(name); err != nil {
+		return ok, &StoreFailure{err}
+	}
+	return ok, nil
 }
 
 // Names returns the registered filter names, sorted.
@@ -99,6 +195,17 @@ func (e *Entry) Name() string { return e.name }
 
 // Filter returns the underlying sharded filter.
 func (e *Entry) Filter() *shard.ShardedFilter { return e.sf }
+
+// InsertBatchInto applies a batched insert, going WAL-first when the
+// entry is durable. The per-row slice follows shard.InsertBatchInto; the
+// second result is the storage error — when non-nil the batch was not
+// applied or its durability is unknown and the request should fail.
+func (e *Entry) InsertBatchInto(dst []error, keys []uint64, attrs [][]uint64) ([]error, error) {
+	if e.log != nil {
+		return e.log.InsertBatchInto(dst, keys, attrs)
+	}
+	return e.sf.InsertBatchInto(dst, keys, attrs), nil
+}
 
 // CacheStats returns the entry's view-cache counters.
 func (e *Entry) CacheStats() CacheStats { return e.cache.stats() }

@@ -12,6 +12,7 @@ import (
 
 	"ccf/internal/core"
 	"ccf/internal/shard"
+	"ccf/internal/store"
 )
 
 func testRegistry(t *testing.T) (*Registry, *Entry) {
@@ -357,5 +358,109 @@ func TestParseVariant(t *testing.T) {
 	}
 	if fmt.Sprint(core.VariantChained) != "Chained" {
 		t.Error("variant String changed")
+	}
+}
+
+// TestBodyLimitReturns413 drives an insert whose JSON body exceeds the
+// handler's byte cap and expects 413 with a JSON error payload.
+func TestBodyLimitReturns413(t *testing.T) {
+	reg, _ := testRegistry(t)
+	ts := httptest.NewServer(NewHandlerOpts(reg, HandlerOptions{MaxBodyBytes: 1024}))
+	defer ts.Close()
+
+	keys := make([]uint64, 1024)
+	attrs := make([][]uint64, 1024)
+	for i := range keys {
+		keys[i] = uint64(i)
+		attrs[i] = []uint64{1, 2}
+	}
+	body, _ := json.Marshal(InsertRequest{Keys: keys, Attrs: attrs})
+	for _, path := range []string{"/filters/movies/insert", "/filters/movies/query", "/filters/movies/restore"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s: status %d, want 413 (%s)", path, resp.StatusCode, data)
+		}
+		var msg map[string]string
+		if err := json.Unmarshal(data, &msg); err != nil || msg["error"] == "" {
+			t.Fatalf("POST %s: not a JSON error payload: %q", path, data)
+		}
+	}
+	// A body under the cap still works.
+	small, _ := json.Marshal(InsertRequest{Keys: keys[:4], Attrs: attrs[:4]})
+	resp, err := http.Post(ts.URL+"/filters/movies/insert", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatalf("small insert: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small insert: status %d", resp.StatusCode)
+	}
+}
+
+// TestRegistryDurableAcrossReopen exercises the registry-store wiring
+// without HTTP: create/insert/restore/delete through a durable registry,
+// reopen the store, and expect the same catalog and contents.
+func TestRegistryDurableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	reg := NewRegistry(4)
+	reg.AttachStore(st)
+
+	e, err := reg.Create("jobs", shard.Options{
+		Shards: 2,
+		Params: core.Params{NumAttrs: 2, Capacity: 1 << 12, Seed: 3},
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	keys := []uint64{11, 22, 33}
+	if _, err := e.InsertBatchInto(nil, keys, [][]uint64{{1, 0}, {2, 1}, {3, 0}}); err != nil {
+		t.Fatalf("durable insert: %v", err)
+	}
+	snap, err := e.Filter().Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := reg.Restore("jobs-copy", snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if _, err := reg.Create("doomed", shard.Options{Params: core.Params{NumAttrs: 1, Capacity: 256}}); err != nil {
+		t.Fatalf("Create doomed: %v", err)
+	}
+	if ok, err := reg.Delete("doomed"); !ok || err != nil {
+		t.Fatalf("Delete: %v %v", ok, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("store.Close: %v", err)
+	}
+
+	st2, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	reg2 := NewRegistry(4)
+	reg2.AttachStore(st2)
+	if names := reg2.Names(); len(names) != 2 || names[0] != "jobs" || names[1] != "jobs-copy" {
+		t.Fatalf("recovered names: %v", names)
+	}
+	for _, name := range []string{"jobs", "jobs-copy"} {
+		e2, ok := reg2.Get(name)
+		if !ok {
+			t.Fatalf("%s missing after reopen", name)
+		}
+		for _, k := range keys {
+			if !e2.Filter().QueryKey(k) {
+				t.Fatalf("%s lost key %d after reopen", name, k)
+			}
+		}
 	}
 }

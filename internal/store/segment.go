@@ -1,0 +1,211 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Segment file layout (little-endian):
+//
+//	u32 magic "CCSG" | u32 version | u64 gen | u64 seq |
+//	u32 nameLen | u64 payloadLen | name | payload | u32 CRC32C
+//
+// The trailing CRC covers every preceding byte, so a torn or bit-flipped
+// segment fails closed and recovery falls back to the previous
+// generation. The payload is the shard.Snapshot wire format, unchanged —
+// the segment is just a checksummed envelope around it.
+const (
+	segMagic      = 0x47534343 // "CCSG"
+	segVersion    = 1
+	segHeaderSize = 4 + 4 + 8 + 8 + 4 + 8
+)
+
+func segFileName(gen uint64) string {
+	return fmt.Sprintf("seg-%016x.ccseg", gen)
+}
+
+// parseSegFileName returns the generation encoded in a segment file name.
+func parseSegFileName(name string) (uint64, bool) {
+	s, ok := strings.CutPrefix(name, "seg-")
+	if !ok {
+		return 0, false
+	}
+	s, ok = strings.CutSuffix(s, ".ccseg")
+	if !ok || len(s) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// writeSegment durably writes one checkpoint segment: build the envelope,
+// write it to a temp file, fsync, rename into place, and fsync the
+// directory so the rename itself survives a crash.
+func writeSegment(dir, name string, gen, seq uint64, payload []byte) (string, error) {
+	buf := make([]byte, 0, segHeaderSize+len(name)+len(payload)+4)
+	buf = appendU32(buf, segMagic)
+	buf = appendU32(buf, segVersion)
+	buf = appendU64(buf, gen)
+	buf = appendU64(buf, seq)
+	buf = appendU32(buf, uint32(len(name)))
+	buf = appendU64(buf, uint64(len(payload)))
+	buf = append(buf, name...)
+	buf = append(buf, payload...)
+	buf = appendU32(buf, crc32.Checksum(buf, castagnoli))
+
+	path := filepath.Join(dir, segFileName(gen))
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := fsyncDir(dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// loadSegment verifies and opens one segment, returning the checkpoint
+// sequence number and the snapshot payload. Any structural or checksum
+// defect is an error; callers fall back to an older generation.
+func loadSegment(path, wantName string) (seq uint64, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < segHeaderSize+4 {
+		return 0, nil, errors.New("store: truncated segment")
+	}
+	if binary.LittleEndian.Uint32(data) != segMagic {
+		return 0, nil, errors.New("store: bad segment magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != segVersion {
+		return 0, nil, fmt.Errorf("store: unsupported segment version %d", v)
+	}
+	seq = binary.LittleEndian.Uint64(data[16:])
+	nameLen := binary.LittleEndian.Uint32(data[24:])
+	payloadLen := binary.LittleEndian.Uint64(data[28:])
+	body := uint64(len(data) - segHeaderSize - 4)
+	if uint64(nameLen)+payloadLen != body {
+		return 0, nil, errors.New("store: segment length mismatch")
+	}
+	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(data[:len(data)-4], castagnoli) != crc {
+		return 0, nil, errors.New("store: segment CRC mismatch")
+	}
+	name := string(data[segHeaderSize : segHeaderSize+int(nameLen)])
+	if name != wantName {
+		return 0, nil, fmt.Errorf("store: segment for %q found under %q", name, wantName)
+	}
+	return seq, data[segHeaderSize+int(nameLen) : len(data)-4], nil
+}
+
+// manifest names the current durable generation of one filter. It is
+// written after the segment it points at is fsynced, via temp file +
+// atomic rename, so recovery always sees either the old or the new
+// generation — never a half-written pointer.
+type manifest struct {
+	Version int    `json:"version"`
+	Gen     uint64 `json:"gen"`
+	Seq     uint64 `json:"seq"`
+}
+
+const manifestName = "MANIFEST"
+
+func writeManifest(dir string, m manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+func readManifest(dir string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return manifest{}, fmt.Errorf("store: unsupported manifest version %d", m.Version)
+	}
+	return m, nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fsyncDir flushes directory metadata (new files, renames) to disk.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// filterDirName maps a filter name to its directory. The "f-" prefix plus
+// path escaping keeps arbitrary HTTP-supplied names (".." included) from
+// escaping the store root.
+func filterDirName(name string) string {
+	return "f-" + url.PathEscape(name)
+}
+
+// filterNameFromDir inverts filterDirName.
+func filterNameFromDir(dir string) (string, bool) {
+	s, ok := strings.CutPrefix(dir, "f-")
+	if !ok {
+		return "", false
+	}
+	name, err := url.PathUnescape(s)
+	if err != nil {
+		return "", false
+	}
+	return name, true
+}

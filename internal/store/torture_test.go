@@ -1,0 +1,377 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccf/internal/core"
+	"ccf/internal/shard"
+)
+
+// walFrames parses a WAL file's frame boundaries: offsets[i] is the byte
+// offset where frame i ends (offsets[0] = header end).
+func walFrames(t *testing.T, data []byte) []int {
+	t.Helper()
+	if len(data) < walHeaderSize {
+		t.Fatalf("short WAL: %d bytes", len(data))
+	}
+	offsets := []int{walHeaderSize}
+	off := walHeaderSize
+	for off < len(data) {
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 8 + l
+		if off > len(data) {
+			t.Fatalf("frame overruns file at %d", off)
+		}
+		offsets = append(offsets, off)
+	}
+	return offsets
+}
+
+// buildTortureDir writes a store with one filter and n single-insert
+// records, closes it, and returns the ops plus the filter dir and its
+// single WAL file path.
+func buildTortureDir(t *testing.T, dir string, n int) (ops []op, fdir, walPath string) {
+	t.Helper()
+	st := openStore(t, dir, Options{Fsync: FsyncAlways})
+	fl, err := st.Create("t", newFilterWith(t, tinyShardOpts()))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ops = makeOps(n)
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops)
+	fdir = fl.dir
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	entries, err := os.ReadDir(fdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if _, ok := parseWALFileName(e.Name()); ok {
+			if walPath != "" {
+				t.Fatalf("expected one WAL file, found %s and %s", walPath, e.Name())
+			}
+			walPath = filepath.Join(fdir, e.Name())
+		}
+	}
+	if walPath == "" {
+		t.Fatal("no WAL file written")
+	}
+	return ops, fdir, walPath
+}
+
+// copyDir clones a filter directory into a fresh store root so each
+// torture case mutates its own copy.
+func copyStore(t *testing.T, srcRoot string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(srcRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(srcRoot, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy store: %v", err)
+	}
+	return dst
+}
+
+// TestWALTruncationSweep kills the log at every byte offset (simulating
+// a crash mid-append) and asserts the recovered filter answers exactly
+// like one that only saw the operations whose records survived intact.
+func TestWALTruncationSweep(t *testing.T) {
+	root := t.TempDir()
+	ops, _, walPath := buildTortureDir(t, root, 25)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := walFrames(t, data)
+	// Frame 1 is the Create record; frames 2..n+1 are the inserts.
+	if len(offsets) != len(ops)+2 {
+		t.Fatalf("frames = %d, want %d", len(offsets)-1, len(ops)+1)
+	}
+	rel, err := filepath.Rel(root, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := make(map[int]bool, len(offsets))
+	for _, o := range offsets {
+		boundary[o] = true
+	}
+	refs := map[int]*shard.ShardedFilter{} // reference state per op-prefix length
+	step := 3
+	if testing.Short() {
+		step = 41
+	}
+	for cut := 0; cut < len(data); cut += step {
+		// Complete frames within the cut.
+		frames := 0
+		for frames+1 < len(offsets) && offsets[frames+1] <= cut {
+			frames++
+		}
+		clone := copyStore(t, root)
+		if err := os.Truncate(filepath.Join(clone, rel), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		st := openStore(t, clone, Options{})
+		fl := st.Get("t")
+		if frames == 0 {
+			// Create record lost: nothing recoverable.
+			if fl != nil {
+				t.Fatalf("cut %d: filter recovered without a Create record", cut)
+			}
+			st.Close()
+			continue
+		}
+		if fl == nil {
+			t.Fatalf("cut %d: filter not recovered (%d frames intact)", cut, frames)
+		}
+		k := frames - 1 // ops applied = intact frames minus the Create record
+		if refs[k] == nil {
+			refs[k] = referenceWith(t, tinyShardOpts(), ops[:k], k)
+		}
+		assertSameAnswers(t, fl.Live(), refs[k], ops[:k])
+		if !boundary[cut] && st.RecoveryStats().TornTails == 0 {
+			t.Fatalf("cut %d: torn tail not counted: %+v", cut, st.RecoveryStats())
+		}
+		st.Close()
+	}
+}
+
+// TestWALBitFlips flips single bytes inside record payloads and asserts
+// recovery stops at the corrupt record, keeping the intact prefix.
+func TestWALBitFlips(t *testing.T) {
+	root := t.TempDir()
+	ops, _, walPath := buildTortureDir(t, root, 20)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := walFrames(t, data)
+	rel, _ := filepath.Rel(root, walPath)
+	// offsets[i] ends frame i, so a flip between offsets[i] and
+	// offsets[i+1] corrupts frame i+1; frame 1 is the Create record and
+	// frames 2.. are the inserts, leaving i-1 ops intact.
+	for _, i := range []int{1, 2, 10, len(offsets) - 2} {
+		pos := (offsets[i] + offsets[i+1]) / 2
+		clone := copyStore(t, root)
+		path := filepath.Join(clone, rel)
+		mut, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut[pos] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := openStore(t, clone, Options{})
+		fl := st.Get("t")
+		intactOps := i - 1
+		if fl == nil {
+			t.Fatalf("frame %d flipped: filter not recovered", i+1)
+		}
+		if st.RecoveryStats().TornTails == 0 {
+			t.Fatalf("frame %d flipped: corruption not counted: %+v", i+1, st.RecoveryStats())
+		}
+		assertSameAnswers(t, fl.Live(), referenceWith(t, tinyShardOpts(), ops[:intactOps], intactOps), ops[:intactOps])
+		st.Close()
+	}
+}
+
+// TestCorruptSegmentFallsBackAGeneration corrupts the newest segment and
+// asserts recovery rebuilds the full state from the previous generation
+// plus the retained WAL tail.
+func TestCorruptSegmentFallsBackAGeneration(t *testing.T) {
+	root := t.TempDir()
+	st := openStore(t, root, Options{Fsync: FsyncAlways})
+	fl, err := st.Create("t", newFilter(t, core.VariantChained))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ops := makeOps(50)
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[:20])
+	if err := fl.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint 1: %v", err)
+	}
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[20:40])
+	if err := fl.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint 2: %v", err)
+	}
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[40:])
+	fdir := fl.dir
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	seg2 := filepath.Join(fdir, segFileName(2))
+	data, err := os.ReadFile(seg2)
+	if err != nil {
+		t.Fatalf("read seg 2: %v", err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(seg2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, root, Options{})
+	defer st2.Close()
+	stats := st2.RecoveryStats()
+	if stats.SegmentsBad != 1 || stats.SegmentsLoaded != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// Generation 1 covered ops[:20]; everything after must come from WAL.
+	if stats.RecordsReplayed != 30 {
+		t.Fatalf("records replayed = %d, want 30 (%+v)", stats.RecordsReplayed, stats)
+	}
+	assertSameAnswers(t, st2.Get("t").Live(), referenceFor(t, core.VariantChained, ops, len(ops)), ops)
+}
+
+// TestMissingManifestFallsBackToScan deletes the MANIFEST and asserts
+// recovery finds the newest valid segment by scanning.
+func TestMissingManifestFallsBackToScan(t *testing.T) {
+	root := t.TempDir()
+	st := openStore(t, root, Options{Fsync: FsyncAlways})
+	fl, err := st.Create("t", newFilter(t, core.VariantChained))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ops := makeOps(30)
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[:15])
+	if err := fl.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[15:])
+	fdir := fl.dir
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := os.Remove(filepath.Join(fdir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, root, Options{})
+	defer st2.Close()
+	if st2.RecoveryStats().SegmentsLoaded != 1 {
+		t.Fatalf("stats: %+v", st2.RecoveryStats())
+	}
+	assertSameAnswers(t, st2.Get("t").Live(), referenceFor(t, core.VariantChained, ops, len(ops)), ops)
+}
+
+// TestCorruptManifestFallsBackToScan garbles the MANIFEST and asserts
+// recovery still proceeds from the segment scan.
+func TestCorruptManifestFallsBackToScan(t *testing.T) {
+	root := t.TempDir()
+	st := openStore(t, root, Options{Fsync: FsyncAlways})
+	fl, err := st.Create("t", newFilter(t, core.VariantChained))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ops := makeOps(20)
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops)
+	if err := fl.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	fdir := fl.dir
+	st.Close()
+	if err := os.WriteFile(filepath.Join(fdir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, root, Options{})
+	defer st2.Close()
+	assertSameAnswers(t, st2.Get("t").Live(), referenceFor(t, core.VariantChained, ops, len(ops)), ops)
+}
+
+// TestMidCheckpointCrashLeftovers simulates a crash between segment
+// rename and manifest switch (stale manifest, newer segment on disk) and
+// with a stray .tmp file; recovery must still produce the full state.
+func TestMidCheckpointCrashLeftovers(t *testing.T) {
+	root := t.TempDir()
+	st := openStore(t, root, Options{Fsync: FsyncAlways})
+	fl, err := st.Create("t", newFilter(t, core.VariantChained))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ops := makeOps(40)
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[:20])
+	if err := fl.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[20:])
+	fdir := fl.dir
+	st.Close()
+
+	// Stale manifest: pretend the crash hit before the gen-1 switch.
+	if err := os.Remove(filepath.Join(fdir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	// Stray temp from a half-written segment.
+	if err := os.WriteFile(filepath.Join(fdir, segFileName(2)+".tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, root, Options{})
+	defer st2.Close()
+	assertSameAnswers(t, st2.Get("t").Live(), referenceFor(t, core.VariantChained, ops, len(ops)), ops)
+	if _, err := os.Stat(filepath.Join(fdir, segFileName(2)+".tmp")); !os.IsNotExist(err) {
+		t.Fatal("stray .tmp segment not cleaned up")
+	}
+}
+
+// TestUnrecoverableDirIsSkipped puts garbage where a filter should be and
+// asserts Open succeeds, skips it, and keeps serving other filters.
+func TestUnrecoverableDirIsSkipped(t *testing.T) {
+	root := t.TempDir()
+	st := openStore(t, root, Options{})
+	if _, err := st.Create("good", newFilter(t, core.VariantChained)); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	st.Close()
+	junk := filepath.Join(root, "filters", filterDirName("junk"))
+	if err := os.MkdirAll(junk, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(junk, "wal-0000000000000001.log"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tomb := filepath.Join(root, "filters", filterDirName("old")+".dropped")
+	if err := os.MkdirAll(tomb, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	st2 := openStore(t, root, Options{Logf: func(f string, a ...any) {
+		logged = append(logged, f)
+	}})
+	defer st2.Close()
+	if st2.Get("junk") != nil {
+		t.Fatal("garbage dir produced a filter")
+	}
+	if st2.Get("good") == nil {
+		t.Fatal("good filter lost")
+	}
+	if _, err := os.Stat(tomb); !os.IsNotExist(err) {
+		t.Fatal("tombstone dir not cleaned")
+	}
+	if len(logged) == 0 || !strings.Contains(strings.Join(logged, " "), "skipping") {
+		t.Fatalf("expected a skip log line, got %q", logged)
+	}
+}
