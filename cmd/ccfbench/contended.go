@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ccf/internal/core"
+	"ccf/internal/shard"
+)
+
+// contendedReport measures the sharded filter's read-heavy contended
+// throughput: N goroutines issuing batched probes with every 20th batch a
+// batched insert (95/5), against both read paths — the optimistic seqlock
+// and the PessimisticReads RLock baseline. It is the CLI form of
+// BenchmarkShardedQueryBatchContended, for quick before/after checks
+// without the testing harness.
+func contendedReport(w io.Writer, seed uint64, clients int) error {
+	const (
+		batch     = 1024
+		nKeys     = 1 << 15
+		batchesPR = 2000 // per client per run
+	)
+	keys := make([]uint64, nKeys)
+	attrs := make([][]uint64, nKeys)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + seed
+		attrs[i] = []uint64{uint64(i % 11), uint64(i % 3)}
+	}
+	pred := core.And(core.Eq(0, 3))
+
+	fmt.Fprintf(w, "%-10s %8s %8s %12s %14s   (%d clients, 95/5 read/write, batch %d)\n",
+		"path", "shards", "", "ns/key", "keys/s", clients, batch)
+	for _, shards := range []int{1, 4} {
+		for _, mode := range []struct {
+			name        string
+			pessimistic bool
+		}{{"seqlock", false}, {"rlock", true}} {
+			s, err := shard.New(shard.Options{
+				Shards: shards, Workers: 1, PessimisticReads: mode.pessimistic,
+				Params: core.Params{NumAttrs: 2, Capacity: 1 << 17, Seed: seed},
+			})
+			if err != nil {
+				return err
+			}
+			for i, err := range s.InsertBatch(keys, attrs) {
+				if err != nil {
+					return fmt.Errorf("preload %d: %w", i, err)
+				}
+			}
+			var wg sync.WaitGroup
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				c := c
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out := make([]bool, 0, batch)
+					errs := make([]error, 0, batch)
+					wkeys := make([]uint64, batch)
+					wattrs := make([][]uint64, batch)
+					for i := range wattrs {
+						wattrs[i] = []uint64{uint64(i % 11), 9}
+					}
+					next := 0
+					for i := 0; i < batchesPR; i++ {
+						if i%20 == 19 {
+							for j := range wkeys {
+								// Bounded churn range, disjoint from the
+								// preloaded keys; re-inserts deduplicate but
+								// still take the write lock.
+								wkeys[j] = uint64(1)<<40 + uint64(c)<<32 + uint64(next%(nKeys/2))
+								next++
+							}
+							errs = s.InsertBatchInto(errs[:0], wkeys, wattrs)
+						} else {
+							lo := (i * batch * (c + 1)) % (nKeys - batch)
+							out = s.QueryBatchInto(out[:0], keys[lo:lo+batch], pred)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			totalKeys := clients * batchesPR * batch
+			nsPerKey := float64(elapsed.Nanoseconds()) / float64(totalKeys)
+			fmt.Fprintf(w, "%-10s %8d %8s %12.2f %14.0f\n",
+				mode.name, shards, "", nsPerKey, 1e9/nsPerKey)
+		}
+	}
+	return nil
+}

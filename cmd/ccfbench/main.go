@@ -4,6 +4,7 @@
 //
 //	ccfbench [-scale 0.01] [-seed 1] [-runs 5] [-quick] <experiment>...
 //	ccfbench -allocs
+//	ccfbench -contended [-clients 4]
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 aggregate all. Output is printed as aligned text tables; see
@@ -13,6 +14,10 @@
 // latency and allocation report (ns/op, allocs/op, B/op for Query, Insert
 // and the sharded QueryBatch), the machine-readable form of the packed
 // engine's allocation-free contract.
+//
+// -contended prints the read-heavy contended serving report: N client
+// goroutines at a 95/5 read/write batch mix through the sharded filter,
+// via the optimistic seqlock read path and the RLock baseline.
 package main
 
 import (
@@ -62,11 +67,20 @@ func main() {
 	runs := flag.Int("runs", 5, "repetitions for the multiset experiments (paper: 20)")
 	quick := flag.Bool("quick", false, "trim parameter grids for a fast pass")
 	allocs := flag.Bool("allocs", false, "print the hot-path ns/op and allocs/op report and exit")
+	contended := flag.Bool("contended", false, "print the contended read-path report (seqlock vs rlock) and exit")
+	clients := flag.Int("clients", 4, "client goroutines for -contended")
 	flag.Usage = usage
 	flag.Parse()
 
 	if *allocs {
 		if err := allocReport(os.Stdout, uint64(*seed)); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *contended {
+		if err := contendedReport(os.Stdout, uint64(*seed), *clients); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
 			os.Exit(1)
 		}

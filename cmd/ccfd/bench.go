@@ -26,8 +26,8 @@ import (
 // operation count, so the packed engine's allocation-free steady state is
 // machine-visible alongside latency.
 type BenchResult struct {
-	Op          string  `json:"op"`   // insert | query
-	Impl        string  `json:"impl"` // sync | sharded | sharded+wal
+	Op          string  `json:"op"`   // insert | query | mixed
+	Impl        string  `json:"impl"` // sync | sharded | sharded-rlock | sharded+wal
 	Variant     string  `json:"variant"`
 	Shards      int     `json:"shards"` // 1 for sync
 	Batch       int     `json:"batch"`  // 1 = point calls
@@ -39,7 +39,9 @@ type BenchResult struct {
 	Alpha       float64 `json:"alpha"`
 	Keys        int     `json:"keys"`
 	Ops         int     `json:"ops"`
-	Fsync       string  `json:"fsync,omitempty"` // sharded+wal only
+	Fsync       string  `json:"fsync,omitempty"`     // sharded+wal only
+	Clients     int     `json:"clients,omitempty"`   // mixed only: concurrent goroutines
+	ReadFrac    float64 `json:"read_frac,omitempty"` // mixed only: fraction of read batches
 }
 
 // benchConfig parameterizes one bench run.
@@ -57,6 +59,11 @@ type benchConfig struct {
 	durableFsync string
 	// durableDir hosts the throwaway store directories; empty = TempDir.
 	durableDir string
+	// contendedClients, when > 0, adds a contended pass per shard count:
+	// that many goroutines at readFrac read batches, against both the
+	// seqlock and the forced-RLock read path.
+	contendedClients int
+	readFrac         float64
 }
 
 func benchCmd(args []string) error {
@@ -72,6 +79,8 @@ func benchCmd(args []string) error {
 	out := fs.String("out", "BENCH_serve.json", "JSON results path (empty = skip)")
 	durableFsync := fs.String("durable-fsync", "interval", "also bench WAL-backed inserts under this fsync policy (always|interval|never, off = skip)")
 	durableDir := fs.String("durable-dir", "", "directory for the durable bench's throwaway stores (empty = temp)")
+	contendedClients := fs.Int("contended-clients", 4, "goroutines for the contended read/write pass (0 = skip)")
+	readFrac := fs.Float64("read-frac", 0.95, "fraction of read batches in the contended pass")
 	fs.Parse(args)
 
 	variant, err := server.ParseVariant(*variantFlag)
@@ -96,10 +105,14 @@ func benchCmd(args []string) error {
 	if nClients == 0 {
 		nClients = runtime.GOMAXPROCS(0)
 	}
+	if *readFrac < 0 || *readFrac > 1 {
+		return fmt.Errorf("-read-frac must be in [0,1]")
+	}
 	cfg := benchConfig{
 		keys: *keys, queries: *queries, batch: *batch, shards: shardCounts,
 		variant: variant, alpha: *alpha, clients: nClients, seed: *seed,
 		durableFsync: *durableFsync, durableDir: *durableDir,
+		contendedClients: *contendedClients, readFrac: *readFrac,
 	}
 	results, err := runBench(cfg, os.Stdout)
 	if err != nil {
@@ -201,6 +214,30 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 		results = append(results, mkResult("query", "sharded", n, cfg.batch, len(workload), m))
 	}
 
+	// Contended mode: N goroutines hammering the same sharded filter at a
+	// read/write batch mix, once through the seqlock read path and once
+	// with PessimisticReads forcing the RLock baseline — the multi-
+	// goroutine serving throughput BENCH_serve.json previously never
+	// recorded. On a single core the two mostly measure the same
+	// scheduling; the seqlock's win is that readers neither bounce the
+	// lock's cache line nor block behind writers, which needs real
+	// parallelism to show.
+	if cfg.contendedClients > 0 {
+		for _, n := range cfg.shards {
+			for _, mode := range []struct {
+				impl        string
+				pessimistic bool
+			}{{"sharded", false}, {"sharded-rlock", true}} {
+				r, err := benchContended(cfg, params, n, mode.impl, mode.pessimistic,
+					keys, attrs, workload, pred, mkResult)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, r)
+			}
+		}
+	}
+
 	// Durable mode: the same batched insert through the store's WAL, so
 	// BENCH_serve.json records what durability costs on the write path.
 	if cfg.durableFsync != "" && cfg.durableFsync != "off" {
@@ -223,15 +260,101 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 	}
 
 	if w != nil {
-		fmt.Fprintf(w, "%-7s %-12s %-8s %7s %6s %12s %14s %12s %12s %-8s\n",
-			"op", "impl", "variant", "shards", "batch", "ns/op", "qps", "allocs/op", "B/op", "fsync")
+		fmt.Fprintf(w, "%-7s %-13s %-8s %7s %6s %12s %14s %12s %12s %-10s\n",
+			"op", "impl", "variant", "shards", "batch", "ns/op", "qps", "allocs/op", "B/op", "mode")
 		for _, r := range results {
-			fmt.Fprintf(w, "%-7s %-12s %-8s %7d %6d %12.1f %14.0f %12.4f %12.1f %-8s\n",
+			mode := r.Fsync
+			if r.Clients > 0 {
+				mode = fmt.Sprintf("%dc/%.0f%%r", r.Clients, r.ReadFrac*100)
+			}
+			fmt.Fprintf(w, "%-7s %-13s %-8s %7d %6d %12.1f %14.0f %12.4f %12.1f %-10s\n",
 				r.Op, r.Impl, r.Variant, r.Shards, r.Batch, r.NsPerOp, r.QPS,
-				r.AllocsPerOp, r.BytesPerOp, r.Fsync)
+				r.AllocsPerOp, r.BytesPerOp, mode)
 		}
 	}
 	return results, nil
+}
+
+// benchContended replays the query workload from contendedClients
+// goroutines with every writePeriod-th batch replaced by a batched insert
+// of fresh keys — the read-heavy contended serving shape. Fresh write
+// keys come from a bounded churn range so occupancy stays within the
+// table's sizing however many queries are configured; once the range is
+// exhausted the writes become re-inserts (deduplicated, but still taking
+// the write lock and bumping the seqlock, which is the contention that
+// matters here).
+func benchContended(cfg benchConfig, params core.Params, shards int, impl string,
+	pessimistic bool, keys []uint64, attrs [][]uint64, workload []uint64, pred core.Predicate,
+	mkResult func(op, impl string, shards, batch, ops int, m measurement) BenchResult) (BenchResult, error) {
+	s, err := shard.New(shard.Options{
+		Shards: shards, Workers: 1, PessimisticReads: pessimistic, Params: params,
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	for i, err := range s.InsertBatch(keys, attrs) {
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("contended preload %d: %w", i, err)
+		}
+	}
+	writePeriod := 0 // 0 = never write
+	if cfg.readFrac < 1 {
+		writePeriod = int(1/(1-cfg.readFrac) + 0.5)
+		if writePeriod < 1 {
+			writePeriod = 1
+		}
+	}
+	churn := cfg.keys / 2
+	if churn < cfg.batch {
+		churn = cfg.batch
+	}
+	clients := cfg.contendedClients
+	outBufs := make([][]bool, clients)
+	errBufs := make([][]error, clients)
+	wAttr := []uint64{1, 1}
+	m := measured(func() time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			c := c
+			lo, hi := c*len(workload)/clients, (c+1)*len(workload)/clients
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wkeys := make([]uint64, 0, cfg.batch)
+				wattrs := make([][]uint64, 0, cfg.batch)
+				next := 0
+				batchNo := 0
+				for ; lo < hi; lo += cfg.batch {
+					end := lo + cfg.batch
+					if end > hi {
+						end = hi
+					}
+					batchNo++
+					if writePeriod > 0 && batchNo%writePeriod == 0 {
+						wkeys, wattrs = wkeys[:0], wattrs[:0]
+						for j := lo; j < end; j++ {
+							// Disjoint from the preloaded key space; cycled
+							// within the per-client churn range.
+							k := uint64(1)<<40 + uint64(c)<<32 + uint64(next%churn)
+							next++
+							wkeys = append(wkeys, k)
+							wattrs = append(wattrs, wAttr)
+						}
+						errBufs[c] = s.InsertBatchInto(errBufs[c][:0], wkeys, wattrs)
+					} else {
+						outBufs[c] = s.QueryBatchInto(outBufs[c][:0], workload[lo:end], pred)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	})
+	r := mkResult("mixed", impl, shards, cfg.batch, len(workload), m)
+	r.Clients = clients
+	r.ReadFrac = cfg.readFrac
+	return r, nil
 }
 
 // benchDurableInsert replays the insert workload through a WAL-backed

@@ -9,11 +9,12 @@
 //	ccfd serve [-addr :8437] [-cache 64] [-max-body 67108864]
 //	           [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval 5ms] [-checkpoint-bytes N]
-//	           [-checkpoint-records N]
+//	           [-checkpoint-records N] [-pprof-addr 127.0.0.1:6060]
 //	ccfd bench [-keys 100000] [-queries 1000000] [-batch 1024]
 //	           [-shards 1,4,16] [-variant chained] [-alpha 1.1]
 //	           [-clients 0] [-seed 1] [-out BENCH_serve.json]
 //	           [-durable-fsync interval] [-durable-dir DIR]
+//	           [-contended-clients 4] [-read-frac 0.95]
 //
 // serve exposes the internal/server API:
 //
@@ -21,10 +22,15 @@
 //	POST   /filters/{name}/insert    batched inserts
 //	POST   /filters/{name}/query     batched queries (via_view caches
 //	                                 predicate key-views across requests)
+//	GET    /filters/{name}/stats     one filter's stats
 //	GET    /filters/{name}/snapshot  binary snapshot
 //	POST   /filters/{name}/restore   restore from a snapshot
 //	DELETE /filters/{name}           drop a filter
 //	GET    /stats, GET /healthz
+//
+// With -pprof-addr the daemon also serves net/http/pprof on a separate
+// (keep it private) address, so hot-path regressions can be profiled in
+// production: `go tool pprof http://127.0.0.1:6060/debug/pprof/profile`.
 //
 // With -data-dir the daemon is durable: every mutation is written to a
 // per-filter WAL before it is acknowledged, background checkpoints fold
@@ -45,6 +51,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux; served only on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -84,10 +91,12 @@ func usage() {
   ccfd serve [-addr :8437] [-cache 64] [-max-body BYTES]
              [-data-dir DIR] [-fsync always|interval|never]
              [-fsync-interval 5ms] [-checkpoint-bytes N] [-checkpoint-records N]
+             [-pprof-addr 127.0.0.1:6060]
   ccfd bench [-keys N] [-queries N] [-batch N] [-shards 1,4,16]
              [-variant chained|plain|bloom|mixed] [-alpha 1.1]
              [-clients 0] [-seed 1] [-out BENCH_serve.json]
              [-durable-fsync always|interval|never|off] [-durable-dir DIR]
+             [-contended-clients 4] [-read-frac 0.95]
 `)
 }
 
@@ -101,7 +110,8 @@ type serveConfig struct {
 	flushEvery  time.Duration
 	ckptBytes   int64
 	ckptRecords int
-	quiet       bool // suppress stderr chatter (tests)
+	pprofAddr   string // empty = pprof disabled
+	quiet       bool   // suppress stderr chatter (tests)
 }
 
 func serveCmd(args []string) error {
@@ -114,6 +124,7 @@ func serveCmd(args []string) error {
 	flushEvery := fs.Duration("fsync-interval", 5*time.Millisecond, "group-commit flush cadence for -fsync interval|never")
 	ckptBytes := fs.Int64("checkpoint-bytes", 64<<20, "checkpoint a filter after this many WAL bytes (0 disables)")
 	ckptRecords := fs.Int("checkpoint-records", 1<<20, "checkpoint a filter after this many WAL records (0 disables)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private")
 	fs.Parse(args)
 
 	policy, err := store.ParseFsyncPolicy(*fsyncFlag)
@@ -128,6 +139,7 @@ func serveCmd(args []string) error {
 		flushEvery:  *flushEvery,
 		ckptBytes:   *ckptBytes,
 		ckptRecords: *ckptRecords,
+		pprofAddr:   *pprofAddr,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -138,6 +150,18 @@ func serveCmd(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "ccfd: serving on %s\n", ln.Addr())
 	return serveUntilDone(ctx, ln, cfg)
+}
+
+// startPprof serves net/http/pprof's DefaultServeMux handlers on their
+// own listener, so profiling stays off the public API address and can be
+// firewalled separately. Closing the returned listener stops it.
+func startPprof(addr string) (net.Listener, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("pprof listen: %w", err)
+	}
+	go http.Serve(ln, nil) // nil = DefaultServeMux, where pprof registered
+	return ln, ln.Addr().String(), nil
 }
 
 // disabledToNeg maps the flag convention "0 disables" onto the store's
@@ -157,6 +181,14 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 		if !cfg.quiet {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if cfg.pprofAddr != "" {
+		pln, addr, err := startPprof(cfg.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer pln.Close()
+		logf("ccfd: pprof on http://%s/debug/pprof/", addr)
 	}
 	reg := server.NewRegistry(cfg.cacheCap)
 	var st *store.Store

@@ -144,6 +144,28 @@ func TestDaemonServesConcurrentBatches(t *testing.T) {
 	}
 }
 
+// TestPprofEndpoint covers the -pprof-addr satellite: the profiling
+// handlers come up on their own listener and answer, and closing the
+// listener tears them down.
+func TestPprofEndpoint(t *testing.T) {
+	ln, addr, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp.Body); len(b) == 0 {
+		t.Fatal("pprof cmdline: empty body")
+	}
+}
+
 // TestBenchEmitsJSONRecords runs a miniature bench pass and checks the
 // machine-readable records cover both implementations and every shard
 // count, with sane rates.
@@ -152,13 +174,15 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 		keys: 2000, queries: 8000, batch: 256, shards: []int{1, 4},
 		variant: core.VariantChained, alpha: 1.1, clients: 2, seed: 1,
 		durableFsync: "interval", durableDir: t.TempDir(),
+		contendedClients: 4, readFrac: 0.95,
 	}
 	var buf bytes.Buffer
 	results, err := runBench(cfg, &buf)
 	if err != nil {
 		t.Fatalf("runBench: %v", err)
 	}
-	if len(results) != 2+3*len(cfg.shards) {
+	// Per shard count: insert + query + 2 contended (seqlock/rlock) + wal.
+	if len(results) != 2+5*len(cfg.shards) {
 		t.Fatalf("got %d records", len(results))
 	}
 	seen := map[string]bool{}
@@ -170,10 +194,15 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 		if r.Impl == "sharded+wal" && r.Fsync != "interval" {
 			t.Fatalf("durable record missing fsync policy: %+v", r)
 		}
+		if r.Op == "mixed" && (r.Clients != 4 || r.ReadFrac != 0.95) {
+			t.Fatalf("contended record missing clients/read_frac: %+v", r)
+		}
 	}
 	for _, want := range []string{"insert/sync/1", "query/sync/1", "insert/sharded/1",
 		"query/sharded/1", "insert/sharded/4", "query/sharded/4",
-		"insert/sharded+wal/1", "insert/sharded+wal/4"} {
+		"insert/sharded+wal/1", "insert/sharded+wal/4",
+		"mixed/sharded/1", "mixed/sharded-rlock/1",
+		"mixed/sharded/4", "mixed/sharded-rlock/4"} {
 		if !seen[want] {
 			t.Fatalf("missing record %s (have %v)", want, seen)
 		}

@@ -70,6 +70,38 @@ func TestInsertSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestQueryBatchSteadyStateZeroAlloc(t *testing.T) {
+	// The batch entry points draw their tile scratch from a pool and write
+	// into the caller's recycled result buffer: in steady state a batched
+	// probe of any variant allocates nothing.
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	for _, v := range allVariants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := loadedFilter(t, v)
+			pred := And(Eq(0, 3), Eq(1, 2))
+			keys := make([]uint64, 1024)
+			for i := range keys {
+				keys[i] = uint64(i) * 31
+			}
+			dst := make([]bool, 0, len(keys))
+			dst = f.QueryBatchInto(dst, keys, pred) // warm the tile-scratch pool
+			if n := testing.AllocsPerRun(100, func() {
+				dst = f.QueryBatchInto(dst[:0], keys, pred)
+			}); n != 0 {
+				t.Errorf("%s: QueryBatchInto allocates %.2f allocs/op, want 0", v, n)
+			}
+			if n := testing.AllocsPerRun(100, func() {
+				dst = f.ContainsBatchInto(dst[:0], keys)
+			}); n != 0 {
+				t.Errorf("%s: ContainsBatchInto allocates %.2f allocs/op, want 0", v, n)
+			}
+		})
+	}
+}
+
 func TestDeleteSteadyStateZeroAlloc(t *testing.T) {
 	f := mustFilter(t, Params{Variant: VariantPlain, NumAttrs: 2, Capacity: 1 << 14, Seed: 11})
 	attrs := []uint64{1, 2}
@@ -99,6 +131,33 @@ func BenchmarkCoreQuery(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f.Query(uint64(i)&(1<<13-1), pred)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreQueryBatch measures the two-phase batched probe per key,
+// next to BenchmarkCoreQuery's scalar per-call cost.
+func BenchmarkCoreQueryBatch(b *testing.B) {
+	for _, v := range allVariants() {
+		b.Run(v.String(), func(b *testing.B) {
+			f := loadedFilter(b, v)
+			pred := And(Eq(0, 3), Eq(1, 2))
+			const batch = 1024
+			keys := make([]uint64, batch)
+			dst := make([]bool, 0, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := uint64(i) * batch
+				for j := range keys {
+					keys[j] = (base + uint64(j)) & (1<<13 - 1)
+				}
+				dst = f.QueryBatchInto(dst[:0], keys, pred)
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/key")
 			}
 		})
 	}

@@ -38,6 +38,13 @@ type Filter struct {
 	fpMask   uint16
 	attrMask uint16
 
+	// altOff memoizes fpOffset over the whole fingerprint space: the XOR
+	// offset between a pair's buckets depends only on the |κ|-bit
+	// fingerprint and the seed, so probes, kicks and chain walks look it
+	// up instead of re-hashing. Immutable after construction; clones that
+	// keep the seed and geometry share it.
+	altOff []uint32
+
 	bucketTable
 
 	rngState  uint64
@@ -82,8 +89,18 @@ func New(p Params) (*Filter, error) {
 		rngState: p.Seed ^ 0x510e527f,
 	}
 	f.initTable(m, p)
+	f.initAltOffsets()
 	f.scratch.init(&f.bucketTable)
 	return f, nil
+}
+
+// initAltOffsets fills the fpOffset memo table (2^KeyBits entries, 16 KB
+// at the default |κ| = 12).
+func (f *Filter) initAltOffsets() {
+	f.altOff = make([]uint32, 1<<f.p.KeyBits)
+	for fp := range f.altOff {
+		f.altOff[fp] = uint32(hashing.Key64(uint64(fp), f.p.Seed^saltAlt)) & f.mask
+	}
 }
 
 // maxBuckets is the largest representable power-of-two bucket count;
@@ -124,9 +141,12 @@ func (f *Filter) homeBucket(key uint64) uint32 {
 	return uint32(hashing.Key64(key, f.p.Seed^saltIndex)) & f.mask
 }
 
-// fpOffset returns the XOR offset h(κ) that maps between a pair's buckets.
+// fpOffset returns the XOR offset h(κ) that maps between a pair's buckets,
+// served from the altOff memo. The fpMask guard keeps a corrupt snapshot's
+// out-of-range fingerprint from faulting: it gets a deterministic (if
+// meaningless) offset instead.
 func (f *Filter) fpOffset(fp uint16) uint32 {
-	return uint32(hashing.Key64(uint64(fp), f.p.Seed^saltAlt)) & f.mask
+	return f.altOff[fp&f.fpMask]
 }
 
 // altBucket returns ℓ′ = ℓ ⊕ h(κ) (partial-key cuckoo hashing, §4.2).
@@ -276,3 +296,15 @@ func (f *Filter) SizeBits() int64 {
 
 // SizeBytes returns SizeBits rounded up to whole bytes.
 func (f *Filter) SizeBytes() int64 { return (f.SizeBits() + 7) / 8 }
+
+// ReadOptimistic reports whether the filter's read paths may run without
+// any lock against a concurrent writer, relying on an external version
+// check (a seqlock, see internal/shard) to discard torn results. It holds
+// exactly when every probe touches only the fixed-size flat slices of the
+// packed bucketTable (fps, flags, words, attrs): a torn read of those can
+// mislead but never fault, and the version recheck catches the lie. The
+// sketched variants (Bloom, Mixed) fail it — their probes chase arena
+// references into a grow-only []*bloom.Filter whose backing array a
+// concurrent insert may swap, so a torn slice header could index freed
+// memory; they must be read under a lock.
+func (f *Filter) ReadOptimistic() bool { return f.sketch == nil }

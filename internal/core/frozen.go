@@ -74,6 +74,7 @@ func (f *Filter) headerClone() *Filter {
 		mask:         f.mask,
 		fpMask:       f.fpMask,
 		attrMask:     f.attrMask,
+		altOff:       f.altOff, // immutable; same seed and geometry
 		origAttrBits: f.origAttrBits,
 	}
 	h.bsz = f.bsz

@@ -66,6 +66,7 @@ func (f *Filter) shallowKeyClone() *Filter {
 		mask:     f.mask,
 		fpMask:   f.fpMask,
 		attrMask: f.attrMask,
+		altOff:   f.altOff, // immutable; same seed and geometry
 		occupied: f.occupied,
 		rows:     f.rows,
 	}

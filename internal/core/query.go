@@ -61,6 +61,12 @@ func (f *Filter) bucketMatch(bucket uint32, fp uint16, pred Predicate) bool {
 	if !f.bucketMayContain(bucket, fp) {
 		return false
 	}
+	return f.bucketMatchSlots(bucket, fp, pred)
+}
+
+// bucketMatchSlots is the slot-level half of bucketMatch: callers that
+// already ran the word pre-test (the batch pipeline) skip straight to it.
+func (f *Filter) bucketMatchSlots(bucket uint32, fp uint16, pred Predicate) bool {
 	base := int(bucket) * f.bsz
 	for j := 0; j < f.bsz; j++ {
 		if f.fps[base+j] == fp && f.entryMatches(base+j, pred) {

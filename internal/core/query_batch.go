@@ -1,0 +1,237 @@
+package core
+
+import "sync"
+
+// This file is the batched probe pipeline. A scalar Query serializes its
+// memory accesses: hash the key, load the bucket word, miss, stall. When a
+// caller has a whole batch of independent keys (selection pushdown probes
+// one filter per row, §3), those stalls are wasted parallelism — modern
+// cores can keep a dozen cache misses in flight, but only if the loads are
+// issued before any of their results is consumed. The batch entry points
+// below split the probe into phases over fixed-size tiles:
+//
+//	phase 1a  hash every key in the tile: fingerprint, home bucket, alt
+//	          bucket (pure ALU work, no table accesses)
+//	phase 1b  load both candidate bucket words for every key back to back
+//	          — independent loads the hardware overlaps, so a tile pays
+//	          for its cache misses concurrently instead of sequentially
+//	phase 2   SWAR-compare the preloaded words; only word-hits (rare for
+//	          negative probes) descend to slot-level fingerprint and
+//	          predicate checks
+//
+// The same phase structure batches lookups in Cuckoo-GPU and the
+// memory-level-parallel hash-probe literature. Bucket layouts without the
+// b=4 packed word mirror keep the split but phase 1b degrades to touch
+// loads that warm the bucket's cache line for phase 2's scalar scan.
+
+// probeTile is the batch pipeline's tile size: large enough to keep many
+// misses in flight, small enough that the scratch stays L1-resident
+// (~6.6 KB) and a seqlock retry re-does bounded work.
+const probeTile = 256
+
+// probeBatch is the reusable per-call scratch of one batch probe. It
+// cycles through a pool so steady-state batched queries allocate nothing;
+// unlike the filter's mutation scratch it is not per-filter state, because
+// batch queries run concurrently with each other.
+type probeBatch struct {
+	fp [probeTile]uint16
+	l1 [probeTile]uint32
+	l2 [probeTile]uint32
+	w1 [probeTile]uint64
+	w2 [probeTile]uint64
+}
+
+var probePool = sync.Pool{New: func() any { return new(probeBatch) }}
+
+// QueryBatchInto answers Query for every key under one predicate, writing
+// results into dst (grown if its capacity is short) and returning it. The
+// predicate is validated once; like Query, an invalid predicate
+// conservatively yields all true. Safe for concurrent readers.
+func (f *Filter) QueryBatchInto(dst []bool, keys []uint64, pred Predicate) []bool {
+	out := boolResults(dst, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	if pred.Validate(f.p.NumAttrs) != nil {
+		for i := range out {
+			out[i] = true
+		}
+		return out
+	}
+	f.QueryBatchIdx(out, keys, nil, pred)
+	return out
+}
+
+// ContainsBatchInto is the batched QueryKey: one key-membership answer per
+// key, predicate-free, written into dst (grown if its capacity is short).
+// For the packed b=4 layout each answer is two preloaded word compares and
+// no slot work. Safe for concurrent readers.
+func (f *Filter) ContainsBatchInto(dst []bool, keys []uint64) []bool {
+	out := boolResults(dst, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	f.ContainsBatchIdx(out, keys, nil)
+	return out
+}
+
+// QueryBatchIdx is the scatter/gather form of QueryBatchInto used by the
+// sharded grouped probe: for each i in idxs it answers keys[i] into
+// out[i]; a nil idxs means all keys in order. pred must already have
+// passed Validate for this filter's NumAttrs (batch callers validate once
+// per group). out must be at least as long as keys.
+func (f *Filter) QueryBatchIdx(out []bool, keys []uint64, idxs []int32, pred Predicate) {
+	pb := probePool.Get().(*probeBatch)
+	n := tileCount(keys, idxs)
+	for base := 0; base < n; base += probeTile {
+		t := min(probeTile, n-base)
+		ti := sliceIdx(idxs, base, t)
+		f.hashTile(pb, keys, ti, base, t)
+		f.loadTile(pb, t)
+		f.queryTile(pb, out, ti, base, t, pred)
+	}
+	probePool.Put(pb)
+}
+
+// ContainsBatchIdx is the scatter/gather form of ContainsBatchInto; see
+// QueryBatchIdx for the idxs contract.
+func (f *Filter) ContainsBatchIdx(out []bool, keys []uint64, idxs []int32) {
+	pb := probePool.Get().(*probeBatch)
+	n := tileCount(keys, idxs)
+	for base := 0; base < n; base += probeTile {
+		t := min(probeTile, n-base)
+		ti := sliceIdx(idxs, base, t)
+		f.hashTile(pb, keys, ti, base, t)
+		f.loadTile(pb, t)
+		f.containsTile(pb, out, ti, base, t)
+	}
+	probePool.Put(pb)
+}
+
+// boolResults returns dst resized to n, reusing its backing array when
+// large enough.
+func boolResults(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
+	}
+	return dst[:n]
+}
+
+func tileCount(keys []uint64, idxs []int32) int {
+	if idxs != nil {
+		return len(idxs)
+	}
+	return len(keys)
+}
+
+// sliceIdx returns the tile's window of idxs, or nil in contiguous mode.
+func sliceIdx(idxs []int32, base, t int) []int32 {
+	if idxs == nil {
+		return nil
+	}
+	return idxs[base : base+t]
+}
+
+// hashTile is phase 1a: fingerprints and both candidate buckets for every
+// key of the tile. No table memory is touched, so the loop is pure ALU
+// work the compiler can schedule densely.
+func (f *Filter) hashTile(pb *probeBatch, keys []uint64, ti []int32, base, t int) {
+	if ti == nil {
+		for i, k := range keys[base : base+t] {
+			fp := f.fingerprint(k)
+			l1 := f.homeBucket(k)
+			pb.fp[i] = fp
+			pb.l1[i] = l1
+			pb.l2[i] = l1 ^ f.fpOffset(fp)
+		}
+		return
+	}
+	for i, idx := range ti {
+		k := keys[idx]
+		fp := f.fingerprint(k)
+		l1 := f.homeBucket(k)
+		pb.fp[i] = fp
+		pb.l1[i] = l1
+		pb.l2[i] = l1 ^ f.fpOffset(fp)
+	}
+}
+
+// loadTile is phase 1b: issue both bucket loads for every key back to
+// back. Each iteration's loads depend only on phase 1a's indexes, never on
+// another load, so the out-of-order core overlaps the misses across the
+// whole tile. Without the packed mirror the loads touch the bucket's first
+// fingerprint instead — not a usable compare value, but it pulls the
+// bucket's cache line in, which is all phase 2's scalar scan needs.
+func (f *Filter) loadTile(pb *probeBatch, t int) {
+	if f.words != nil {
+		for i := 0; i < t; i++ {
+			pb.w1[i] = f.words[pb.l1[i]]
+			pb.w2[i] = f.words[pb.l2[i]]
+		}
+		return
+	}
+	bsz := f.bsz
+	for i := 0; i < t; i++ {
+		pb.w1[i] = uint64(f.fps[int(pb.l1[i])*bsz])
+		pb.w2[i] = uint64(f.fps[int(pb.l2[i])*bsz])
+	}
+}
+
+// queryTile is phase 2 of the predicate probe: resolve every key of the
+// tile against its preloaded words. The variant dispatch is hoisted out of
+// the per-key loop.
+func (f *Filter) queryTile(pb *probeBatch, out []bool, ti []int32, base, t int, pred Predicate) {
+	packed := f.words != nil
+	chained := f.p.Variant == VariantChained
+	for i := 0; i < t; i++ {
+		oi := base + i
+		if ti != nil {
+			oi = int(ti[i])
+		}
+		fp, l1, l2 := pb.fp[i], pb.l1[i], pb.l2[i]
+		if packed {
+			hit1 := wordHasLane(pb.w1[i], fp)
+			hit2 := l2 != l1 && wordHasLane(pb.w2[i], fp)
+			if !hit1 && !hit2 {
+				// No copy of κ anywhere in the first pair: false for the
+				// pair variants, and count 0 < MaxDupes (≥ 1) terminates a
+				// chained walk at its first pair with false.
+				out[oi] = false
+				continue
+			}
+			if chained {
+				out[oi] = f.queryChained(fp, l1, pred)
+				continue
+			}
+			out[oi] = hit1 && f.bucketMatchSlots(l1, fp, pred) ||
+				hit2 && f.bucketMatchSlots(l2, fp, pred)
+			continue
+		}
+		if chained {
+			out[oi] = f.queryChained(fp, l1, pred)
+			continue
+		}
+		out[oi] = f.bucketMatchSlots(l1, fp, pred) ||
+			l2 != l1 && f.bucketMatchSlots(l2, fp, pred)
+	}
+}
+
+// containsTile is phase 2 of the key-only probe: for the packed layout the
+// preloaded word compares are the whole answer (QueryKey semantics — every
+// variant keeps its key evidence in the first bucket pair, Lemma 2).
+func (f *Filter) containsTile(pb *probeBatch, out []bool, ti []int32, base, t int) {
+	packed := f.words != nil
+	for i := 0; i < t; i++ {
+		oi := base + i
+		if ti != nil {
+			oi = int(ti[i])
+		}
+		fp, l1, l2 := pb.fp[i], pb.l1[i], pb.l2[i]
+		if packed {
+			out[oi] = wordHasLane(pb.w1[i], fp) ||
+				l2 != l1 && wordHasLane(pb.w2[i], fp)
+			continue
+		}
+		out[oi] = f.bucketHasFp(l1, fp) || l2 != l1 && f.bucketHasFp(l2, fp)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The batch pipeline must be answer-identical to the scalar probes: it is
+// the same algorithm with its memory accesses rescheduled. These tests
+// differential-check QueryBatchInto/ContainsBatchInto (and their indexed
+// forms) against Query/QueryKey over every variant, both bucket layouts
+// (packed b=4 and the scalar-fallback b=6 the chained default uses), with
+// duplicate-heavy rows so chains and conversions actually occur.
+
+func batchTestFilter(t *testing.T, v Variant, bucketSize int) (*Filter, []uint64) {
+	t.Helper()
+	f := mustFilter(t, Params{
+		Variant: v, NumAttrs: 2, Capacity: 1 << 12, BucketSize: bucketSize,
+		BloomBits: 24, Seed: 77,
+	})
+	rng := rand.New(rand.NewSource(101))
+	keys := make([]uint64, 1<<11)
+	for i := range keys {
+		// Heavy duplication: ~1/4 of inserts reuse an earlier key with a
+		// different attribute vector, driving chaining / conversion.
+		if i > 0 && rng.Intn(4) == 0 {
+			keys[i] = keys[rng.Intn(i)]
+		} else {
+			keys[i] = rng.Uint64()
+		}
+		// ErrFull/ErrChainLimit are expected under this skew for Plain
+		// (Figure 4); the differential check only needs a loaded filter.
+		if err := f.Insert(keys[i], []uint64{uint64(i % 9), uint64(i % 5)}); err == ErrAttrCount {
+			t.Fatalf("%s insert %d: %v", v, i, err)
+		}
+	}
+	return f, keys
+}
+
+func batchProbeKeys(keys []uint64) []uint64 {
+	rng := rand.New(rand.NewSource(202))
+	probe := make([]uint64, 4096)
+	for i := range probe {
+		if i%2 == 0 {
+			probe[i] = keys[rng.Intn(len(keys))] // present
+		} else {
+			probe[i] = rng.Uint64() // almost surely absent
+		}
+	}
+	return probe
+}
+
+func TestQueryBatchMatchesScalar(t *testing.T) {
+	preds := []Predicate{
+		nil,
+		And(Eq(0, 3)),
+		And(Eq(0, 3), Eq(1, 2)),
+		And(In(1, 0, 1, 2, 3, 4)),
+		And(Eq(0, 1<<40)), // above small-value range: fingerprinted
+	}
+	for _, v := range allVariants() {
+		for _, bsz := range []int{4, 6} {
+			f, keys := batchTestFilter(t, v, bsz)
+			probe := batchProbeKeys(keys)
+			for pi, pred := range preds {
+				want := make([]bool, len(probe))
+				for i, k := range probe {
+					want[i] = f.Query(k, pred)
+				}
+				got := f.QueryBatchInto(nil, probe, pred)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s b=%d pred#%d key[%d]: batch=%v scalar=%v",
+							v, bsz, pi, i, got[i], want[i])
+					}
+				}
+				// Recycled-buffer path must behave identically.
+				got = f.QueryBatchInto(got[:0], probe, pred)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s b=%d pred#%d key[%d] (recycled): batch=%v scalar=%v",
+							v, bsz, pi, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQueryBatchIdxScatters(t *testing.T) {
+	f, keys := batchTestFilter(t, VariantChained, 4)
+	probe := batchProbeKeys(keys)
+	pred := And(Eq(0, 3))
+	// A shard-style permutation: probe every even index, in reverse.
+	var idxs []int32
+	for i := len(probe) - 2; i >= 0; i -= 2 {
+		idxs = append(idxs, int32(i))
+	}
+	out := make([]bool, len(probe))
+	for i := range out {
+		out[i] = true // sentinel at the odd (unprobed) slots
+	}
+	f.QueryBatchIdx(out, probe, idxs, pred)
+	for _, i := range idxs {
+		if want := f.Query(probe[i], pred); out[i] != want {
+			t.Fatalf("idx %d: batch=%v scalar=%v", i, out[i], want)
+		}
+	}
+	for i := 1; i < len(probe); i += 2 {
+		if !out[i] {
+			t.Fatalf("idx %d written but not in idxs", i)
+		}
+	}
+}
+
+func TestContainsBatchMatchesQueryKey(t *testing.T) {
+	for _, v := range allVariants() {
+		for _, bsz := range []int{4, 6} {
+			f, keys := batchTestFilter(t, v, bsz)
+			probe := batchProbeKeys(keys)
+			got := f.ContainsBatchInto(nil, probe)
+			for i, k := range probe {
+				if want := f.QueryKey(k); got[i] != want {
+					t.Fatalf("%s b=%d key[%d]: batch=%v QueryKey=%v", v, bsz, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryBatchInvalidPredicateAllTrue(t *testing.T) {
+	f, keys := batchTestFilter(t, VariantPlain, 4)
+	out := f.QueryBatchInto(nil, keys[:100], And(Eq(99, 1)))
+	for i, ok := range out {
+		if !ok {
+			t.Fatalf("key[%d]: invalid predicate must be conservatively true", i)
+		}
+	}
+}
+
+func TestQueryBatchEmptyAndSizing(t *testing.T) {
+	f, _ := batchTestFilter(t, VariantPlain, 4)
+	if out := f.QueryBatchInto(nil, nil, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+	big := make([]bool, 0, 8192)
+	keys := []uint64{1, 2, 3}
+	out := f.QueryBatchInto(big, keys, nil)
+	if len(out) != 3 || cap(out) != 8192 {
+		t.Fatalf("dst reuse: len=%d cap=%d, want 3/8192", len(out), cap(out))
+	}
+}

@@ -1,8 +1,9 @@
 //go:build race
 
-package shard
+package core
 
 // raceEnabled gates the zero-allocation assertions: under the race
 // detector sync.Pool deliberately drops items to widen interleavings, so
-// pooled paths allocate by design and the assertions are meaningless.
+// pooled paths (the batch probe scratch) allocate by design and the
+// assertions are meaningless.
 const raceEnabled = true

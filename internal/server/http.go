@@ -127,6 +127,8 @@ func toPredicate(conds []CondJSON) core.Predicate {
 //	DELETE /filters/{name}           drop a filter
 //	POST   /filters/{name}/insert    batched inserts
 //	POST   /filters/{name}/query     batched queries (optionally via view)
+//	GET    /filters/{name}/stats     one filter's stats (seqlock read;
+//	                                 never blocks the write path)
 //	GET    /filters/{name}/snapshot  whole-set binary snapshot
 //	POST   /filters/{name}/restore   create or replace from a snapshot
 //	GET    /stats                    registry-wide stats
@@ -264,6 +266,17 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			*bufp = resp.Results[:0]
 			boolBufPool.Put(bufp)
 		}
+	})
+
+	mux.HandleFunc("GET /filters/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := lookup(w, r, reg)
+		if !ok {
+			return
+		}
+		// Stats reads go through the per-shard seqlock like queries
+		// (shard.Stats), so a monitoring scrape never blocks — or is
+		// blocked by — the write path.
+		writeJSON(w, FilterStats{Stats: e.Filter().Stats(), ViewCache: e.CacheStats()})
 	})
 
 	mux.HandleFunc("GET /filters/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {

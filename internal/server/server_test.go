@@ -232,6 +232,41 @@ func TestHTTPEndToEnd(t *testing.T) {
 	qresp.Body.Close()
 }
 
+// TestHTTPPerFilterStats covers GET /filters/{name}/stats: a single
+// filter's occupancy and view-cache counters without scraping the whole
+// registry.
+func TestHTTPPerFilterStats(t *testing.T) {
+	reg, e := testRegistry(t)
+	insertRows(t, e, 1000)
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/filters/movies/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st FilterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || st.Rows != 1000 {
+		t.Fatalf("stats = %+v, want 4 shards / 1000 rows", st.Stats)
+	}
+
+	if resp, err := http.Get(srv.URL + "/filters/nosuch/stats"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("missing filter: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
 func TestHTTPBadRequests(t *testing.T) {
 	reg := NewRegistry(0)
 	ts := httptest.NewServer(NewHandler(reg))

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"ccf/internal/core"
@@ -46,6 +48,59 @@ func TestQueryBatchIntoSteadyStateZeroAlloc(t *testing.T) {
 		}); n != 0 {
 			t.Errorf("shards=%d: QueryBatchInto allocates %.2f allocs/op, want 0", shards, n)
 		}
+	}
+}
+
+func TestQueryKeyBatchIntoSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	for _, shards := range []int{1, 4} {
+		s, keys := loadedSharded(t, shards)
+		batch := keys[:1024]
+		dst := make([]bool, 0, len(batch))
+		dst = s.QueryKeyBatchInto(dst, batch) // warm the scratch pools
+		if n := testing.AllocsPerRun(200, func() {
+			dst = s.QueryKeyBatchInto(dst[:0], batch)
+		}); n != 0 {
+			t.Errorf("shards=%d: QueryKeyBatchInto allocates %.2f allocs/op, want 0", shards, n)
+		}
+	}
+}
+
+// TestContendedMixSteadyStateZeroAlloc pins the contended serving shape:
+// a client interleaving batched probes with batched inserts (the bench
+// harness's 95/5 read/write mix) must stay allocation-free in steady
+// state — the seqlock retry path included, since concurrent writers are
+// exactly when it runs.
+func TestContendedMixSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	s, keys := loadedSharded(t, 4)
+	pred := core.And(core.Eq(0, 3))
+	batch := keys[:1024]
+	wkeys := make([]uint64, 256)
+	wattrs := make([][]uint64, 256)
+	for i := range wattrs {
+		wattrs[i] = []uint64{uint64(i % 7), 1}
+	}
+	next := uint64(1 << 41)
+	out := make([]bool, 0, len(batch))
+	errs := make([]error, 0, len(wkeys))
+	mix := func() {
+		for r := 0; r < 19; r++ { // 19 read batches per write batch ≈ 95/5
+			out = s.QueryBatchInto(out[:0], batch, pred)
+		}
+		for i := range wkeys {
+			wkeys[i] = next*2654435761 + 11
+			next++
+		}
+		errs = s.InsertBatchInto(errs[:0], wkeys, wattrs)
+	}
+	mix() // warm scratch, result buffers and kick paths
+	if n := testing.AllocsPerRun(20, mix); n != 0 {
+		t.Errorf("mixed 95/5 batch loop allocates %.2f allocs/op, want 0", n)
 	}
 }
 
@@ -105,6 +160,86 @@ func BenchmarkShardedQueryBatch(b *testing.B) {
 				lo := (i * batch) % (len(keys) - batch)
 				dst = s.QueryBatchInto(dst[:0], keys[lo:lo+batch], pred)
 			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				nsPerKey := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / batch
+				b.ReportMetric(nsPerKey, "ns/key")
+			}
+		})
+	}
+}
+
+// BenchmarkShardedQueryBatchContended runs the read-heavy contended shape
+// the seqlock exists for: several goroutines issuing batched probes while
+// ~5% of their batches are inserts, compared against the pre-seqlock
+// behavior (PessimisticReads forces every probe onto the RLock path).
+func BenchmarkShardedQueryBatchContended(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		pessimistic bool
+	}{{"seqlock", false}, {"rlock", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := New(Options{
+				Shards:  4,
+				Workers: 1,
+				Params:  core.Params{NumAttrs: 2, Capacity: 1 << 16, Seed: 5},
+
+				PessimisticReads: mode.pessimistic,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys, attrs := mkRows(1 << 13)
+			for _, err := range s.InsertBatch(keys, attrs) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			pred := core.And(core.Eq(0, 3))
+			const batch = 1024
+			b.ReportAllocs()
+			// ≥ 4 client goroutines even on a single-core runner:
+			// RunParallel spawns GOMAXPROCS·p workers.
+			if p := 4 / runtime.GOMAXPROCS(0); p > 1 {
+				b.SetParallelism(p)
+			}
+			b.ResetTimer()
+			var worker int64
+			b.RunParallel(func(pb *testing.PB) {
+				c := int(atomic.AddInt64(&worker, 1))
+				out := make([]bool, 0, batch)
+				errs := make([]error, 0, 256)
+				wkeys := make([]uint64, 256)
+				wattrs := make([][]uint64, 256)
+				for i := range wattrs {
+					// Second attribute 9 is disjoint from every stable row's
+					// (mkRows uses i%3), so the churn deletes below can never
+					// alias away a stable entry.
+					wattrs[i] = []uint64{uint64(i % 7), 9}
+				}
+				next := uint64(c) << 40
+				i := 0
+				for pb.Next() {
+					if i%20 == 19 {
+						// 5% write iterations: insert a fresh batch, then
+						// delete it again, so occupancy (and with it probe
+						// and kick cost) stays in steady state however long
+						// the benchmark runs.
+						for j := range wkeys {
+							wkeys[j] = next*2654435761 + 7
+							next++
+						}
+						errs = s.InsertBatchInto(errs[:0], wkeys, wattrs)
+						for j := range wkeys {
+							s.Delete(wkeys[j], wattrs[j])
+						}
+					} else {
+						lo := (i * batch * c) % (len(keys) - batch)
+						out = s.QueryBatchInto(out[:0], keys[lo:lo+batch], pred)
+					}
+					i++
+				}
+			})
 			b.StopTimer()
 			if b.Elapsed() > 0 {
 				nsPerKey := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / batch

@@ -1,0 +1,11 @@
+//go:build race
+
+package shard
+
+// raceEnabled disables the optimistic seqlock read path: by the Go memory
+// model a seqlock's unsynchronized payload reads are data races (benign
+// here only because torn results are discarded), so under the race
+// detector every reader falls back to the shard read lock. Tests also use
+// it to skip allocation assertions, since sync.Pool deliberately drops
+// items under the detector.
+const raceEnabled = true

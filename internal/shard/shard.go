@@ -3,17 +3,27 @@
 // read/write traffic from many goroutines.
 //
 // Keys are routed to shards by a salted hash that is independent of the
-// in-shard bucket hash, so sharding does not skew bucket occupancy. Each
-// shard carries its own read-write lock; readers of different shards never
-// contend, and writers block only their own shard — unlike ccf.SyncFilter,
-// whose single lock serializes the whole table.
+// in-shard bucket hash, so sharding does not skew bucket occupancy. Writers
+// of different shards never contend: each shard carries its own write
+// mutex. Readers do not lock at all on the common path — every shard is a
+// seqlock (an atomic version counter its writers bump to odd before
+// mutating and back to even after), and readers sample the counter, probe
+// optimistically, and retry if it moved. A torn read of the packed bucket
+// storage can mislead but never fault (the table is flat pointer-free
+// slices, see core.Filter.ReadOptimistic), and the version recheck
+// discards any result a concurrent writer could have corrupted. Variants
+// whose probes chase sketch pointers (Bloom, Mixed), builds under the race
+// detector, and readers that lose the optimistic race too often fall back
+// to the shard's read lock.
 //
 // The batch entry points (InsertBatch, QueryBatch) group a request by shard
-// first and take each shard's lock once per batch, not once per key; with
-// Options.Workers > 0 the per-shard groups are processed by a worker pool.
-// This is the deployment shape the paper targets (§3): filters built once,
-// shipped to query processors, and probed at high rate during predicate
-// pushdown, where per-key call overhead dominates unbatched designs.
+// first and enter each shard once per batch, not once per key, probing
+// through core's batched two-phase pipeline (hash + overlapped bucket
+// loads, then SWAR compares); with Options.Workers > 0 the per-shard groups
+// are processed by a worker pool. This is the deployment shape the paper
+// targets (§3): filters built once, shipped to query processors, and probed
+// at high rate during predicate pushdown, where per-key call overhead and
+// serialized cache misses dominate unbatched designs.
 package shard
 
 import (
@@ -52,32 +62,71 @@ type Options struct {
 	// Workers bounds the goroutines used by batch operations. 0 means
 	// GOMAXPROCS; 1 runs batches entirely on the calling goroutine.
 	Workers int
+	// PessimisticReads disables the optimistic seqlock read path: every
+	// read takes the shard read lock, the pre-seqlock behavior. It exists
+	// for benchmarking the seqlock against the RLock baseline and as an
+	// operational escape hatch; the sketched variants (Bloom, Mixed) are
+	// read pessimistically regardless, see core.Filter.ReadOptimistic.
+	// Filters built by FromSnapshot don't pass through Options; use
+	// SetPessimisticReads on them.
+	PessimisticReads bool
 	// Params configures each shard's filter. Capacity (or Buckets, if set)
 	// is divided evenly across shards.
 	Params core.Params
 }
 
-// cell is one shard: a filter behind its own read-write lock, padded so
-// two shards' locks never share a cache line under write contention.
+// optimisticReadTries bounds how many times a reader re-probes a shard
+// whose version keeps moving before it falls back to the read lock. Low:
+// each failed try is wasted work, and under sustained write pressure the
+// lock's queueing is the better citizen (it cannot livelock).
+const optimisticReadTries = 4
+
+// seqlockProbeHook, when non-nil, runs between a reader's version sample
+// and its optimistic probe. Tests use it to force a mutation into that
+// window — a deterministic torn read — and assert the retry; it is a
+// single predictable nil check per shard group in production.
+var seqlockProbeHook func()
+
+// cell is one shard: a filter behind a seqlock and a write mutex, padded
+// so two shards' hot atomics never share a cache line.
+//
+// Writer protocol: hold mu, then bump seq to odd (beginWrite), mutate the
+// filter in place, bump seq back to even (endWrite). Restore follows the
+// same protocol around swapping f itself. The mutex serializes writers;
+// the seq bumps are what readers observe.
+//
+// Reader protocol (readCell): sample seq (spin past odd), load f, probe,
+// re-sample; a changed seq means a writer overlapped and the result —
+// possibly computed from torn data — is discarded and retried. The filter
+// pointer is atomic so a reader always probes a coherent object even when
+// it loses the race to a concurrent Restore.
 type cell struct {
-	mu sync.RWMutex
-	f  *core.Filter
-	_  [64]byte
+	mu  sync.RWMutex
+	seq atomic.Uint64
+	f   atomic.Pointer[core.Filter]
+	_   [64]byte
 }
+
+// beginWrite marks the cell mutating (seq odd). Callers hold mu.
+func (c *cell) beginWrite() { c.seq.Add(1) }
+
+// endWrite publishes the mutation (seq even again).
+func (c *cell) endWrite() { c.seq.Add(1) }
 
 // ShardedFilter is a conditional cuckoo filter partitioned by key hash
 // across independent shards. All methods are safe for concurrent use.
 type ShardedFilter struct {
-	cells   []cell
-	seed    atomic.Uint64 // routing salt base; atomic because Restore may swap it
-	workers int
-	version atomic.Uint64 // bumped by every successful mutation; see Version
+	cells       []cell
+	seed        atomic.Uint64 // routing salt base; atomic because Restore may swap it
+	workers     int
+	pessimistic atomic.Bool   // Options.PessimisticReads / SetPessimisticReads
+	version     atomic.Uint64 // bumped by every successful mutation; see Version
 	// gen counts completed Restores; it is bumped while every shard lock
-	// is held. Operations capture it before routing and re-check it under
-	// the shard lock: a mismatch means a Restore swapped the contents
-	// (even one restoring an identical seed) and the operation must
-	// re-route. The seed alone cannot detect that, since snapshots of the
-	// same filter carry the same seed.
+	// is held. Operations capture it before routing and re-check it inside
+	// the read section (or under the write lock): a mismatch means a
+	// Restore swapped the contents (even one restoring an identical seed)
+	// and the operation must re-route. The seed alone cannot detect that,
+	// since snapshots of the same filter carry the same seed.
 	gen atomic.Uint64
 }
 
@@ -104,14 +153,15 @@ func New(opts Options) (*ShardedFilter, error) {
 		return nil, fmt.Errorf("shard: invalid worker count %d", opts.Workers)
 	}
 	s := &ShardedFilter{cells: make([]cell, n), workers: w}
+	s.pessimistic.Store(opts.PessimisticReads)
 	for i := range s.cells {
 		f, err := core.New(p)
 		if err != nil {
 			return nil, err
 		}
-		s.cells[i].f = f
+		s.cells[i].f.Store(f)
 	}
-	s.seed.Store(s.cells[0].f.Params().Seed)
+	s.seed.Store(s.cells[0].f.Load().Params().Seed)
 	return s, nil
 }
 
@@ -123,7 +173,7 @@ func (s *ShardedFilter) Shards() int { return len(s.cells) }
 func (s *ShardedFilter) Params() core.Params {
 	c := &s.cells[0]
 	c.mu.RLock()
-	p := c.f.Params()
+	p := c.f.Load().Params()
 	c.mu.RUnlock()
 	return p
 }
@@ -132,6 +182,14 @@ func (s *ShardedFilter) Params() core.Params {
 // Delete, InsertBatch, Restore). Caches layered above the filter compare
 // versions to detect staleness; see internal/server.
 func (s *ShardedFilter) Version() uint64 { return s.version.Load() }
+
+// SetPessimisticReads switches the read path at runtime: true forces
+// every read onto the shard read lock (see Options.PessimisticReads).
+// It is the escape hatch for filters that did not pass through Options —
+// FromSnapshot restores, store recovery — and is safe to flip while
+// serving; in-flight optimistic reads still finish under their version
+// check.
+func (s *ShardedFilter) SetPessimisticReads(v bool) { s.pessimistic.Store(v) }
 
 // router is an immutable snapshot of the key→shard routing function.
 // Operations (and extracted key-views) capture one up front so routing
@@ -210,33 +268,77 @@ func (s *ShardedFilter) router() router {
 // shardOf routes a key to its shard under the current routing.
 func (s *ShardedFilter) shardOf(key uint64) int { return s.router().shardOf(key) }
 
-// withShard routes key to its shard, acquires that shard's lock (write
-// when mutate, read otherwise) and runs fn with the shard's filter.
-// Routing is computed before the lock, so a concurrent Restore can swap
-// the contents (and possibly the seed) in between; since Restore bumps
-// gen while holding every shard lock, re-checking gen after acquiring
-// ours detects that, and we re-route. The retry makes point operations
-// atomic with respect to Restore: they apply either fully before or
-// fully after it, never with stale routing against fresh contents.
+// readCell runs probe against the cell's filter, optimistically under the
+// seqlock when the filter supports torn reads, falling back to the read
+// lock otherwise (sketched variants, race builds, PessimisticReads, or a
+// version that keeps moving). probe may run more than once and must be
+// idempotent — assign results, don't accumulate. readCell returns false
+// when gen no longer matches the filter's Restore generation; the caller
+// captured its routing against that generation and must re-route.
+func (s *ShardedFilter) readCell(c *cell, gen uint64, probe func(f *core.Filter)) bool {
+	if !raceEnabled && !s.pessimistic.Load() {
+		for try := 0; try < optimisticReadTries; try++ {
+			v := c.seq.Load()
+			if v&1 != 0 {
+				// A writer is mid-mutation; yield so it can finish (on a
+				// loaded single core a spin would run out its timeslice).
+				runtime.Gosched()
+				continue
+			}
+			if s.gen.Load() != gen {
+				return false
+			}
+			f := c.f.Load()
+			if !f.ReadOptimistic() {
+				break
+			}
+			if h := seqlockProbeHook; h != nil {
+				h()
+			}
+			probe(f)
+			if c.seq.Load() == v {
+				return true
+			}
+		}
+	}
+	c.mu.RLock()
+	ok := s.gen.Load() == gen
+	if ok {
+		probe(c.f.Load())
+	}
+	c.mu.RUnlock()
+	return ok
+}
+
+// withShard routes key to its shard and runs fn with the shard's filter:
+// under the shard write lock with the seqlock bumped when mutate is set,
+// through readCell's optimistic protocol otherwise. Routing is computed
+// before entering the shard, so a concurrent Restore can swap the contents
+// (and possibly the seed) in between; since Restore bumps gen while
+// holding every shard lock, re-checking gen inside the read section (or
+// under the lock) detects that, and we re-route. The retry makes point
+// operations atomic with respect to Restore: they apply either fully
+// before or fully after it, never with stale routing against fresh
+// contents.
 func (s *ShardedFilter) withShard(key uint64, mutate bool, fn func(f *core.Filter)) {
 	for {
 		gen := s.gen.Load()
 		rt := s.router()
 		c := &s.cells[rt.shardOf(key)]
-		if mutate {
-			c.mu.Lock()
-		} else {
-			c.mu.RLock()
+		if !mutate {
+			if s.readCell(c, gen, fn) {
+				return
+			}
+			continue
 		}
+		c.mu.Lock()
 		ok := s.gen.Load() == gen
 		if ok {
-			fn(c.f)
+			c.beginWrite()
+			fn(c.f.Load())
+			c.endWrite()
 		}
-		if mutate {
-			c.mu.Unlock()
-		} else {
-			c.mu.RUnlock()
-		}
+		c.mu.Unlock()
 		if ok {
 			return
 		}
@@ -263,8 +365,8 @@ func (s *ShardedFilter) Delete(key uint64, attrs []uint64) error {
 	return err
 }
 
-// Query reports whether a matching row may exist, under the key's shard
-// read lock.
+// Query reports whether a matching row may exist, probing the key's shard
+// through the seqlock.
 func (s *ShardedFilter) Query(key uint64, pred core.Predicate) bool {
 	var ok bool
 	s.withShard(key, false, func(f *core.Filter) { ok = f.Query(key, pred) })
@@ -413,10 +515,11 @@ func (s *ShardedFilter) insertGrouped(rt router, keys []uint64, attrs [][]uint64
 }
 
 // insertShardGroup applies one shard's span of a batch insert under the
-// shard write lock. idxs == nil means "all keys" (single-shard routing).
-// A generation mismatch means a Restore completed after routing; rows
-// applied so far went into the filters it discarded, so the whole batch
-// retries against the restored contents.
+// shard write lock, with the seqlock held odd so concurrent optimistic
+// readers retry instead of consuming half-applied rows. idxs == nil means
+// "all keys" (single-shard routing). A generation mismatch means a Restore
+// completed after routing; rows applied so far went into the filters it
+// discarded, so the whole batch retries against the restored contents.
 func (s *ShardedFilter) insertShardGroup(sh int, idxs []int32, keys []uint64,
 	attrs [][]uint64, errs []error, gen uint64, stale *atomic.Bool) {
 	c := &s.cells[sh]
@@ -425,25 +528,32 @@ func (s *ShardedFilter) insertShardGroup(sh int, idxs []int32, keys []uint64,
 	case s.gen.Load() != gen:
 		stale.Store(true)
 	case idxs == nil:
+		c.beginWrite()
+		f := c.f.Load()
 		for i := range keys {
-			errs[i] = c.f.Insert(keys[i], attrs[i])
+			errs[i] = f.Insert(keys[i], attrs[i])
 		}
+		c.endWrite()
 	default:
+		c.beginWrite()
+		f := c.f.Load()
 		for _, i := range idxs {
-			errs[i] = c.f.Insert(keys[i], attrs[i])
+			errs[i] = f.Insert(keys[i], attrs[i])
 		}
+		c.endWrite()
 	}
 	c.mu.Unlock()
 }
 
 // QueryBatch answers one membership query per key under pred, grouping
-// keys by shard and taking each shard's read lock once. The predicate is
-// validated once per shard group — under the same lock hold as the
-// probes, so a concurrent Restore cannot change NumAttrs between
-// validation and probing; an invalid predicate yields all true, matching
-// Query's conservative no-false-negatives contract. A Restore that races
-// the batch is detected by the generation check and the batch retries,
-// so results always reflect one consistent routing.
+// keys by shard and probing each shard's span in one seqlock read section
+// through core's batched pipeline. The predicate is validated once per
+// shard group — inside the same read section as the probes, so a
+// concurrent Restore cannot change NumAttrs between validation and
+// probing; an invalid predicate yields all true, matching Query's
+// conservative no-false-negatives contract. A Restore that races the
+// batch is detected by the generation check and the batch retries, so
+// results always reflect one consistent routing.
 func (s *ShardedFilter) QueryBatch(keys []uint64, pred core.Predicate) []bool {
 	if len(keys) == 0 {
 		return nil
@@ -482,6 +592,46 @@ func (s *ShardedFilter) QueryBatchInto(dst []bool, keys []uint64, pred core.Pred
 	}
 }
 
+// QueryKeyBatch answers QueryKey for every key: predicate-free key
+// membership, the cheapest probe the filter offers (two word compares per
+// key on the packed layout).
+func (s *ShardedFilter) QueryKeyBatch(keys []uint64) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	return s.QueryKeyBatchInto(nil, keys)
+}
+
+// QueryKeyBatchInto is QueryKeyBatch writing results into dst (grown if
+// its capacity is short), batched through core.ContainsBatchIdx under the
+// same seqlock-and-retry protocol as QueryBatchInto.
+func (s *ShardedFilter) QueryKeyBatchInto(dst []bool, keys []uint64) []bool {
+	out := dst
+	if cap(out) < len(keys) {
+		out = make([]bool, len(keys))
+	} else {
+		out = out[:len(keys)]
+	}
+	if len(keys) == 0 {
+		return out
+	}
+	for {
+		gen := s.gen.Load()
+		rt := s.router()
+		if rt.n == 1 {
+			var stale atomic.Bool
+			s.queryKeyShardGroup(0, nil, keys, out, gen, &stale)
+			if !stale.Load() {
+				return out
+			}
+			continue
+		}
+		if s.queryKeyGrouped(rt, keys, out, gen) {
+			return out
+		}
+	}
+}
+
 // queryGrouped answers a multi-shard batch query under one grouping pass,
 // reporting false when a racing Restore invalidated the routing and the
 // batch must retry. Like insertGrouped, the single-worker path uses
@@ -507,46 +657,76 @@ func (s *ShardedFilter) queryGrouped(rt router, keys []uint64, pred core.Predica
 	return done
 }
 
-// queryShardGroup answers one shard's span of a batch query under the
-// shard read lock. The predicate is validated once per group — under the
-// same lock hold as the probes, so a concurrent Restore cannot change
+// queryKeyGrouped is queryGrouped for the predicate-free key batch.
+func (s *ShardedFilter) queryKeyGrouped(rt router, keys []uint64, out []bool, gen uint64) bool {
+	sc := scratchPool.Get().(*batchScratch)
+	sc.stale.Store(false)
+	rt.group(keys, sc)
+	if w := groupWorkers(s.workers, sc); w <= 1 {
+		for _, sh := range sc.groups {
+			s.queryKeyShardGroup(int(sh), sc.order[sc.start[sh]:sc.start[sh+1]],
+				keys, out, gen, &sc.stale)
+		}
+	} else {
+		runGroupsParallel(w, sc, func(sh int, idxs []int32) {
+			s.queryKeyShardGroup(sh, idxs, keys, out, gen, &sc.stale)
+		})
+	}
+	done := !sc.stale.Load()
+	scratchPool.Put(sc)
+	return done
+}
+
+// queryShardGroup answers one shard's span of a batch query in one
+// seqlock read section (readCell). The predicate is validated once per
+// group — inside the read section, so a concurrent Restore cannot change
 // NumAttrs between validation and probing; an invalid predicate yields
 // all true, matching Query's conservative no-false-negatives contract.
+// The probe body is idempotent (it assigns into out), so a seqlock retry
+// simply overwrites the discarded attempt.
 func (s *ShardedFilter) queryShardGroup(sh int, idxs []int32, keys []uint64,
 	pred core.Predicate, out []bool, gen uint64, stale *atomic.Bool) {
 	c := &s.cells[sh]
-	c.mu.RLock()
-	f := c.f
-	switch {
-	case s.gen.Load() != gen:
+	ok := s.readCell(c, gen, func(f *core.Filter) {
+		if pred.Validate(f.Params().NumAttrs) != nil {
+			if idxs == nil {
+				for i := range out {
+					out[i] = true
+				}
+			} else {
+				for _, i := range idxs {
+					out[i] = true
+				}
+			}
+			return
+		}
+		f.QueryBatchIdx(out, keys, idxs, pred)
+	})
+	if !ok {
 		stale.Store(true)
-	case pred.Validate(f.Params().NumAttrs) != nil:
-		if idxs == nil {
-			for i := range out {
-				out[i] = true
-			}
-		} else {
-			for _, i := range idxs {
-				out[i] = true
-			}
-		}
-	case idxs == nil: // single shard: all keys
-		for i, k := range keys {
-			out[i] = f.QueryUnchecked(k, pred)
-		}
-	default:
-		for _, i := range idxs {
-			out[i] = f.QueryUnchecked(keys[i], pred)
-		}
 	}
-	c.mu.RUnlock()
+}
+
+// queryKeyShardGroup answers one shard's span of a key-membership batch
+// in one seqlock read section.
+func (s *ShardedFilter) queryKeyShardGroup(sh int, idxs []int32, keys []uint64,
+	out []bool, gen uint64, stale *atomic.Bool) {
+	c := &s.cells[sh]
+	ok := s.readCell(c, gen, func(f *core.Filter) {
+		f.ContainsBatchIdx(out, keys, idxs)
+	})
+	if !ok {
+		stale.Store(true)
+	}
 }
 
 // PredicateFilter extracts a key-only view per shard (Algorithm 2) and
 // returns them bundled behind the routing captured at extraction time,
 // so a later Restore (which may change the routing seed) cannot make an
 // existing view mis-route keys. All shard read locks are held for the
-// duration, so the view is a consistent cut of the whole filter.
+// duration — extraction walks every entry, so optimistic retry would be
+// wasteful; the locks exclude writers and Restore, making the view a
+// consistent cut of the whole filter.
 func (s *ShardedFilter) PredicateFilter(pred core.Predicate) (*KeyView, error) {
 	for i := range s.cells {
 		s.cells[i].mu.RLock()
@@ -559,7 +739,7 @@ func (s *ShardedFilter) PredicateFilter(pred core.Predicate) (*KeyView, error) {
 	rt := s.router() // stable while the read locks exclude Restore
 	views := make([]*core.KeyView, len(s.cells))
 	for i := range s.cells {
-		v, err := s.cells[i].f.PredicateFilter(pred)
+		v, err := s.cells[i].f.Load().PredicateFilter(pred)
 		if err != nil {
 			return nil, err
 		}
@@ -583,7 +763,7 @@ func (s *ShardedFilter) Freeze() (*FrozenSet, error) {
 	rt := s.router() // stable while the read locks exclude Restore
 	shards := make([]*core.Frozen, len(s.cells))
 	for i := range s.cells {
-		fr, err := s.cells[i].f.Freeze()
+		fr, err := s.cells[i].f.Load().Freeze()
 		if err != nil {
 			return nil, err
 		}
@@ -604,24 +784,47 @@ type Stats struct {
 	ShardLoads []float64 `json:"shard_loads"`
 }
 
-// Stats returns aggregate and per-shard occupancy.
+// Stats returns aggregate and per-shard occupancy. Each shard is read
+// through the seqlock like a query, so stats scrapes never block (or are
+// blocked by) the write path; the counters of one shard are a consistent
+// snapshot, while cross-shard skew from in-flight batches remains
+// possible, as it always was.
 func (s *ShardedFilter) Stats() Stats {
-	st := Stats{Shards: len(s.cells), Version: s.Version()}
-	st.ShardLoads = make([]float64, len(s.cells))
-	for i := range s.cells {
-		c := &s.cells[i]
-		c.mu.RLock()
-		st.Rows += c.f.Rows()
-		st.Occupied += c.f.OccupiedEntries()
-		st.Capacity += c.f.Capacity()
-		st.SizeBits += c.f.SizeBits()
-		st.ShardLoads[i] = c.f.LoadFactor()
-		c.mu.RUnlock()
+	for {
+		gen := s.gen.Load()
+		st := Stats{Shards: len(s.cells), Version: s.Version()}
+		st.ShardLoads = make([]float64, len(s.cells))
+		ok := true
+		for i := range s.cells {
+			var rows, occupied, capacity int
+			var sizeBits int64
+			var load float64
+			if !s.readCell(&s.cells[i], gen, func(f *core.Filter) {
+				// Assignments, not accumulation: a seqlock retry re-runs
+				// this probe and must not double-count.
+				rows = f.Rows()
+				occupied = f.OccupiedEntries()
+				capacity = f.Capacity()
+				sizeBits = f.SizeBits()
+				load = f.LoadFactor()
+			}) {
+				ok = false
+				break
+			}
+			st.Rows += rows
+			st.Occupied += occupied
+			st.Capacity += capacity
+			st.SizeBits += sizeBits
+			st.ShardLoads[i] = load
+		}
+		if !ok {
+			continue // Restore raced; re-read against the new generation
+		}
+		if st.Capacity > 0 {
+			st.LoadFactor = float64(st.Occupied) / float64(st.Capacity)
+		}
+		return st
 	}
-	if st.Capacity > 0 {
-		st.LoadFactor = float64(st.Occupied) / float64(st.Capacity)
-	}
-	return st
 }
 
 // Rows returns the total number of accepted rows.
@@ -634,37 +837,56 @@ func (s *ShardedFilter) LoadFactor() float64 { return s.Stats().LoadFactor }
 func (s *ShardedFilter) SizeBits() int64 { return s.Stats().SizeBits }
 
 // Snapshot serializes the whole shard set: a header followed by each
-// shard's MarshalBinary payload, length-prefixed. All shard read locks
-// are held for the duration (acquired in index order, the same order
-// Restore takes write locks), so the snapshot can never mix shards from
-// before and after a concurrent Restore. An InsertBatch in flight may
-// still be captured partially: batches take shard locks group by group,
-// so only rows already applied when Snapshot acquired the locks appear.
+// shard's MarshalBinary payload, length-prefixed. Each shard is
+// serialized in a seqlock read section — a writer that overlaps the
+// marshal invalidates that shard's payload and it is re-serialized — so
+// snapshots no longer hold every shard's read lock and the write path is
+// never blocked behind a slow scrape. The consistency trade: each
+// shard's payload is individually consistent and a concurrent Restore is
+// excluded by the generation fence (the whole snapshot retries, so the
+// payload can never mix shards from before and after one), but shards
+// are serialized at different instants, so a concurrent mutation batch
+// may be captured on any subset of its shards — including a shard it
+// reached late but not one it reached early, an interleaving the old
+// all-locks point-in-time cut could not produce. Callers that need a
+// cut that is exact against in-flight mutations must exclude writers
+// themselves, as internal/store's checkpointer does with its write
+// barrier.
 func (s *ShardedFilter) Snapshot() ([]byte, error) {
-	for i := range s.cells {
-		s.cells[i].mu.RLock()
-	}
-	defer func() {
+	for {
+		gen := s.gen.Load()
+		parts := make([][]byte, len(s.cells))
+		ok := true
 		for i := range s.cells {
-			s.cells[i].mu.RUnlock()
+			var b []byte
+			var err error
+			if !s.readCell(&s.cells[i], gen, func(f *core.Filter) {
+				b, err = f.MarshalBinary()
+			}) {
+				ok = false
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = b
 		}
-	}()
-	var buf bytes.Buffer
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], snapshotMagic)
-	buf.Write(tmp[:])
-	binary.LittleEndian.PutUint64(tmp[:], uint64(len(s.cells)))
-	buf.Write(tmp[:])
-	for i := range s.cells {
-		b, err := s.cells[i].f.MarshalBinary()
-		if err != nil {
-			return nil, err
+		if !ok || s.gen.Load() != gen {
+			continue // Restore raced; serialize the restored contents
 		}
-		binary.LittleEndian.PutUint64(tmp[:], uint64(len(b)))
+		var buf bytes.Buffer
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], snapshotMagic)
 		buf.Write(tmp[:])
-		buf.Write(b)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(len(s.cells)))
+		buf.Write(tmp[:])
+		for _, b := range parts {
+			binary.LittleEndian.PutUint64(tmp[:], uint64(len(b)))
+			buf.Write(tmp[:])
+			buf.Write(b)
+		}
+		return buf.Bytes(), nil
 	}
-	return buf.Bytes(), nil
 }
 
 // parseSnapshot splits a snapshot into per-shard payloads.
@@ -717,10 +939,11 @@ func decodeShards(parts [][]byte) ([]*core.Filter, error) {
 
 // Restore replaces the shard contents with a snapshot taken from a filter
 // with the same shard count. Every shard write lock is acquired (in
-// index order) and held across the whole content-and-seed swap, so the
-// restore is atomic with respect to concurrent operations: no insert can
-// route with the old seed into a new shard, and no reader sees a mix of
-// old and new shards.
+// index order) and held across the whole content-and-seed swap, with
+// every seqlock held odd, so the restore is atomic with respect to
+// concurrent operations: no insert can route with the old seed into a new
+// shard, no reader sees a mix of old and new shards, and an optimistic
+// probe that overlapped the swap fails its version recheck and retries.
 func (s *ShardedFilter) Restore(data []byte) error {
 	parts, err := parseSnapshot(data)
 	if err != nil {
@@ -738,10 +961,16 @@ func (s *ShardedFilter) Restore(data []byte) error {
 		s.cells[i].mu.Lock()
 	}
 	for i := range s.cells {
-		s.cells[i].f = fresh[i]
+		s.cells[i].beginWrite()
+	}
+	for i := range s.cells {
+		s.cells[i].f.Store(fresh[i])
 	}
 	s.seed.Store(fresh[0].Params().Seed)
 	s.gen.Add(1) // bumped under all locks; see the gen field
+	for i := range s.cells {
+		s.cells[i].endWrite()
+	}
 	for i := range s.cells {
 		s.cells[i].mu.Unlock()
 	}
@@ -769,8 +998,8 @@ func FromSnapshot(data []byte, workers int) (*ShardedFilter, error) {
 	}
 	s := &ShardedFilter{cells: make([]cell, len(parts)), workers: workers}
 	for i, f := range filters {
-		s.cells[i].f = f
+		s.cells[i].f.Store(f)
 	}
-	s.seed.Store(s.cells[0].f.Params().Seed)
+	s.seed.Store(s.cells[0].f.Load().Params().Seed)
 	return s, nil
 }
