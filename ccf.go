@@ -101,6 +101,20 @@ type Binner = core.Binner
 // Dyadic encodes values as dyadic intervals for range queries (§9.1).
 type Dyadic = core.Dyadic
 
+// Ladder is an elastically sized filter: an ordered list of levels with
+// geometrically growing bucket counts, so a filter that outgrows its
+// initial sizing opens a new level instead of returning ErrFull. See
+// the README's "Elastic capacity" section.
+type Ladder = core.Ladder
+
+// LadderOptions is the elastic-capacity budget of a Ladder (and, via
+// ShardOptions.AutoGrow, of every shard of a ShardedFilter).
+type LadderOptions = core.LadderOptions
+
+// NewLadder returns a one-level ladder configured by p with the growth
+// budget of opts.
+func NewLadder(p Params, opts LadderOptions) (*Ladder, error) { return core.NewLadder(p, opts) }
+
 // Frozen is an immutable, bit-packed snapshot of a vector-variant filter
 // with columnar attribute storage (§9); produce one with Filter.Freeze.
 type Frozen = core.Frozen

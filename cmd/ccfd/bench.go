@@ -42,6 +42,9 @@ type BenchResult struct {
 	Fsync       string  `json:"fsync,omitempty"`     // sharded+wal only
 	Clients     int     `json:"clients,omitempty"`   // mixed only: concurrent goroutines
 	ReadFrac    float64 `json:"read_frac,omitempty"` // mixed only: fraction of read batches
+	Phase       string  `json:"phase,omitempty"`     // grow mode: pre | grown | folded | rightsized
+	Levels      int     `json:"levels,omitempty"`    // grow mode: ladder levels at measurement
+	Rows        int     `json:"rows,omitempty"`      // grow mode: rows inserted at measurement
 }
 
 // benchConfig parameterizes one bench run.

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ccf/internal/core"
+	"ccf/internal/shard"
+	"ccf/internal/store"
+)
+
+// benchGrowCmd is `ccfd bench grow`: it drives one filter from its
+// initial sizing through two-plus capacity doublings under the elastic
+// ladder, folds it back to a single right-sized level, and records
+// batched query ns/key at each phase — before growth, mid-ladder, after
+// the fold, and against a filter sized correctly from the start. The
+// records land in BENCH_serve.json alongside the serving benchmarks, so
+// the cost of outgrowing a sizing (and of folding back) is part of the
+// tracked perf trajectory.
+func benchGrowCmd(args []string) error {
+	fs := flag.NewFlagSet("bench grow", flag.ExitOnError)
+	capacity := fs.Int("capacity", 50000, "initial filter capacity N; the run inserts 6N rows (two level doublings)")
+	batch := fs.Int("batch", 1024, "keys per batched call")
+	shards := fs.Int("shards", 1, "shard count")
+	queries := fs.Int("queries", 1<<21, "query probes per phase measurement")
+	seed := fs.Int64("seed", 1, "workload and hashing seed")
+	out := fs.String("out", "BENCH_serve.json", "JSON results path, merged with existing records (empty = skip)")
+	dir := fs.String("dir", "", "directory for the throwaway durable store (empty = temp)")
+	fs.Parse(args)
+	if *capacity < 1 || *batch < 1 || *queries < 1 || *shards < 1 {
+		return fmt.Errorf("-capacity, -batch, -queries and -shards must be at least 1")
+	}
+	results, err := runBenchGrow(growConfig{
+		capacity: *capacity, batch: *batch, shards: *shards,
+		queries: *queries, seed: *seed, dir: *dir,
+	}, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := mergeGrowRecords(*out, results); err != nil {
+			return err
+		}
+		fmt.Printf("merged %d grow records into %s\n", len(results), *out)
+	}
+	return nil
+}
+
+type growConfig struct {
+	capacity int
+	batch    int
+	shards   int
+	queries  int
+	seed     int64
+	dir      string
+}
+
+// mergeGrowRecords rewrites path with earlier grow records replaced by
+// the new ones, keeping every other benchmark record in place.
+func mergeGrowRecords(path string, grow []BenchResult) error {
+	var existing []BenchResult
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	merged := existing[:0]
+	for _, r := range existing {
+		if r.Op != "grow-query" && r.Op != "grow-insert" {
+			merged = append(merged, r)
+		}
+	}
+	merged = append(merged, grow...)
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// growKeys builds the deterministic row set of a grow run.
+func growKeys(n int, seed int64) ([]uint64, [][]uint64) {
+	keys := make([]uint64, n)
+	attrs := make([][]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + uint64(seed)
+		attrs[i] = []uint64{uint64(i % 8), uint64(i % 5)}
+	}
+	return keys, attrs
+}
+
+// measureQueryNs probes the first rows inserted keys in batches and
+// returns ns/key (single client: the phases are compared against each
+// other, not against the multi-client serving numbers).
+func measureQueryNs(sf *shard.ShardedFilter, keys []uint64, rows, queries, batch int, pred core.Predicate) float64 {
+	if batch > rows {
+		batch = rows // tiny -capacity runs: probe the whole row set per call
+	}
+	span := rows - batch + 1
+	out := make([]bool, 0, batch)
+	start := time.Now()
+	done := 0
+	for done < queries {
+		lo := (done * batch) % span
+		end := lo + batch
+		out = sf.QueryBatchInto(out[:0], keys[lo:end], pred)
+		done += batch
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(done)
+}
+
+func runBenchGrow(cfg growConfig, w io.Writer) ([]BenchResult, error) {
+	n := cfg.capacity
+	// 4N already proves the acceptance bar (a capacity-N filter absorbing
+	// ≥ 4N rows with zero failures); 6N pushes the ladder through a second
+	// doubling so the measured "grown" phase is a genuinely tall ladder.
+	total := 6 * n
+	if cfg.queries < cfg.batch {
+		cfg.queries = cfg.batch
+	}
+	keys, attrs := growKeys(total, cfg.seed)
+	pred := core.And(core.Eq(0, 1))
+
+	dir, err := os.MkdirTemp(cfg.dir, "ccfd-bench-grow-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncInterval})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	params := core.Params{Variant: core.VariantChained, NumAttrs: 2, Capacity: n, Seed: uint64(cfg.seed)}
+	sf, err := shard.New(shard.Options{
+		Shards: cfg.shards, Workers: 1,
+		AutoGrow: core.LadderOptions{MaxLevels: 6, GrowthFactor: 2},
+		Params:   params,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fl, err := st.Create("grow", sf)
+	if err != nil {
+		return nil, err
+	}
+
+	mkResult := func(phase string, nsPerKey float64, rows int) BenchResult {
+		lst := fl.Live().Stats()
+		return BenchResult{
+			Op: "grow-query", Impl: "ladder", Variant: params.Variant.String(),
+			Shards: cfg.shards, Batch: cfg.batch,
+			NsPerOp: nsPerKey, QPS: 1e9 / nsPerKey,
+			Cores: runtime.GOMAXPROCS(0), Keys: n, Ops: cfg.queries,
+			Phase: phase, Levels: lst.MaxLevels, Rows: rows,
+		}
+	}
+	var results []BenchResult
+
+	// insertTo pushes the durable row count up to m, returning how many
+	// rows failed outright (must be zero under the elastic ladder).
+	inserted := 0
+	var errBuf []error
+	insertTo := func(m int) (int, error) {
+		failed := 0
+		for inserted < m {
+			end := inserted + cfg.batch
+			if end > m {
+				end = m
+			}
+			errs, err := fl.InsertBatchInto(errBuf[:0], keys[inserted:end], attrs[inserted:end])
+			errBuf = errs
+			if err != nil {
+				return failed, err
+			}
+			for _, e := range errs {
+				if shard.StatusOf(e) == shard.RowFull {
+					failed++
+				}
+			}
+			inserted = end
+		}
+		return failed, nil
+	}
+
+	// Phase 1: the filter as sized — fill to 70% of N and measure.
+	pre := int(0.7 * float64(n))
+	if _, err := insertTo(pre); err != nil {
+		return nil, err
+	}
+	ns := measureQueryNs(fl.Live(), keys, pre, cfg.queries, cfg.batch, pred)
+	results = append(results, mkResult("pre", ns, pre))
+
+	// Phase 2: overrun the sizing 4× (two-plus doublings) and measure
+	// while the ladder is tall. Timed too, so the record shows what
+	// inserts cost while levels are opening.
+	insStart := time.Now()
+	failed, err := insertTo(total)
+	if err != nil {
+		return nil, err
+	}
+	insNs := float64(time.Since(insStart).Nanoseconds()) / float64(total-pre)
+	if failed > 0 {
+		return nil, fmt.Errorf("bench grow: %d rows failed with the elastic ladder (want 0)", failed)
+	}
+	ir := mkResult("grown", insNs, total)
+	ir.Op = "grow-insert"
+	ir.QPS = 1e9 / insNs
+	results = append(results, ir)
+	ns = measureQueryNs(fl.Live(), keys, total, cfg.queries, cfg.batch, pred)
+	results = append(results, mkResult("grown", ns, total))
+
+	// Phase 3: fold back to one right-sized level and measure again. The
+	// fold schedules a background checkpoint of the folded snapshot; run
+	// it to completion first (Checkpoint serializes on the same mutex and
+	// no-ops if the background worker already got it) so the measurement
+	// doesn't time the checkpointer instead of the query path.
+	if err := fl.Fold(); err != nil {
+		return nil, err
+	}
+	if err := fl.Checkpoint(); err != nil {
+		return nil, err
+	}
+	ns = measureQueryNs(fl.Live(), keys, total, cfg.queries, cfg.batch, pred)
+	folded := mkResult("folded", ns, total)
+	results = append(results, folded)
+
+	// Baseline: a filter sized for 4N from the start, same rows.
+	right, err := shard.New(shard.Options{Shards: cfg.shards, Workers: 1, Params: core.Params{
+		Variant: params.Variant, NumAttrs: 2, Capacity: total, Seed: uint64(cfg.seed),
+	}})
+	if err != nil {
+		return nil, err
+	}
+	var rerrs []error
+	for lo := 0; lo < total; lo += cfg.batch {
+		end := lo + cfg.batch
+		if end > total {
+			end = total
+		}
+		rerrs = right.InsertBatchInto(rerrs[:0], keys[lo:end], attrs[lo:end])
+	}
+	ns = measureQueryNs(right, keys, total, cfg.queries, cfg.batch, pred)
+	base := BenchResult{
+		Op: "grow-query", Impl: "rightsized", Variant: params.Variant.String(),
+		Shards: cfg.shards, Batch: cfg.batch, NsPerOp: ns, QPS: 1e9 / ns,
+		Cores: runtime.GOMAXPROCS(0), Keys: n, Ops: cfg.queries,
+		Phase: "rightsized", Levels: 1, Rows: total,
+	}
+	results = append(results, base)
+
+	if w != nil {
+		fmt.Fprintf(w, "%-12s %-11s %7s %7s %12s %9s\n",
+			"op", "phase", "levels", "rows", "ns/key", "vs-right")
+		for _, r := range results {
+			fmt.Fprintf(w, "%-12s %-11s %7d %7d %12.1f %8.1f%%\n",
+				r.Op, r.Phase, r.Levels, r.Rows, r.NsPerOp,
+				(r.NsPerOp/base.NsPerOp-1)*100)
+		}
+		fmt.Fprintf(w, "%d fold(s); post-fold query is %.1f%% off the right-sized baseline (acceptance: within 10%%)\n",
+			fl.FoldCount(), (folded.NsPerOp/base.NsPerOp-1)*100)
+	}
+	return results, nil
+}

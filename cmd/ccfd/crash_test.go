@@ -94,9 +94,10 @@ func TestRestartRoundTrip(t *testing.T) {
 
 const crashHelperEnv = "CCFD_CRASH_HELPER_DIR"
 
-// TestCrashHelperProcess is not a test: it is the child half of
-// TestCrashRecoverySIGKILL, re-executed from the test binary. It serves a
-// durable daemon with -fsync always until the parent kills it.
+// TestCrashHelperProcess is not a test: it is the child half of the
+// SIGKILL crash tests, re-executed from the test binary. It serves a
+// durable daemon with -fsync always (and -auto-grow, which is inert for
+// filters that never outgrow their sizing) until the parent kills it.
 func TestCrashHelperProcess(t *testing.T) {
 	dir := os.Getenv(crashHelperEnv)
 	if dir == "" {
@@ -110,17 +111,14 @@ func TestCrashHelperProcess(t *testing.T) {
 	os.Stdout.Sync()
 	serveUntilDone(context.Background(), ln, serveConfig{
 		cacheCap: 16, dataDir: dir, fsync: store.FsyncAlways,
-		flushEvery: time.Millisecond, quiet: true,
+		flushEvery: time.Millisecond, autoGrow: true, quiet: true,
 	})
 }
 
-// TestCrashRecoverySIGKILL is the acceptance test for crash safety: a
-// real ccfd child process under concurrent write load is SIGKILLed, its
-// WAL tail is additionally garbled with trailing garbage, and recovery
-// must still answer true for every insert the daemon acked (fsync=always
-// means acked implies durable).
-func TestCrashRecoverySIGKILL(t *testing.T) {
-	dir := t.TempDir()
+// startCrashHelper launches the helper daemon on dir and returns its
+// base URL plus the running command (the caller kills it).
+func startCrashHelper(t *testing.T, dir string) (string, *exec.Cmd) {
+	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashHelperProcess$", "-test.v")
 	cmd.Env = append(os.Environ(), crashHelperEnv+"="+dir)
 	stdout, err := cmd.StdoutPipe()
@@ -131,8 +129,6 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting helper: %v", err)
 	}
-	defer cmd.Process.Kill()
-
 	addrc := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stdout)
@@ -143,13 +139,132 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 			}
 		}
 	}()
-	var url string
 	select {
 	case addr := <-addrc:
-		url = "http://" + addr
+		return "http://" + addr, cmd
 	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
 		t.Fatal("helper daemon never reported its address")
+		return "", nil
 	}
+}
+
+// TestCrashRecoveryMidGrowSIGKILL is the elastic-capacity crash test: a
+// deliberately undersized auto-grow filter is hammered until its ladder
+// has opened levels, the daemon is SIGKILLed mid-load, and recovery must
+// rebuild the multi-level ladder from the WAL with every acked key
+// present — growth must not weaken the acked-means-durable contract.
+func TestCrashRecoveryMidGrowSIGKILL(t *testing.T) {
+	dir := t.TempDir()
+	url, cmd := startCrashHelper(t, dir)
+	defer cmd.Process.Kill()
+
+	// Sized for 1024 rows; the writers push far past that.
+	putFilter(t, url, "elastic",
+		`{"variant":"chained","shards":2,"capacity":1024,"num_attrs":2,"auto_grow":{"max_levels":6}}`)
+
+	var mu sync.Mutex
+	var acked []uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < 2; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for it := 0; ; it++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				keys := make([]uint64, 64)
+				attrs := make([][]uint64, 64)
+				for i := range keys {
+					keys[i] = uint64(wtr*10_000_000+it*64+i)*2654435761 + 13
+					attrs[i] = []uint64{uint64(i % 4), uint64(i % 3)}
+				}
+				body, _ := json.Marshal(server.InsertRequest{Keys: keys, Attrs: attrs})
+				resp, err := http.Post(url+"/filters/elastic/insert", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // daemon died mid-request: batch not acked
+				}
+				var ins server.InsertResponse
+				derr := json.NewDecoder(resp.Body).Decode(&ins)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || derr != nil || ins.Accepted != len(keys) {
+					return // growth means no row may fail; a non-ack ends this writer
+				}
+				mu.Lock()
+				acked = append(acked, keys...)
+				mu.Unlock()
+			}
+		}(wtr)
+	}
+
+	// Kill only once the ladder has visibly grown (stats are served
+	// through the seqlock, so polling doesn't stall the writers).
+	deadline := time.Now().Add(20 * time.Second)
+	grown := false
+	for time.Now().Before(deadline) && !grown {
+		resp, err := http.Get(url + "/filters/elastic/stats")
+		if err == nil {
+			var fs server.FilterStats
+			if json.NewDecoder(resp.Body).Decode(&fs) == nil && fs.MaxLevels >= 2 {
+				grown = true
+			}
+			resp.Body.Close()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !grown {
+		t.Fatal("ladder never grew under load")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	cmd.Wait()
+	mu.Lock()
+	ackedKeys := append([]uint64(nil), acked...)
+	mu.Unlock()
+	if len(ackedKeys) == 0 {
+		t.Fatal("no batches were acked before the kill")
+	}
+
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer st.Close()
+	fl := st.Get("elastic")
+	if fl == nil {
+		t.Fatal("filter not recovered")
+	}
+	stats := fl.Live().Stats()
+	if stats.MaxLevels < 2 {
+		t.Fatalf("recovered ladder has %d level(s), want the mid-grow structure back", stats.MaxLevels)
+	}
+	sf := fl.Live()
+	for _, k := range ackedKeys {
+		if !sf.QueryKey(k) {
+			t.Fatalf("acked key %d lost in mid-grow crash (%d acked, levels %d)",
+				k, len(ackedKeys), stats.MaxLevels)
+		}
+	}
+	t.Logf("recovered %d acked keys, ladder at %d levels: %+v",
+		len(ackedKeys), stats.MaxLevels, st.RecoveryStats())
+}
+
+// TestCrashRecoverySIGKILL is the acceptance test for crash safety: a
+// real ccfd child process under concurrent write load is SIGKILLed, its
+// WAL tail is additionally garbled with trailing garbage, and recovery
+// must still answer true for every insert the daemon acked (fsync=always
+// means acked implies durable).
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	dir := t.TempDir()
+	url, cmd := startCrashHelper(t, dir)
+	defer cmd.Process.Kill()
 
 	putFilter(t, url, "jobs", `{"variant":"chained","shards":2,"capacity":131072,"num_attrs":2}`)
 

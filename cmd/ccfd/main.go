@@ -10,11 +10,14 @@
 //	           [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval 5ms] [-checkpoint-bytes N]
 //	           [-checkpoint-records N] [-pprof-addr 127.0.0.1:6060]
+//	           [-auto-grow]
 //	ccfd bench [-keys 100000] [-queries 1000000] [-batch 1024]
 //	           [-shards 1,4,16] [-variant chained] [-alpha 1.1]
 //	           [-clients 0] [-seed 1] [-out BENCH_serve.json]
 //	           [-durable-fsync interval] [-durable-dir DIR]
 //	           [-contended-clients 4] [-read-frac 0.95]
+//	ccfd bench grow [-capacity 50000] [-batch 1024] [-shards 1]
+//	           [-queries N] [-seed 1] [-out BENCH_serve.json] [-dir DIR]
 //
 // serve exposes the internal/server API:
 //
@@ -37,6 +40,14 @@
 // the log into checksummed segments, and startup recovers the newest
 // valid segment plus the WAL tail — so restarts (including SIGKILL)
 // serve the same answers as before. See the README's Durability section.
+//
+// With -auto-grow every filter gets the default elastic-capacity policy:
+// instead of returning "filter full" once its sizing is exhausted, a
+// filter opens doubled ladder levels (up to the policy's budget), and on
+// a durable deployment a background fold rebuilds it right-sized from
+// WAL replay once the ladder gets tall. Filters created with an explicit
+// auto_grow policy in the PUT body keep their own settings. See the
+// README's Elastic capacity section.
 //
 // bench prints a table and writes machine-readable JSON records
 // ({op, impl, variant, shards, batch, ns_per_op, qps, cores}) for the
@@ -71,7 +82,11 @@ func main() {
 	case "serve":
 		err = serveCmd(os.Args[2:])
 	case "bench":
-		err = benchCmd(os.Args[2:])
+		if len(os.Args) > 2 && os.Args[2] == "grow" {
+			err = benchGrowCmd(os.Args[3:])
+		} else {
+			err = benchCmd(os.Args[2:])
+		}
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -91,12 +106,14 @@ func usage() {
   ccfd serve [-addr :8437] [-cache 64] [-max-body BYTES]
              [-data-dir DIR] [-fsync always|interval|never]
              [-fsync-interval 5ms] [-checkpoint-bytes N] [-checkpoint-records N]
-             [-pprof-addr 127.0.0.1:6060]
+             [-pprof-addr 127.0.0.1:6060] [-auto-grow]
   ccfd bench [-keys N] [-queries N] [-batch N] [-shards 1,4,16]
              [-variant chained|plain|bloom|mixed] [-alpha 1.1]
              [-clients 0] [-seed 1] [-out BENCH_serve.json]
              [-durable-fsync always|interval|never|off] [-durable-dir DIR]
              [-contended-clients 4] [-read-frac 0.95]
+  ccfd bench grow [-capacity N] [-batch N] [-shards N] [-queries N]
+             [-seed 1] [-out BENCH_serve.json] [-dir DIR]
 `)
 }
 
@@ -111,6 +128,7 @@ type serveConfig struct {
 	ckptBytes   int64
 	ckptRecords int
 	pprofAddr   string // empty = pprof disabled
+	autoGrow    bool   // default elastic-capacity policy for all filters
 	quiet       bool   // suppress stderr chatter (tests)
 }
 
@@ -125,6 +143,7 @@ func serveCmd(args []string) error {
 	ckptBytes := fs.Int64("checkpoint-bytes", 64<<20, "checkpoint a filter after this many WAL bytes (0 disables)")
 	ckptRecords := fs.Int("checkpoint-records", 1<<20, "checkpoint a filter after this many WAL records (0 disables)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private")
+	autoGrow := fs.Bool("auto-grow", false, "apply the default elastic-capacity policy to filters created without one (and to recovered filters): grow instead of returning full, fold back when the ladder gets tall")
 	fs.Parse(args)
 
 	policy, err := store.ParseFsyncPolicy(*fsyncFlag)
@@ -140,6 +159,7 @@ func serveCmd(args []string) error {
 		ckptBytes:   *ckptBytes,
 		ckptRecords: *ckptRecords,
 		pprofAddr:   *pprofAddr,
+		autoGrow:    *autoGrow,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -191,6 +211,12 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 		logf("ccfd: pprof on http://%s/debug/pprof/", addr)
 	}
 	reg := server.NewRegistry(cfg.cacheCap)
+	if cfg.autoGrow {
+		p := server.DefaultAutoGrowPolicy()
+		reg.SetDefaultPolicy(&p)
+		logf("ccfd: auto-grow on (max %d levels, ×%d per level, grow at %.2f load, fold at %d levels)",
+			p.MaxLevels, p.GrowthFactor, p.GrowAtLoad, p.FoldAtLevels)
+	}
 	var st *store.Store
 	if cfg.dataDir != "" {
 		var err error

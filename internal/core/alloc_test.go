@@ -102,6 +102,72 @@ func TestQueryBatchSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// loadedLadder builds a deliberately undersized ladder that has grown to
+// several levels — the elastic-capacity steady state the batch probes
+// must stay allocation-free in.
+func loadedLadder(t testing.TB) (*Ladder, []uint64) {
+	t.Helper()
+	l, err := NewLadder(Params{Variant: VariantChained, NumAttrs: 2, Capacity: 1 << 11, Seed: 42},
+		LadderOptions{MaxLevels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 1<<13)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 99
+		if err := l.Insert(keys[i], []uint64{uint64(i % 16), uint64(i % 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Levels() < 2 {
+		t.Fatalf("ladder did not grow (levels %d)", l.Levels())
+	}
+	return l, keys
+}
+
+// TestLadderQueryBatchZeroAlloc pins the multi-level batch pipeline: the
+// pending-index scratch is pooled, so probing a grown ladder allocates
+// nothing in steady state.
+func TestLadderQueryBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	l, keys := loadedLadder(t)
+	pred := And(Eq(0, 3))
+	batch := keys[:1024]
+	out := make([]bool, 0, len(batch))
+	out = l.QueryBatchInto(out, batch, pred) // warm the scratch pools
+	if n := testing.AllocsPerRun(200, func() {
+		out = l.QueryBatchInto(out[:0], batch, pred)
+	}); n != 0 {
+		t.Errorf("ladder QueryBatchInto allocates %.2f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		out = l.ContainsBatchInto(out[:0], batch)
+	}); n != 0 {
+		t.Errorf("ladder ContainsBatchInto allocates %.2f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkLadderQuery tracks the cost of probing a grown ladder (the
+// read-path tax of elastic capacity before a fold collapses it).
+func BenchmarkLadderQuery(b *testing.B) {
+	l, keys := loadedLadder(b)
+	pred := And(Eq(0, 3))
+	const batch = 1024
+	out := make([]bool, 0, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % (len(keys) - batch)
+		out = l.QueryBatchInto(out[:0], keys[lo:lo+batch], pred)
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/key")
+	}
+}
+
 func TestDeleteSteadyStateZeroAlloc(t *testing.T) {
 	f := mustFilter(t, Params{Variant: VariantPlain, NumAttrs: 2, Capacity: 1 << 14, Seed: 11})
 	attrs := []uint64{1, 2}

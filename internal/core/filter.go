@@ -297,6 +297,57 @@ func (f *Filter) SizeBits() int64 {
 // SizeBytes returns SizeBits rounded up to whole bytes.
 func (f *Filter) SizeBytes() int64 { return (f.SizeBits() + 7) / 8 }
 
+// FreeSlots returns the number of empty entry slots, Capacity −
+// OccupiedEntries.
+func (f *Filter) FreeSlots() int { return f.Capacity() - f.occupied }
+
+// EstHeadroom estimates how many more inserts the filter is likely to
+// accept before reaching its sized-for load factor (TargetLoad, the
+// paper's attainable load for the bucket size). Past that point kick
+// failures — and with them ErrFull — become likely, so elastic layers
+// treat a shrinking headroom as the grow trigger. The estimate is
+// conservative in the statistical sense only: individual inserts can
+// still fail earlier under adversarial skew.
+func (f *Filter) EstHeadroom() int {
+	target := int(f.p.TargetLoad * float64(f.Capacity()))
+	if h := target - f.occupied; h > 0 {
+		return h
+	}
+	return 0
+}
+
+// FilterStats is the point-in-time occupancy summary of one filter,
+// exposed per level by Ladder.Stats and per shard by the serving stack.
+type FilterStats struct {
+	Buckets     uint32  `json:"buckets"`
+	Capacity    int     `json:"capacity"`
+	Occupied    int     `json:"occupied"`
+	Rows        int     `json:"rows"`
+	Discarded   int     `json:"discarded"`
+	Conversions int     `json:"conversions"`
+	LoadFactor  float64 `json:"load_factor"`
+	FreeSlots   int     `json:"free_slots"`
+	EstHeadroom int     `json:"est_headroom"`
+	SizeBits    int64   `json:"size_bits"`
+}
+
+// Stats returns the filter's occupancy summary: load factor, free-slot
+// and headroom estimates alongside the row counters.
+func (f *Filter) Stats() FilterStats {
+	return FilterStats{
+		Buckets:     f.m,
+		Capacity:    f.Capacity(),
+		Occupied:    f.occupied,
+		Rows:        f.rows,
+		Discarded:   f.discarded,
+		Conversions: f.converted,
+		LoadFactor:  f.LoadFactor(),
+		FreeSlots:   f.FreeSlots(),
+		EstHeadroom: f.EstHeadroom(),
+		SizeBits:    f.SizeBits(),
+	}
+}
+
 // ReadOptimistic reports whether the filter's read paths may run without
 // any lock against a concurrent writer, relying on an external version
 // check (a seqlock, see internal/shard) to discard torn results. It holds

@@ -149,6 +149,139 @@ func FuzzDifferential(f *testing.F) {
 	})
 }
 
+// FuzzLadderDifferential extends FuzzDifferential to the elastic ladder:
+// arbitrary operation tapes drive a deliberately undersized ladder
+// through reactive growth, explicit Grow calls, Plain deletes and
+// periodic folds (rebuilding a right-sized ladder from the surviving
+// rows, exactly what the store's WAL-replay fold produces) while an
+// exact model asserts the no-false-negative guarantee after every
+// mutation epoch. Deletes release aliased model rows like
+// FuzzDifferential, except aliasing is checked per level — a copy
+// deduplicated in one level may be the entry deleted, whichever level
+// holds it.
+func FuzzLadderDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3, 4, 1, 5, 6, 2}, uint8(0))
+	f.Add([]byte{7, 7, 0, 7, 8, 0, 7, 9, 4, 7, 7, 2}, uint8(1))
+	f.Add([]byte{9, 1, 0, 9, 1, 5, 9, 2, 0, 9, 1, 4, 9, 1, 2}, uint8(2))
+	f.Add([]byte{0xff, 0x10, 0, 0xff, 0x11, 0, 0xff, 0x12, 3, 0xff, 0x10, 4}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, tape []byte, variantSel uint8) {
+		variant := []Variant{VariantPlain, VariantChained, VariantBloom, VariantMixed}[variantSel%4]
+		params := Params{Variant: variant, NumAttrs: 1, Capacity: 96, BloomBits: 24, Seed: 21}
+		lad, err := NewLadder(params, LadderOptions{MaxLevels: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type row struct{ k, a uint64 }
+		model := map[row]bool{}
+		// sameSlotAnyLevel reports whether two rows could share one entry
+		// in any level: same key fingerprint, same bucket pair under that
+		// level's mask, same attribute fingerprint.
+		sameSlotAnyLevel := func(x, y row) bool {
+			for _, filt := range lad.levels() {
+				fx, fy := filt.fingerprint(x.k), filt.fingerprint(y.k)
+				if fx != fy {
+					return false // fingerprints are level-independent
+				}
+				hx, hy := filt.homeBucket(x.k), filt.homeBucket(y.k)
+				if (hx == hy || hx == filt.altBucket(hy, fy)) &&
+					filt.attrFingerprint(0, x.a) == filt.attrFingerprint(0, y.a) {
+					return true
+				}
+			}
+			return false
+		}
+		check := func(op int) {
+			for r := range model {
+				if !lad.Query(r.k, And(Eq(0, r.a))) {
+					t.Fatalf("%s op %d: false negative for %+v (levels %d)", variant, op, r, lad.Levels())
+				}
+			}
+		}
+		fold := func() {
+			// The store's fold: a fresh right-sized ladder rebuilt from the
+			// surviving rows. The exact model stands in for the WAL here.
+			fresh, err := NewLadder(Params{
+				Variant: variant, NumAttrs: 1, BloomBits: 24, Seed: 21,
+				Capacity: max(len(model), 1),
+			}, LadderOptions{MaxLevels: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range model {
+				if err := fresh.Insert(r.k, []uint64{r.a}); err != nil && err != ErrChainLimit {
+					t.Fatalf("%s: fold reinsert %+v: %v", variant, r, err)
+				}
+			}
+			lad = fresh
+		}
+		for i := 0; i+3 <= len(tape); i += 3 {
+			k := uint64(tape[i]) % 96
+			a := uint64(tape[i+1]) % 24
+			r := row{k, a}
+			switch tape[i+2] % 6 {
+			case 0, 1: // insert (reactive growth under the hood)
+				err := lad.Insert(k, []uint64{a})
+				if err == ErrFull {
+					continue // growth budget exhausted; row not stored
+				}
+				if err != nil && err != ErrChainLimit {
+					t.Fatalf("%s: insert(%d,%d): %v", variant, k, a, err)
+				}
+				model[r] = true
+			case 2: // query, including absent-key probes
+				if got := lad.Query(k, And(Eq(0, a))); model[r] && !got {
+					t.Fatalf("%s: false negative for %+v", variant, r)
+				}
+			case 3: // delete (Plain only)
+				err := lad.Delete(k, []uint64{a})
+				if variant != VariantPlain {
+					if err != ErrUnsupported {
+						t.Fatalf("%s: Delete returned %v, want ErrUnsupported", variant, err)
+					}
+					continue
+				}
+				if err == ErrNotFound {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("delete(%d,%d): %v", k, a, err)
+				}
+				for other := range model {
+					if sameSlotAnyLevel(r, other) {
+						delete(model, other)
+					}
+				}
+			case 4: // fold
+				fold()
+				check(i)
+			case 5: // proactive grow
+				if err := lad.Grow(); err != nil && err != ErrMaxLevels {
+					t.Fatalf("%s: Grow: %v", variant, err)
+				}
+			}
+		}
+		check(len(tape))
+		if lad.OccupiedEntries() > lad.Capacity() || lad.OccupiedEntries() < 0 {
+			t.Fatalf("occupancy %d outside [0,%d]", lad.OccupiedEntries(), lad.Capacity())
+		}
+		// Marshal round trip preserves the guarantee mid-state.
+		blob, err := lad.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Ladder
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		for r := range model {
+			if !back.Query(r.k, And(Eq(0, r.a))) {
+				t.Fatalf("%s: false negative after round trip for %+v", variant, r)
+			}
+		}
+	})
+}
+
 // FuzzUnmarshal hardens the decoder: arbitrary bytes must never panic, and
 // any buffer that decodes successfully must re-encode to a filter that can
 // serve queries.

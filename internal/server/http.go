@@ -36,16 +36,20 @@ var (
 	errBufPool  = sync.Pool{New: func() any { return new([]error) }}
 )
 
-// CreateRequest is the body of PUT /filters/{name}.
+// CreateRequest is the body of PUT /filters/{name}. AutoGrow, when
+// present, enables elastic capacity for the filter (zero-valued fields
+// take the policy defaults); absent, the server's default policy (the
+// -auto-grow flag) applies, if any.
 type CreateRequest struct {
-	Variant  string `json:"variant"` // plain | chained | bloom | mixed
-	Shards   int    `json:"shards"`
-	Workers  int    `json:"workers"`
-	Capacity int    `json:"capacity"`
-	NumAttrs int    `json:"num_attrs"`
-	KeyBits  int    `json:"key_bits"`
-	AttrBits int    `json:"attr_bits"`
-	Seed     uint64 `json:"seed"`
+	Variant  string          `json:"variant"` // plain | chained | bloom | mixed
+	Shards   int             `json:"shards"`
+	Workers  int             `json:"workers"`
+	Capacity int             `json:"capacity"`
+	NumAttrs int             `json:"num_attrs"`
+	KeyBits  int             `json:"key_bits"`
+	AttrBits int             `json:"attr_bits"`
+	Seed     uint64          `json:"seed"`
+	AutoGrow *AutoGrowPolicy `json:"auto_grow,omitempty"`
 }
 
 // InsertRequest is the body of POST /filters/{name}/insert.
@@ -54,9 +58,14 @@ type InsertRequest struct {
 	Attrs [][]uint64 `json:"attrs"`
 }
 
-// InsertResponse reports per-row failures sparsely by row index.
+// InsertResponse reports the batch outcome. Accepted counts rows that
+// landed; Statuses (present whenever any row did not) carries one
+// shard.RowStatus name per row — "inserted", "full", "chain_limit",
+// "bad_attrs", "error" — so callers know exactly which rows are in the
+// filter; Errors keeps the failing rows' error strings by index.
 type InsertResponse struct {
 	Accepted int            `json:"accepted"`
+	Statuses []string       `json:"statuses,omitempty"`
 	Errors   map[int]string `json:"errors,omitempty"`
 }
 
@@ -83,10 +92,25 @@ type QueryResponse struct {
 	ViewCacheHit *bool  `json:"view_cache_hit,omitempty"`
 }
 
-// FilterStats is one filter's entry in GET /stats.
+// FilterStats is one filter's entry in GET /stats: the sharded
+// occupancy (including per-shard ladder detail — levels, grows,
+// per-level occupancy and free-slot estimates), the elastic-capacity
+// policy and fold counter, and the view-cache counters.
 type FilterStats struct {
 	shard.Stats
-	ViewCache CacheStats `json:"view_cache"`
+	Folds     uint64          `json:"folds"`
+	AutoGrow  *AutoGrowPolicy `json:"auto_grow,omitempty"`
+	ViewCache CacheStats      `json:"view_cache"`
+}
+
+// filterStats assembles one entry's stats response.
+func filterStats(e *Entry) FilterStats {
+	return FilterStats{
+		Stats:     e.Filter().Stats(),
+		Folds:     e.Folds(),
+		AutoGrow:  e.Policy(),
+		ViewCache: e.CacheStats(),
+	}
 }
 
 // StatsResponse is the body of GET /stats.
@@ -165,7 +189,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 				AttrBits: req.AttrBits,
 				Seed:     req.Seed,
 			},
-		})
+		}, req.AutoGrow)
 		if err != nil {
 			httpError(w, registryErrorCode(err), err)
 			return
@@ -218,8 +242,13 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			if err != nil {
 				if resp.Errors == nil {
 					resp.Errors = make(map[int]string)
+					resp.Statuses = make([]string, len(errs))
+					for j := range resp.Statuses {
+						resp.Statuses[j] = shard.RowInserted.String()
+					}
 				}
 				resp.Errors[i] = err.Error()
+				resp.Statuses[i] = shard.StatusOf(err).String()
 				resp.Accepted--
 			}
 		}
@@ -276,7 +305,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		// Stats reads go through the per-shard seqlock like queries
 		// (shard.Stats), so a monitoring scrape never blocks — or is
 		// blocked by — the write path.
-		writeJSON(w, FilterStats{Stats: e.Filter().Stats(), ViewCache: e.CacheStats()})
+		writeJSON(w, filterStats(e))
 	})
 
 	mux.HandleFunc("GET /filters/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +342,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			if !ok {
 				continue
 			}
-			resp.Filters[name] = FilterStats{Stats: e.Filter().Stats(), ViewCache: e.CacheStats()}
+			resp.Filters[name] = filterStats(e)
 		}
 		writeJSON(w, resp)
 	})

@@ -19,6 +19,56 @@ import (
 // when NewRegistry is given zero.
 const DefaultViewCacheCap = 64
 
+// AutoGrowPolicy is the per-filter elastic-capacity policy: how far a
+// filter may grow (MaxLevels, GrowthFactor map onto core.LadderOptions),
+// when to grow proactively (GrowAtLoad on the newest level, ahead of the
+// reactive in-insert growth that fires on kick failure), and when to ask
+// the durable store to fold the ladder back into one right-sized level
+// (FoldAtLevels; folding needs the WAL's row history, so it is a no-op
+// for in-memory filters).
+type AutoGrowPolicy struct {
+	// MaxLevels is the total ladder levels allowed per shard. Default 6
+	// (five doublings: 63× the initial capacity at equal load).
+	MaxLevels int `json:"max_levels"`
+	// GrowthFactor multiplies the bucket count per level. Default 2.
+	GrowthFactor int `json:"growth_factor"`
+	// GrowAtLoad proactively opens a level once a shard's newest level
+	// reaches this load factor, before kick failures set in. Default
+	// 0.85; negative disables proactive growth (reactive growth still
+	// applies).
+	GrowAtLoad float64 `json:"grow_at_load"`
+	// FoldAtLevels schedules a background fold once any shard's ladder
+	// reaches this many levels. Default 3; negative or ≤ 1 disables.
+	FoldAtLevels int `json:"fold_at_levels"`
+}
+
+// DefaultAutoGrowPolicy is the policy `ccfd serve -auto-grow` applies to
+// filters created without an explicit one.
+func DefaultAutoGrowPolicy() AutoGrowPolicy {
+	return AutoGrowPolicy{MaxLevels: 6, GrowthFactor: 2, GrowAtLoad: 0.85, FoldAtLevels: 3}
+}
+
+func (p AutoGrowPolicy) normalized() AutoGrowPolicy {
+	if p.MaxLevels == 0 {
+		p.MaxLevels = 6
+	}
+	if p.GrowthFactor == 0 {
+		p.GrowthFactor = 2
+	}
+	if p.GrowAtLoad == 0 {
+		p.GrowAtLoad = 0.85
+	}
+	if p.FoldAtLevels == 0 {
+		p.FoldAtLevels = 3
+	}
+	return p
+}
+
+// ladderOptions maps the policy onto the shard layer's growth budget.
+func (p AutoGrowPolicy) ladderOptions() core.LadderOptions {
+	return core.LadderOptions{MaxLevels: p.MaxLevels, GrowthFactor: p.GrowthFactor}
+}
+
 // Registry maps filter names to sharded instances, each paired with its
 // predicate-view cache. All methods are safe for concurrent use.
 type Registry struct {
@@ -26,6 +76,9 @@ type Registry struct {
 	entries  map[string]*Entry
 	cacheCap int
 	st       *store.Store // nil = in-memory only
+	// defaultPolicy, when non-nil, applies to filters created without an
+	// explicit AutoGrowPolicy and to filters recovered from the store.
+	defaultPolicy *AutoGrowPolicy
 	// catMu serializes Create/Restore/Delete end to end so the store's
 	// catalog op and the registry map update cannot interleave with a
 	// racing create or delete of the same name (e.g. a DELETE dropping
@@ -43,10 +96,19 @@ func (e *StoreFailure) Unwrap() error { return e.Err }
 // Entry is a registered filter plus its view cache and, when the
 // registry has a store attached, its durable log handle.
 type Entry struct {
-	name  string
-	sf    *shard.ShardedFilter
-	cache *viewCache
-	log   *store.Filter // nil = not durable
+	name   string
+	sf     *shard.ShardedFilter
+	cache  *viewCache
+	log    *store.Filter   // nil = not durable
+	policy *AutoGrowPolicy // nil = elastic capacity off
+
+	// growMu makes the policy's check-then-grow atomic against
+	// concurrent insert batches (TryLock: a batch that finds another
+	// batch already running the policy skips it — the next batch will
+	// check again). growBuf is the recycled GrowthStats buffer, guarded
+	// by growMu.
+	growMu  sync.Mutex
+	growBuf []shard.GrowthStat
 }
 
 // NewRegistry returns an empty registry whose per-filter view caches hold
@@ -58,16 +120,48 @@ func NewRegistry(cacheCap int) *Registry {
 	return &Registry{entries: make(map[string]*Entry), cacheCap: cacheCap}
 }
 
+// SetDefaultPolicy installs the auto-grow policy applied to filters
+// created without an explicit one and to filters recovered from an
+// attached store (`ccfd serve -auto-grow`). Call before AttachStore and
+// before serving traffic; nil turns the default off.
+func (r *Registry) SetDefaultPolicy(p *AutoGrowPolicy) {
+	if p != nil {
+		np := p.normalized()
+		p = &np
+	}
+	r.mu.Lock()
+	r.defaultPolicy = p
+	r.mu.Unlock()
+}
+
 // AttachStore makes the registry durable: filters the store recovered on
 // boot are registered immediately, and every later Create/Delete/Restore
 // and batched insert goes through the store's WAL before acking. Call
 // before serving traffic.
+//
+// Elastic capacity across restarts: the recovered snapshot carries each
+// filter's ladder budget (MaxLevels, GrowthFactor), and that explicit
+// budget wins — a filter PUT with auto_grow {max_levels: 12} keeps 12
+// after a restart, with the serving-side thresholds (GrowAtLoad,
+// FoldAtLevels) refilled from the registry default so grows and folds
+// keep being scheduled. Only filters recovered with growth off adopt
+// the default policy wholesale (that is what `-auto-grow` means), and
+// with no default either, they stay fixed-size.
 func (r *Registry) AttachStore(st *store.Store) {
 	r.mu.Lock()
 	r.st = st
+	defPolicy := r.defaultPolicy
 	r.mu.Unlock()
 	for name, fl := range st.Filters() {
-		r.put(&Entry{name: name, sf: fl.Live(), cache: newViewCache(r.cacheCap), log: fl})
+		e := &Entry{name: name, sf: fl.Live(), cache: newViewCache(r.cacheCap), log: fl}
+		if opts := e.sf.AutoGrow(); opts.MaxLevels > 1 {
+			p := AutoGrowPolicy{MaxLevels: opts.MaxLevels, GrowthFactor: opts.GrowthFactor}.normalized()
+			e.policy = &p
+		} else if defPolicy != nil {
+			e.policy = defPolicy
+			e.sf.SetAutoGrow(defPolicy.ladderOptions())
+		}
+		r.put(e)
 	}
 }
 
@@ -80,10 +174,17 @@ func (r *Registry) store() *store.Store {
 
 // Create builds a sharded filter from opts and registers it under name,
 // replacing any existing filter (PUT semantics). With a store attached
-// the creation is durable before Create returns.
-func (r *Registry) Create(name string, opts shard.Options) (*Entry, error) {
+// the creation is durable before Create returns. policy, when non-nil
+// (or when the registry has a default), enables elastic capacity: it
+// sets the shards' ladder budget and drives proactive grows and
+// background folds after inserts.
+func (r *Registry) Create(name string, opts shard.Options, policy *AutoGrowPolicy) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: empty filter name")
+	}
+	policy = r.effectivePolicy(policy)
+	if policy != nil {
+		opts.AutoGrow = policy.ladderOptions()
 	}
 	sf, err := shard.New(opts)
 	if err != nil {
@@ -97,9 +198,21 @@ func (r *Registry) Create(name string, opts shard.Options) (*Entry, error) {
 			return nil, &StoreFailure{err}
 		}
 	}
-	e := &Entry{name: name, sf: sf, cache: newViewCache(r.cacheCap), log: log}
+	e := &Entry{name: name, sf: sf, cache: newViewCache(r.cacheCap), log: log, policy: policy}
 	r.put(e)
 	return e, nil
+}
+
+// effectivePolicy normalizes an explicit policy or falls back to the
+// registry default.
+func (r *Registry) effectivePolicy(policy *AutoGrowPolicy) *AutoGrowPolicy {
+	if policy != nil {
+		np := policy.normalized()
+		return &np
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.defaultPolicy
 }
 
 // Restore registers a filter rebuilt from a Snapshot payload under name,
@@ -112,6 +225,16 @@ func (r *Registry) Restore(name string, data []byte) (*Entry, error) {
 	sf, err := shard.FromSnapshot(data, 0)
 	if err != nil {
 		return nil, err
+	}
+	// Like AttachStore: a growth budget carried by the snapshot wins
+	// (with serving-side thresholds refilled from defaults); otherwise
+	// the registry default applies, if any.
+	var policy *AutoGrowPolicy
+	if opts := sf.AutoGrow(); opts.MaxLevels > 1 {
+		p := AutoGrowPolicy{MaxLevels: opts.MaxLevels, GrowthFactor: opts.GrowthFactor}.normalized()
+		policy = &p
+	} else if policy = r.effectivePolicy(nil); policy != nil {
+		sf.SetAutoGrow(policy.ladderOptions())
 	}
 	r.catMu.Lock()
 	defer r.catMu.Unlock()
@@ -126,7 +249,7 @@ func (r *Registry) Restore(name string, data []byte) (*Entry, error) {
 		// install the new entry — keeping the old one would send durable
 		// inserts to the new filter while queries read the old.
 	}
-	e := &Entry{name: name, sf: sf, cache: newViewCache(r.cacheCap), log: log}
+	e := &Entry{name: name, sf: sf, cache: newViewCache(r.cacheCap), log: log, policy: policy}
 	r.put(e)
 	if err != nil {
 		return e, &StoreFailure{err}
@@ -197,14 +320,87 @@ func (e *Entry) Name() string { return e.name }
 func (e *Entry) Filter() *shard.ShardedFilter { return e.sf }
 
 // InsertBatchInto applies a batched insert, going WAL-first when the
-// entry is durable. The per-row slice follows shard.InsertBatchInto; the
-// second result is the storage error — when non-nil the batch was not
-// applied or its durability is unknown and the request should fail.
+// entry is durable, then runs the entry's auto-grow policy (proactive
+// level opens, fold scheduling). The per-row slice follows
+// shard.InsertBatchInto — every row is attempted and carries its own
+// status, see shard.StatusOf; the second result is the storage error —
+// when non-nil the batch was not applied or its durability is unknown
+// and the request should fail.
 func (e *Entry) InsertBatchInto(dst []error, keys []uint64, attrs [][]uint64) ([]error, error) {
+	var errs []error
+	var err error
 	if e.log != nil {
-		return e.log.InsertBatchInto(dst, keys, attrs)
+		errs, err = e.log.InsertBatchInto(dst, keys, attrs)
+	} else {
+		errs = e.sf.InsertBatchInto(dst, keys, attrs)
 	}
-	return e.sf.InsertBatchInto(dst, keys, attrs), nil
+	if err == nil {
+		e.maybeAutoGrow()
+	}
+	return errs, err
+}
+
+// maybeAutoGrow applies the entry's elastic-capacity policy after a
+// mutation: shards whose newest level crossed GrowAtLoad get a proactive
+// level (WAL-logged when durable, so recovery reproduces the exact
+// structure), and a ladder at FoldAtLevels schedules a background fold.
+// Reactive growth inside the insert path needs no help from here — this
+// trims its latency spikes and keeps read cost bounded.
+//
+// The probe is deliberately cheap (GrowthStats into a recycled buffer,
+// no per-level allocations) because it runs after every insert batch,
+// and growMu makes check-then-grow atomic: without it two concurrent
+// batches could both see a shard past the threshold and double-grow it.
+// A batch that loses the TryLock just skips the check — the policy is
+// advisory, and reactive growth inside the insert path covers whatever
+// it misses.
+func (e *Entry) maybeAutoGrow() {
+	p := e.policy
+	if p == nil {
+		return
+	}
+	if !e.growMu.TryLock() {
+		return
+	}
+	defer e.growMu.Unlock()
+	e.growBuf = e.sf.GrowthStats(e.growBuf)
+	maxLevels := 0
+	for i, g := range e.growBuf {
+		if g.Levels > maxLevels {
+			maxLevels = g.Levels
+		}
+		if p.GrowAtLoad <= 0 || g.NewestLoad < p.GrowAtLoad || g.Levels >= p.MaxLevels {
+			continue
+		}
+		var err error
+		if e.log != nil {
+			err = e.log.Grow(i)
+		} else {
+			err = e.sf.GrowShard(i)
+		}
+		if err != nil {
+			break // budget exhausted or store trouble; reactive growth still applies
+		}
+		if g.Levels+1 > maxLevels {
+			maxLevels = g.Levels + 1
+		}
+	}
+	if p.FoldAtLevels > 1 && maxLevels >= p.FoldAtLevels && e.log != nil {
+		e.log.RequestFold()
+	}
+}
+
+// Policy returns the entry's auto-grow policy, nil when elastic capacity
+// is off.
+func (e *Entry) Policy() *AutoGrowPolicy { return e.policy }
+
+// Folds returns the number of completed background folds (durable
+// entries only).
+func (e *Entry) Folds() uint64 {
+	if e.log == nil {
+		return 0
+	}
+	return e.log.FoldCount()
 }
 
 // CacheStats returns the entry's view-cache counters.

@@ -21,7 +21,7 @@ func testRegistry(t *testing.T) (*Registry, *Entry) {
 	e, err := reg.Create("movies", shard.Options{
 		Shards: 4,
 		Params: core.Params{NumAttrs: 2, Capacity: 1 << 14, Seed: 3},
-	})
+	}, nil)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
@@ -452,7 +452,7 @@ func TestRegistryDurableAcrossReopen(t *testing.T) {
 	e, err := reg.Create("jobs", shard.Options{
 		Shards: 2,
 		Params: core.Params{NumAttrs: 2, Capacity: 1 << 12, Seed: 3},
-	})
+	}, nil)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
@@ -467,7 +467,7 @@ func TestRegistryDurableAcrossReopen(t *testing.T) {
 	if _, err := reg.Restore("jobs-copy", snap); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
-	if _, err := reg.Create("doomed", shard.Options{Params: core.Params{NumAttrs: 1, Capacity: 256}}); err != nil {
+	if _, err := reg.Create("doomed", shard.Options{Params: core.Params{NumAttrs: 1, Capacity: 256}}, nil); err != nil {
 		t.Fatalf("Create doomed: %v", err)
 	}
 	if ok, err := reg.Delete("doomed"); !ok || err != nil {

@@ -59,6 +59,11 @@ var (
 type Options struct {
 	// Shards is the number of partitions. Default 1.
 	Shards int
+	// AutoGrow is each shard's elastic-capacity budget (see
+	// core.LadderOptions): MaxLevels ≤ 1 (the default) keeps shards
+	// fixed-size, so ErrFull surfaces exactly as before; a larger budget
+	// lets a shard open doubled levels instead of failing inserts.
+	AutoGrow core.LadderOptions
 	// Workers bounds the goroutines used by batch operations. 0 means
 	// GOMAXPROCS; 1 runs batches entirely on the calling goroutine.
 	Workers int
@@ -87,23 +92,27 @@ const optimisticReadTries = 4
 // single predictable nil check per shard group in production.
 var seqlockProbeHook func()
 
-// cell is one shard: a filter behind a seqlock and a write mutex, padded
-// so two shards' hot atomics never share a cache line.
+// cell is one shard: a filter ladder behind a seqlock and a write mutex,
+// padded so two shards' hot atomics never share a cache line.
 //
 // Writer protocol: hold mu, then bump seq to odd (beginWrite), mutate the
-// filter in place, bump seq back to even (endWrite). Restore follows the
-// same protocol around swapping f itself. The mutex serializes writers;
-// the seq bumps are what readers observe.
+// ladder in place, bump seq back to even (endWrite). Opening a new level
+// is one of those in-place mutations: the ladder publishes its level list
+// through an internal atomic pointer, so the append happens inside the
+// odd-seq window like any other write and an overlapped optimistic probe
+// discards its result and retries. Restore follows the same protocol
+// around swapping f itself. The mutex serializes writers; the seq bumps
+// are what readers observe.
 //
 // Reader protocol (readCell): sample seq (spin past odd), load f, probe,
 // re-sample; a changed seq means a writer overlapped and the result —
-// possibly computed from torn data — is discarded and retried. The filter
+// possibly computed from torn data — is discarded and retried. The ladder
 // pointer is atomic so a reader always probes a coherent object even when
 // it loses the race to a concurrent Restore.
 type cell struct {
 	mu  sync.RWMutex
 	seq atomic.Uint64
-	f   atomic.Pointer[core.Filter]
+	f   atomic.Pointer[core.Ladder]
 	_   [64]byte
 }
 
@@ -155,11 +164,11 @@ func New(opts Options) (*ShardedFilter, error) {
 	s := &ShardedFilter{cells: make([]cell, n), workers: w}
 	s.pessimistic.Store(opts.PessimisticReads)
 	for i := range s.cells {
-		f, err := core.New(p)
+		l, err := core.NewLadder(p, opts.AutoGrow)
 		if err != nil {
 			return nil, err
 		}
-		s.cells[i].f.Store(f)
+		s.cells[i].f.Store(l)
 	}
 	s.seed.Store(s.cells[0].f.Load().Params().Seed)
 	return s, nil
@@ -275,7 +284,7 @@ func (s *ShardedFilter) shardOf(key uint64) int { return s.router().shardOf(key)
 // idempotent — assign results, don't accumulate. readCell returns false
 // when gen no longer matches the filter's Restore generation; the caller
 // captured its routing against that generation and must re-route.
-func (s *ShardedFilter) readCell(c *cell, gen uint64, probe func(f *core.Filter)) bool {
+func (s *ShardedFilter) readCell(c *cell, gen uint64, probe func(f *core.Ladder)) bool {
 	if !raceEnabled && !s.pessimistic.Load() {
 		for try := 0; try < optimisticReadTries; try++ {
 			v := c.seq.Load()
@@ -320,7 +329,7 @@ func (s *ShardedFilter) readCell(c *cell, gen uint64, probe func(f *core.Filter)
 // operations atomic with respect to Restore: they apply either fully
 // before or fully after it, never with stale routing against fresh
 // contents.
-func (s *ShardedFilter) withShard(key uint64, mutate bool, fn func(f *core.Filter)) {
+func (s *ShardedFilter) withShard(key uint64, mutate bool, fn func(f *core.Ladder)) {
 	for {
 		gen := s.gen.Load()
 		rt := s.router()
@@ -345,10 +354,12 @@ func (s *ShardedFilter) withShard(key uint64, mutate bool, fn func(f *core.Filte
 	}
 }
 
-// Insert adds a row, locking only the key's shard.
+// Insert adds a row, locking only the key's shard. With an AutoGrow
+// budget the shard's ladder opens a new level instead of returning
+// ErrFull; the level append happens inside the seqlock's odd window.
 func (s *ShardedFilter) Insert(key uint64, attrs []uint64) error {
 	var err error
-	s.withShard(key, true, func(f *core.Filter) { err = f.Insert(key, attrs) })
+	s.withShard(key, true, func(f *core.Ladder) { err = f.Insert(key, attrs) })
 	if err == nil {
 		s.version.Add(1)
 	}
@@ -358,25 +369,69 @@ func (s *ShardedFilter) Insert(key uint64, attrs []uint64) error {
 // Delete removes a row (Plain variant only), locking only the key's shard.
 func (s *ShardedFilter) Delete(key uint64, attrs []uint64) error {
 	var err error
-	s.withShard(key, true, func(f *core.Filter) { err = f.Delete(key, attrs) })
+	s.withShard(key, true, func(f *core.Ladder) { err = f.Delete(key, attrs) })
 	if err == nil {
 		s.version.Add(1)
 	}
 	return err
 }
 
+// GrowShard proactively opens a new ladder level in shard sh, the
+// policy-driven grow used by layers that want to expand before the
+// newest level starts failing kicks (internal/store logs it as a WAL
+// record first, so recovery reproduces the exact level structure).
+func (s *ShardedFilter) GrowShard(sh int) error {
+	if sh < 0 || sh >= len(s.cells) {
+		return fmt.Errorf("shard: grow of invalid shard %d (have %d)", sh, len(s.cells))
+	}
+	c := &s.cells[sh]
+	c.mu.Lock()
+	c.beginWrite()
+	err := c.f.Load().Grow()
+	c.endWrite()
+	c.mu.Unlock()
+	if err == nil {
+		s.version.Add(1)
+	}
+	return err
+}
+
+// AutoGrow returns the current elastic-capacity budget (read from shard
+// 0; Restore and SetAutoGrow keep shards uniform).
+func (s *ShardedFilter) AutoGrow() core.LadderOptions {
+	c := &s.cells[0]
+	c.mu.RLock()
+	o := c.f.Load().Options()
+	c.mu.RUnlock()
+	return o
+}
+
+// SetAutoGrow replaces every shard's elastic-capacity budget. It is the
+// post-Restore hook for filters whose snapshots predate the policy (or
+// carried a different one); safe to call while serving.
+func (s *ShardedFilter) SetAutoGrow(opts core.LadderOptions) {
+	for i := range s.cells {
+		c := &s.cells[i]
+		c.mu.Lock()
+		c.beginWrite()
+		c.f.Load().SetOptions(opts)
+		c.endWrite()
+		c.mu.Unlock()
+	}
+}
+
 // Query reports whether a matching row may exist, probing the key's shard
 // through the seqlock.
 func (s *ShardedFilter) Query(key uint64, pred core.Predicate) bool {
 	var ok bool
-	s.withShard(key, false, func(f *core.Filter) { ok = f.Query(key, pred) })
+	s.withShard(key, false, func(f *core.Ladder) { ok = f.Query(key, pred) })
 	return ok
 }
 
 // QueryKey reports whether any row with the key may exist.
 func (s *ShardedFilter) QueryKey(key uint64) bool {
 	var ok bool
-	s.withShard(key, false, func(f *core.Filter) { ok = f.QueryKey(key) })
+	s.withShard(key, false, func(f *core.Ladder) { ok = f.QueryKey(key) })
 	return ok
 }
 
@@ -529,16 +584,16 @@ func (s *ShardedFilter) insertShardGroup(sh int, idxs []int32, keys []uint64,
 		stale.Store(true)
 	case idxs == nil:
 		c.beginWrite()
-		f := c.f.Load()
+		l := c.f.Load()
 		for i := range keys {
-			errs[i] = f.Insert(keys[i], attrs[i])
+			errs[i] = l.Insert(keys[i], attrs[i])
 		}
 		c.endWrite()
 	default:
 		c.beginWrite()
-		f := c.f.Load()
+		l := c.f.Load()
 		for _, i := range idxs {
-			errs[i] = f.Insert(keys[i], attrs[i])
+			errs[i] = l.Insert(keys[i], attrs[i])
 		}
 		c.endWrite()
 	}
@@ -687,7 +742,7 @@ func (s *ShardedFilter) queryKeyGrouped(rt router, keys []uint64, out []bool, ge
 func (s *ShardedFilter) queryShardGroup(sh int, idxs []int32, keys []uint64,
 	pred core.Predicate, out []bool, gen uint64, stale *atomic.Bool) {
 	c := &s.cells[sh]
-	ok := s.readCell(c, gen, func(f *core.Filter) {
+	ok := s.readCell(c, gen, func(f *core.Ladder) {
 		if pred.Validate(f.Params().NumAttrs) != nil {
 			if idxs == nil {
 				for i := range out {
@@ -712,7 +767,7 @@ func (s *ShardedFilter) queryShardGroup(sh int, idxs []int32, keys []uint64,
 func (s *ShardedFilter) queryKeyShardGroup(sh int, idxs []int32, keys []uint64,
 	out []bool, gen uint64, stale *atomic.Bool) {
 	c := &s.cells[sh]
-	ok := s.readCell(c, gen, func(f *core.Filter) {
+	ok := s.readCell(c, gen, func(f *core.Ladder) {
 		f.ContainsBatchIdx(out, keys, idxs)
 	})
 	if !ok {
@@ -737,7 +792,7 @@ func (s *ShardedFilter) PredicateFilter(pred core.Predicate) (*KeyView, error) {
 		}
 	}()
 	rt := s.router() // stable while the read locks exclude Restore
-	views := make([]*core.KeyView, len(s.cells))
+	views := make([]*core.LadderKeyView, len(s.cells))
 	for i := range s.cells {
 		v, err := s.cells[i].f.Load().PredicateFilter(pred)
 		if err != nil {
@@ -761,7 +816,7 @@ func (s *ShardedFilter) Freeze() (*FrozenSet, error) {
 		}
 	}()
 	rt := s.router() // stable while the read locks exclude Restore
-	shards := make([]*core.Frozen, len(s.cells))
+	shards := make([]*core.FrozenLadder, len(s.cells))
 	for i := range s.cells {
 		fr, err := s.cells[i].f.Load().Freeze()
 		if err != nil {
@@ -772,16 +827,58 @@ func (s *ShardedFilter) Freeze() (*FrozenSet, error) {
 	return &FrozenSet{rt: rt, shards: shards}, nil
 }
 
-// Stats aggregates shard occupancy for monitoring.
+// GrowthStat is the slice of one shard's state the auto-grow policy
+// reads after every mutation batch: how tall its ladder is and how full
+// its newest level runs.
+type GrowthStat struct {
+	Levels     int
+	NewestLoad float64
+}
+
+// GrowthStats fills dst (grown if short) with one GrowthStat per shard,
+// read through the seqlock. It is the policy layer's cheap alternative
+// to Stats: no per-level slices are built, so a caller that recycles
+// dst probes all shards allocation-free.
+func (s *ShardedFilter) GrowthStats(dst []GrowthStat) []GrowthStat {
+	if cap(dst) < len(s.cells) {
+		dst = make([]GrowthStat, len(s.cells))
+	} else {
+		dst = dst[:len(s.cells)]
+	}
+	for {
+		gen := s.gen.Load()
+		ok := true
+		for i := range s.cells {
+			if !s.readCell(&s.cells[i], gen, func(f *core.Ladder) {
+				dst[i] = GrowthStat{Levels: f.Levels(), NewestLoad: f.NewestLoadFactor()}
+			}) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return dst
+		}
+	}
+}
+
+// Stats aggregates shard occupancy for monitoring. ShardDetail carries
+// each shard's ladder breakdown (levels, grows, per-level occupancy) —
+// the numbers the auto-grow and fold policies read; Grows and MaxLevels
+// summarize them across shards.
 type Stats struct {
-	Shards     int       `json:"shards"`
-	Rows       int       `json:"rows"`
-	Occupied   int       `json:"occupied"`
-	Capacity   int       `json:"capacity"`
-	LoadFactor float64   `json:"load_factor"`
-	SizeBits   int64     `json:"size_bits"`
-	Version    uint64    `json:"version"`
-	ShardLoads []float64 `json:"shard_loads"`
+	Shards      int                `json:"shards"`
+	Rows        int                `json:"rows"`
+	Occupied    int                `json:"occupied"`
+	Capacity    int                `json:"capacity"`
+	FreeSlots   int                `json:"free_slots"`
+	LoadFactor  float64            `json:"load_factor"`
+	SizeBits    int64              `json:"size_bits"`
+	Version     uint64             `json:"version"`
+	Grows       int                `json:"grows"`
+	MaxLevels   int                `json:"max_levels"`
+	ShardLoads  []float64          `json:"shard_loads"`
+	ShardDetail []core.LadderStats `json:"shard_detail"`
 }
 
 // Stats returns aggregate and per-shard occupancy. Each shard is read
@@ -794,28 +891,29 @@ func (s *ShardedFilter) Stats() Stats {
 		gen := s.gen.Load()
 		st := Stats{Shards: len(s.cells), Version: s.Version()}
 		st.ShardLoads = make([]float64, len(s.cells))
+		st.ShardDetail = make([]core.LadderStats, len(s.cells))
 		ok := true
 		for i := range s.cells {
-			var rows, occupied, capacity int
-			var sizeBits int64
-			var load float64
-			if !s.readCell(&s.cells[i], gen, func(f *core.Filter) {
-				// Assignments, not accumulation: a seqlock retry re-runs
+			var ls core.LadderStats
+			if !s.readCell(&s.cells[i], gen, func(f *core.Ladder) {
+				// Assignment, not accumulation: a seqlock retry re-runs
 				// this probe and must not double-count.
-				rows = f.Rows()
-				occupied = f.OccupiedEntries()
-				capacity = f.Capacity()
-				sizeBits = f.SizeBits()
-				load = f.LoadFactor()
+				ls = f.Stats()
 			}) {
 				ok = false
 				break
 			}
-			st.Rows += rows
-			st.Occupied += occupied
-			st.Capacity += capacity
-			st.SizeBits += sizeBits
-			st.ShardLoads[i] = load
+			st.Rows += ls.Rows
+			st.Occupied += ls.Occupied
+			st.Capacity += ls.Capacity
+			st.FreeSlots += ls.FreeSlots
+			st.SizeBits += ls.SizeBits
+			st.Grows += ls.Grows
+			if ls.Levels > st.MaxLevels {
+				st.MaxLevels = ls.Levels
+			}
+			st.ShardLoads[i] = ls.LoadFactor
+			st.ShardDetail[i] = ls
 		}
 		if !ok {
 			continue // Restore raced; re-read against the new generation
@@ -860,7 +958,7 @@ func (s *ShardedFilter) Snapshot() ([]byte, error) {
 		for i := range s.cells {
 			var b []byte
 			var err error
-			if !s.readCell(&s.cells[i], gen, func(f *core.Filter) {
+			if !s.readCell(&s.cells[i], gen, func(f *core.Ladder) {
 				b, err = f.MarshalBinary()
 			}) {
 				ok = false
@@ -925,16 +1023,20 @@ func parseSnapshot(data []byte) ([][]byte, error) {
 }
 
 // decodeShards unmarshals the per-shard payloads of a parsed snapshot.
-func decodeShards(parts [][]byte) ([]*core.Filter, error) {
-	filters := make([]*core.Filter, len(parts))
+// Each payload is a ladder envelope; bare filter payloads from snapshots
+// written before the elastic-capacity engine decode as one-level ladders
+// (core.Ladder.UnmarshalBinary), so old snapshots and checkpoint
+// segments still restore.
+func decodeShards(parts [][]byte) ([]*core.Ladder, error) {
+	ladders := make([]*core.Ladder, len(parts))
 	for i, b := range parts {
-		f := new(core.Filter)
-		if err := f.UnmarshalBinary(b); err != nil {
+		l := new(core.Ladder)
+		if err := l.UnmarshalBinary(b); err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		filters[i] = f
+		ladders[i] = l
 	}
-	return filters, nil
+	return ladders, nil
 }
 
 // Restore replaces the shard contents with a snapshot taken from a filter

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"errors"
+
+	"ccf/internal/core"
+)
+
+// RowStatus classifies one row's outcome in a batch insert. Batch entry
+// points never abort mid-batch: every row is attempted and gets its own
+// status, so callers (and the HTTP layer above) know exactly which rows
+// landed — a mixed batch acks the rows that did and reports the rest.
+type RowStatus uint8
+
+const (
+	// RowInserted: the row was stored (or deduplicated against an
+	// identical existing row, which answers queries the same way).
+	RowInserted RowStatus = iota
+	// RowFull: the cuckoo insertion exhausted its kicks and the shard's
+	// growth budget; the row is not stored.
+	RowFull
+	// RowChainLimit: the chained variant discarded the row at Lmax with
+	// growth exhausted; queries for it still answer true (conservative).
+	RowChainLimit
+	// RowBadAttrs: the attribute vector length does not match NumAttrs.
+	RowBadAttrs
+	// RowError: any other per-row failure.
+	RowError
+)
+
+// StatusOf maps a per-row error from InsertBatch/InsertBatchInto to its
+// status. nil maps to RowInserted.
+func StatusOf(err error) RowStatus {
+	switch {
+	case err == nil:
+		return RowInserted
+	case errors.Is(err, core.ErrFull):
+		return RowFull
+	case errors.Is(err, core.ErrChainLimit):
+		return RowChainLimit
+	case errors.Is(err, core.ErrAttrCount):
+		return RowBadAttrs
+	default:
+		return RowError
+	}
+}
+
+// String returns the wire name of the status, used verbatim by the HTTP
+// insert response.
+func (s RowStatus) String() string {
+	switch s {
+	case RowInserted:
+		return "inserted"
+	case RowFull:
+		return "full"
+	case RowChainLimit:
+		return "chain_limit"
+	case RowBadAttrs:
+		return "bad_attrs"
+	default:
+		return "error"
+	}
+}

@@ -11,7 +11,7 @@ import "ccf/internal/core"
 type KeyView struct {
 	rt      router
 	workers int
-	views   []*core.KeyView
+	views   []*core.LadderKeyView
 }
 
 // Contains reports whether key may have a row satisfying the view's
@@ -101,7 +101,7 @@ func (v *KeyView) MatchingEntries() int {
 // internal key→shard hash.
 type FrozenSet struct {
 	rt     router
-	shards []*core.Frozen
+	shards []*core.FrozenLadder
 }
 
 // Query reports whether the frozen set may contain a matching row.
@@ -114,8 +114,9 @@ func (fs *FrozenSet) QueryKey(key uint64) bool {
 	return fs.shards[fs.rt.shardOf(key)].QueryKey(key)
 }
 
-// Shards returns the underlying snapshots, indexed by shard.
-func (fs *FrozenSet) Shards() []*core.Frozen { return fs.shards }
+// Shards returns the underlying per-shard frozen ladders, indexed by
+// shard; a shard that never grew holds a single level.
+func (fs *FrozenSet) Shards() []*core.FrozenLadder { return fs.shards }
 
 // Rows returns the total rows across shards.
 func (fs *FrozenSet) Rows() int {

@@ -59,13 +59,16 @@ type Filter struct {
 	walBytes atomic.Int64 // frame bytes since the last rotation
 	walRecs  atomic.Int64 // records since the last rotation
 
-	// ckptMu serializes checkpoints (and orders them against Drop).
-	// gen/ckptSeq/prevCkptSeq are only touched under it after Open.
+	// ckptMu serializes checkpoints (and orders them against Drop and
+	// Fold). gen/ckptSeq/prevCkptSeq are only touched under it after Open.
 	ckptMu      sync.Mutex
 	gen         uint64 // newest durable segment generation (0 = none)
 	ckptSeq     uint64 // seq covered by that segment
 	prevCkptSeq uint64 // seq covered by the generation before it
 	ckptPending atomic.Bool
+
+	folds       atomic.Uint64 // completed background folds; see Fold
+	foldPending atomic.Bool
 }
 
 // Name returns the filter's registered name.
@@ -260,6 +263,36 @@ func (fl *Filter) pointOp(typ byte, key uint64, attrs []uint64, apply func(*shar
 	return opErr
 }
 
+// Grow appends a Grow record and proactively opens a new ladder level in
+// shard sh of the live filter. Policy layers use it to expand before the
+// newest level starts failing kicks; the record makes the policy's timing
+// part of the log, so crash recovery reproduces the exact level structure
+// instead of depending on when a threshold fired.
+func (fl *Filter) Grow(sh int) error {
+	fl.barrier.RLock()
+	if fl.closed {
+		fl.barrier.RUnlock()
+		return ErrClosed
+	}
+	seq, err := fl.append(recGrow, func(b []byte) []byte {
+		return appendU32(b, uint32(sh))
+	})
+	if err != nil {
+		fl.barrier.RUnlock()
+		return err
+	}
+	opErr := fl.Live().GrowShard(sh)
+	fl.barrier.RUnlock()
+	if err := fl.commit(seq); err != nil {
+		return err
+	}
+	fl.maybeCheckpoint()
+	return opErr
+}
+
+// FoldCount returns the number of completed background folds.
+func (fl *Filter) FoldCount() uint64 { return fl.folds.Load() }
+
 // Sync forces everything appended so far to durable storage, regardless
 // of fsync policy. Called on graceful shutdown.
 func (fl *Filter) Sync() error {
@@ -368,7 +401,16 @@ func (fl *Filter) rotateWAL(startSeq uint64) error {
 // wholly covered by the previous checkpoint, and stray temp files.
 // Best-effort: leftovers are retried at the next checkpoint and ignored
 // by recovery.
+//
+// Fold-capable filters (an AutoGrow budget above one level) retain their
+// whole WAL history instead: a fold rebuilds a right-sized filter by
+// replaying the original rows, and those exist nowhere else — checkpoint
+// segments hold only fingerprints, which cannot be re-hashed into a
+// bigger table. Recovery time stays bounded by the checkpoint (records at
+// or below ckptSeq are skipped, not applied); only disk, not replay work,
+// grows with history. Compacting this row history is an open item.
 func (fl *Filter) cleanup() {
+	retainAll := fl.Live().AutoGrow().MaxLevels > 1
 	entries, err := os.ReadDir(fl.dir)
 	if err != nil {
 		return
@@ -397,8 +439,8 @@ func (fl *Filter) cleanup() {
 	sort.Slice(wals, func(i, j int) bool { return wals[i].start < wals[j].start })
 	// File i holds seqs [start_i, start_{i+1}-1]; safe to delete once all
 	// of them are covered by the previous checkpoint. The active file
-	// (last) is never deleted.
-	for i := 0; i+1 < len(wals); i++ {
+	// (last) is never deleted, and fold-capable filters keep everything.
+	for i := 0; !retainAll && i+1 < len(wals); i++ {
 		if wals[i+1].start <= fl.prevCkptSeq+1 {
 			os.Remove(filepath.Join(fl.dir, wals[i].name))
 		}

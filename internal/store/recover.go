@@ -130,7 +130,10 @@ func (s *Store) recoverFilter(name, dir string) (*Filter, error) {
 				return nil
 			}
 			switch rec.typ {
-			case recCreate, recRestore:
+			case recCreate, recRestore, recFold:
+				// A Fold record is the snapshot of the collapsed filter a
+				// background fold swapped in; recovery installs it exactly
+				// like a Restore, reproducing the folded level structure.
 				f, ferr := shard.FromSnapshot(rec.body, s.opts.Workers)
 				if ferr != nil {
 					s.stats.ReplayErrors++
@@ -139,6 +142,19 @@ func (s *Store) recoverFilter(name, dir string) (*Filter, error) {
 					return errStopReplay
 				}
 				sf = f
+			case recGrow:
+				if sf == nil || len(rec.body) != 4 {
+					s.stats.ReplayErrors++
+					broken = true
+					return errStopReplay
+				}
+				sh := int(binary.LittleEndian.Uint32(rec.body))
+				if gerr := sf.GrowShard(sh); gerr != nil {
+					// A grow the restored ladder cannot honor (e.g. the
+					// budget shrank): log it, keep replaying — the level
+					// structure differs but membership answers do not.
+					s.logf("store: %q: replaying grow of shard %d at seq %d: %v", name, sh, rec.seq, gerr)
+				}
 			case recDrop:
 				dropped = true
 				return errStopReplay

@@ -110,6 +110,7 @@ type Store struct {
 	flist atomic.Pointer[[]*Filter]
 
 	ckptCh chan *Filter
+	foldCh chan *Filter
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -144,6 +145,7 @@ func Open(opts Options) (*Store, error) {
 		dir:     dir,
 		filters: make(map[string]*Filter),
 		ckptCh:  make(chan *Filter, 64),
+		foldCh:  make(chan *Filter, 16),
 		stop:    make(chan struct{}),
 	}
 	start := time.Now()
@@ -385,7 +387,9 @@ func (s *Store) flushLoop() {
 	}
 }
 
-// checkpointLoop runs threshold-triggered checkpoints one at a time.
+// checkpointLoop runs threshold-triggered checkpoints and requested
+// folds one at a time (they contend for the same ckptMu anyway, so one
+// worker avoids queueing them against each other).
 func (s *Store) checkpointLoop() {
 	defer s.wg.Done()
 	for {
@@ -396,6 +400,11 @@ func (s *Store) checkpointLoop() {
 			fl.ckptPending.Store(false)
 			if err := fl.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
 				s.logf("store: checkpoint of %q failed: %v", fl.name, err)
+			}
+		case fl := <-s.foldCh:
+			fl.foldPending.Store(false)
+			if err := fl.Fold(); err != nil && !errors.Is(err, ErrClosed) {
+				s.logf("store: fold of %q failed: %v", fl.name, err)
 			}
 		}
 	}

@@ -52,7 +52,13 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Record types. Create and Restore carry a whole-set snapshot
 // (shard.Snapshot wire format); Insert, InsertBatch and Delete carry
-// rows; Drop carries nothing and marks the filter logically gone.
+// rows; Drop carries nothing and marks the filter logically gone. Grow
+// carries the shard index of a policy-driven level opening (reactive
+// growth inside an insert needs no record: it replays deterministically
+// from the insert stream). Fold carries the snapshot of the collapsed,
+// right-sized filter a background fold swapped in; recovery installs it
+// like a Restore, but a later fold's history replay skips it — the fold
+// snapshot is derived state, equivalent to the organic records around it.
 const (
 	recCreate      byte = 1
 	recDrop        byte = 2
@@ -60,6 +66,8 @@ const (
 	recInsertBatch byte = 4
 	recDelete      byte = 5
 	recRestore     byte = 6
+	recGrow        byte = 7
+	recFold        byte = 8
 )
 
 // errStopReplay is returned by replay callbacks to end the WAL scan
