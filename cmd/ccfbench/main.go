@@ -5,6 +5,7 @@
 //	ccfbench [-scale 0.01] [-seed 1] [-runs 5] [-quick] <experiment>...
 //	ccfbench -allocs
 //	ccfbench -contended [-clients 4]
+//	ccfbench -validate-metrics http://127.0.0.1:8437/metrics
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 aggregate all. Output is printed as aligned text tables; see
@@ -18,6 +19,10 @@
 // -contended prints the read-heavy contended serving report: N client
 // goroutines at a 95/5 read/write batch mix through the sharded filter,
 // via the optimistic seqlock read path and the RLock baseline.
+//
+// -validate-metrics scrapes a running daemon's /metrics endpoint and
+// fails (exit 1) on malformed Prometheus exposition or a missing
+// required metric family — CI's observability smoke check.
 package main
 
 import (
@@ -69,9 +74,17 @@ func main() {
 	allocs := flag.Bool("allocs", false, "print the hot-path ns/op and allocs/op report and exit")
 	contended := flag.Bool("contended", false, "print the contended read-path report (seqlock vs rlock) and exit")
 	clients := flag.Int("clients", 4, "client goroutines for -contended")
+	validateMetricsURL := flag.String("validate-metrics", "", "scrape this /metrics URL, fail on malformed exposition or missing families, and exit")
 	flag.Usage = usage
 	flag.Parse()
 
+	if *validateMetricsURL != "" {
+		if err := validateMetrics(os.Stdout, *validateMetricsURL); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *allocs {
 		if err := allocReport(os.Stdout, uint64(*seed)); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)

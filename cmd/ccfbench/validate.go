@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ccf/internal/obs"
+)
+
+// requiredFamilies are the metric families a healthy durable ccfd must
+// expose — one per instrumented layer. CI's obs-smoke fails when any is
+// missing, so a refactor cannot silently drop a layer's instrumentation.
+var requiredFamilies = []string{
+	"ccfd_http_requests_total",   // server
+	"ccfd_http_request_seconds",  // server latency
+	"ccfd_insert_rows_total",     // row-status accounting
+	"ccfd_wal_append_bytes_total", // store WAL
+	"ccfd_wal_fsync_seconds",     // store fsync latency
+	"ccfd_folds_scheduled_total", // fold scheduling
+	"ccfd_recovery_filters",      // boot recovery
+}
+
+// validateMetrics scrapes url, checks the body is well-formed Prometheus
+// text exposition, and checks every required family is present.
+func validateMetrics(w io.Writer, url string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateExposition(string(body)); err != nil {
+		return fmt.Errorf("%s: malformed exposition: %w", url, err)
+	}
+	var missing []string
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(string(body), "# TYPE "+fam+" ") {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: missing families: %s", url, strings.Join(missing, ", "))
+	}
+	lines := strings.Count(string(body), "\n")
+	fmt.Fprintf(w, "ccfbench: %s: valid exposition, %d lines, all %d required families present\n",
+		url, lines, len(requiredFamilies))
+	return nil
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"ccf"
 	"ccf/internal/core"
+	"ccf/internal/obs"
 	"ccf/internal/server"
 	"ccf/internal/shard"
 	"ccf/internal/store"
@@ -45,6 +47,17 @@ type BenchResult struct {
 	Phase       string  `json:"phase,omitempty"`     // grow mode: pre | grown | folded | rightsized
 	Levels      int     `json:"levels,omitempty"`    // grow mode: ladder levels at measurement
 	Rows        int     `json:"rows,omitempty"`      // grow mode: rows inserted at measurement
+
+	// Metric-scrape summaries (-metrics, on by default): the pass's
+	// instrumentation handles are registered in a throwaway exposition
+	// registry and scraped before and after the measured run — the same
+	// families /metrics serves — and the deltas folded in here.
+	SeqlockRetries   uint64  `json:"seqlock_retries,omitempty"`   // contended passes
+	SeqlockFallbacks uint64  `json:"seqlock_fallbacks,omitempty"` // contended passes
+	FsyncCount       uint64  `json:"fsyncs,omitempty"`            // durable pass
+	FsyncP50Ns       float64 `json:"fsync_p50_ns,omitempty"`      // durable pass
+	FsyncP99Ns       float64 `json:"fsync_p99_ns,omitempty"`      // durable pass
+	WALAppendBytes   uint64  `json:"wal_append_bytes,omitempty"`  // durable pass
 }
 
 // benchConfig parameterizes one bench run.
@@ -67,6 +80,9 @@ type benchConfig struct {
 	// seqlock and the forced-RLock read path.
 	contendedClients int
 	readFrac         float64
+	// metrics folds scraped metric summaries (seqlock retries/fallbacks,
+	// fsync latency, WAL bytes) into the records.
+	metrics bool
 }
 
 func benchCmd(args []string) error {
@@ -84,6 +100,7 @@ func benchCmd(args []string) error {
 	durableDir := fs.String("durable-dir", "", "directory for the durable bench's throwaway stores (empty = temp)")
 	contendedClients := fs.Int("contended-clients", 4, "goroutines for the contended read/write pass (0 = skip)")
 	readFrac := fs.Float64("read-frac", 0.95, "fraction of read batches in the contended pass")
+	metrics := fs.Bool("metrics", true, "scrape the pass's metrics before/after and fold seqlock-retry and fsync-latency summaries into the records")
 	fs.Parse(args)
 
 	variant, err := server.ParseVariant(*variantFlag)
@@ -116,6 +133,7 @@ func benchCmd(args []string) error {
 		variant: variant, alpha: *alpha, clients: nClients, seed: *seed,
 		durableFsync: *durableFsync, durableDir: *durableDir,
 		contendedClients: *contendedClients, readFrac: *readFrac,
+		metrics: *metrics,
 	}
 	results, err := runBench(cfg, os.Stdout)
 	if err != nil {
@@ -278,6 +296,29 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 	return results, nil
 }
 
+// scrapeValues renders the registry's Prometheus exposition — the same
+// bytes GET /metrics serves — and parses every sample line into a
+// series → value map, so a bench pass can diff two scrapes exactly like
+// an external Prometheus would.
+func scrapeValues(reg *obs.Registry) map[string]float64 {
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	vals := make(map[string]float64)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			vals[line[:i]] = v
+		}
+	}
+	return vals
+}
+
 // benchContended replays the query workload from contendedClients
 // goroutines with every writePeriod-th batch replaced by a batched insert
 // of fresh keys — the read-heavy contended serving shape. Fresh write
@@ -299,6 +340,17 @@ func benchContended(cfg benchConfig, params core.Params, shards int, impl string
 		if err != nil {
 			return BenchResult{}, fmt.Errorf("contended preload %d: %w", i, err)
 		}
+	}
+	var before map[string]float64
+	var om *obs.Registry
+	if cfg.metrics {
+		om = obs.NewRegistry()
+		sm := s.Metrics()
+		om.RegisterCounter("ccfd_seqlock_retries_total",
+			"Optimistic probes discarded by a concurrent writer.", &sm.SeqlockRetries)
+		om.RegisterCounter("ccfd_seqlock_fallbacks_total",
+			"Reads served under the shard read lock.", &sm.SeqlockFallbacks)
+		before = scrapeValues(om)
 	}
 	writePeriod := 0 // 0 = never write
 	if cfg.readFrac < 1 {
@@ -357,6 +409,11 @@ func benchContended(cfg benchConfig, params core.Params, shards int, impl string
 	r := mkResult("mixed", impl, shards, cfg.batch, len(workload), m)
 	r.Clients = clients
 	r.ReadFrac = cfg.readFrac
+	if om != nil {
+		after := scrapeValues(om)
+		r.SeqlockRetries = uint64(after["ccfd_seqlock_retries_total"] - before["ccfd_seqlock_retries_total"])
+		r.SeqlockFallbacks = uint64(after["ccfd_seqlock_fallbacks_total"] - before["ccfd_seqlock_fallbacks_total"])
+	}
 	return r, nil
 }
 
@@ -379,6 +436,17 @@ func benchDurableInsert(cfg benchConfig, policy store.FsyncPolicy, dir string, s
 	if err != nil {
 		return BenchResult{}, err
 	}
+	var before map[string]float64
+	var om *obs.Registry
+	sm := st.Metrics()
+	if cfg.metrics {
+		om = obs.NewRegistry()
+		om.RegisterCounter("ccfd_wal_append_bytes_total",
+			"WAL bytes appended.", &sm.WALAppendBytes)
+		om.RegisterHistogram("ccfd_wal_fsync_seconds",
+			"WAL fsync latency.", sm.FsyncLatency)
+		before = scrapeValues(om)
+	}
 	errBufs := make([][]error, cfg.clients)
 	var insErr error
 	var mu sync.Mutex
@@ -398,6 +466,21 @@ func benchDurableInsert(cfg benchConfig, policy store.FsyncPolicy, dir string, s
 	}
 	r := mkResult("insert", "sharded+wal", shards, cfg.batch, cfg.keys, m)
 	r.Fsync = policy.String()
+	if om != nil {
+		// Force the tail of the run durable first: a short pass can finish
+		// inside one group-commit interval, leaving its only fsync pending.
+		if err := fl.Sync(); err != nil {
+			return BenchResult{}, err
+		}
+		after := scrapeValues(om)
+		r.WALAppendBytes = uint64(after["ccfd_wal_append_bytes_total"] - before["ccfd_wal_append_bytes_total"])
+		r.FsyncCount = uint64(after["ccfd_wal_fsync_seconds_count"] - before["ccfd_wal_fsync_seconds_count"])
+		// The exposition carries buckets, not quantiles; summarize those
+		// from the histogram handle. Quantile returns scaled units
+		// (seconds here), the record wants ns.
+		r.FsyncP50Ns = sm.FsyncLatency.Quantile(0.50) * 1e9
+		r.FsyncP99Ns = sm.FsyncLatency.Quantile(0.99) * 1e9
+	}
 	return r, nil
 }
 

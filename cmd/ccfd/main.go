@@ -10,7 +10,9 @@
 //	           [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval 5ms] [-checkpoint-bytes N]
 //	           [-checkpoint-records N] [-pprof-addr 127.0.0.1:6060]
-//	           [-auto-grow]
+//	           [-auto-grow] [-metrics-addr 127.0.0.1:9437]
+//	           [-log-format text|json] [-log-level info]
+//	           [-slow-query 0]
 //	ccfd bench [-keys 100000] [-queries 1000000] [-batch 1024]
 //	           [-shards 1,4,16] [-variant chained] [-alpha 1.1]
 //	           [-clients 0] [-seed 1] [-out BENCH_serve.json]
@@ -29,7 +31,18 @@
 //	GET    /filters/{name}/snapshot  binary snapshot
 //	POST   /filters/{name}/restore   restore from a snapshot
 //	DELETE /filters/{name}           drop a filter
-//	GET    /stats, GET /healthz
+//	GET    /stats, GET /healthz, GET /readyz, GET /metrics
+//
+// /healthz is pure liveness (200 as soon as the listener is up);
+// /readyz answers 503 until store recovery completes, then reports the
+// unrecoverable-filter count. /metrics serves the Prometheus text
+// exposition — request/latency series per endpoint, per-filter seqlock
+// and occupancy series, and the WAL/checkpoint/fold families; see the
+// README's Observability section for the catalogue. -metrics-addr
+// additionally serves /metrics on a separate private address.
+// Logs are structured (log/slog): -log-format picks text or json,
+// -log-level sets the floor, and -slow-query logs any request at or
+// above the given latency at Warn with its request ID.
 //
 // With -pprof-addr the daemon also serves net/http/pprof on a separate
 // (keep it private) address, so hot-path regressions can be profiled in
@@ -60,6 +73,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux; served only on -pprof-addr
@@ -68,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"ccf/internal/obs"
 	"ccf/internal/server"
 	"ccf/internal/store"
 )
@@ -107,6 +123,8 @@ func usage() {
              [-data-dir DIR] [-fsync always|interval|never]
              [-fsync-interval 5ms] [-checkpoint-bytes N] [-checkpoint-records N]
              [-pprof-addr 127.0.0.1:6060] [-auto-grow]
+             [-metrics-addr 127.0.0.1:9437] [-log-format text|json]
+             [-log-level debug|info|warn|error] [-slow-query DURATION]
   ccfd bench [-keys N] [-queries N] [-batch N] [-shards 1,4,16]
              [-variant chained|plain|bloom|mixed] [-alpha 1.1]
              [-clients 0] [-seed 1] [-out BENCH_serve.json]
@@ -130,6 +148,12 @@ type serveConfig struct {
 	pprofAddr   string // empty = pprof disabled
 	autoGrow    bool   // default elastic-capacity policy for all filters
 	quiet       bool   // suppress stderr chatter (tests)
+
+	metricsAddr string        // also serve /metrics here (empty = main listener only)
+	logFormat   string        // "text" (default) or "json"
+	logLevel    slog.Level    // zero value = Info
+	slowQuery   time.Duration // log requests at/above this latency; 0 disables
+	logW        io.Writer     // log destination override (tests); nil = stderr
 }
 
 func serveCmd(args []string) error {
@@ -144,9 +168,17 @@ func serveCmd(args []string) error {
 	ckptRecords := fs.Int("checkpoint-records", 1<<20, "checkpoint a filter after this many WAL records (0 disables)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private")
 	autoGrow := fs.Bool("auto-grow", false, "apply the default elastic-capacity policy to filters created without one (and to recovered filters): grow instead of returning full, fold back when the ladder gets tall")
+	metricsAddr := fs.String("metrics-addr", "", "also serve /metrics on this address (empty = main listener only); keep it private")
+	logFormat := fs.String("log-format", "text", "log output format: text|json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	slowQuery := fs.Duration("slow-query", 0, "log requests at or above this latency at Warn (0 disables)")
 	fs.Parse(args)
 
 	policy, err := store.ParseFsyncPolicy(*fsyncFlag)
+	if err != nil {
+		return err
+	}
+	level, err := parseLogLevel(*logLevel)
 	if err != nil {
 		return err
 	}
@@ -160,6 +192,10 @@ func serveCmd(args []string) error {
 		ckptRecords: *ckptRecords,
 		pprofAddr:   *pprofAddr,
 		autoGrow:    *autoGrow,
+		metricsAddr: *metricsAddr,
+		logFormat:   *logFormat,
+		logLevel:    level,
+		slowQuery:   *slowQuery,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -193,30 +229,87 @@ func disabledToNeg[T int | int64](v T) T {
 	return v
 }
 
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
 // serveUntilDone runs the HTTP API on ln until ctx is cancelled, then
 // shuts down gracefully: HTTP drains first, then the store is flushed,
-// fsynced and closed. Tests drive it directly with a :0 listener.
+// fsynced and closed, and only then is the final metrics summary logged
+// and the log flushed — so the last line always describes the state
+// that actually hit disk. Tests drive it directly with a :0 listener.
+//
+// The listener starts answering before the store opens: /healthz is live
+// immediately, while /readyz answers 503 until recovery completes (and
+// then reports how many filter directories were unrecoverable). Load
+// balancers should gate on /readyz; a long WAL replay is alive but not
+// ready.
 func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error {
-	logf := func(format string, args ...any) {
-		if !cfg.quiet {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+	logDst := io.Writer(os.Stderr)
+	if cfg.logW != nil {
+		logDst = cfg.logW
+	} else if cfg.quiet {
+		logDst = io.Discard
 	}
+	logger, closeLog := obs.NewLogger(logDst, cfg.logFormat, cfg.logLevel)
+	defer closeLog()
 	if cfg.pprofAddr != "" {
 		pln, addr, err := startPprof(cfg.pprofAddr)
 		if err != nil {
 			return err
 		}
 		defer pln.Close()
-		logf("ccfd: pprof on http://%s/debug/pprof/", addr)
+		logger.Info("pprof serving", "addr", "http://"+addr+"/debug/pprof/")
 	}
+	om := obs.NewRegistry()
+	health := &server.Health{}
 	reg := server.NewRegistry(cfg.cacheCap)
+	reg.AttachObs(om)
 	if cfg.autoGrow {
 		p := server.DefaultAutoGrowPolicy()
 		reg.SetDefaultPolicy(&p)
-		logf("ccfd: auto-grow on (max %d levels, ×%d per level, grow at %.2f load, fold at %d levels)",
-			p.MaxLevels, p.GrowthFactor, p.GrowAtLoad, p.FoldAtLevels)
+		logger.Info("auto-grow on",
+			"max_levels", p.MaxLevels,
+			"growth_factor", p.GrowthFactor,
+			"grow_at_load", p.GrowAtLoad,
+			"fold_at_levels", p.FoldAtLevels)
 	}
+	if cfg.metricsAddr != "" {
+		mln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		defer mln.Close()
+		mmux := http.NewServeMux()
+		mmux.Handle("GET /metrics", om.Handler())
+		go http.Serve(mln, mmux)
+		logger.Info("metrics serving", "addr", "http://"+mln.Addr().String()+"/metrics")
+	}
+
+	// Serve before recovery so liveness and readiness are distinguishable:
+	// the registry is attached to the store only once recovery completes,
+	// and /readyz flips to 200 at the same moment.
+	srv := &http.Server{Handler: server.NewHandlerOpts(reg, server.HandlerOptions{
+		MaxBodyBytes: cfg.maxBody,
+		Metrics:      om,
+		Logger:       logger,
+		SlowQuery:    cfg.slowQuery,
+		Health:       health,
+	})}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
 	var st *store.Store
 	if cfg.dataDir != "" {
 		var err error
@@ -226,22 +319,33 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 			FlushInterval:     cfg.flushEvery,
 			CheckpointBytes:   disabledToNeg(cfg.ckptBytes),
 			CheckpointRecords: disabledToNeg(cfg.ckptRecords),
-			Logf:              logf,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
 		})
 		if err != nil {
+			srv.Close()
+			<-errc
 			return fmt.Errorf("opening store: %w", err)
 		}
 		rs := st.RecoveryStats()
-		logf("ccfd: recovered %d filters from %s (%d segments loaded, %d bad; %d WAL records replayed, %d skipped, %d torn tails) in %s; fsync=%s",
-			rs.Filters, cfg.dataDir, rs.SegmentsLoaded, rs.SegmentsBad,
-			rs.RecordsReplayed, rs.RecordsSkipped, rs.TornTails,
-			rs.Duration.Round(time.Microsecond), cfg.fsync)
+		logger.Info("store recovered",
+			"dir", cfg.dataDir,
+			"filters", rs.Filters,
+			"segments_loaded", rs.SegmentsLoaded,
+			"segments_bad", rs.SegmentsBad,
+			"records_replayed", rs.RecordsReplayed,
+			"records_skipped", rs.RecordsSkipped,
+			"torn_tails", rs.TornTails,
+			"unrecoverable", rs.Unrecoverable,
+			"duration", rs.Duration.Round(time.Microsecond).String(),
+			"fsync", cfg.fsync.String())
 		reg.AttachStore(st)
+		health.SetReady(rs.Unrecoverable)
+	} else {
+		health.SetReady(0)
 	}
 
-	srv := &http.Server{Handler: server.NewHandlerOpts(reg, server.HandlerOptions{MaxBodyBytes: cfg.maxBody})}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		if st != nil {
@@ -270,8 +374,18 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 		if err := st.Close(); err != nil {
 			return fmt.Errorf("closing store: %w", err)
 		}
-		logf("ccfd: store flushed and synced")
+		// Final metrics summary — deliberately after Close, so the numbers
+		// cover everything that reached disk, including the final flush.
+		m := st.Metrics()
+		logger.Info("store closed",
+			"wal_append_bytes", m.WALAppendBytes.Value(),
+			"wal_append_frames", m.WALAppendFrames.Value(),
+			"fsyncs", m.FsyncLatency.Count(),
+			"fsync_p99_ms", m.FsyncLatency.Quantile(0.99)*1e3,
+			"checkpoints", m.Checkpoints.Value(),
+			"folds_completed", m.FoldsCompleted.Value(),
+			"folds_scheduled", m.FoldsScheduled.Value())
 	}
-	logf("ccfd: shut down")
+	logger.Info("shut down")
 	return nil
 }

@@ -8,11 +8,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"ccf/internal/core"
+	"ccf/internal/obs"
 	"ccf/internal/server"
 )
 
@@ -175,6 +177,7 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 		variant: core.VariantChained, alpha: 1.1, clients: 2, seed: 1,
 		durableFsync: "interval", durableDir: t.TempDir(),
 		contendedClients: 4, readFrac: 0.95,
+		metrics: true,
 	}
 	var buf bytes.Buffer
 	results, err := runBench(cfg, &buf)
@@ -196,6 +199,15 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 		}
 		if r.Op == "mixed" && (r.Clients != 4 || r.ReadFrac != 0.95) {
 			t.Fatalf("contended record missing clients/read_frac: %+v", r)
+		}
+		// -metrics folds scrape summaries in: the durable pass must show
+		// WAL traffic and fsyncs, and the forced-RLock contended pass
+		// counts every read as a fallback.
+		if r.Impl == "sharded+wal" && (r.WALAppendBytes == 0 || r.FsyncCount == 0) {
+			t.Fatalf("durable record missing scraped WAL metrics: %+v", r)
+		}
+		if r.Impl == "sharded-rlock" && r.SeqlockFallbacks == 0 {
+			t.Fatalf("rlock contended record shows no fallbacks: %+v", r)
 		}
 	}
 	for _, want := range []string{"insert/sync/1", "query/sync/1", "insert/sharded/1",
@@ -223,5 +235,116 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Fatal("no table output")
+	}
+}
+
+// lockedBuf is a goroutine-safe log sink for daemon tests.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonMetricsAndReadyz is the daemon-level observability smoke:
+// boot durable, verify /readyz flips ready with the recovery outcome,
+// drive traffic, and check /metrics (on the main listener AND the
+// private -metrics-addr listener) serves valid exposition text spanning
+// every layer. Shutdown must land the final store-closed summary in the
+// structured log after the WAL counters are final.
+func TestDaemonMetricsAndReadyz(t *testing.T) {
+	// Reserve a port for the private metrics listener.
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsAddr := mln.Addr().String()
+	mln.Close()
+
+	logs := &lockedBuf{}
+	url, shutdown := startDaemon(t, serveConfig{
+		dataDir:     t.TempDir(),
+		metricsAddr: metricsAddr,
+		logFormat:   "json",
+		logW:        logs,
+	})
+
+	// Readiness reflects completed recovery.
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d (%s)", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"ready":true`)) {
+		t.Fatalf("/readyz body = %s", body)
+	}
+
+	req, _ := http.NewRequest("PUT", url+"/filters/obs", bytes.NewReader([]byte(
+		`{"variant":"chained","shards":2,"capacity":4096,"num_attrs":2}`)))
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create filter: %v %v", err, resp.Status)
+	} else {
+		resp.Body.Close()
+	}
+	var ins server.InsertResponse
+	post(t, url+"/filters/obs/insert", server.InsertRequest{
+		Keys: []uint64{1, 2, 3}, Attrs: [][]uint64{{0, 1}, {1, 0}, {2, 1}},
+	}, &ins)
+	if ins.Accepted != 3 {
+		t.Fatalf("accepted %d", ins.Accepted)
+	}
+
+	for _, base := range []string{url, "http://" + metricsAddr} {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET %s/metrics: %v", base, err)
+		}
+		text, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s/metrics = %d", base, resp.StatusCode)
+		}
+		if err := obs.ValidateExposition(string(text)); err != nil {
+			t.Fatalf("%s/metrics invalid: %v", base, err)
+		}
+		for _, want := range []string{
+			"ccfd_http_requests_total",
+			`ccfd_filter_rows{filter="obs"} 3`,
+			"ccfd_wal_append_frames_total",
+			"ccfd_recovery_filters 0",
+		} {
+			if !strings.Contains(string(text), want) {
+				t.Errorf("%s/metrics missing %q", base, want)
+			}
+		}
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// The final summary logs after the store is flushed and closed, with
+	// the WAL counters covering everything that reached disk.
+	out := logs.String()
+	closedAt := strings.Index(out, `"msg":"store closed"`)
+	downAt := strings.Index(out, `"msg":"shut down"`)
+	if closedAt < 0 || downAt < 0 || closedAt > downAt {
+		t.Fatalf("shutdown log order wrong (closed@%d, down@%d):\n%s", closedAt, downAt, out)
+	}
+	if !strings.Contains(out[closedAt:], `"wal_append_bytes"`) {
+		t.Errorf("store-closed summary missing WAL counters:\n%s", out)
 	}
 }

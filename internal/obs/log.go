@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// NewLogger builds the process logger. format selects the slog handler:
+// "json" for machine-shipped logs, anything else (conventionally "text")
+// for the human default. The returned flush is a hook for handlers that
+// buffer; slog's stdlib handlers write through, so today it only gives
+// shutdown code a single well-known point to call last — after the store
+// flush — per the shutdown-ordering contract.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, func()) {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), func() {}
+}
+
+// reqID hands out process-unique request IDs; cheap enough for the
+// per-request middleware (one atomic add).
+var reqID atomic.Uint64
+
+// NextRequestID returns a monotonically increasing request ID.
+func NextRequestID() uint64 { return reqID.Add(1) }

@@ -1,0 +1,155 @@
+// Package obs is ccfd's observability substrate: a dependency-free
+// metrics core (atomic counters, gauges, fixed-bucket histograms with a
+// Prometheus text-format exposition writer) plus structured-logging
+// helpers on log/slog.
+//
+// The design constraint comes from the serving layers below: the packed
+// engine's query/insert/batch paths are zero-alloc (pinned by
+// AllocsPerRun guards in internal/core and internal/shard), and
+// instrumentation must not cost them that. So the hot-path types here
+// are plain structs of atomics — Observe/Inc/Add are atomic adds, no
+// maps, no locks, no allocation — and the layers that own hot paths
+// (internal/shard, internal/store) embed them by value as preallocated
+// handles. The Registry never sits on a hot path: it only names those
+// handles for exposition, and name lookup happens once at registration
+// time, not per operation.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; Inc and Add are single atomic adds.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits.
+// The zero value is ready to use and reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (one atomic store).
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution of int64 observations
+// (typically nanoseconds, or unitless sizes). Observe is a short
+// predictable bucket scan plus three atomic adds — no locks, no
+// allocation — so it is safe on paths with zero-alloc guarantees.
+//
+// Bounds are inclusive upper bounds in base units; an implicit +Inf
+// bucket catches the rest. Scale is applied at exposition time (1e-9
+// renders nanosecond observations as Prometheus-conventional seconds).
+type Histogram struct {
+	bounds []int64
+	scale  float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given sorted upper bounds.
+// scale multiplies bounds and sum at exposition (use 1 for unitless
+// histograms, 1e-9 for nanosecond observations exposed as seconds).
+func NewHistogram(scale float64, bounds []int64) *Histogram {
+	if scale == 0 {
+		scale = 1
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		bounds: b,
+		scale:  scale,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// ExpBounds builds n exponential bucket bounds: start, start*factor, …
+// The usual shape for latency histograms.
+func ExpBounds(start int64, factor float64, n int) []int64 {
+	out := make([]int64, n)
+	v := float64(start)
+	for i := range out {
+		out[i] = int64(v)
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed nanoseconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations in base (unscaled) units.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in scaled units by
+// linear interpolation within the winning bucket, the standard
+// Prometheus histogram_quantile estimate. It returns 0 with no
+// observations; values landing in the +Inf bucket clamp to the last
+// finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	var lo int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			if i < len(h.bounds) {
+				lo = h.bounds[i]
+			}
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket: clamp
+				return float64(lo) * h.scale
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return (float64(lo) + frac*float64(hi-lo)) * h.scale
+		}
+		cum += n
+		if i < len(h.bounds) {
+			lo = h.bounds[i]
+		}
+	}
+	return float64(lo) * h.scale
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

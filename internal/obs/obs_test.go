@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero value = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero value = %v, want 0", g.Value())
+	}
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("Value = %v, want 3.5", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Fatalf("Value = %v, want -1", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 99, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 3, 1, 1} // (..10], (10..100], (100..1000], +Inf
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 5+10+11+99+100+500+5000 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, []int64{10, 20, 30, 40})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", q)
+	}
+	for i := int64(1); i <= 40; i++ {
+		h.Observe(i)
+	}
+	// uniform 1..40: median should land near 20.
+	if q := h.Quantile(0.5); q < 15 || q > 25 {
+		t.Errorf("p50 = %v, want ≈20", q)
+	}
+	if q := h.Quantile(1.0); q != 40 {
+		t.Errorf("p100 = %v, want 40", q)
+	}
+	// +Inf bucket clamps to the last finite bound.
+	h.Observe(10_000)
+	if q := h.Quantile(1.0); q != 40 {
+		t.Errorf("p100 with +Inf obs = %v, want clamp to 40", q)
+	}
+}
+
+func TestHistogramScale(t *testing.T) {
+	h := NewHistogram(1e-9, ExpBounds(1000, 10, 3)) // 1µs, 10µs, 100µs in ns
+	h.Observe(int64(5 * time.Microsecond))
+	var b strings.Builder
+	r := NewRegistry()
+	r.RegisterHistogram("x_seconds", "help", h)
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `x_seconds_bucket{le="1e-06"} 0`) {
+		t.Errorf("missing scaled 1µs bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `x_seconds_bucket{le="1e-05"} 1`) {
+		t.Errorf("missing scaled 10µs bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "x_seconds_sum 5e-06") {
+		t.Errorf("missing scaled sum:\n%s", out)
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(50, 2, 4)
+	want := []int64{50, 100, 200, 400}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBounds = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition output byte-for-byte for
+// a representative registry: stable names, sorted families, label
+// rendering, histogram expansion.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	var reqs Counter
+	reqs.Add(7)
+	r.RegisterCounter("ccfd_requests_total", "Requests served.", &reqs,
+		Label{"endpoint", "query"}, Label{"code", "2xx"})
+	var depth Gauge
+	depth.Set(2)
+	r.RegisterGauge("ccfd_fold_queue_depth", "Folds waiting.", &depth)
+	r.RegisterGaugeFunc("ccfd_load_factor", "Newest-level load factor.",
+		func() float64 { return 0.5 }, Label{"filter", "events"})
+	h := NewHistogram(1, []int64{1, 2})
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	r.RegisterHistogram("ccfd_batch_rows", "Rows per batch.", h)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ccfd_batch_rows Rows per batch.
+# TYPE ccfd_batch_rows histogram
+ccfd_batch_rows_bucket{le="1"} 1
+ccfd_batch_rows_bucket{le="2"} 2
+ccfd_batch_rows_bucket{le="+Inf"} 3
+ccfd_batch_rows_sum 6
+ccfd_batch_rows_count 3
+# HELP ccfd_fold_queue_depth Folds waiting.
+# TYPE ccfd_fold_queue_depth gauge
+ccfd_fold_queue_depth 2
+# HELP ccfd_load_factor Newest-level load factor.
+# TYPE ccfd_load_factor gauge
+ccfd_load_factor{filter="events"} 0.5
+# HELP ccfd_requests_total Requests served.
+# TYPE ccfd_requests_total counter
+ccfd_requests_total{endpoint="query",code="2xx"} 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition(b.String()); err != nil {
+		t.Errorf("golden output fails validation: %v", err)
+	}
+}
+
+func TestRegisterReplacesSameLabels(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	a.Add(1)
+	b.Add(2)
+	r.RegisterCounter("x_total", "h", &a, Label{"filter", "f"})
+	r.RegisterCounter("x_total", "h", &b, Label{"filter", "f"})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `x_total{filter="f"} 2`) {
+		t.Errorf("replacement failed:\n%s", out)
+	}
+	if strings.Count(out, "x_total{") != 1 {
+		t.Errorf("duplicate series after replace:\n%s", out)
+	}
+}
+
+func TestRegisterTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h", Label{"filter", "keep"})
+	r.Counter("x_total", "h", Label{"filter", "drop,with,commas"})
+	r.Counter("y_total", "h", Label{"filter", "drop,with,commas"})
+	r.Unregister("filter", "drop,with,commas")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `x_total{filter="keep"} 0`) {
+		t.Errorf("kept series missing:\n%s", out)
+	}
+	if strings.Contains(out, "drop,with,commas") {
+		t.Errorf("dropped series still present:\n%s", out)
+	}
+	if strings.Contains(out, "y_total") {
+		t.Errorf("empty family not removed:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h", Label{"name", "a\"b\\c\nd"})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `x_total{name="a\"b\\c\nd"} 0`) {
+		t.Errorf("escaping wrong:\n%s", out)
+	}
+	if err := ValidateExposition(out); err != nil {
+		t.Errorf("escaped output fails validation: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "x_total 1\n",
+		"non-numeric value":    "# TYPE x_total counter\nx_total cat\n",
+		"bad metric name":      "# TYPE 9x counter\n9x 1\n",
+		"unbalanced braces":    "# TYPE x_total counter\nx_total{a=\"b\" 1\n",
+		"unquoted label value": "# TYPE x_total counter\nx_total{a=b} 1\n",
+		"duplicate TYPE":       "# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n",
+		"unknown type":         "# TYPE x_total dial\nx_total 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: validated but should not", name)
+		}
+	}
+	if err := ValidateExposition("# TYPE x_total counter\nx_total{a=\"b\",c=\"d\"} 1 1234\n"); err != nil {
+		t.Errorf("valid line with timestamp rejected: %v", err)
+	}
+}
+
+func TestGaugeNaN(t *testing.T) {
+	var g Gauge
+	g.Set(math.NaN())
+	if !math.IsNaN(g.Value()) {
+		t.Fatal("NaN round-trip failed")
+	}
+}
+
+func TestNextRequestID(t *testing.T) {
+	a, b := NextRequestID(), NextRequestID()
+	if b != a+1 {
+		t.Fatalf("ids not monotonic: %d then %d", a, b)
+	}
+}

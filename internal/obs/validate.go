@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks text against the Prometheus text exposition
+// format (version 0.0.4) strictly enough to catch the ways a writer
+// goes wrong: sample lines before their TYPE, malformed label syntax,
+// non-numeric values, duplicate family declarations, histograms missing
+// their _sum/_count. It is used by the package's own golden test, the
+// server's /metrics test, and the CI smoke step (via ccfbench); returns
+// the first problem found, or nil.
+func ValidateExposition(text string) error {
+	typed := map[string]string{} // family -> type
+	declared := map[string]bool{}
+	samples := map[string]bool{} // family names that produced samples
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return fmt.Errorf("line %d: malformed HELP line", lineNo)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if declared[name] {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			declared[name] = true
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		name, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fmt.Errorf("line %d: non-numeric value %q", lineNo, value)
+		}
+		fam := familyOf(name, typed)
+		if _, ok := typed[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		samples[fam] = true
+	}
+	for fam, typ := range typed {
+		if !samples[fam] {
+			continue // a declared family with zero series is odd but legal
+		}
+		if typ == "histogram" {
+			// the samples map only proves some sample matched the family;
+			// re-scan for the required suffixes.
+			if !strings.Contains(text, fam+"_sum") || !strings.Contains(text, fam+"_count") || !strings.Contains(text, fam+"_bucket") {
+				return fmt.Errorf("histogram %q missing _bucket/_sum/_count series", fam)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSampleLine splits `name{labels} value` / `name value`, checking
+// label syntax along the way.
+func parseSampleLine(line string) (name, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		if err := checkLabels(line[i+1 : j]); err != nil {
+			return "", "", err
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return "", "", fmt.Errorf("no value in %q", line)
+		}
+	}
+	if name == "" || !validMetricName(name) {
+		return "", "", fmt.Errorf("bad metric name in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", fmt.Errorf("bad sample %q", line)
+	}
+	return name, fields[0], nil
+}
+
+// checkLabels validates `k="v",k2="v2"`, honouring escapes inside values.
+func checkLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || !validLabelName(s[:eq]) {
+			return fmt.Errorf("bad label name in %q", s)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		s = s[1:]
+		// scan to the closing unescaped quote
+		end := -1
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = s[end+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("junk after label value: %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// familyOf maps a sample name to its family: histogram samples carry
+// _bucket/_sum/_count suffixes on the family name.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if fam, ok := strings.CutSuffix(name, suf); ok {
+			if typed[fam] == "histogram" || typed[fam] == "summary" {
+				return fam
+			}
+		}
+	}
+	return name
+}

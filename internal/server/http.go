@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"ccf/internal/core"
+	"ccf/internal/obs"
 	"ccf/internal/shard"
 )
 
@@ -21,6 +24,19 @@ const DefaultMaxBodyBytes = 64 << 20
 type HandlerOptions struct {
 	// MaxBodyBytes caps request bodies; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Metrics, when set, is the exposition registry: the handler
+	// registers its per-endpoint series there and serves GET /metrics
+	// from it. Nil disables exposition but keeps the (cheap) counting.
+	Metrics *obs.Registry
+	// Logger receives per-request debug lines and slow-query warnings.
+	// Nil disables request logging.
+	Logger *slog.Logger
+	// SlowQuery is the latency at or above which a request is logged at
+	// Warn and counted in ccfd_http_slow_requests_total. 0 disables.
+	SlowQuery time.Duration
+	// Health, when set, backs GET /readyz: 503 until SetReady. Nil makes
+	// /readyz always ready (no recovery phase to wait out).
+	Health *Health
 }
 
 // Result-buffer pools: the query and insert handlers run once per request
@@ -157,18 +173,27 @@ func toPredicate(conds []CondJSON) core.Predicate {
 //	POST   /filters/{name}/restore   create or replace from a snapshot
 //	GET    /stats                    registry-wide stats
 //	GET    /healthz                  liveness probe
+//	GET    /readyz                   readiness probe (503 until recovery)
+//	GET    /metrics                  Prometheus text exposition
 func NewHandler(reg *Registry) http.Handler {
 	return NewHandlerOpts(reg, HandlerOptions{})
 }
 
-// NewHandlerOpts is NewHandler with explicit limits.
+// NewHandlerOpts is NewHandler with explicit limits and observability
+// hooks. Every endpoint is wrapped with per-endpoint request counters
+// and a latency histogram; the handles are registered once here, so the
+// per-request cost is atomic adds only.
 func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 	maxBody := opts.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	sm := newServerMetrics(opts.Metrics)
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /filters/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
+		mux.HandleFunc(pattern, sm.wrap(endpoint, opts.Logger, opts.SlowQuery, fn))
+	}
+	handle("PUT /filters/{name}", "create", func(w http.ResponseWriter, r *http.Request) {
 		var req CreateRequest
 		if !decodeJSON(w, r, &req, maxBody) {
 			return
@@ -197,7 +222,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		w.WriteHeader(http.StatusCreated)
 	})
 
-	mux.HandleFunc("DELETE /filters/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /filters/{name}", "delete", func(w http.ResponseWriter, r *http.Request) {
 		ok, err := reg.Delete(r.PathValue("name"))
 		if !ok {
 			httpError(w, http.StatusNotFound, errors.New("server: no such filter"))
@@ -210,7 +235,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 
-	mux.HandleFunc("POST /filters/{name}/insert", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /filters/{name}/insert", "insert", func(w http.ResponseWriter, r *http.Request) {
 		e, ok := lookup(w, r, reg)
 		if !ok {
 			return
@@ -223,6 +248,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			httpError(w, http.StatusBadRequest, shard.ErrBatchShape)
 			return
 		}
+		sm.insertRows.Observe(int64(len(req.Keys)))
 		bufp := errBufPool.Get().(*[]error)
 		errs, storeErr := e.InsertBatchInto(*bufp, req.Keys, req.Attrs)
 		if storeErr != nil {
@@ -248,10 +274,13 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 					}
 				}
 				resp.Errors[i] = err.Error()
-				resp.Statuses[i] = shard.StatusOf(err).String()
+				st := shard.StatusOf(err)
+				resp.Statuses[i] = st.String()
+				sm.rowStatus[st].Inc()
 				resp.Accepted--
 			}
 		}
+		sm.rowStatus[shard.RowInserted].Add(uint64(resp.Accepted))
 		if cap(errs) <= maxPooledResults {
 			*bufp = errs[:0]
 			errBufPool.Put(bufp)
@@ -259,7 +288,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		writeJSON(w, resp)
 	})
 
-	mux.HandleFunc("POST /filters/{name}/query", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /filters/{name}/query", "query", func(w http.ResponseWriter, r *http.Request) {
 		e, ok := lookup(w, r, reg)
 		if !ok {
 			return
@@ -273,6 +302,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
+		sm.queryKeys.Observe(int64(len(req.Keys)))
 		bufp := boolBufPool.Get().(*[]bool)
 		var resp QueryResponse
 		if req.ViaView {
@@ -281,6 +311,11 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 				boolBufPool.Put(bufp)
 				httpError(w, http.StatusBadRequest, err)
 				return
+			}
+			if hit {
+				sm.viewHits.Inc()
+			} else {
+				sm.viewMisses.Inc()
 			}
 			resp.Results = view.ContainsBatchInto(*bufp, req.Keys)
 			resp.ViewCacheHit = &hit
@@ -297,7 +332,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		}
 	})
 
-	mux.HandleFunc("GET /filters/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /filters/{name}/stats", "filter_stats", func(w http.ResponseWriter, r *http.Request) {
 		e, ok := lookup(w, r, reg)
 		if !ok {
 			return
@@ -308,7 +343,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		writeJSON(w, filterStats(e))
 	})
 
-	mux.HandleFunc("GET /filters/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /filters/{name}/snapshot", "snapshot", func(w http.ResponseWriter, r *http.Request) {
 		e, ok := lookup(w, r, reg)
 		if !ok {
 			return
@@ -322,7 +357,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		w.Write(data)
 	})
 
-	mux.HandleFunc("POST /filters/{name}/restore", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /filters/{name}/restore", "restore", func(w http.ResponseWriter, r *http.Request) {
 		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
 			httpError(w, bodyErrorCode(err), err)
@@ -335,7 +370,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		w.WriteHeader(http.StatusCreated)
 	})
 
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /stats", "stats", func(w http.ResponseWriter, r *http.Request) {
 		resp := StatsResponse{Filters: make(map[string]FilterStats)}
 		for _, name := range reg.Names() {
 			e, ok := reg.Get(name)
@@ -347,9 +382,30 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		writeJSON(w, resp)
 	})
 
+	// Probes and exposition stay unwrapped: scrapes and kubelet checks
+	// should not pollute the request metrics or the slow-query log.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, unrecoverable := true, 0
+		if opts.Health != nil {
+			ready, unrecoverable = opts.Health.Ready()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"ready":                 ready,
+			"unrecoverable_filters": unrecoverable,
+		})
+	})
+
+	if opts.Metrics != nil {
+		mux.Handle("GET /metrics", opts.Metrics.Handler())
+	}
 
 	return mux
 }

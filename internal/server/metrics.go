@@ -1,0 +1,234 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ccf/internal/obs"
+	"ccf/internal/shard"
+	"ccf/internal/store"
+)
+
+// Health is the readiness state behind GET /readyz. The daemon starts
+// serving before store recovery runs (so liveness and readiness are
+// distinguishable); SetReady flips the probe to 200 and records how many
+// filter directories recovery had to skip.
+type Health struct {
+	ready         atomic.Bool
+	unrecoverable atomic.Int64
+}
+
+// SetReady marks the process ready to serve, recording the number of
+// unrecoverable filter directories found at boot.
+func (h *Health) SetReady(unrecoverable int) {
+	h.unrecoverable.Store(int64(unrecoverable))
+	h.ready.Store(true)
+}
+
+// Ready reports readiness and the boot-time unrecoverable-filter count.
+func (h *Health) Ready() (bool, int) {
+	return h.ready.Load(), int(h.unrecoverable.Load())
+}
+
+// serverMetrics holds the HTTP layer's instrumentation handles, all
+// preallocated at handler construction: per-endpoint request counters by
+// status class, latency and batch-size histograms, row-status counters,
+// and view-cache hit/miss counters. When HandlerOptions carries no
+// registry the handles still exist (built against a throwaway registry),
+// so the handlers never nil-check.
+type serverMetrics struct {
+	reg        *obs.Registry
+	rowStatus  [5]*obs.Counter // indexed by shard.RowStatus
+	insertRows *obs.Histogram
+	queryKeys  *obs.Histogram
+	viewHits   *obs.Counter
+	viewMisses *obs.Counter
+	slow       *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &serverMetrics{reg: reg}
+	for st := shard.RowInserted; st <= shard.RowError; st++ {
+		m.rowStatus[st] = reg.Counter("ccfd_insert_rows_total",
+			"Insert rows by outcome.", obs.Label{Key: "status", Value: st.String()})
+	}
+	// 1 … 64k rows/keys per batch.
+	m.insertRows = reg.Histogram("ccfd_insert_batch_rows",
+		"Rows per insert batch.", 1, obs.ExpBounds(1, 4, 9))
+	m.queryKeys = reg.Histogram("ccfd_query_batch_keys",
+		"Keys per query batch.", 1, obs.ExpBounds(1, 4, 9))
+	m.viewHits = reg.Counter("ccfd_view_cache_hits_total",
+		"Predicate-view cache hits on via-view queries.")
+	m.viewMisses = reg.Counter("ccfd_view_cache_misses_total",
+		"Predicate-view cache misses (view re-extracted).")
+	m.slow = reg.Counter("ccfd_http_slow_requests_total",
+		"Requests slower than the -slow-query threshold.")
+	return m
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// wrap instruments one endpoint: request counters by status class, a
+// latency histogram, a per-request ID, and the slow-query log. All
+// metric handles are registered here, once, at handler construction —
+// per request the cost is a status recorder, one histogram Observe and
+// one counter Inc.
+func (m *serverMetrics) wrap(endpoint string, logger *slog.Logger, slowQuery time.Duration,
+	fn http.HandlerFunc) http.HandlerFunc {
+	lbl := obs.Label{Key: "endpoint", Value: endpoint}
+	latency := m.reg.Histogram("ccfd_http_request_seconds",
+		"Request latency by endpoint.", 1e-9, obs.ExpBounds(50_000, 4, 11), lbl)
+	var byClass [4]*obs.Counter // 2xx, 3xx, 4xx, 5xx
+	for i, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		byClass[i] = m.reg.Counter("ccfd_http_requests_total",
+			"Requests by endpoint and status class.", lbl,
+			obs.Label{Key: "code", Value: class})
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := obs.NextRequestID()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		fn(sw, r)
+		dur := time.Since(start)
+		latency.Observe(dur.Nanoseconds())
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		if i := code/100 - 2; i >= 0 && i < len(byClass) {
+			byClass[i].Inc()
+		}
+		if slowQuery > 0 && dur >= slowQuery {
+			m.slow.Inc()
+			if logger != nil {
+				logger.Warn("slow query",
+					"request_id", id,
+					"endpoint", endpoint,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", code,
+					"duration_ms", float64(dur.Microseconds())/1000)
+			}
+		} else if logger != nil {
+			logger.Debug("request",
+				"request_id", id,
+				"endpoint", endpoint,
+				"status", code,
+				"duration_ms", float64(dur.Microseconds())/1000)
+		}
+	}
+}
+
+// registerFilterMetrics names one filter's shard-layer handles and
+// occupancy gauges in the exposition registry. Counter handles live
+// inside the ShardedFilter (hot paths increment them regardless); the
+// gauges sample shard.Stats at scrape time, so the write path never
+// maintains them. Re-registration with the same name replaces the series
+// (PUT semantics), and Delete unregisters by the filter label.
+func registerFilterMetrics(reg *obs.Registry, name string, sf *shard.ShardedFilter) {
+	lbl := obs.Label{Key: "filter", Value: name}
+	sm := sf.Metrics()
+	reg.RegisterCounter("ccfd_seqlock_retries_total",
+		"Optimistic probes discarded by a concurrent writer.", &sm.SeqlockRetries, lbl)
+	reg.RegisterCounter("ccfd_seqlock_fallbacks_total",
+		"Reads served under the shard read lock.", &sm.SeqlockFallbacks, lbl)
+	reg.RegisterCounter("ccfd_policy_grows_total",
+		"Policy-driven proactive level openings.", &sm.Grows, lbl)
+	reg.RegisterGaugeFunc("ccfd_filter_rows",
+		"Accepted rows.", func() float64 { return float64(sf.Stats().Rows) }, lbl)
+	reg.RegisterGaugeFunc("ccfd_filter_load_factor",
+		"Aggregate load factor.", func() float64 { return sf.Stats().LoadFactor }, lbl)
+	reg.RegisterGaugeFunc("ccfd_ladder_levels",
+		"Deepest shard ladder (levels).", func() float64 { return float64(sf.Stats().MaxLevels) }, lbl)
+	reg.RegisterGaugeFunc("ccfd_ladder_grows",
+		"Ladder level openings, reactive and proactive.", func() float64 { return float64(sf.Stats().Grows) }, lbl)
+	reg.RegisterGaugeFunc("ccfd_filter_size_bits",
+		"Packed sketch size in bits.", func() float64 { return float64(sf.Stats().SizeBits) }, lbl)
+	// Per-shard occupancy, sampled from the same Stats the /stats endpoint
+	// serves. Shard counts are small (typically ≤ 64), so the series count
+	// stays reasonable.
+	for i := 0; i < sf.Shards(); i++ {
+		i := i
+		reg.RegisterGaugeFunc("ccfd_shard_load_factor",
+			"Per-shard load factor.", func() float64 {
+				st := sf.Stats()
+				if i < len(st.ShardLoads) {
+					return st.ShardLoads[i]
+				}
+				return 0
+			}, lbl, obs.Label{Key: "shard", Value: itoa(i)})
+	}
+}
+
+// registerStoreMetrics names the store's WAL/checkpoint/fold handles and
+// its boot-time recovery stats in the exposition registry.
+func registerStoreMetrics(reg *obs.Registry, st *store.Store) {
+	m := st.Metrics()
+	reg.RegisterCounter("ccfd_wal_append_bytes_total", "WAL bytes appended (frame headers included).", &m.WALAppendBytes)
+	reg.RegisterCounter("ccfd_wal_append_frames_total", "WAL records appended.", &m.WALAppendFrames)
+	reg.RegisterHistogram("ccfd_wal_fsync_seconds", "WAL fsync latency.", m.FsyncLatency)
+	reg.RegisterHistogram("ccfd_wal_group_commit_frames", "Records made durable per fsync.", m.GroupCommitFrames)
+	reg.RegisterCounter("ccfd_checkpoints_total", "Completed checkpoints.", &m.Checkpoints)
+	reg.RegisterCounter("ccfd_checkpoint_bytes_total", "Snapshot bytes written by checkpoints.", &m.CheckpointBytes)
+	reg.RegisterHistogram("ccfd_checkpoint_seconds", "Checkpoint duration.", m.CheckpointLatency)
+	reg.RegisterCounter("ccfd_folds_scheduled_total", "Fold requests accepted by the background worker queue.", &m.FoldsScheduled)
+	reg.RegisterCounter("ccfd_folds_completed_total", "Folds that swapped in a right-sized filter.", &m.FoldsCompleted)
+	reg.RegisterCounter("ccfd_folds_aborted_total", "Folds abandoned by outcome.", &m.FoldsAbortedRaced, obs.Label{Key: "reason", Value: "raced"})
+	reg.RegisterCounter("ccfd_folds_aborted_total", "Folds abandoned by outcome.", &m.FoldsAbortedUnavailable, obs.Label{Key: "reason", Value: "unavailable"})
+	reg.RegisterCounter("ccfd_folds_aborted_total", "Folds abandoned by outcome.", &m.FoldsAbortedError, obs.Label{Key: "reason", Value: "error"})
+	reg.RegisterGauge("ccfd_fold_last_seconds", "Duration of the most recent completed fold.", &m.LastFoldSeconds)
+	reg.RegisterGaugeFunc("ccfd_fold_queue_depth", "Fold requests waiting for the background worker.",
+		func() float64 { return float64(st.FoldQueueDepth()) })
+	reg.RegisterGaugeFunc("ccfd_checkpoint_queue_depth", "Checkpoint requests waiting for the background worker.",
+		func() float64 { return float64(st.CheckpointQueueDepth()) })
+	rs := st.RecoveryStats()
+	recovery := func(name, help string, v float64) {
+		g := reg.Gauge("ccfd_recovery_"+name, help)
+		g.Set(v)
+	}
+	recovery("filters", "Filters recovered at boot.", float64(rs.Filters))
+	recovery("records_replayed", "WAL records replayed at boot.", float64(rs.RecordsReplayed))
+	recovery("torn_tails", "WAL files truncated at a torn tail at boot.", float64(rs.TornTails))
+	recovery("replay_errors", "Rows whose replay errored at boot.", float64(rs.ReplayErrors))
+	recovery("unrecoverable_filters", "Filter directories skipped as unrecoverable at boot.", float64(rs.Unrecoverable))
+	recovery("seconds", "Boot recovery duration.", rs.Duration.Seconds())
+}
+
+// itoa is strconv.Itoa for the small shard indexes used in labels,
+// avoiding the import for one call site.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"ccf/internal/core"
+	"ccf/internal/obs"
 	"ccf/internal/shard"
 	"ccf/internal/store"
 )
@@ -84,6 +85,10 @@ type Registry struct {
 	// racing create or delete of the same name (e.g. a DELETE dropping
 	// the on-disk state of a filter a concurrent PUT just acked).
 	catMu sync.Mutex
+	// obs, when non-nil, is the exposition registry: put names each
+	// filter's shard-layer handles there (and Delete unnames them), and
+	// AttachStore adds the WAL/checkpoint/fold/recovery families.
+	obs *obs.Registry
 }
 
 // StoreFailure marks a durability-layer error (WAL append, fsync, disk)
@@ -134,6 +139,25 @@ func (r *Registry) SetDefaultPolicy(p *AutoGrowPolicy) {
 	r.mu.Unlock()
 }
 
+// AttachObs points the registry at an exposition registry: every filter
+// registered from here on (and, via AttachStore, the store's WAL,
+// checkpoint, fold, and recovery families) gets its metric series named
+// there. Call before AttachStore and before serving traffic. The hot
+// paths never touch the exposition registry — the counter handles live
+// inside the filters and the store and are merely named here.
+func (r *Registry) AttachObs(reg *obs.Registry) {
+	r.mu.Lock()
+	r.obs = reg
+	r.mu.Unlock()
+}
+
+func (r *Registry) obsRegistry() *obs.Registry {
+	r.mu.RLock()
+	reg := r.obs
+	r.mu.RUnlock()
+	return reg
+}
+
 // AttachStore makes the registry durable: filters the store recovered on
 // boot are registered immediately, and every later Create/Delete/Restore
 // and batched insert goes through the store's WAL before acking. Call
@@ -162,6 +186,9 @@ func (r *Registry) AttachStore(st *store.Store) {
 			e.sf.SetAutoGrow(defPolicy.ladderOptions())
 		}
 		r.put(e)
+	}
+	if reg := r.obsRegistry(); reg != nil {
+		registerStoreMetrics(reg, st)
 	}
 }
 
@@ -269,7 +296,13 @@ func (r *Registry) Set(name string, sf *shard.ShardedFilter) *Entry {
 func (r *Registry) put(e *Entry) {
 	r.mu.Lock()
 	r.entries[e.name] = e
+	reg := r.obs
 	r.mu.Unlock()
+	if reg != nil {
+		// Replacing a filter (PUT semantics) re-registers the same label
+		// set, which swaps the series to the new instance's handles.
+		registerFilterMetrics(reg, e.name, e.sf)
+	}
 }
 
 // Get returns the entry registered under name.
@@ -291,7 +324,11 @@ func (r *Registry) Delete(name string) (bool, error) {
 	_, ok := r.entries[name]
 	delete(r.entries, name)
 	st := r.st
+	reg := r.obs
 	r.mu.Unlock()
+	if ok && reg != nil {
+		reg.Unregister("filter", name)
+	}
 	if !ok || st == nil {
 		return ok, nil
 	}

@@ -137,6 +137,9 @@ type ShardedFilter struct {
 	// and the operation must re-route. The seed alone cannot detect that,
 	// since snapshots of the same filter carry the same seed.
 	gen atomic.Uint64
+	// metrics holds the always-on instrumentation handles (see Metrics);
+	// by value so hot paths reach them with one pointer offset.
+	metrics Metrics
 }
 
 // New returns a sharded filter configured by opts.
@@ -308,8 +311,12 @@ func (s *ShardedFilter) readCell(c *cell, gen uint64, probe func(f *core.Ladder)
 			if c.seq.Load() == v {
 				return true
 			}
+			// A writer overlapped the read section; the result may have
+			// been computed from torn data and is discarded.
+			s.metrics.SeqlockRetries.Inc()
 		}
 	}
+	s.metrics.SeqlockFallbacks.Inc()
 	c.mu.RLock()
 	ok := s.gen.Load() == gen
 	if ok {
@@ -392,6 +399,7 @@ func (s *ShardedFilter) GrowShard(sh int) error {
 	c.mu.Unlock()
 	if err == nil {
 		s.version.Add(1)
+		s.metrics.Grows.Inc()
 	}
 	return err
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ccf/internal/shard"
 )
@@ -132,6 +133,8 @@ func (fl *Filter) append(typ byte, enc func([]byte) []byte) (uint64, error) {
 	}
 	fl.walBytes.Add(int64(8 + len(buf)))
 	fl.walRecs.Add(1)
+	fl.st.metrics.WALAppendBytes.Add(uint64(8 + len(buf)))
+	fl.st.metrics.WALAppendFrames.Inc()
 	fl.written.Store(fl.seq)
 	// Snapshot-bearing records (create/restore) can be huge; don't let one
 	// pin a multi-MB scratch buffer forever.
@@ -162,7 +165,8 @@ func (fl *Filter) syncTo(seq uint64) error {
 	}
 	fl.syncMu.Lock()
 	defer fl.syncMu.Unlock()
-	if fl.synced.Load() >= seq {
+	prev := fl.synced.Load()
+	if prev >= seq {
 		return nil
 	}
 	fl.walMu.Lock()
@@ -177,10 +181,16 @@ func (fl *Filter) syncTo(seq uint64) error {
 	if err != nil {
 		return err
 	}
+	m := &fl.st.metrics
+	start := time.Now()
 	if err := f.Sync(); err != nil {
 		return err
 	}
-	if written > fl.synced.Load() {
+	m.FsyncLatency.ObserveSince(start)
+	if written > prev {
+		// Every record between the last durable seq and this sync rode the
+		// same fsync: the group-commit batch size.
+		m.GroupCommitFrames.Observe(int64(written - prev))
 		fl.synced.Store(written)
 	}
 	return nil
@@ -331,6 +341,7 @@ func (fl *Filter) requestCheckpoint() {
 func (fl *Filter) Checkpoint() error {
 	fl.ckptMu.Lock()
 	defer fl.ckptMu.Unlock()
+	start := time.Now()
 
 	fl.barrier.Lock()
 	if fl.closed {
@@ -362,6 +373,10 @@ func (fl *Filter) Checkpoint() error {
 	}
 	fl.prevCkptSeq, fl.ckptSeq, fl.gen = fl.ckptSeq, seq, newGen
 	fl.cleanup()
+	m := &fl.st.metrics
+	m.Checkpoints.Inc()
+	m.CheckpointBytes.Add(uint64(len(snap)))
+	m.CheckpointLatency.ObserveSince(start)
 	fl.st.logf("store: checkpointed %q gen %d seq %d (%d snapshot bytes)", fl.name, newGen, seq, len(snap))
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"ccf/internal/core"
 	"ccf/internal/shard"
@@ -52,6 +53,7 @@ func (fl *Filter) RequestFold() {
 	}
 	select {
 	case fl.st.foldCh <- fl:
+		fl.st.metrics.FoldsScheduled.Inc()
 	default:
 		fl.foldPending.Store(false)
 	}
@@ -254,7 +256,33 @@ func (fl *Filter) newFoldTarget() (*shard.ShardedFilter, error) {
 // catch-up of records appended during the bulk phase, the Fold record
 // append, and the swap itself. A checkpoint is scheduled right away so
 // the folded state moves into a segment.
+//
+// Fold classifies the run for the store's metrics: completed, abandoned
+// because a Create/Restore/Drop raced it (not an error — the caller sees
+// nil, as before), unavailable history, or a hard error.
 func (fl *Filter) Fold() error {
+	m := &fl.st.metrics
+	start := time.Now()
+	err := fl.fold()
+	switch {
+	case err == nil:
+		m.FoldsCompleted.Inc()
+		m.LastFoldSeconds.Set(time.Since(start).Seconds())
+	case errors.Is(err, errFoldRaced):
+		m.FoldsAbortedRaced.Inc()
+		fl.st.logf("store: fold of %q abandoned: %v", fl.name, err)
+		return nil
+	case errors.Is(err, ErrFoldUnavailable):
+		m.FoldsAbortedUnavailable.Inc()
+	case errors.Is(err, ErrClosed):
+		// Shutdown, not an abort worth alerting on.
+	default:
+		m.FoldsAbortedError.Inc()
+	}
+	return err
+}
+
+func (fl *Filter) fold() error {
 	fl.ckptMu.Lock()
 	defer fl.ckptMu.Unlock()
 
@@ -295,11 +323,7 @@ func (fl *Filter) Fold() error {
 	}
 	if _, err := fl.foldReplay(t, s1, fl.seq, false); err != nil {
 		fl.barrier.Unlock()
-		if errors.Is(err, errFoldRaced) {
-			fl.st.logf("store: fold of %q abandoned: %v", fl.name, err)
-			return nil
-		}
-		return err
+		return err // errFoldRaced is classified (and swallowed) by Fold
 	}
 	snap, err := t.sf.Snapshot()
 	if err != nil {

@@ -1,0 +1,64 @@
+package store
+
+import "ccf/internal/obs"
+
+// Metrics are the store's instrumentation handles, aggregated across
+// filters (per-filter traffic is visible at the server layer; the WAL,
+// fsync and checkpoint machinery shares one disk, so one set of
+// distributions is what an operator tunes against). Counters are
+// embedded by value and incremented with single atomic adds on the
+// append path; the histograms are preallocated at Open. internal/server
+// names all of them in an obs.Registry when a store is attached.
+type Metrics struct {
+	// WALAppendBytes / WALAppendFrames count framed record bytes
+	// (header included) and records appended across all filters.
+	WALAppendBytes  obs.Counter
+	WALAppendFrames obs.Counter
+	// FsyncLatency observes every WAL fsync (group commits, background
+	// flushes, rotations are excluded — they sync under different locks
+	// and would skew the serving-path signal).
+	FsyncLatency *obs.Histogram
+	// GroupCommitFrames observes how many appended records each fsync
+	// made durable: the group-commit batch size. 1 means no batching;
+	// rising values mean concurrent writers are amortizing fsyncs.
+	GroupCommitFrames *obs.Histogram
+	// Checkpoint accounting: completed checkpoints, snapshot bytes
+	// written, and wall-clock duration per checkpoint.
+	Checkpoints       obs.Counter
+	CheckpointBytes   obs.Counter
+	CheckpointLatency *obs.Histogram
+	// Fold scheduling outcomes (see Filter.Fold): scheduled counts
+	// accepted RequestFold enqueues; completed/aborted classify how each
+	// run ended. LastFoldSeconds is the most recent successful fold's
+	// duration — the number the fold concurrency-budget work starts from.
+	FoldsScheduled          obs.Counter
+	FoldsCompleted          obs.Counter
+	FoldsAbortedRaced       obs.Counter
+	FoldsAbortedUnavailable obs.Counter
+	FoldsAbortedError       obs.Counter
+	LastFoldSeconds         obs.Gauge
+}
+
+// initMetrics builds the histogram handles; called once in Open before
+// any filter can append.
+func (m *Metrics) init() {
+	// 50µs … ~400ms: spans NVMe fsync to a struggling spinning disk.
+	m.FsyncLatency = obs.NewHistogram(1e-9, obs.ExpBounds(50_000, 2, 14))
+	// 1 … 4096 frames per fsync.
+	m.GroupCommitFrames = obs.NewHistogram(1, obs.ExpBounds(1, 2, 13))
+	// 1ms … ~8s per checkpoint.
+	m.CheckpointLatency = obs.NewHistogram(1e-9, obs.ExpBounds(1_000_000, 2, 14))
+}
+
+// Metrics returns the store's instrumentation handles for registration
+// in an exposition registry. The pointer stays valid for the store's
+// lifetime.
+func (s *Store) Metrics() *Metrics { return &s.metrics }
+
+// FoldQueueDepth reports how many fold requests are waiting for the
+// background worker, sampled at call time (a scrape-time gauge).
+func (s *Store) FoldQueueDepth() int { return len(s.foldCh) }
+
+// CheckpointQueueDepth reports how many checkpoint requests are waiting
+// for the background worker.
+func (s *Store) CheckpointQueueDepth() int { return len(s.ckptCh) }

@@ -215,6 +215,7 @@ func (s *Store) recoverFilter(name, dir string) (*Filter, error) {
 		return nil, nil
 	}
 	if sf == nil {
+		s.stats.Unrecoverable++
 		s.logf("store: %q: no valid segment or Create record; skipping (directory kept)", name)
 		return nil, nil
 	}

@@ -89,7 +89,11 @@ type RecoveryStats struct {
 	RecordsSkipped  int           `json:"records_skipped"`
 	TornTails       int           `json:"torn_tails"`
 	ReplayErrors    int           `json:"replay_errors"`
-	Duration        time.Duration `json:"duration_ns"`
+	// Unrecoverable counts filter directories Open had to skip entirely
+	// (no valid segment and no Create record). They are kept on disk for
+	// inspection; /readyz surfaces this count.
+	Unrecoverable int           `json:"unrecoverable"`
+	Duration      time.Duration `json:"duration_ns"`
 }
 
 // Store is the durable filter catalog: one directory per named filter,
@@ -116,6 +120,9 @@ type Store struct {
 	closed atomic.Bool
 
 	stats RecoveryStats
+	// metrics holds the always-on instrumentation handles (see Metrics);
+	// initialized in Open before any filter can append.
+	metrics Metrics
 }
 
 // Open creates or recovers the store at opts.Dir and starts the
@@ -148,6 +155,7 @@ func Open(opts Options) (*Store, error) {
 		foldCh:  make(chan *Filter, 16),
 		stop:    make(chan struct{}),
 	}
+	s.metrics.init()
 	start := time.Now()
 	if err := s.recoverAll(); err != nil {
 		return nil, err
