@@ -78,6 +78,7 @@ func allocReport(w io.Writer, seed uint64) error {
 			})})
 	}
 
+	printMachineContext(w)
 	fmt.Fprintf(w, "%-24s %12s %12s %10s\n", "path", "ns/op", "allocs/op", "B/op")
 	for _, r := range rows {
 		ns := float64(r.res.T.Nanoseconds()) / float64(r.res.N)

@@ -30,6 +30,7 @@ func contendedReport(w io.Writer, seed uint64, clients int) error {
 	}
 	pred := core.And(core.Eq(0, 3))
 
+	printMachineContext(w)
 	fmt.Fprintf(w, "%-10s %8s %8s %12s %14s   (%d clients, 95/5 read/write, batch %d)\n",
 		"path", "shards", "", "ns/key", "keys/s", clients, batch)
 	for _, shards := range []int{1, 4} {

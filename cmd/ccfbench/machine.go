@@ -1,0 +1,17 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"ccf/internal/simd"
+)
+
+// printMachineContext prefixes a report with the hardware facts that
+// make its numbers comparable across runs: core count, architecture,
+// detected CPU features, and which batch probe kernel is active.
+func printMachineContext(w io.Writer) {
+	fmt.Fprintf(w, "machine: cores=%d goarch=%s probe-engine=%s features=%q\n",
+		runtime.NumCPU(), runtime.GOARCH, simd.Active(), simd.Features())
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"ccf/internal/experiments"
+	"ccf/internal/simd"
 )
 
 var runners = map[string]func(experiments.Config) error{
@@ -75,8 +76,14 @@ func main() {
 	contended := flag.Bool("contended", false, "print the contended read-path report (seqlock vs rlock) and exit")
 	clients := flag.Int("clients", 4, "client goroutines for -contended")
 	validateMetricsURL := flag.String("validate-metrics", "", "scrape this /metrics URL, fail on malformed exposition or missing families, and exit")
+	probeEngine := flag.String("probe-engine", "auto", "batch probe engine: auto, scalar, or an explicit kernel name (avx2, neon)")
 	flag.Usage = usage
 	flag.Parse()
+
+	if err := simd.SetEngine(*probeEngine); err != nil {
+		fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *validateMetricsURL != "" {
 		if err := validateMetrics(os.Stdout, *validateMetricsURL); err != nil {

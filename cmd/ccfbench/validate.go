@@ -21,6 +21,7 @@ var requiredFamilies = []string{
 	"ccfd_wal_fsync_seconds",     // store fsync latency
 	"ccfd_folds_scheduled_total", // fold scheduling
 	"ccfd_recovery_filters",      // boot recovery
+	"ccfd_probe_engine_info",     // active batch probe kernel
 }
 
 // validateMetrics scrapes url, checks the body is well-formed Prometheus

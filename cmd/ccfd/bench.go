@@ -18,6 +18,7 @@ import (
 	"ccf/internal/obs"
 	"ccf/internal/server"
 	"ccf/internal/shard"
+	"ccf/internal/simd"
 	"ccf/internal/store"
 	"ccf/internal/zipfmd"
 )
@@ -37,7 +38,14 @@ type BenchResult struct {
 	QPS         float64 `json:"qps"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
-	Cores       int     `json:"cores"`
+	// Machine context: without it a perf trajectory across PRs silently
+	// mixes hosts. Cores is the machine's logical CPU count (not
+	// GOMAXPROCS, which tracks a tunable); Goarch, CPUFeatures and
+	// ProbeEngine record which vector kernels the run actually used.
+	Cores       int    `json:"cores"`
+	Goarch      string `json:"goarch"`
+	CPUFeatures string `json:"cpu_features"`
+	ProbeEngine string `json:"probe_engine"`
 	Alpha       float64 `json:"alpha"`
 	Keys        int     `json:"keys"`
 	Ops         int     `json:"ops"`
@@ -101,7 +109,12 @@ func benchCmd(args []string) error {
 	contendedClients := fs.Int("contended-clients", 4, "goroutines for the contended read/write pass (0 = skip)")
 	readFrac := fs.Float64("read-frac", 0.95, "fraction of read batches in the contended pass")
 	metrics := fs.Bool("metrics", true, "scrape the pass's metrics before/after and fold seqlock-retry and fsync-latency summaries into the records")
+	probeEngine := fs.String("probe-engine", "auto", "batch probe engine: auto, scalar, or an explicit kernel name (avx2, neon)")
 	fs.Parse(args)
+
+	if err := simd.SetEngine(*probeEngine); err != nil {
+		return err
+	}
 
 	variant, err := server.ParseVariant(*variantFlag)
 	if err != nil {
@@ -181,7 +194,10 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 			Batch: batch, NsPerOp: ns, QPS: 1e9 / ns,
 			AllocsPerOp: float64(m.allocs) / float64(ops),
 			BytesPerOp:  float64(m.bytes) / float64(ops),
-			Cores:       runtime.GOMAXPROCS(0),
+			Cores:       runtime.NumCPU(),
+			Goarch:      runtime.GOARCH,
+			CPUFeatures: simd.Features(),
+			ProbeEngine: simd.Active(),
 			Alpha:       cfg.alpha, Keys: cfg.keys, Ops: ops,
 		}
 	}
@@ -233,6 +249,18 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 			})
 		})
 		results = append(results, mkResult("query", "sharded", n, cfg.batch, len(workload), m))
+
+		// Uniform batched probe — the committed BenchmarkShardedQueryBatch
+		// replayed through the harness (its own packed-variant filter,
+		// uniform present keys, single client, sliding batch window) so
+		// the perf trajectory's headline ns/key number is recorded here
+		// and not only in `go test -bench` output. Distinguished from
+		// the Zipf pass by impl and alpha=0.
+		uni, err := runUniformBatch(n, cfg, mkResult)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, uni)
 	}
 
 	// Contended mode: N goroutines hammering the same sharded filter at a
@@ -489,6 +517,52 @@ type measurement struct {
 	elapsed time.Duration
 	allocs  uint64
 	bytes   uint64
+}
+
+// runUniformBatch mirrors internal/shard's BenchmarkShardedQueryBatch:
+// a packed default-variant filter at 50% load, every probed key present,
+// a single client sliding a 1024-key batch window. Its ns/key is the
+// headline number the perf trajectory tracks for the vectorized probe
+// pipeline.
+func runUniformBatch(shards int, cfg benchConfig,
+	mkResult func(op, impl string, shards, batch, ops int, m measurement) BenchResult) (BenchResult, error) {
+	const batch = 1024
+	params := core.Params{NumAttrs: 1, Capacity: 1 << 16, Seed: uint64(cfg.seed)}
+	s, err := shard.New(shard.Options{Shards: shards, Workers: 1, Params: params})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	keys := make([]uint64, 1<<15)
+	attrs := make([][]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + uint64(cfg.seed)
+		attrs[i] = []uint64{uint64(i % 11)}
+	}
+	for _, err := range s.InsertBatch(keys, attrs) {
+		if err != nil {
+			return BenchResult{}, err
+		}
+	}
+	pred := core.And(core.Eq(0, 3))
+	out := make([]bool, 0, batch)
+	ops := cfg.queries / batch * batch
+	if ops < batch {
+		ops = batch
+	}
+	span := len(keys) - batch
+	m := measured(func() time.Duration {
+		start := time.Now()
+		for done := 0; done < ops; done += batch {
+			lo := done % span
+			out = s.QueryBatchInto(out[:0], keys[lo:lo+batch], pred)
+		}
+		return time.Since(start)
+	})
+	r := mkResult("query", "sharded-uniform", shards, batch, ops, m)
+	r.Alpha = 0
+	r.Variant = params.Variant.String()
+	r.Keys = len(keys)
+	return r, nil
 }
 
 // measured runs fn between two MemStats readings. The deltas include the

@@ -11,6 +11,7 @@ import (
 
 	"ccf/internal/core"
 	"ccf/internal/shard"
+	"ccf/internal/simd"
 	"ccf/internal/store"
 )
 
@@ -159,7 +160,9 @@ func runBenchGrow(cfg growConfig, w io.Writer) ([]BenchResult, error) {
 			Op: "grow-query", Impl: "ladder", Variant: params.Variant.String(),
 			Shards: cfg.shards, Batch: cfg.batch,
 			NsPerOp: nsPerKey, QPS: 1e9 / nsPerKey,
-			Cores: runtime.GOMAXPROCS(0), Keys: n, Ops: cfg.queries,
+			Cores: runtime.NumCPU(), Goarch: runtime.GOARCH,
+			CPUFeatures: simd.Features(), ProbeEngine: simd.Active(),
+			Keys: n, Ops: cfg.queries,
 			Phase: phase, Levels: lst.MaxLevels, Rows: rows,
 		}
 	}
@@ -252,7 +255,9 @@ func runBenchGrow(cfg growConfig, w io.Writer) ([]BenchResult, error) {
 	base := BenchResult{
 		Op: "grow-query", Impl: "rightsized", Variant: params.Variant.String(),
 		Shards: cfg.shards, Batch: cfg.batch, NsPerOp: ns, QPS: 1e9 / ns,
-		Cores: runtime.GOMAXPROCS(0), Keys: n, Ops: cfg.queries,
+		Cores: runtime.NumCPU(), Goarch: runtime.GOARCH,
+		CPUFeatures: simd.Features(), ProbeEngine: simd.Active(),
+		Keys: n, Ops: cfg.queries,
 		Phase: "rightsized", Levels: 1, Rows: total,
 	}
 	results = append(results, base)

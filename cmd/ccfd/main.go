@@ -12,12 +12,13 @@
 //	           [-checkpoint-records N] [-pprof-addr 127.0.0.1:6060]
 //	           [-auto-grow] [-metrics-addr 127.0.0.1:9437]
 //	           [-log-format text|json] [-log-level info]
-//	           [-slow-query 0]
+//	           [-slow-query 0] [-probe-engine auto]
 //	ccfd bench [-keys 100000] [-queries 1000000] [-batch 1024]
 //	           [-shards 1,4,16] [-variant chained] [-alpha 1.1]
 //	           [-clients 0] [-seed 1] [-out BENCH_serve.json]
 //	           [-durable-fsync interval] [-durable-dir DIR]
 //	           [-contended-clients 4] [-read-frac 0.95]
+//	           [-probe-engine auto]
 //	ccfd bench grow [-capacity 50000] [-batch 1024] [-shards 1]
 //	           [-queries N] [-seed 1] [-out BENCH_serve.json] [-dir DIR]
 //
@@ -80,11 +81,13 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux; served only on -pprof-addr
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"ccf/internal/obs"
 	"ccf/internal/server"
+	"ccf/internal/simd"
 	"ccf/internal/store"
 )
 
@@ -125,11 +128,13 @@ func usage() {
              [-pprof-addr 127.0.0.1:6060] [-auto-grow]
              [-metrics-addr 127.0.0.1:9437] [-log-format text|json]
              [-log-level debug|info|warn|error] [-slow-query DURATION]
+             [-probe-engine auto|scalar|avx2|neon]
   ccfd bench [-keys N] [-queries N] [-batch N] [-shards 1,4,16]
              [-variant chained|plain|bloom|mixed] [-alpha 1.1]
              [-clients 0] [-seed 1] [-out BENCH_serve.json]
              [-durable-fsync always|interval|never|off] [-durable-dir DIR]
              [-contended-clients 4] [-read-frac 0.95]
+             [-probe-engine auto|scalar|avx2|neon]
   ccfd bench grow [-capacity N] [-batch N] [-shards N] [-queries N]
              [-seed 1] [-out BENCH_serve.json] [-dir DIR]
 `)
@@ -172,8 +177,12 @@ func serveCmd(args []string) error {
 	logFormat := fs.String("log-format", "text", "log output format: text|json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	slowQuery := fs.Duration("slow-query", 0, "log requests at or above this latency at Warn (0 disables)")
+	probeEngine := fs.String("probe-engine", "auto", "batch probe engine: auto (detected best), scalar, or an explicit kernel name (avx2, neon)")
 	fs.Parse(args)
 
+	if err := simd.SetEngine(*probeEngine); err != nil {
+		return err
+	}
 	policy, err := store.ParseFsyncPolicy(*fsyncFlag)
 	if err != nil {
 		return err
@@ -273,6 +282,20 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 		logger.Info("pprof serving", "addr", "http://"+addr+"/debug/pprof/")
 	}
 	om := obs.NewRegistry()
+	// The probe-engine info gauge follows the Prometheus _info convention:
+	// constant 1, identity in the labels — dashboards join on it to split
+	// perf series by kernel, and a fleet can spot a host that silently
+	// fell back to scalar.
+	om.RegisterGaugeFunc("ccfd_probe_engine_info",
+		"Active batch probe engine and detected CPU features (value is always 1).",
+		func() float64 { return 1 },
+		obs.Label{Key: "engine", Value: simd.Active()},
+		obs.Label{Key: "features", Value: simd.Features()})
+	logger.Info("probe engine",
+		"engine", simd.Active(),
+		"best", simd.Best(),
+		"goarch", runtime.GOARCH,
+		"cpu_features", simd.Features())
 	health := &server.Health{}
 	reg := server.NewRegistry(cfg.cacheCap)
 	reg.AttachObs(om)

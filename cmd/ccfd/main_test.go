@@ -184,15 +184,25 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 	if err != nil {
 		t.Fatalf("runBench: %v", err)
 	}
-	// Per shard count: insert + query + 2 contended (seqlock/rlock) + wal.
-	if len(results) != 2+5*len(cfg.shards) {
+	// Per shard count: insert + query (Zipf + uniform) + 2 contended
+	// (seqlock/rlock) + wal.
+	if len(results) != 2+6*len(cfg.shards) {
 		t.Fatalf("got %d records", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {
 		seen[fmt.Sprintf("%s/%s/%d", r.Op, r.Impl, r.Shards)] = true
-		if r.QPS <= 0 || r.NsPerOp <= 0 || r.Cores < 1 || r.Variant != "Chained" {
+		// The uniform pass replays the committed microbench, which runs
+		// the packed default variant on its own filter.
+		wantVariant := "Chained"
+		if r.Impl == "sharded-uniform" {
+			wantVariant = "Plain"
+		}
+		if r.QPS <= 0 || r.NsPerOp <= 0 || r.Cores < 1 || r.Variant != wantVariant {
 			t.Fatalf("bad record: %+v", r)
+		}
+		if r.ProbeEngine == "" || r.Goarch == "" {
+			t.Fatalf("record missing machine context: %+v", r)
 		}
 		if r.Impl == "sharded+wal" && r.Fsync != "interval" {
 			t.Fatalf("durable record missing fsync policy: %+v", r)
@@ -212,6 +222,7 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 	}
 	for _, want := range []string{"insert/sync/1", "query/sync/1", "insert/sharded/1",
 		"query/sharded/1", "insert/sharded/4", "query/sharded/4",
+		"query/sharded-uniform/1", "query/sharded-uniform/4",
 		"insert/sharded+wal/1", "insert/sharded+wal/4",
 		"mixed/sharded/1", "mixed/sharded-rlock/1",
 		"mixed/sharded/4", "mixed/sharded-rlock/4"} {

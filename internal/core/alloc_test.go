@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"ccf/internal/simd"
 )
 
 // These tests pin the packed engine's allocation discipline: steady-state
@@ -97,6 +99,60 @@ func TestQueryBatchSteadyStateZeroAlloc(t *testing.T) {
 				dst = f.ContainsBatchInto(dst[:0], keys)
 			}); n != 0 {
 				t.Errorf("%s: ContainsBatchInto allocates %.2f allocs/op, want 0", v, n)
+			}
+		})
+	}
+}
+
+// TestQueryBatchEngineEquivalence pins batch results and the zero-alloc
+// contract across probe engines: the hardware kernels (when this machine
+// has them) and the forced scalar engine must produce identical result
+// vectors, and neither may allocate in steady state. The fuzz form of
+// this check is FuzzSIMDEquivalence; this deterministic form runs on
+// every test pass and also covers the SetEngine("scalar") override knob.
+func TestQueryBatchEngineEquivalence(t *testing.T) {
+	defer func() {
+		if err := simd.SetEngine("auto"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, v := range allVariants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := loadedFilter(t, v)
+			pred := And(Eq(0, 3), Eq(1, 2))
+			keys := make([]uint64, 2048)
+			for i := range keys {
+				keys[i] = uint64(i) * 2654435761 // half present, half absent
+			}
+			if err := simd.SetEngine("auto"); err != nil {
+				t.Fatal(err)
+			}
+			autoQ := f.QueryBatchInto(nil, keys, pred)
+			autoC := f.ContainsBatchInto(nil, keys)
+			if err := simd.SetEngine("scalar"); err != nil {
+				t.Fatal(err)
+			}
+			scalQ := f.QueryBatchInto(nil, keys, pred)
+			scalC := f.ContainsBatchInto(nil, keys)
+			for i := range keys {
+				if autoQ[i] != scalQ[i] {
+					t.Fatalf("key %#x: QueryBatch %v under %s, %v under scalar",
+						keys[i], autoQ[i], simd.Best(), scalQ[i])
+				}
+				if autoC[i] != scalC[i] {
+					t.Fatalf("key %#x: ContainsBatch %v under %s, %v under scalar",
+						keys[i], autoC[i], simd.Best(), scalC[i])
+				}
+			}
+			if raceEnabled {
+				return // sync.Pool drops items under the race detector
+			}
+			dst := make([]bool, 0, len(keys))
+			if n := testing.AllocsPerRun(50, func() {
+				dst = f.QueryBatchInto(dst[:0], keys, pred)
+			}); n != 0 {
+				t.Errorf("%s: scalar-engine QueryBatchInto allocates %.2f allocs/op, want 0", v, n)
 			}
 		})
 	}

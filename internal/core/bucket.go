@@ -1,6 +1,11 @@
 package core
 
-import "ccf/internal/bloom"
+import (
+	"errors"
+	"fmt"
+
+	"ccf/internal/bloom"
+)
 
 // This file is the packed bucket storage engine. A bucketTable owns every
 // entry of the filter in bucket-contiguous slices: a bucket's BucketSize
@@ -118,6 +123,39 @@ func (t *bucketTable) rebuildWords() {
 			uint64(t.fps[base+2])<<32 |
 			uint64(t.fps[base+3])<<48
 	}
+}
+
+// checkWords verifies the word mirror's structural invariant: every
+// packed bucket's word is exactly its four fingerprints, lane j = slot j.
+// The batch compare kernels trust the mirror completely (they never read
+// fps on a miss), so bulk-load paths (grow, fold, unmarshal, thaw) are
+// tested against this after rebuildWords.
+func (t *bucketTable) checkWords() error {
+	if t.bsz != packedBucketSize {
+		if t.words != nil {
+			return fmt.Errorf("core: word mirror present with bucket size %d", t.bsz)
+		}
+		return nil
+	}
+	if t.words == nil {
+		return errors.New("core: packed table missing its word mirror")
+	}
+	if len(t.words)*packedBucketSize != len(t.fps) {
+		return fmt.Errorf("core: word mirror has %d buckets for %d slots",
+			len(t.words), len(t.fps))
+	}
+	for i := range t.words {
+		base := i * packedBucketSize
+		want := uint64(t.fps[base]) |
+			uint64(t.fps[base+1])<<16 |
+			uint64(t.fps[base+2])<<32 |
+			uint64(t.fps[base+3])<<48
+		if t.words[i] != want {
+			return fmt.Errorf("core: word mirror of bucket %d is %#x, want %#x",
+				i, t.words[i], want)
+		}
+	}
+	return nil
 }
 
 // bucketMayContain is the branch-free pre-test: false means no slot of the

@@ -260,6 +260,13 @@ func (f *Filter) placeWithKicks(l1, l2 uint32, c *carried) bool {
 	return false
 }
 
+// CheckWordMirror verifies that the packed word mirror agrees with the
+// fingerprint array slot for slot. The batch compare kernels answer
+// misses from the mirror alone, so any bulk-load or grow path that
+// desynced it would silently produce false negatives; tests call this
+// after every such transition. Callers must exclude writers.
+func (f *Filter) CheckWordMirror() error { return f.checkWords() }
+
 // Accessors.
 
 // Params returns the filter's effective parameters (defaults resolved).

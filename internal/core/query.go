@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // Query reports whether the filter may contain a row with the given key
 // whose attributes satisfy pred (Algorithm 1). A nil or empty predicate is
 // a key-only query. Query never returns a false negative: if a matching row
@@ -70,6 +72,22 @@ func (f *Filter) bucketMatchSlots(bucket uint32, fp uint16, pred Predicate) bool
 	base := int(bucket) * f.bsz
 	for j := 0; j < f.bsz; j++ {
 		if f.fps[base+j] == fp && f.entryMatches(base+j, pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchLanes resolves a packed bucket from the compare kernel's exact
+// per-lane hit mask: bit j set means slot j holds the probed fingerprint,
+// so the resolver jumps straight to each flagged slot's predicate check
+// without re-reading any fingerprint the word compare already matched.
+func (f *Filter) matchLanes(bucket uint32, lanes uint8, pred Predicate) bool {
+	base := int(bucket) * packedBucketSize
+	for lanes != 0 {
+		j := bits.TrailingZeros8(lanes)
+		lanes &= lanes - 1
+		if f.entryMatches(base+j, pred) {
 			return true
 		}
 	}

@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"ccf/internal/hashing"
+	"ccf/internal/simd"
+)
 
 // This file is the batched probe pipeline. A scalar Query serializes its
 // memory accesses: hash the key, load the bucket word, miss, stall. When a
@@ -8,16 +13,21 @@ import "sync"
 // one filter per row, §3), those stalls are wasted parallelism — modern
 // cores can keep a dozen cache misses in flight, but only if the loads are
 // issued before any of their results is consumed. The batch entry points
-// below split the probe into phases over fixed-size tiles:
+// below split the probe into phases over fixed-size tiles, each phase a
+// kernel from internal/simd (AVX2 or NEON when the hardware has them, the
+// scalar reference otherwise; see -probe-engine):
 //
 //	phase 1a  hash every key in the tile: fingerprint, home bucket, alt
-//	          bucket (pure ALU work, no table accesses)
+//	          bucket (pure ALU work the vector engine runs 4 keys wide)
 //	phase 1b  load both candidate bucket words for every key back to back
-//	          — independent loads the hardware overlaps, so a tile pays
-//	          for its cache misses concurrently instead of sequentially
-//	phase 2   SWAR-compare the preloaded words; only word-hits (rare for
-//	          negative probes) descend to slot-level fingerprint and
-//	          predicate checks
+//	          — independent loads the hardware overlaps, with explicit
+//	          software prefetch running ahead of them, so a tile pays for
+//	          its cache misses concurrently instead of sequentially
+//	phase 2   compare the preloaded words against each key's broadcast
+//	          fingerprint, 16 lanes (4 buckets) per 256-bit op, yielding
+//	          an exact per-lane hit mask; only keys with a set bit (rare
+//	          for negative probes) descend to slot-level checks, and the
+//	          mask tells them exactly which slots
 //
 // The same phase structure batches lookups in Cuckoo-GPU and the
 // memory-level-parallel hash-probe literature. Bucket layouts without the
@@ -25,20 +35,28 @@ import "sync"
 // loads that warm the bucket's cache line for phase 2's scalar scan.
 
 // probeTile is the batch pipeline's tile size: large enough to keep many
-// misses in flight, small enough that the scratch stays L1-resident
-// (~6.6 KB) and a seqlock retry re-does bounded work.
+// misses in flight, small enough that the scratch stays L1/L2-resident
+// (~11 KB) and a seqlock retry re-does bounded work.
 const probeTile = 256
 
 // probeBatch is the reusable per-call scratch of one batch probe. It
 // cycles through a pool so steady-state batched queries allocate nothing;
 // unlike the filter's mutation scratch it is not per-filter state, because
-// batch queries run concurrently with each other.
+// batch queries run concurrently with each other. The arrays are what the
+// simd kernels stream through: keys (scatter mode compacts the tile's
+// keys here so the hash kernel always sees a contiguous run), fpw (each
+// fingerprint broadcast into all four 16-bit lanes, the compare kernel's
+// probe operand), and hits (phase 2's per-key lane masks: low nibble =
+// home-bucket lanes equal to the fingerprint, high nibble = alt bucket).
 type probeBatch struct {
-	fp [probeTile]uint16
-	l1 [probeTile]uint32
-	l2 [probeTile]uint32
-	w1 [probeTile]uint64
-	w2 [probeTile]uint64
+	keys [probeTile]uint64
+	fp   [probeTile]uint16
+	fpw  [probeTile]uint64
+	l1   [probeTile]uint32
+	l2   [probeTile]uint32
+	w1   [probeTile]uint64
+	w2   [probeTile]uint64
+	hits [probeTile]uint8
 }
 
 var probePool = sync.Pool{New: func() any { return new(probeBatch) }}
@@ -64,8 +82,8 @@ func (f *Filter) QueryBatchInto(dst []bool, keys []uint64, pred Predicate) []boo
 
 // ContainsBatchInto is the batched QueryKey: one key-membership answer per
 // key, predicate-free, written into dst (grown if its capacity is short).
-// For the packed b=4 layout each answer is two preloaded word compares and
-// no slot work. Safe for concurrent readers.
+// For the packed b=4 layout each answer is the compare kernel's hit byte —
+// no slot work at all. Safe for concurrent readers.
 func (f *Filter) ContainsBatchInto(dst []bool, keys []uint64) []bool {
 	out := boolResults(dst, len(keys))
 	if len(keys) == 0 {
@@ -87,7 +105,7 @@ func (f *Filter) QueryBatchIdx(out []bool, keys []uint64, idxs []int32, pred Pre
 		t := min(probeTile, n-base)
 		ti := sliceIdx(idxs, base, t)
 		f.hashTile(pb, keys, ti, base, t)
-		f.loadTile(pb, t)
+		f.gatherTile(pb, t)
 		f.queryTile(pb, out, ti, base, t, pred)
 	}
 	probePool.Put(pb)
@@ -102,7 +120,7 @@ func (f *Filter) ContainsBatchIdx(out []bool, keys []uint64, idxs []int32) {
 		t := min(probeTile, n-base)
 		ti := sliceIdx(idxs, base, t)
 		f.hashTile(pb, keys, ti, base, t)
-		f.loadTile(pb, t)
+		f.gatherTile(pb, t)
 		f.containsTile(pb, out, ti, base, t)
 	}
 	probePool.Put(pb)
@@ -132,42 +150,37 @@ func sliceIdx(idxs []int32, base, t int) []int32 {
 	return idxs[base : base+t]
 }
 
-// hashTile is phase 1a: fingerprints and both candidate buckets for every
-// key of the tile. No table memory is touched, so the loop is pure ALU
-// work the compiler can schedule densely.
+// hashTile is phase 1a: the HashFill kernel derives fingerprint, broadcast
+// fingerprint word, home bucket, and alt bucket for every key of the tile.
+// Scatter mode first compacts the tile's keys into pb.keys so the kernel
+// streams a contiguous run either way. The pre-mixed salts cost two Mix64
+// calls per 256-key tile — the kernel's per-key work is then exactly two
+// splitmix64 finalizers and an altOff memo lookup.
 func (f *Filter) hashTile(pb *probeBatch, keys []uint64, ti []int32, base, t int) {
-	if ti == nil {
-		for i, k := range keys[base : base+t] {
-			fp := f.fingerprint(k)
-			l1 := f.homeBucket(k)
-			pb.fp[i] = fp
-			pb.l1[i] = l1
-			pb.l2[i] = l1 ^ f.fpOffset(fp)
+	kv := keys[base:]
+	if ti != nil {
+		for i, idx := range ti {
+			pb.keys[i] = keys[idx]
 		}
-		return
+		kv = pb.keys[:t]
 	}
-	for i, idx := range ti {
-		k := keys[idx]
-		fp := f.fingerprint(k)
-		l1 := f.homeBucket(k)
-		pb.fp[i] = fp
-		pb.l1[i] = l1
-		pb.l2[i] = l1 ^ f.fpOffset(fp)
-	}
+	seedFp := hashing.Salt(f.p.Seed ^ saltFp)
+	seedIdx := hashing.Salt(f.p.Seed ^ saltIndex)
+	simd.HashFill(kv, seedFp, seedIdx, f.fpMask, f.mask, f.altOff,
+		pb.fp[:], pb.fpw[:], pb.l1[:], pb.l2[:], t)
 }
 
-// loadTile is phase 1b: issue both bucket loads for every key back to
-// back. Each iteration's loads depend only on phase 1a's indexes, never on
-// another load, so the out-of-order core overlaps the misses across the
-// whole tile. Without the packed mirror the loads touch the bucket's first
-// fingerprint instead — not a usable compare value, but it pulls the
-// bucket's cache line in, which is all phase 2's scalar scan needs.
-func (f *Filter) loadTile(pb *probeBatch, t int) {
+// gatherTile is phase 1b: load both bucket words for every key back to
+// back. Each load depends only on phase 1a's indexes, never on another
+// load, so the out-of-order core overlaps the misses across the whole
+// tile; the hardware kernels additionally issue prefetches a fixed
+// distance ahead, keeping more lines in flight than the reorder window
+// alone could. Without the packed mirror the loads touch the bucket's
+// first fingerprint instead — not a usable compare value, but it pulls
+// the bucket's cache line in, which is all phase 2's scalar scan needs.
+func (f *Filter) gatherTile(pb *probeBatch, t int) {
 	if f.words != nil {
-		for i := 0; i < t; i++ {
-			pb.w1[i] = f.words[pb.l1[i]]
-			pb.w2[i] = f.words[pb.l2[i]]
-		}
+		simd.GatherWords(f.words, pb.l1[:], pb.l2[:], pb.w1[:], pb.w2[:], t)
 		return
 	}
 	bsz := f.bsz
@@ -178,21 +191,23 @@ func (f *Filter) loadTile(pb *probeBatch, t int) {
 }
 
 // queryTile is phase 2 of the predicate probe: resolve every key of the
-// tile against its preloaded words. The variant dispatch is hoisted out of
-// the per-key loop.
+// tile. For the packed layout the CompareHits kernel has already reduced
+// both candidate buckets to one hit byte per key; a zero byte resolves
+// the key with no slot-array access at all, and a nonzero one hands
+// matchLanes the exact slots to check, so the resolver never re-reads
+// fingerprints the compare already matched. The variant dispatch is
+// hoisted out of the per-key loop.
 func (f *Filter) queryTile(pb *probeBatch, out []bool, ti []int32, base, t int, pred Predicate) {
-	packed := f.words != nil
 	chained := f.p.Variant == VariantChained
-	for i := 0; i < t; i++ {
-		oi := base + i
-		if ti != nil {
-			oi = int(ti[i])
-		}
-		fp, l1, l2 := pb.fp[i], pb.l1[i], pb.l2[i]
-		if packed {
-			hit1 := wordHasLane(pb.w1[i], fp)
-			hit2 := l2 != l1 && wordHasLane(pb.w2[i], fp)
-			if !hit1 && !hit2 {
+	if f.words != nil {
+		simd.CompareHits(pb.hits[:], pb.w1[:], pb.w2[:], pb.fpw[:], t)
+		for i := 0; i < t; i++ {
+			oi := base + i
+			if ti != nil {
+				oi = int(ti[i])
+			}
+			hits := pb.hits[i]
+			if hits == 0 {
 				// No copy of κ anywhere in the first pair: false for the
 				// pair variants, and count 0 < MaxDupes (≥ 1) terminates a
 				// chained walk at its first pair with false.
@@ -200,13 +215,20 @@ func (f *Filter) queryTile(pb *probeBatch, out []bool, ti []int32, base, t int, 
 				continue
 			}
 			if chained {
-				out[oi] = f.queryChained(fp, l1, pred)
+				out[oi] = f.queryChained(pb.fp[i], pb.l1[i], pred)
 				continue
 			}
-			out[oi] = hit1 && f.bucketMatchSlots(l1, fp, pred) ||
-				hit2 && f.bucketMatchSlots(l2, fp, pred)
-			continue
+			out[oi] = f.matchLanes(pb.l1[i], hits&0x0f, pred) ||
+				pb.l2[i] != pb.l1[i] && f.matchLanes(pb.l2[i], hits>>4, pred)
 		}
+		return
+	}
+	for i := 0; i < t; i++ {
+		oi := base + i
+		if ti != nil {
+			oi = int(ti[i])
+		}
+		fp, l1, l2 := pb.fp[i], pb.l1[i], pb.l2[i]
 		if chained {
 			out[oi] = f.queryChained(fp, l1, pred)
 			continue
@@ -217,21 +239,28 @@ func (f *Filter) queryTile(pb *probeBatch, out []bool, ti []int32, base, t int, 
 }
 
 // containsTile is phase 2 of the key-only probe: for the packed layout the
-// preloaded word compares are the whole answer (QueryKey semantics — every
-// variant keeps its key evidence in the first bucket pair, Lemma 2).
+// compare kernel's hit byte is the whole answer (QueryKey semantics —
+// every variant keeps its key evidence in the first bucket pair, Lemma 2).
+// When the pair degenerates to one bucket the high nibble duplicates the
+// low, which changes nothing about the any-bit test.
 func (f *Filter) containsTile(pb *probeBatch, out []bool, ti []int32, base, t int) {
-	packed := f.words != nil
+	if f.words != nil {
+		simd.CompareHits(pb.hits[:], pb.w1[:], pb.w2[:], pb.fpw[:], t)
+		for i := 0; i < t; i++ {
+			oi := base + i
+			if ti != nil {
+				oi = int(ti[i])
+			}
+			out[oi] = pb.hits[i] != 0
+		}
+		return
+	}
 	for i := 0; i < t; i++ {
 		oi := base + i
 		if ti != nil {
 			oi = int(ti[i])
 		}
 		fp, l1, l2 := pb.fp[i], pb.l1[i], pb.l2[i]
-		if packed {
-			out[oi] = wordHasLane(pb.w1[i], fp) ||
-				l2 != l1 && wordHasLane(pb.w2[i], fp)
-			continue
-		}
 		out[oi] = f.bucketHasFp(l1, fp) || l2 != l1 && f.bucketHasFp(l2, fp)
 	}
 }

@@ -1,0 +1,100 @@
+package core
+
+import "testing"
+
+// FuzzSIMDEquivalence differential-fuzzes the vectorized batch probe
+// pipeline against the scalar point path. The batch entry points run the
+// internal/simd kernels (AVX2/NEON where detected); Query, QueryKey and
+// queryChained never do — so any kernel that diverges from the scalar
+// reference semantics (hash derivation, word compare, per-lane hit masks)
+// shows up as a batch/point mismatch. The tape drives table shape too:
+// BucketSize 4 exercises the packed word-mirror kernels, 2 and 8 the
+// non-packed fallback tiles, and direct tombstoning exercises the
+// resolver's flagged-slot handling against entryMatches.
+func FuzzSIMDEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(0), uint8(1))
+	f.Add([]byte{0xff, 0x80, 0x01, 0x10, 0x20, 0x30}, uint8(1), uint8(0))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7}, uint8(2), uint8(4))
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3, 3, 4, 4}, uint8(3), uint8(7))
+	f.Add([]byte{}, uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, tape []byte, variantSel, shapeSel uint8) {
+		variant := []Variant{VariantPlain, VariantChained, VariantBloom, VariantMixed}[variantSel%4]
+		bsz := []int{4, 2, 8}[shapeSel%3]
+		keyBits := []int{16, 8, 12}[int(shapeSel/3)%3]
+		params := Params{
+			Variant: variant, NumAttrs: 1, Capacity: 1024, BloomBits: 24,
+			BucketSize: bsz, KeyBits: keyBits, Seed: 11,
+		}
+		if variant == VariantChained {
+			params.MaxDupes = 1
+		}
+		filt, err := New(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(tape); i += 2 {
+			k := uint64(tape[i]) % 128
+			a := uint64(tape[i+1]) % 16
+			if err := filt.Insert(k, []uint64{a}); err != nil &&
+				err != ErrFull && err != ErrChainLimit {
+				t.Fatal(err)
+			}
+		}
+		// Tombstone some occupied slots directly (what a predicate view's
+		// erase leaves behind): still a fingerprint hit at the word level,
+		// never a predicate match.
+		for i := 0; i+1 < len(tape); i += 2 {
+			if tape[i]%5 != 0 {
+				continue
+			}
+			idx := int(tape[i+1]) % len(filt.fps)
+			if filt.fps[idx] != 0 {
+				filt.flags[idx] |= flagTombstone
+			}
+		}
+		// Probe inserted and absent keys, enough of them that the batch
+		// crosses a tile boundary.
+		keys := make([]uint64, 0, 320)
+		for k := uint64(0); k < 160; k++ {
+			keys = append(keys, k, k*0x9e3779b97f4a7c15)
+		}
+		var av uint64
+		if len(tape) > 0 {
+			av = uint64(tape[0]) % 16
+		}
+		for _, pred := range []Predicate{nil, And(Eq(0, av))} {
+			got := filt.QueryBatchInto(nil, keys, pred)
+			for i, k := range keys {
+				if want := filt.Query(k, pred); got[i] != want {
+					t.Fatalf("%s b=%d kb=%d: QueryBatch(key %#x) = %v, point Query = %v",
+						variant, bsz, keyBits, k, got[i], want)
+				}
+			}
+			// Scatter form, reversed order, holes left untouched.
+			idxs := make([]int32, 0, len(keys))
+			for i := len(keys) - 1; i >= 0; i-- {
+				if i%3 != 0 {
+					idxs = append(idxs, int32(i))
+				}
+			}
+			out := make([]bool, len(keys))
+			filt.QueryBatchIdx(out, keys, idxs, pred)
+			for _, i := range idxs {
+				if want := filt.Query(keys[i], pred); out[i] != want {
+					t.Fatalf("%s b=%d: QueryBatchIdx(key %#x) = %v, point Query = %v",
+						variant, bsz, keys[i], out[i], want)
+				}
+			}
+		}
+		gotC := filt.ContainsBatchInto(nil, keys)
+		for i, k := range keys {
+			if want := filt.QueryKey(k); gotC[i] != want {
+				t.Fatalf("%s b=%d kb=%d: ContainsBatch(key %#x) = %v, QueryKey = %v",
+					variant, bsz, keyBits, k, gotC[i], want)
+			}
+		}
+		if err := filt.CheckWordMirror(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

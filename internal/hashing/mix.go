@@ -12,10 +12,17 @@ func Mix64(x uint64) uint64 {
 	return x
 }
 
+// Salt precomputes the mixing constant Key64 derives from a salt:
+// Key64(key, salt) == Mix64(key ^ Salt(salt)). Batched kernels hoist it
+// out of their per-key loops (it depends only on the filter's seed).
+func Salt(salt uint64) uint64 {
+	return Mix64(salt ^ 0x9e3779b97f4a7c15)
+}
+
 // Key64 hashes a 64-bit key under a salt. Different salts give effectively
 // independent hash functions of the same key.
 func Key64(key, salt uint64) uint64 {
-	return Mix64(key ^ Mix64(salt^0x9e3779b97f4a7c15))
+	return Mix64(key ^ Salt(salt))
 }
 
 // Combine mixes two 64-bit values into one, order-sensitively.

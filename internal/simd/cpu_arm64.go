@@ -1,0 +1,88 @@
+//go:build arm64 && !noasm
+
+package simd
+
+import (
+	"encoding/binary"
+	"os"
+	"strings"
+)
+
+// ASIMD (NEON) is baseline on ARMv8-A, which is the floor for Go's arm64
+// port, so the NEON engine is unconditionally available — no trap-prone
+// probing needed. Detection here only enriches the reported feature
+// string from the auxiliary vector's AT_HWCAP word when the platform
+// exposes one (Linux does; elsewhere the baseline string stands).
+
+func archInit() {
+	features = featuresARM64()
+	bestKernels = &neonKernels
+}
+
+const atHWCAP = 16
+
+var hwcapNames = []struct {
+	bit  uint64
+	name string
+}{
+	{1 << 5, "aes"},
+	{1 << 6, "pmull"},
+	{1 << 7, "sha2"},
+	{1 << 10, "asimdhp"},
+	{1 << 12, "atomics"},
+	{1 << 18, "asimddp"},
+	{1 << 22, "sve"},
+}
+
+func featuresARM64() string {
+	out := []string{"asimd"}
+	if data, err := os.ReadFile("/proc/self/auxv"); err == nil {
+		for i := 0; i+16 <= len(data); i += 16 {
+			if binary.LittleEndian.Uint64(data[i:]) != atHWCAP {
+				continue
+			}
+			hwcap := binary.LittleEndian.Uint64(data[i+8:])
+			for _, f := range hwcapNames {
+				if hwcap&f.bit != 0 {
+					out = append(out, f.name)
+				}
+			}
+			break
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// neonKernels: the compare kernel runs two keys per iteration on V
+// registers, and the gather kernel adds PRFM prefetch ahead of its
+// loads. The hash kernel stays on the scalar reference — NEON has no
+// 64-bit lane multiply, so a vector splitmix64 would lose to the scalar
+// MUL pipeline.
+var neonKernels = kernels{
+	name:        EngineNEON,
+	compareHits: compareHitsNEONWrap,
+	hashFill:    hashFillGeneric,
+	gatherWords: gatherWordsAsmWrap,
+}
+
+func compareHitsNEONWrap(hits []uint8, w1, w2, fpw []uint64, n int) {
+	q := n &^ 1
+	if q > 0 {
+		compareHitsNEON(&hits[0], &w1[0], &w2[0], &fpw[0], q)
+	}
+	if q < n {
+		compareHitsGeneric(hits[q:], w1[q:], w2[q:], fpw[q:], n-q)
+	}
+}
+
+func gatherWordsAsmWrap(words []uint64, l1, l2 []uint32, w1, w2 []uint64, n int) {
+	if n > 0 {
+		gatherWordsAsm(&words[0], &l1[0], &l2[0], &w1[0], &w2[0], n)
+	}
+}
+
+//go:noescape
+func compareHitsNEON(hits *uint8, w1, w2, fpw *uint64, n int)
+
+//go:noescape
+func gatherWordsAsm(words *uint64, l1, l2 *uint32, w1, w2 *uint64, n int)

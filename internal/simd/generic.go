@@ -1,0 +1,73 @@
+package simd
+
+import "ccf/internal/hashing"
+
+// The pure-Go kernels. These are the reference semantics for every
+// hardware engine, the fallback on unsupported architectures and under
+// the noasm build tag, and the tail path of the vector wrappers (which
+// hand off whatever remainder their unroll width leaves).
+
+// Lane constants for the 4×16-bit-lane word layout (the packed b=4
+// bucket word mirror of internal/core): laneLo has the low bit of each
+// lane set, laneHi the high bit.
+const (
+	laneLo = 0x0001_0001_0001_0001
+	laneHi = 0x8000_8000_8000_8000
+)
+
+// laneMask returns the exact per-lane equality bitmask of w against the
+// broadcast fingerprint fpw: bit j set iff 16-bit lane j of w equals the
+// fingerprint. The branch-free SWAR test answers "any lane" exactly and
+// cheaply; only on a hit (rare for negative probes) does the scalar
+// four-compare pass build the per-lane mask, because the SWAR per-lane
+// indicator variant can over-report across borrow-propagation.
+func laneMask(w, fpw uint64) uint8 {
+	z := w ^ fpw
+	if (z-laneLo)&^z&laneHi == 0 {
+		return 0
+	}
+	var m uint8
+	if uint16(z) == 0 {
+		m = 1
+	}
+	if uint16(z>>16) == 0 {
+		m |= 2
+	}
+	if uint16(z>>32) == 0 {
+		m |= 4
+	}
+	if uint16(z>>48) == 0 {
+		m |= 8
+	}
+	return m
+}
+
+func compareHitsGeneric(hits []uint8, w1, w2, fpw []uint64, n int) {
+	for i := 0; i < n; i++ {
+		f := fpw[i]
+		hits[i] = laneMask(w1[i], f) | laneMask(w2[i], f)<<4
+	}
+}
+
+func hashFillGeneric(keys []uint64, seedFp, seedIdx uint64, fpMask uint16,
+	idxMask uint32, altOff []uint32, fp []uint16, fpw []uint64, l1, l2 []uint32, n int) {
+	for i := 0; i < n; i++ {
+		k := keys[i]
+		f := uint16(hashing.Mix64(k^seedFp)) & fpMask
+		if f == 0 {
+			f = 1
+		}
+		fp[i] = f
+		fpw[i] = uint64(f) * laneLo
+		b := uint32(hashing.Mix64(k^seedIdx)) & idxMask
+		l1[i] = b
+		l2[i] = b ^ altOff[f]
+	}
+}
+
+func gatherWordsGeneric(words []uint64, l1, l2 []uint32, w1, w2 []uint64, n int) {
+	for i := 0; i < n; i++ {
+		w1[i] = words[l1[i]]
+		w2[i] = words[l2[i]]
+	}
+}

@@ -1,0 +1,227 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 probe kernels. Layout contract (internal/core's packed b=4 bucket
+// table): one uint64 word mirrors a bucket's four 16-bit fingerprints,
+// and a key's fingerprint is broadcast into all four lanes of fpw. A
+// 256-bit register therefore holds four whole buckets — one tile
+// iteration resolves four keys' candidate buckets per VPCMPEQW.
+
+// splitmix64 multiply constants, low and high 32-bit halves (VPMULUDQ is
+// a 32×32→64 product, so each 64-bit lane multiply is three of them).
+DATA mixC1<>+0(SB)/8, $0xbf58476d1ce4e5b9
+GLOBL mixC1<>(SB), RODATA, $8
+DATA mixC1hi<>+0(SB)/8, $0x00000000bf58476d
+GLOBL mixC1hi<>(SB), RODATA, $8
+DATA mixC2<>+0(SB)/8, $0x94d049bb133111eb
+GLOBL mixC2<>(SB), RODATA, $8
+DATA mixC2hi<>+0(SB)/8, $0x0000000094d049bb
+GLOBL mixC2hi<>(SB), RODATA, $8
+
+// VPERMD index vector picking the even (low-32-bit) dword of each 64-bit
+// lane into the low 128 bits: narrows four 64-bit lane results to four
+// packed uint32s in one shuffle.
+DATA permEven<>+0(SB)/4, $0
+DATA permEven<>+4(SB)/4, $2
+DATA permEven<>+8(SB)/4, $4
+DATA permEven<>+12(SB)/4, $6
+DATA permEven<>+16(SB)/4, $0
+DATA permEven<>+20(SB)/4, $0
+DATA permEven<>+24(SB)/4, $0
+DATA permEven<>+28(SB)/4, $0
+GLOBL permEven<>(SB), RODATA, $32
+
+// MUL64 multiplies each 64-bit lane of x by a constant whose full and
+// high-half broadcasts are c and ch: lo·lo + ((hi·lo + lo·hi) << 32).
+// Trashes t1 and t2.
+#define MUL64(x, c, ch, t1, t2) \
+	VPMULUDQ x, c, t1  \
+	VPSRLQ   $32, x, t2 \
+	VPMULUDQ t2, c, t2 \
+	VPMULUDQ x, ch, x  \
+	VPADDQ   x, t2, x  \
+	VPSLLQ   $32, x, x \
+	VPADDQ   t1, x, x
+
+// MIX64 is the splitmix64 finalizer over each 64-bit lane of x,
+// bit-identical to hashing.Mix64. Trashes t1 and t2; constants live in
+// Y8/Y9 (C1, C1>>32) and Y10/Y11 (C2, C2>>32).
+#define MIX64(x, t1, t2) \
+	VPSRLQ $30, x, t1 \
+	VPXOR  t1, x, x   \
+	MUL64(x, Y8, Y9, t1, t2) \
+	VPSRLQ $27, x, t1 \
+	VPXOR  t1, x, x   \
+	MUL64(x, Y10, Y11, t1, t2) \
+	VPSRLQ $31, x, t1 \
+	VPXOR  t1, x, x
+
+// func compareHitsAVX2(hits *uint8, w1, w2, fpw *uint64, n int)
+//
+// n must be a positive multiple of 4. Per iteration: four keys' two
+// bucket words each compare against the key's broadcast fingerprint with
+// one VPCMPEQW per side (16 lanes = 4 buckets per op); VPMOVMSKB + PEXT
+// compact the 16 lane-equal bits, and two PDEPs interleave them into
+// four hit bytes (low nibble = w1 lanes, high nibble = w2 lanes) written
+// with a single 32-bit store.
+TEXT ·compareHitsAVX2(SB), NOSPLIT, $0-40
+	MOVQ hits+0(FP), DI
+	MOVQ w1+8(FP), R8
+	MOVQ w2+16(FP), R9
+	MOVQ fpw+24(FP), R10
+	MOVQ n+32(FP), R11
+	MOVL $0xAAAAAAAA, R12
+	MOVL $0x0F0F0F0F, R13
+	MOVL $0xF0F0F0F0, R14
+
+cmploop:
+	VMOVDQU (R10), Y0
+	VMOVDQU (R8), Y1
+	VMOVDQU (R9), Y2
+	VPCMPEQW Y0, Y1, Y1
+	VPCMPEQW Y0, Y2, Y2
+	VPMOVMSKB Y1, AX
+	VPMOVMSKB Y2, BX
+	PEXTL R12, AX, AX
+	PEXTL R12, BX, BX
+	PDEPL R13, AX, AX
+	PDEPL R14, BX, BX
+	ORL  BX, AX
+	MOVL AX, (DI)
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $4, DI
+	SUBQ $4, R11
+	JNZ  cmploop
+
+	VZEROUPPER
+	RET
+
+// func hashFillAVX2(keys *uint64, n int, seedFp, seedIdx, fpMask, idxMask uint64,
+//	altOff *uint32, fp *uint16, fpw *uint64, l1, l2 *uint32)
+//
+// n must be a positive multiple of 4. Per iteration: four keys hash to
+// fingerprints and home buckets via two vector MIX64s, the zero
+// fingerprint is promoted to 1 branch-free, the broadcast fpw form is
+// built with shifts, and the alternate bucket comes from a VPGATHERDD of
+// the altOff memo indexed by the just-computed fingerprints.
+TEXT ·hashFillAVX2(SB), NOSPLIT, $0-88
+	MOVQ keys+0(FP), R8
+	MOVQ n+8(FP), R9
+	VPBROADCASTQ seedFp+16(FP), Y12
+	VPBROADCASTQ seedIdx+24(FP), Y13
+	VPBROADCASTQ fpMask+32(FP), Y14
+	VPBROADCASTQ idxMask+40(FP), Y15
+	MOVQ altOff+48(FP), R10
+	MOVQ fp+56(FP), R11
+	MOVQ fpw+64(FP), R12
+	MOVQ l1+72(FP), R13
+	MOVQ l2+80(FP), R14
+	VPBROADCASTQ mixC1<>(SB), Y8
+	VPBROADCASTQ mixC1hi<>(SB), Y9
+	VPBROADCASTQ mixC2<>(SB), Y10
+	VPBROADCASTQ mixC2hi<>(SB), Y11
+
+hashloop:
+	VMOVDQU (R8), Y0
+
+	// fingerprint: mix64(key ^ seedFp) & fpMask, 0 promoted to 1.
+	VPXOR Y12, Y0, Y1
+	MIX64(Y1, Y5, Y6)
+	VPAND Y14, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPCMPEQQ Y2, Y1, Y2
+	VPSRLQ $63, Y2, Y2
+	VPOR Y2, Y1, Y1
+
+	// fpw: fingerprint broadcast into all four 16-bit lanes.
+	VPSLLQ $16, Y1, Y2
+	VPOR Y1, Y2, Y2
+	VPSLLQ $32, Y2, Y3
+	VPOR Y3, Y2, Y2
+	VMOVDQU Y2, (R12)
+
+	// fp: narrow the four 64-bit lanes to four uint16s (dwords in X3
+	// double as the gather indexes below).
+	VMOVDQU permEven<>(SB), Y7
+	VPERMD Y1, Y7, Y3
+	VPACKUSDW X3, X3, X4
+	MOVQ X4, (R11)
+
+	// home bucket: mix64(key ^ seedIdx) & idxMask.
+	VPXOR Y13, Y0, Y5
+	MIX64(Y5, Y1, Y6)
+	VPAND Y15, Y5, Y5
+	VPERMD Y5, Y7, Y6
+	VMOVDQU X6, (R13)
+
+	// alternate bucket: l1 ^ altOff[fp].
+	VPCMPEQD X1, X1, X1
+	VPXOR X2, X2, X2
+	VPGATHERDD X1, (R10)(X3*4), X2
+	VPXOR X6, X2, X2
+	VMOVDQU X2, (R14)
+
+	ADDQ $32, R8
+	ADDQ $8, R11
+	ADDQ $32, R12
+	ADDQ $16, R13
+	ADDQ $16, R14
+	SUBQ $4, R9
+	JNZ  hashloop
+
+	VZEROUPPER
+	RET
+
+// func gatherWordsAsm(words *uint64, l1, l2 *uint32, w1, w2 *uint64, n int)
+//
+// n must be positive. Scalar loads (an AVX2 vector gather is no faster
+// for 8-byte elements) with PREFETCHT0 issued eight keys ahead, so up to
+// sixteen bucket lines are in flight beyond the out-of-order window.
+TEXT ·gatherWordsAsm(SB), NOSPLIT, $0-48
+	MOVQ words+0(FP), SI
+	MOVQ l1+8(FP), R8
+	MOVQ l2+16(FP), R9
+	MOVQ w1+24(FP), R10
+	MOVQ w2+32(FP), R11
+	MOVQ n+40(FP), R12
+	CMPQ R12, $8
+	JLE  gtail
+	MOVQ R12, R13
+	SUBQ $8, R13
+	MOVQ $8, R12
+
+gploop:
+	MOVL 32(R8), AX
+	PREFETCHT0 (SI)(AX*8)
+	MOVL 32(R9), BX
+	PREFETCHT0 (SI)(BX*8)
+	MOVL (R8), AX
+	MOVQ (SI)(AX*8), CX
+	MOVQ CX, (R10)
+	MOVL (R9), BX
+	MOVQ (SI)(BX*8), DX
+	MOVQ DX, (R11)
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	DECQ R13
+	JNZ  gploop
+
+gtail:
+	MOVL (R8), AX
+	MOVQ (SI)(AX*8), CX
+	MOVQ CX, (R10)
+	MOVL (R9), BX
+	MOVQ (SI)(BX*8), DX
+	MOVQ DX, (R11)
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	DECQ R12
+	JNZ  gtail
+	RET

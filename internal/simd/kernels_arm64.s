@@ -1,0 +1,103 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON probe kernels. Same layout contract as the AVX2 side: a uint64
+// bucket word is four 16-bit fingerprint lanes, and fpw broadcasts the
+// probe fingerprint into all four. A 128-bit V register holds two keys'
+// words, so VCMEQ on H8 lanes compares two buckets at once.
+
+// func compareHitsNEON(hits *uint8, w1, w2, fpw *uint64, n int)
+//
+// n must be a positive multiple of 2. The per-lane equality masks come
+// back as all-ones halfwords; the nibble extraction runs GP-side: AND
+// keeps bit 16j of each equal lane, and multiplying by a constant with
+// bits at 15, 30, 45, 60 parks those four bits contiguously at 60..63
+// (the spacings can produce no colliding cross terms), so LSR #60 yields
+// the 4-bit lane mask.
+TEXT ·compareHitsNEON(SB), NOSPLIT, $0-40
+	MOVD hits+0(FP), R0
+	MOVD w1+8(FP), R1
+	MOVD w2+16(FP), R2
+	MOVD fpw+24(FP), R3
+	MOVD n+32(FP), R4
+	MOVD $0x0001000100010001, R5
+	MOVD $0x1000200040008000, R6
+
+cmploop:
+	VLD1.P 16(R1), [V0.B16]
+	VLD1.P 16(R2), [V1.B16]
+	VLD1.P 16(R3), [V2.B16]
+	VCMEQ  V2.H8, V0.H8, V3.H8
+	VCMEQ  V2.H8, V1.H8, V4.H8
+	VMOV   V3.D[0], R7
+	VMOV   V3.D[1], R8
+	VMOV   V4.D[0], R9
+	VMOV   V4.D[1], R10
+	AND    R5, R7, R7
+	MUL    R6, R7, R7
+	LSR    $60, R7, R7
+	AND    R5, R8, R8
+	MUL    R6, R8, R8
+	LSR    $60, R8, R8
+	AND    R5, R9, R9
+	MUL    R6, R9, R9
+	LSR    $60, R9, R9
+	AND    R5, R10, R10
+	MUL    R6, R10, R10
+	LSR    $60, R10, R10
+	ORR    R9<<4, R7, R7
+	ORR    R10<<4, R8, R8
+	ORR    R8<<8, R7, R7
+	MOVH   R7, (R0)
+	ADD    $2, R0
+	SUBS   $2, R4, R4
+	BNE    cmploop
+	RET
+
+// func gatherWordsAsm(words *uint64, l1, l2 *uint32, w1, w2 *uint64, n int)
+//
+// n must be positive. PRFM PLDL1KEEP runs eight keys ahead of the loads
+// so a tile's bucket-line misses overlap beyond the out-of-order window.
+TEXT ·gatherWordsAsm(SB), NOSPLIT, $0-48
+	MOVD words+0(FP), R0
+	MOVD l1+8(FP), R1
+	MOVD l2+16(FP), R2
+	MOVD w1+24(FP), R3
+	MOVD w2+32(FP), R4
+	MOVD n+40(FP), R5
+	CMP  $8, R5
+	BLE  gtail
+	SUB  $8, R5, R6
+	MOVD $8, R5
+
+gploop:
+	MOVWU 32(R1), R7
+	ADD   R7<<3, R0, R7
+	PRFM  (R7), PLDL1KEEP
+	MOVWU 32(R2), R7
+	ADD   R7<<3, R0, R7
+	PRFM  (R7), PLDL1KEEP
+	MOVWU.P 4(R1), R7
+	ADD   R7<<3, R0, R7
+	MOVD  (R7), R8
+	MOVD.P R8, 8(R3)
+	MOVWU.P 4(R2), R7
+	ADD   R7<<3, R0, R7
+	MOVD  (R7), R8
+	MOVD.P R8, 8(R4)
+	SUBS  $1, R6, R6
+	BNE   gploop
+
+gtail:
+	MOVWU.P 4(R1), R7
+	ADD   R7<<3, R0, R7
+	MOVD  (R7), R8
+	MOVD.P R8, 8(R3)
+	MOVWU.P 4(R2), R7
+	ADD   R7<<3, R0, R7
+	MOVD  (R7), R8
+	MOVD.P R8, 8(R4)
+	SUBS  $1, R5, R5
+	BNE   gtail
+	RET

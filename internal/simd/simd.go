@@ -1,0 +1,147 @@
+// Package simd is the vectorized probe-kernel layer of the batch query
+// pipeline. It owns three kernels, each shaped for one phase of
+// internal/core's tile pipeline over whole 256-key tiles:
+//
+//	HashFill     phase 1a — the splitmix64 key derivations (fingerprint,
+//	             home bucket, alternate bucket via the altOff memo) for
+//	             every key of a tile
+//	GatherWords  phase 1b — both candidate bucket-word loads per key,
+//	             with explicit software prefetch ahead of the loads so
+//	             DRAM misses overlap across the tile
+//	CompareHits  phase 2 — the b=4 fingerprint compare of each key's
+//	             broadcast fingerprint against both preloaded bucket
+//	             word mirrors, returning an exact per-lane hit bitmask
+//
+// Every kernel has a pure-Go scalar implementation (generic.go) that is
+// the semantic reference: the vector forms must match it bit for bit, and
+// FuzzSIMDEquivalence in internal/core holds them to that. Hardware
+// kernels exist for amd64 (AVX2 + BMI2, runtime-detected via hand-rolled
+// CPUID/XGETBV) and arm64 (NEON, baseline on ARMv8; the hash kernel
+// stays scalar there because NEON has no 64-bit lane multiply). The
+// `noasm` build tag compiles none of the assembly and pins the scalar
+// engine, which is also the fallback on every other GOARCH.
+//
+// The package is dependency-free beyond the stdlib and internal/hashing,
+// allocates nothing, and its kernels are safe for concurrent readers:
+// they read only the caller's table slices and write only into the
+// caller's scratch.
+package simd
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Engine names, as reported by Active and accepted by SetEngine.
+const (
+	EngineScalar = "scalar"
+	EngineAVX2   = "avx2"
+	EngineNEON   = "neon"
+)
+
+// kernels bundles one engine's three kernel implementations.
+type kernels struct {
+	name        string
+	compareHits func(hits []uint8, w1, w2, fpw []uint64, n int)
+	hashFill    func(keys []uint64, seedFp, seedIdx uint64, fpMask uint16,
+		idxMask uint32, altOff []uint32, fp []uint16, fpw []uint64, l1, l2 []uint32, n int)
+	gatherWords func(words []uint64, l1, l2 []uint32, w1, w2 []uint64, n int)
+}
+
+var scalarKernels = kernels{
+	name:        EngineScalar,
+	compareHits: compareHitsGeneric,
+	hashFill:    hashFillGeneric,
+	gatherWords: gatherWordsGeneric,
+}
+
+// bestKernels is the fastest engine the hardware supports, chosen once by
+// the per-arch init; SetEngine("auto") reinstates it. It defaults to
+// scalar and is only ever reassigned during package init.
+var bestKernels = &scalarKernels
+
+// active is the engine every exported kernel dispatches through. It is
+// an atomic pointer so SetEngine is safe against in-flight probes, but
+// switching is a boot-time configuration act, not a hot-path one.
+var active atomic.Pointer[kernels]
+
+// archInit is defined exactly once per build configuration (amd64, arm64,
+// or the noasm/other-arch fallback) and performs feature detection,
+// setting features and bestKernels. Calling it from here — rather than
+// from per-file init funcs — pins the order: detect first, then publish,
+// independent of file-name init sequencing.
+func init() {
+	archInit()
+	active.Store(bestKernels)
+}
+
+// features is the detected CPU feature string, set by the per-arch init
+// (e.g. "sse4.2 avx avx2 bmi1 bmi2"); empty means no detection ran.
+var features string
+
+// Active returns the name of the engine currently serving the kernels.
+func Active() string { return active.Load().name }
+
+// Best returns the name of the fastest engine the hardware supports —
+// what "auto" resolves to.
+func Best() string { return bestKernels.name }
+
+// Features returns the detected CPU feature string, independent of which
+// engine is active ("" when the platform has no detector).
+func Features() string { return features }
+
+// SetEngine selects the probe engine: "auto" (the detected best),
+// "scalar" (force the pure-Go fallback), or an explicit engine name,
+// which errors when the hardware or build does not support it. It is
+// meant for boot-time flags and differential tests; in-flight batch
+// probes finish on whichever engine they started with.
+func SetEngine(name string) error {
+	switch name {
+	case "", "auto":
+		active.Store(bestKernels)
+		return nil
+	case EngineScalar:
+		active.Store(&scalarKernels)
+		return nil
+	case bestKernels.name:
+		active.Store(bestKernels)
+		return nil
+	default:
+		return fmt.Errorf("simd: engine %q not available (have %q and %q)",
+			name, bestKernels.name, EngineScalar)
+	}
+}
+
+// CompareHits resolves phase 2's word compares for the first n keys:
+// hits[i]'s low nibble holds the per-lane equality mask of w1[i] against
+// the fingerprint broadcast in fpw[i] (bit j = 16-bit lane j matches),
+// and the high nibble likewise for w2[i]. A zero byte means neither
+// candidate bucket holds the fingerprint, so the key resolves with no
+// slot-array access at all; a set bit tells the resolver exactly which
+// slot to check, so it never re-reads fingerprints the compare already
+// matched. The masks are exact (no SWAR over-report): the vector forms
+// compare 16-bit lanes directly, 16 lanes (4 buckets) per 256-bit op.
+func CompareHits(hits []uint8, w1, w2, fpw []uint64, n int) {
+	active.Load().compareHits(hits, w1, w2, fpw, n)
+}
+
+// HashFill runs phase 1a for the first n keys: fp[i] gets the nonzero
+// fingerprint mix64(keys[i]^seedFp)&fpMask (0 promoted to 1), fpw[i] its
+// broadcast into all four 16-bit lanes, l1[i] the home bucket
+// mix64(keys[i]^seedIdx)&idxMask, and l2[i] the alternate bucket
+// l1[i]^altOff[fp[i]]. seedFp and seedIdx are the pre-mixed salts
+// (hashing.Salt of the filter's salted seed), so the kernel is two
+// mix64 finalizers and a memo lookup per key; altOff must have at least
+// fpMask+1 entries.
+func HashFill(keys []uint64, seedFp, seedIdx uint64, fpMask uint16,
+	idxMask uint32, altOff []uint32, fp []uint16, fpw []uint64, l1, l2 []uint32, n int) {
+	active.Load().hashFill(keys, seedFp, seedIdx, fpMask, idxMask, altOff, fp, fpw, l1, l2, n)
+}
+
+// GatherWords runs phase 1b for the packed layout: w1[i] = words[l1[i]]
+// and w2[i] = words[l2[i]] for the first n keys, with the hardware
+// engines issuing PREFETCHT0/PRFM a fixed distance ahead so a tile's
+// cache misses overlap beyond the out-of-order window.
+func GatherWords(words []uint64, l1, l2 []uint32, w1, w2 []uint64, n int) {
+	active.Load().gatherWords(words, l1, l2, w1, w2, n)
+}

@@ -1,0 +1,217 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccf/internal/hashing"
+)
+
+// randWords builds a plausible bucket-word table plus probe vectors whose
+// hit rate is high enough to exercise both the zero and nonzero nibble
+// paths: half the fpw entries are broadcast from fingerprints that occur
+// in the words.
+func randProbe(r *rand.Rand, n int, fpMask uint16) (w1, w2, fpw []uint64) {
+	w1 = make([]uint64, n)
+	w2 = make([]uint64, n)
+	fpw = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		w1[i] = r.Uint64()
+		w2[i] = r.Uint64()
+		var f uint16
+		switch r.Intn(4) {
+		case 0:
+			// Plant the probe fingerprint into a random lane of each word.
+			f = uint16(r.Uint64())&fpMask | 1
+			lane := uint(r.Intn(4)) * 16
+			w1[i] = w1[i]&^(0xffff<<lane) | uint64(f)<<lane
+			lane = uint(r.Intn(4)) * 16
+			w2[i] = w2[i]&^(0xffff<<lane) | uint64(f)<<lane
+		case 1:
+			// Borrow-propagation bait: lanes one off from the fingerprint.
+			f = uint16(r.Uint64())&fpMask | 1
+			w1[i] = uint64(f-1) * laneLo
+			w2[i] = uint64(f+1) * laneLo
+		default:
+			f = uint16(r.Uint64())&fpMask | 1
+		}
+		fpw[i] = uint64(f) * laneLo
+	}
+	return
+}
+
+func TestCompareHitsMatchesGeneric(t *testing.T) {
+	if Best() == EngineScalar {
+		t.Skip("no hardware engine in this build")
+	}
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 33, 256} {
+		w1, w2, fpw := randProbe(r, n+1, 0xffff)
+		want := make([]uint8, n)
+		got := make([]uint8, n)
+		compareHitsGeneric(want, w1, w2, fpw, n)
+		bestKernels.compareHits(got, w1, w2, fpw, n)
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d key %d: got %#x want %#x (w1=%#x w2=%#x fpw=%#x)",
+					n, i, got[i], want[i], w1[i], w2[i], fpw[i])
+			}
+		}
+	}
+}
+
+func TestHashFillMatchesGeneric(t *testing.T) {
+	if Best() == EngineScalar {
+		t.Skip("no hardware engine in this build")
+	}
+	r := rand.New(rand.NewSource(2))
+	seedFp := hashing.Salt(0x2002)
+	seedIdx := hashing.Salt(0x1001)
+	for _, fpBits := range []uint{4, 8, 12, 16} {
+		fpMask := uint16(1)<<fpBits - 1
+		altOff := make([]uint32, int(fpMask)+1)
+		for i := range altOff {
+			altOff[i] = r.Uint32() & 0xfff
+		}
+		for _, n := range []int{0, 1, 3, 4, 5, 8, 13, 256} {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			// A handful of keys whose fingerprint masks to zero exercise
+			// the 0→1 promotion (found by construction for small masks).
+			wantFp := make([]uint16, n)
+			wantFpw := make([]uint64, n)
+			wantL1 := make([]uint32, n)
+			wantL2 := make([]uint32, n)
+			hashFillGeneric(keys, seedFp, seedIdx, fpMask, 0xfff, altOff,
+				wantFp, wantFpw, wantL1, wantL2, n)
+			gotFp := make([]uint16, n)
+			gotFpw := make([]uint64, n)
+			gotL1 := make([]uint32, n)
+			gotL2 := make([]uint32, n)
+			bestKernels.hashFill(keys, seedFp, seedIdx, fpMask, 0xfff, altOff,
+				gotFp, gotFpw, gotL1, gotL2, n)
+			for i := 0; i < n; i++ {
+				if gotFp[i] != wantFp[i] || gotFpw[i] != wantFpw[i] ||
+					gotL1[i] != wantL1[i] || gotL2[i] != wantL2[i] {
+					t.Fatalf("fpBits=%d n=%d key %d (%#x): got fp=%#x fpw=%#x l1=%#x l2=%#x, want fp=%#x fpw=%#x l1=%#x l2=%#x",
+						fpBits, n, i, keys[i], gotFp[i], gotFpw[i], gotL1[i], gotL2[i],
+						wantFp[i], wantFpw[i], wantL1[i], wantL2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHashFillZeroPromotion(t *testing.T) {
+	if Best() == EngineScalar {
+		t.Skip("no hardware engine in this build")
+	}
+	// With fpMask=1 roughly half of all keys mask to zero, so a small
+	// batch is guaranteed to exercise the promotion in the vector body.
+	seedFp := hashing.Salt(0x2002)
+	seedIdx := hashing.Salt(0x1001)
+	altOff := []uint32{0, 5}
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	n := len(keys)
+	wantFp := make([]uint16, n)
+	gotFp := make([]uint16, n)
+	buf := func() ([]uint64, []uint32, []uint32) {
+		return make([]uint64, n), make([]uint32, n), make([]uint32, n)
+	}
+	wfpw, wl1, wl2 := buf()
+	gfpw, gl1, gl2 := buf()
+	hashFillGeneric(keys, seedFp, seedIdx, 1, 7, altOff, wantFp, wfpw, wl1, wl2, n)
+	bestKernels.hashFill(keys, seedFp, seedIdx, 1, 7, altOff, gotFp, gfpw, gl1, gl2, n)
+	for i := 0; i < n; i++ {
+		if gotFp[i] == 0 {
+			t.Fatalf("key %d: vector kernel produced zero fingerprint", i)
+		}
+		if gotFp[i] != wantFp[i] || gfpw[i] != wfpw[i] || gl1[i] != wl1[i] || gl2[i] != wl2[i] {
+			t.Fatalf("key %d: kernel mismatch fp=%#x want %#x", i, gotFp[i], wantFp[i])
+		}
+	}
+}
+
+func TestGatherWordsMatchesGeneric(t *testing.T) {
+	if Best() == EngineScalar {
+		t.Skip("no hardware engine in this build")
+	}
+	r := rand.New(rand.NewSource(3))
+	words := make([]uint64, 1<<12)
+	for i := range words {
+		words[i] = r.Uint64()
+	}
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 64, 256} {
+		l1 := make([]uint32, n)
+		l2 := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			l1[i] = r.Uint32() & 0xfff
+			l2[i] = r.Uint32() & 0xfff
+		}
+		want1 := make([]uint64, n)
+		want2 := make([]uint64, n)
+		got1 := make([]uint64, n)
+		got2 := make([]uint64, n)
+		gatherWordsGeneric(words, l1, l2, want1, want2, n)
+		bestKernels.gatherWords(words, l1, l2, got1, got2, n)
+		for i := 0; i < n; i++ {
+			if got1[i] != want1[i] || got2[i] != want2[i] {
+				t.Fatalf("n=%d key %d: got (%#x,%#x) want (%#x,%#x)",
+					n, i, got1[i], got2[i], want1[i], want2[i])
+			}
+		}
+	}
+}
+
+func TestSetEngine(t *testing.T) {
+	defer SetEngine("auto")
+	if err := SetEngine("scalar"); err != nil {
+		t.Fatal(err)
+	}
+	if Active() != EngineScalar {
+		t.Fatalf("Active()=%q after SetEngine(scalar)", Active())
+	}
+	if err := SetEngine("auto"); err != nil {
+		t.Fatal(err)
+	}
+	if Active() != Best() {
+		t.Fatalf("Active()=%q Best()=%q after SetEngine(auto)", Active(), Best())
+	}
+	if err := SetEngine("made-up"); err == nil {
+		t.Fatal("SetEngine accepted an unknown engine")
+	}
+}
+
+func TestLaneMaskExact(t *testing.T) {
+	// Exhaustive-ish check that laneMask reports exactly the equal lanes,
+	// including the borrow-propagation patterns the SWAR any-test is known
+	// to be exact for but a naive per-lane SWAR extractor is not.
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200000; trial++ {
+		f := uint16(r.Uint64()) | 1
+		fpw := uint64(f) * laneLo
+		var w uint64
+		switch trial % 3 {
+		case 0:
+			w = r.Uint64()
+		case 1:
+			w = uint64(f-1)*laneLo ^ r.Uint64()&0x0001_0000_0001_0000
+		case 2:
+			w = fpw ^ 1<<(r.Intn(64))
+		}
+		var want uint8
+		for lane := 0; lane < 4; lane++ {
+			if uint16(w>>(16*lane)) == f {
+				want |= 1 << lane
+			}
+		}
+		if got := laneMask(w, fpw); got != want {
+			t.Fatalf("laneMask(%#x, %#x) = %#x, want %#x", w, fpw, got, want)
+		}
+	}
+}
