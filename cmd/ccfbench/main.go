@@ -6,6 +6,7 @@
 //	ccfbench -allocs
 //	ccfbench -contended [-clients 4]
 //	ccfbench -validate-metrics http://127.0.0.1:8437/metrics
+//	ccfbench -trace-report BENCH_serve.json
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 aggregate all. Output is printed as aligned text tables; see
@@ -23,6 +24,10 @@
 // -validate-metrics scrapes a running daemon's /metrics endpoint and
 // fails (exit 1) on malformed Prometheus exposition or a missing
 // required metric family — CI's observability smoke check.
+//
+// -trace-report reads a BENCH_serve.json written by `ccfd bench` and
+// prints the tracing pass's phase-attribution tables: per-request trace
+// overhead, then each phase's count, total, p50 and p99.
 package main
 
 import (
@@ -76,6 +81,7 @@ func main() {
 	contended := flag.Bool("contended", false, "print the contended read-path report (seqlock vs rlock) and exit")
 	clients := flag.Int("clients", 4, "client goroutines for -contended")
 	validateMetricsURL := flag.String("validate-metrics", "", "scrape this /metrics URL, fail on malformed exposition or missing families, and exit")
+	traceReportPath := flag.String("trace-report", "", "print the phase-attribution report from this BENCH_serve.json and exit")
 	probeEngine := flag.String("probe-engine", "auto", "batch probe engine: auto, scalar, or an explicit kernel name (avx2, neon)")
 	flag.Usage = usage
 	flag.Parse()
@@ -87,6 +93,13 @@ func main() {
 
 	if *validateMetricsURL != "" {
 		if err := validateMetrics(os.Stdout, *validateMetricsURL); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceReportPath != "" {
+		if err := traceReport(os.Stdout, *traceReportPath); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
 			os.Exit(1)
 		}

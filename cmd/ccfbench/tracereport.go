@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// traceRecord is the slice of a BENCH_serve.json record the trace report
+// needs; the file is written by `ccfd bench` (see cmd/ccfd).
+type traceRecord struct {
+	Op               string                `json:"op"`
+	Impl             string                `json:"impl"`
+	Shards           int                   `json:"shards"`
+	Batch            int                   `json:"batch"`
+	NsPerOp          float64               `json:"ns_per_op"`
+	TraceOverheadNs  float64               `json:"trace_overhead_ns"`
+	PhaseAttribution map[string]phaseEntry `json:"phase_attribution"`
+}
+
+type phaseEntry struct {
+	Count   uint64  `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	P50Ns   float64 `json:"p50_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+}
+
+// traceReport reads a BENCH_serve.json file and prints the tracing
+// pass's records: per-request trace overhead and the p50/p99 phase
+// attribution table — where sampled request time went, by phase.
+func traceReport(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var records []traceRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	found := 0
+	for _, r := range records {
+		if len(r.PhaseAttribution) == 0 {
+			continue
+		}
+		found++
+		fmt.Fprintf(w, "%s/%s shards=%d batch=%d: %.1f ns/key, trace overhead %.0f ns/request\n",
+			r.Op, r.Impl, r.Shards, r.Batch, r.NsPerOp, r.TraceOverheadNs)
+		phases := make([]string, 0, len(r.PhaseAttribution))
+		for p := range r.PhaseAttribution {
+			phases = append(phases, p)
+		}
+		// Widest total first: the attribution answers "where did the
+		// time go", so lead with the biggest sink.
+		sort.Slice(phases, func(i, j int) bool {
+			return r.PhaseAttribution[phases[i]].TotalNs > r.PhaseAttribution[phases[j]].TotalNs
+		})
+		fmt.Fprintf(w, "  %-12s %10s %14s %12s %12s\n", "phase", "count", "total", "p50", "p99")
+		for _, p := range phases {
+			e := r.PhaseAttribution[p]
+			fmt.Fprintf(w, "  %-12s %10d %14s %12s %12s\n",
+				p, e.Count,
+				time.Duration(e.TotalNs).Round(time.Microsecond),
+				time.Duration(e.P50Ns).Round(10*time.Nanosecond),
+				time.Duration(e.P99Ns).Round(10*time.Nanosecond))
+		}
+		fmt.Fprintln(w)
+	}
+	if found == 0 {
+		return fmt.Errorf("%s: no records with phase_attribution — regenerate with `ccfd bench`", path)
+	}
+	return nil
+}

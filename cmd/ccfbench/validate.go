@@ -22,6 +22,8 @@ var requiredFamilies = []string{
 	"ccfd_folds_scheduled_total", // fold scheduling
 	"ccfd_recovery_filters",      // boot recovery
 	"ccfd_probe_engine_info",     // active batch probe kernel
+	"ccfd_traces_slow_total",     // flight recorder
+	"ccfd_trace_phase_seconds",   // per-phase latency attribution
 }
 
 // validateMetrics scrapes url, checks the body is well-formed Prometheus

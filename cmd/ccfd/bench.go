@@ -16,6 +16,7 @@ import (
 	"ccf"
 	"ccf/internal/core"
 	"ccf/internal/obs"
+	"ccf/internal/obs/trace"
 	"ccf/internal/server"
 	"ccf/internal/shard"
 	"ccf/internal/simd"
@@ -66,6 +67,15 @@ type BenchResult struct {
 	FsyncP50Ns       float64 `json:"fsync_p50_ns,omitempty"`      // durable pass
 	FsyncP99Ns       float64 `json:"fsync_p99_ns,omitempty"`      // durable pass
 	WALAppendBytes   uint64  `json:"wal_append_bytes,omitempty"`  // durable pass
+
+	// Tracing pass (impl "sharded+trace"): TraceOverheadNs is the added
+	// wall cost per request (batch) of carrying an enabled-but-unsampled
+	// trace context through the probe path versus the untraced loop;
+	// PhaseAttribution summarizes where request time went in the fully
+	// sampled pass (p50/p99 per phase, the `ccfd bench` form of the
+	// daemon's ccfd_trace_phase_seconds histograms).
+	TraceOverheadNs  float64                    `json:"trace_overhead_ns,omitempty"`
+	PhaseAttribution map[string]trace.PhaseStat `json:"phase_attribution,omitempty"`
 }
 
 // benchConfig parameterizes one bench run.
@@ -261,6 +271,16 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 			return nil, err
 		}
 		results = append(results, uni)
+
+		// Tracing pass: the same query replay with a request trace
+		// context threaded through the probe path, recording what the
+		// tracer costs when enabled-but-unsampled (the production
+		// default) plus the per-phase attribution of a fully sampled run.
+		tr, err := benchTraced(cfg, params, n, keys, attrs, workload, pred, mkResult)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, tr)
 	}
 
 	// Contended mode: N goroutines hammering the same sharded filter at a
@@ -442,6 +462,63 @@ func benchContended(cfg benchConfig, params core.Params, shards int, impl string
 		r.SeqlockRetries = uint64(after["ccfd_seqlock_retries_total"] - before["ccfd_seqlock_retries_total"])
 		r.SeqlockFallbacks = uint64(after["ccfd_seqlock_fallbacks_total"] - before["ccfd_seqlock_fallbacks_total"])
 	}
+	return r, nil
+}
+
+// benchTraced measures the tracer on the batched query path at one shard
+// count: an untraced baseline loop, the same loop carrying an
+// enabled-but-unsampled request trace (the production default — must be
+// within noise of the baseline and allocation-free), and a fully sampled
+// pass whose per-phase histograms become the record's PhaseAttribution.
+// All three run single-client so the delta is the tracer's, not the
+// scheduler's.
+func benchTraced(cfg benchConfig, params core.Params, shards int,
+	keys []uint64, attrs [][]uint64, workload []uint64, pred core.Predicate,
+	mkResult func(op, impl string, shards, batch, ops int, m measurement) BenchResult) (BenchResult, error) {
+	s, err := shard.New(shard.Options{Shards: shards, Workers: 1, Params: params})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	for i, err := range s.InsertBatch(keys, attrs) {
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("traced preload %d: %w", i, err)
+		}
+	}
+	out := make([]bool, 0, cfg.batch)
+	replay := func(fn func(batch []uint64)) time.Duration {
+		start := time.Now()
+		for lo := 0; lo < len(workload); lo += cfg.batch {
+			end := lo + cfg.batch
+			if end > len(workload) {
+				end = len(workload)
+			}
+			fn(workload[lo:end])
+		}
+		return time.Since(start)
+	}
+	batches := (len(workload) + cfg.batch - 1) / cfg.batch
+
+	base := measured(func() time.Duration {
+		return replay(func(b []uint64) { out = s.QueryBatchInto(out[:0], b, pred) })
+	})
+	unsampled := trace.New(trace.Options{Recorder: trace.NewRecorder(8, 8)})
+	traced := measured(func() time.Duration {
+		return replay(func(b []uint64) {
+			r := unsampled.StartRequest("")
+			out = s.QueryBatchTracedInto(out[:0], b, pred, r)
+			unsampled.Finish(r, 200)
+		})
+	})
+	sampled := trace.New(trace.Options{SampleEvery: 1, Recorder: trace.NewRecorder(8, 8)})
+	replay(func(b []uint64) {
+		r := sampled.StartRequest("")
+		out = s.QueryBatchTracedInto(out[:0], b, pred, r)
+		sampled.Finish(r, 200)
+	})
+
+	r := mkResult("query", "sharded+trace", shards, cfg.batch, len(workload), traced)
+	r.TraceOverheadNs = float64((traced.elapsed - base.elapsed).Nanoseconds()) / float64(batches)
+	r.PhaseAttribution = sampled.Attribution()
 	return r, nil
 }
 

@@ -12,7 +12,7 @@
 //	           [-checkpoint-records N] [-pprof-addr 127.0.0.1:6060]
 //	           [-auto-grow] [-metrics-addr 127.0.0.1:9437]
 //	           [-log-format text|json] [-log-level info]
-//	           [-slow-query 0] [-probe-engine auto]
+//	           [-slow-query 0] [-trace-sample 0] [-probe-engine auto]
 //	ccfd bench [-keys 100000] [-queries 1000000] [-batch 1024]
 //	           [-shards 1,4,16] [-variant chained] [-alpha 1.1]
 //	           [-clients 0] [-seed 1] [-out BENCH_serve.json]
@@ -43,7 +43,17 @@
 // additionally serves /metrics on a separate private address.
 // Logs are structured (log/slog): -log-format picks text or json,
 // -log-level sets the floor, and -slow-query logs any request at or
-// above the given latency at Warn with its request ID.
+// above the given latency at Warn with its request and trace IDs.
+//
+// Every request carries a W3C trace context (incoming traceparent
+// honored, one emitted on the response) with per-phase spans — decode,
+// shard probe, WAL append, fsync wait, encode — recorded at zero
+// allocations. Requests over -slow-query are pinned in a flight
+// recorder served by GET /debug/traces (?format=text for a waterfall);
+// -trace-sample N additionally captures every Nth request and feeds
+// the ccfd_trace_phase_seconds attribution histograms, and latency
+// histogram buckets carry trace-ID exemplars under /metrics?exemplars=1.
+// See the README's Observability section.
 //
 // With -pprof-addr the daemon also serves net/http/pprof on a separate
 // (keep it private) address, so hot-path regressions can be profiled in
@@ -86,6 +96,7 @@ import (
 	"time"
 
 	"ccf/internal/obs"
+	"ccf/internal/obs/trace"
 	"ccf/internal/server"
 	"ccf/internal/simd"
 	"ccf/internal/store"
@@ -128,7 +139,7 @@ func usage() {
              [-pprof-addr 127.0.0.1:6060] [-auto-grow]
              [-metrics-addr 127.0.0.1:9437] [-log-format text|json]
              [-log-level debug|info|warn|error] [-slow-query DURATION]
-             [-probe-engine auto|scalar|avx2|neon]
+             [-trace-sample N] [-probe-engine auto|scalar|avx2|neon]
   ccfd bench [-keys N] [-queries N] [-batch N] [-shards 1,4,16]
              [-variant chained|plain|bloom|mixed] [-alpha 1.1]
              [-clients 0] [-seed 1] [-out BENCH_serve.json]
@@ -158,6 +169,7 @@ type serveConfig struct {
 	logFormat   string        // "text" (default) or "json"
 	logLevel    slog.Level    // zero value = Info
 	slowQuery   time.Duration // log requests at/above this latency; 0 disables
+	traceSample int           // trace every Nth request; 0 = slow-only tracing
 	logW        io.Writer     // log destination override (tests); nil = stderr
 }
 
@@ -176,7 +188,8 @@ func serveCmd(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "also serve /metrics on this address (empty = main listener only); keep it private")
 	logFormat := fs.String("log-format", "text", "log output format: text|json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
-	slowQuery := fs.Duration("slow-query", 0, "log requests at or above this latency at Warn (0 disables)")
+	slowQuery := fs.Duration("slow-query", 0, "log requests at or above this latency at Warn and pin their trace in /debug/traces (0 disables)")
+	traceSample := fs.Int("trace-sample", 0, "capture every Nth request's trace into /debug/traces and the phase-attribution histograms (0 = slow requests only, 1 = all)")
 	probeEngine := fs.String("probe-engine", "auto", "batch probe engine: auto (detected best), scalar, or an explicit kernel name (avx2, neon)")
 	fs.Parse(args)
 
@@ -205,6 +218,7 @@ func serveCmd(args []string) error {
 		logFormat:   *logFormat,
 		logLevel:    level,
 		slowQuery:   *slowQuery,
+		traceSample: *traceSample,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -296,6 +310,28 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 		"best", simd.Best(),
 		"goarch", runtime.GOARCH,
 		"cpu_features", simd.Features())
+	// Tracing is always on: unsampled requests still carry a trace
+	// context (zero-alloc), slow requests are pinned in the flight
+	// recorder, and -trace-sample adds every-Nth capture for phase
+	// attribution. The tracer's own counters and per-phase histograms
+	// go through the same registry as everything else.
+	tracer := trace.New(trace.Options{
+		SampleEvery:   cfg.traceSample,
+		SlowThreshold: cfg.slowQuery,
+		Recorder:      trace.NewRecorder(32, 32),
+	})
+	tm := tracer.TracerMetrics()
+	om.RegisterCounter("ccfd_traces_slow_total",
+		"Traces pinned in the flight recorder for exceeding -slow-query.", &tm.SlowCaptured)
+	om.RegisterCounter("ccfd_traces_sampled_total",
+		"Traces captured by -trace-sample.", &tm.SampledCaptured)
+	om.RegisterCounter("ccfd_trace_spans_dropped_total",
+		"Spans dropped because a request exceeded its span buffer.", &tm.SpansDropped)
+	for _, p := range trace.Phases() {
+		om.RegisterHistogram("ccfd_trace_phase_seconds",
+			"Per-phase latency attribution from sampled traces.",
+			tracer.PhaseHistogram(p), obs.Label{Key: "phase", Value: p.String()})
+	}
 	health := &server.Health{}
 	reg := server.NewRegistry(cfg.cacheCap)
 	reg.AttachObs(om)
@@ -329,6 +365,7 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 		Logger:       logger,
 		SlowQuery:    cfg.slowQuery,
 		Health:       health,
+		Tracer:       tracer,
 	})}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -342,6 +379,7 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 			FlushInterval:     cfg.flushEvery,
 			CheckpointBytes:   disabledToNeg(cfg.ckptBytes),
 			CheckpointRecords: disabledToNeg(cfg.ckptRecords),
+			Tracer:            tracer,
 			Logf: func(format string, args ...any) {
 				logger.Info(fmt.Sprintf(format, args...))
 			},

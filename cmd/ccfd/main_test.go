@@ -184,9 +184,9 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 	if err != nil {
 		t.Fatalf("runBench: %v", err)
 	}
-	// Per shard count: insert + query (Zipf + uniform) + 2 contended
-	// (seqlock/rlock) + wal.
-	if len(results) != 2+6*len(cfg.shards) {
+	// Per shard count: insert + query (Zipf + uniform + traced) +
+	// 2 contended (seqlock/rlock) + wal.
+	if len(results) != 2+7*len(cfg.shards) {
 		t.Fatalf("got %d records", len(results))
 	}
 	seen := map[string]bool{}
@@ -219,10 +219,24 @@ func TestBenchEmitsJSONRecords(t *testing.T) {
 		if r.Impl == "sharded-rlock" && r.SeqlockFallbacks == 0 {
 			t.Fatalf("rlock contended record shows no fallbacks: %+v", r)
 		}
+		// The traced pass must attribute sampled request time to phases:
+		// at minimum the root request span and the per-shard probes.
+		if r.Impl == "sharded+trace" {
+			if len(r.PhaseAttribution) == 0 {
+				t.Fatalf("traced record missing phase attribution: %+v", r)
+			}
+			for _, phase := range []string{"request", "shard_probe"} {
+				st, ok := r.PhaseAttribution[phase]
+				if !ok || st.Count == 0 {
+					t.Fatalf("traced record missing %s attribution: %+v", phase, r.PhaseAttribution)
+				}
+			}
+		}
 	}
 	for _, want := range []string{"insert/sync/1", "query/sync/1", "insert/sharded/1",
 		"query/sharded/1", "insert/sharded/4", "query/sharded/4",
 		"query/sharded-uniform/1", "query/sharded-uniform/4",
+		"query/sharded+trace/1", "query/sharded+trace/4",
 		"insert/sharded+wal/1", "insert/sharded+wal/4",
 		"mixed/sharded/1", "mixed/sharded-rlock/1",
 		"mixed/sharded/4", "mixed/sharded-rlock/4"} {

@@ -292,42 +292,63 @@ func keepFalse(pend []int32, out []bool) []int32 {
 // only the keys still negative (early exit per key, matching the scalar
 // newest→oldest order). See Filter.QueryBatchIdx for the idxs contract.
 func (l *Ladder) QueryBatchIdx(out []bool, keys []uint64, idxs []int32, pred Predicate) {
+	l.QueryBatchIdxWalk(out, keys, idxs, pred)
+}
+
+// QueryBatchIdxWalk is QueryBatchIdx reporting the walk depth: the
+// number of ladder levels actually probed before every key resolved
+// (at least 1; older levels skipped by the early exit don't count).
+// Tracing attaches it as a span attribute so a deep-ladder tail is
+// distinguishable from seqlock contention.
+func (l *Ladder) QueryBatchIdxWalk(out []bool, keys []uint64, idxs []int32, pred Predicate) int {
 	lv := l.levels()
 	last := len(lv) - 1
 	lv[last].QueryBatchIdx(out, keys, idxs, pred)
 	if last == 0 {
-		return
+		return 1
 	}
+	walked := 1
 	lb := ladderPool.Get().(*ladderBatch)
 	pend := pendingFalse(lb.pend[:0], out, len(keys), idxs)
 	for li := last - 1; li >= 0 && len(pend) > 0; li-- {
 		lv[li].QueryBatchIdx(out, keys, pend, pred)
+		walked++
 		if li > 0 {
 			pend = keepFalse(pend, out)
 		}
 	}
 	lb.pend = pend
 	ladderPool.Put(lb)
+	return walked
 }
 
 // ContainsBatchIdx is the batched key-membership probe across levels.
 func (l *Ladder) ContainsBatchIdx(out []bool, keys []uint64, idxs []int32) {
+	l.ContainsBatchIdxWalk(out, keys, idxs)
+}
+
+// ContainsBatchIdxWalk is ContainsBatchIdx reporting the walk depth,
+// under the QueryBatchIdxWalk contract.
+func (l *Ladder) ContainsBatchIdxWalk(out []bool, keys []uint64, idxs []int32) int {
 	lv := l.levels()
 	last := len(lv) - 1
 	lv[last].ContainsBatchIdx(out, keys, idxs)
 	if last == 0 {
-		return
+		return 1
 	}
+	walked := 1
 	lb := ladderPool.Get().(*ladderBatch)
 	pend := pendingFalse(lb.pend[:0], out, len(keys), idxs)
 	for li := last - 1; li >= 0 && len(pend) > 0; li-- {
 		lv[li].ContainsBatchIdx(out, keys, pend)
+		walked++
 		if li > 0 {
 			pend = keepFalse(pend, out)
 		}
 	}
 	lb.pend = pend
 	ladderPool.Put(lb)
+	return walked
 }
 
 // QueryBatchInto answers Query for every key under one predicate,

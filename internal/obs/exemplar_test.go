@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplarRendering(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram(1e-9, ExpBounds(100, 10, 4)) // 100ns, 1us, 10us, 100us
+	h.EnableExemplars()
+	r.RegisterHistogram("ccfd_test_latency_seconds", "test latency", h)
+
+	h.ObserveExemplar(500, 0xabcdef, 0x123456) // lands in the 1us bucket
+	h.Observe(50)                              // no exemplar for this bucket
+
+	var plain, ex strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), " # ") {
+		t.Fatalf("default exposition leaked exemplars (must stay text 0.0.4):\n%s", plain.String())
+	}
+	if err := ValidateExposition(plain.String()); err != nil {
+		t.Fatalf("plain exposition invalid: %v", err)
+	}
+
+	if err := r.WritePrometheusOpts(&ex, true); err != nil {
+		t.Fatal(err)
+	}
+	out := ex.String()
+	want := `# {trace_id="0000000000abcdef0000000000123456"}`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exemplar exposition missing %s:\n%s", want, out)
+	}
+	// Exactly one bucket carries it: the exemplar count equals one.
+	if n := strings.Count(out, " # {"); n != 1 {
+		t.Fatalf("exemplar count = %d, want 1:\n%s", n, out)
+	}
+	// The validator must accept exemplar-suffixed bucket lines.
+	if err := ValidateExposition(out); err != nil {
+		t.Fatalf("exemplar exposition invalid: %v", err)
+	}
+}
+
+func TestObserveExemplarZeroIDCountsOnly(t *testing.T) {
+	h := NewHistogram(1e-9, ExpBounds(100, 10, 4))
+	h.EnableExemplars()
+	h.ObserveExemplar(500, 0, 0) // untraced request: observe, no stamp
+	if h.Count() != 1 || h.Sum() != 500 {
+		t.Fatalf("count=%d sum=%d, want 1/500", h.Count(), h.Sum())
+	}
+	if _, ok := h.exemplar(h.bucketIndex(500)); ok {
+		t.Fatal("zero trace ID produced an exemplar")
+	}
+}
+
+func TestObserveExemplarWithoutEnableIsPlain(t *testing.T) {
+	h := NewHistogram(1e-9, ExpBounds(100, 10, 4))
+	h.ObserveExemplar(500, 1, 2)
+	if h.Count() != 1 {
+		t.Fatalf("count=%d, want 1", h.Count())
+	}
+	if _, ok := h.exemplar(h.bucketIndex(500)); ok {
+		t.Fatal("exemplar stored without EnableExemplars")
+	}
+}
+
+func TestValidateExpositionRejectsMalformedExemplar(t *testing.T) {
+	frame := func(bucket string) string {
+		return "# HELP x h\n# TYPE x histogram\n" + bucket + "\n" +
+			"x_bucket{le=\"+Inf\"} 1\nx_sum 0.5\nx_count 1\n"
+	}
+	for _, bad := range []string{
+		`x_bucket{le="1"} 1 # trace_id="ab" 1`,       // missing braces
+		`x_bucket{le="1"} 1 # {trace_id="ab"}`,       // no value
+		`x_bucket{le="1"} 1 # {trace_id="ab"} v`,     // non-numeric value
+		`x_bucket{le="1"} 1 # {trace_id=ab} 1`,       // unquoted label
+		`x_bucket{le="1"} 1 # {trace_id="ab"} 1 2 3`, // extra fields
+	} {
+		if err := ValidateExposition(frame(bad)); err == nil {
+			t.Errorf("malformed exemplar accepted: %s", bad)
+		}
+	}
+	good := frame(`x_bucket{le="1"} 1 # {trace_id="ab"} 0.5 1.62e+09`)
+	if err := ValidateExposition(good); err != nil {
+		t.Errorf("well-formed exemplar rejected: %v", err)
+	}
+}

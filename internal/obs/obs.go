@@ -17,6 +17,7 @@ package obs
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -62,6 +63,22 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sum    atomic.Int64
 	count  atomic.Uint64
+
+	// Exemplars: one per bucket, last-write-wins, kept separate from
+	// the counts so histograms that never call EnableExemplars pay
+	// nothing. exMu only guards ObserveExemplar vs. exposition — both
+	// off the packed-engine hot paths.
+	exMu sync.Mutex
+	ex   []exemplarSlot // nil until EnableExemplars; len(bounds)+1
+}
+
+// exemplarSlot is one bucket's most recent exemplar: the 128-bit trace
+// ID of a request that landed in the bucket, its observed value, and
+// the wall-clock time it was recorded.
+type exemplarSlot struct {
+	hi, lo uint64
+	val    int64
+	ts     int64 // unix nanoseconds
 }
 
 // NewHistogram returns a histogram over the given sorted upper bounds.
@@ -94,13 +111,59 @@ func ExpBounds(start int64, factor float64, n int) []int64 {
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// bucketIndex returns the bucket v lands in (len(bounds) = +Inf).
+func (h *Histogram) bucketIndex(v int64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// EnableExemplars turns on exemplar storage for this histogram. Call
+// once at registration; histograms without it skip exemplar work
+// entirely.
+func (h *Histogram) EnableExemplars() {
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]exemplarSlot, len(h.bounds)+1)
+	}
+	h.exMu.Unlock()
+}
+
+// ObserveExemplar records one value and, when exemplars are enabled,
+// stamps the bucket with the 128-bit trace ID (hi, lo) as its
+// exemplar. One short mutexed store per call, no allocation — it runs
+// once per request at completion, never inside a probe loop.
+func (h *Histogram) ObserveExemplar(v int64, hi, lo uint64) {
+	i := h.bucketIndex(v)
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+	if h.ex == nil || (hi == 0 && lo == 0) {
+		return
+	}
+	h.exMu.Lock()
+	if h.ex != nil {
+		h.ex[i] = exemplarSlot{hi: hi, lo: lo, val: v, ts: time.Now().UnixNano()}
+	}
+	h.exMu.Unlock()
+}
+
+// exemplar returns bucket i's exemplar, if enabled and populated.
+func (h *Histogram) exemplar(i int) (exemplarSlot, bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil || i >= len(h.ex) {
+		return exemplarSlot{}, false
+	}
+	e := h.ex[i]
+	return e, e.hi != 0 || e.lo != 0
 }
 
 // ObserveSince records the elapsed nanoseconds since start.

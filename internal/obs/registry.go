@@ -178,6 +178,16 @@ func pairsContain(pairs []Label, key, value string) bool {
 // its HELP and TYPE line, histograms expanded into cumulative _bucket
 // series plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusOpts(w, false)
+}
+
+// WritePrometheusOpts is WritePrometheus with exemplar rendering:
+// when withExemplars is set, histogram buckets that carry an exemplar
+// gain an OpenMetrics-style ` # {trace_id="…"} value timestamp`
+// suffix. Exemplar suffixes are not part of text format 0.0.4, so the
+// default scrape never emits them — they're opt-in via
+// /metrics?exemplars=1 for tooling that understands them.
+func (r *Registry) WritePrometheusOpts(w io.Writer, withExemplars bool) error {
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
@@ -198,7 +208,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case s.gf != nil:
 				writeSeries(bw, f.name, s.labels, "", formatFloat(s.gf()))
 			case s.h != nil:
-				writeHistogram(bw, f.name, s.labels, s.h)
+				writeHistogram(bw, f.name, s.labels, s.h, withExemplars)
 			}
 		}
 	}
@@ -219,7 +229,7 @@ func writeSeries(w io.Writer, name, labels, extra, value string) {
 	}
 }
 
-func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+func writeHistogram(w io.Writer, name, labels string, h *Histogram, withExemplars bool) {
 	var cum uint64
 	for i := range h.counts {
 		cum += h.counts[i].Load()
@@ -229,7 +239,16 @@ func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
 			// float artifacts like 1000*1e-9 = 1.0000000000000002e-06.
 			le = strconv.FormatFloat(float64(h.bounds[i])*h.scale, 'g', 12, 64)
 		}
-		writeSeries(w, name+"_bucket", labels, `le="`+le+`"`, formatUint(cum))
+		line := formatUint(cum)
+		if withExemplars {
+			if e, ok := h.exemplar(i); ok {
+				line += fmt.Sprintf(" # {trace_id=\"%016x%016x\"} %s %s",
+					e.hi, e.lo,
+					formatFloat(float64(e.val)*h.scale),
+					formatFloat(float64(e.ts)/1e9))
+			}
+		}
+		writeSeries(w, name+"_bucket", labels, `le="`+le+`"`, line)
 	}
 	writeSeries(w, name+"_sum", labels, "", formatFloat(float64(h.Sum())*h.scale))
 	writeSeries(w, name+"_count", labels, "", formatUint(h.Count()))
@@ -239,9 +258,10 @@ func formatUint(v uint64) string  { return strconv.FormatUint(v, 10) }
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // Handler returns the GET /metrics endpoint over this registry.
+// ?exemplars=1 opts in to exemplar-annotated histogram buckets.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w)
+		r.WritePrometheusOpts(w, req.URL.Query().Get("exemplars") == "1")
 	})
 }

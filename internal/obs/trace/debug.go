@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanJSON is the wire form of one span in /debug/traces.
+type SpanJSON struct {
+	TraceID     string           `json:"trace_id"`
+	SpanID      string           `json:"span_id"`
+	ParentID    string           `json:"parent_id,omitempty"`
+	Phase       string           `json:"phase"`
+	StartUnixNs int64            `json:"start_unix_ns"`
+	DurNs       int64            `json:"dur_ns"`
+	Attrs       map[string]int64 `json:"attrs,omitempty"`
+}
+
+// TraceJSON is the wire form of one captured trace.
+type TraceJSON struct {
+	TraceID string     `json:"trace_id"`
+	Slow    bool       `json:"slow"`
+	DurNs   int64      `json:"dur_ns"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+type dumpJSON struct {
+	SampleEvery     int         `json:"sample_every"`
+	SlowThresholdNs int64       `json:"slow_threshold_ns"`
+	SlowCaptured    uint64      `json:"slow_captured_total"`
+	SampledCaptured uint64      `json:"sampled_captured_total"`
+	SpansDropped    uint64      `json:"spans_dropped_total"`
+	Slow            []TraceJSON `json:"slow"`
+	Sampled         []TraceJSON `json:"sampled"`
+	Background      []SpanJSON  `json:"background"`
+}
+
+func spanJSON(sp *Span) SpanJSON {
+	out := SpanJSON{
+		TraceID:     sp.Trace().String(),
+		SpanID:      fmt.Sprintf("%016x", sp.ID),
+		Phase:       sp.Phase.String(),
+		StartUnixNs: sp.Start,
+		DurNs:       sp.Dur,
+	}
+	if sp.Parent != 0 {
+		out.ParentID = fmt.Sprintf("%016x", sp.Parent)
+	}
+	if sp.N > 0 {
+		out.Attrs = make(map[string]int64, sp.N)
+		for i := uint8(0); i < sp.N; i++ {
+			out.Attrs[sp.Attrs[i].Key.String()] = sp.Attrs[i].Val
+		}
+	}
+	return out
+}
+
+func traceJSON(t *Trace) TraceJSON {
+	out := TraceJSON{Slow: t.Slow, Spans: make([]SpanJSON, 0, len(t.Spans))}
+	if len(t.Spans) > 0 {
+		out.TraceID = t.Spans[0].Trace().String()
+		out.DurNs = t.Spans[0].Dur
+	}
+	for i := range t.Spans {
+		out.Spans = append(out.Spans, spanJSON(&t.Spans[i]))
+	}
+	return out
+}
+
+// Handler serves GET /debug/traces: the flight recorder's slow and
+// sampled traces plus the background timeline, as JSON by default or a
+// human-readable waterfall with ?format=text.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		var slow, sampled []Trace
+		var bg []Span
+		if t.rec != nil {
+			slow = t.rec.Slow()
+			sampled = t.rec.Sampled()
+			bg = t.rec.Background()
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeWaterfalls(w, "SLOW (pinned by -slow-query)", slow)
+			writeWaterfalls(w, "SAMPLED", sampled)
+			writeBackground(w, bg)
+			return
+		}
+		dump := dumpJSON{
+			SampleEvery:     t.SampleEvery(),
+			SlowThresholdNs: t.slowThreshold.Load(),
+			SlowCaptured:    t.metrics.SlowCaptured.Value(),
+			SampledCaptured: t.metrics.SampledCaptured.Value(),
+			SpansDropped:    t.metrics.SpansDropped.Value(),
+			Slow:            make([]TraceJSON, 0, len(slow)),
+			Sampled:         make([]TraceJSON, 0, len(sampled)),
+			Background:      make([]SpanJSON, 0, len(bg)),
+		}
+		for i := range slow {
+			dump.Slow = append(dump.Slow, traceJSON(&slow[i]))
+		}
+		for i := range sampled {
+			dump.Sampled = append(dump.Sampled, traceJSON(&sampled[i]))
+		}
+		for i := range bg {
+			dump.Background = append(dump.Background, spanJSON(&bg[i]))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(dump)
+	})
+}
+
+// writeWaterfalls renders each trace as an indented offset/duration
+// waterfall: the root line, then each phase at its offset from the
+// root start, with attributes inline.
+func writeWaterfalls(w io.Writer, title string, traces []Trace) {
+	fmt.Fprintf(w, "=== %s: %d trace(s) ===\n", title, len(traces))
+	for ti := range traces {
+		t := &traces[ti]
+		if len(t.Spans) == 0 {
+			continue
+		}
+		root := &t.Spans[0]
+		fmt.Fprintf(w, "\ntrace %s  %s  start %s%s\n",
+			root.Trace().String(),
+			time.Duration(root.Dur),
+			time.Unix(0, root.Start).UTC().Format(time.RFC3339Nano),
+			spanAttrsText(root))
+		children := make([]*Span, 0, len(t.Spans)-1)
+		for i := 1; i < len(t.Spans); i++ {
+			children = append(children, &t.Spans[i])
+		}
+		sort.SliceStable(children, func(a, b int) bool {
+			return children[a].Start < children[b].Start
+		})
+		for _, sp := range children {
+			off := sp.Start - root.Start
+			fmt.Fprintf(w, "  +%-12s %-12s %s%s\n",
+				time.Duration(off), time.Duration(sp.Dur),
+				sp.Phase.String(), spanAttrsText(sp))
+		}
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+func writeBackground(w io.Writer, bg []Span) {
+	fmt.Fprintf(w, "=== BACKGROUND: %d span(s) ===\n", len(bg))
+	for i := range bg {
+		sp := &bg[i]
+		fmt.Fprintf(w, "%s  %-12s %-12s trace %s%s\n",
+			time.Unix(0, sp.Start).UTC().Format(time.RFC3339Nano),
+			time.Duration(sp.Dur), sp.Phase.String(),
+			sp.Trace().String(), spanAttrsText(sp))
+	}
+}
+
+func spanAttrsText(sp *Span) string {
+	if sp.N == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("  [")
+	for i := uint8(0); i < sp.N; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", sp.Attrs[i].Key.String(), sp.Attrs[i].Val)
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled gates the zero-allocation test assertions: sync.Pool
+// deliberately drops items under the race detector, so the pooled
+// request-trace lifecycle allocates there by design.
+const raceEnabled = true

@@ -1,0 +1,123 @@
+package trace
+
+import "sync"
+
+// Trace is one captured request trace: the root span plus its phase
+// children, in start order.
+type Trace struct {
+	Spans []Span
+	Slow  bool // pinned for exceeding -slow-query (vs. sampled)
+	seq   uint64
+}
+
+// Recorder is the flight recorder: two bounded rings of whole traces —
+// slow requests pinned separately from sampled ones, so a burst of
+// sampled traffic can't evict the slow request you're hunting — plus a
+// ring of background spans (folds, checkpoints, grows, recovery) for
+// the unified timeline. Capture recycles each slot's span storage, so
+// steady-state capture is allocation-free after warmup; the mutex is
+// fine because capture runs at most once per request, after the
+// response, never inside a phase.
+type Recorder struct {
+	mu      sync.Mutex
+	seq     uint64
+	slow    []Trace
+	slowN   int
+	sampled []Trace
+	sampN   int
+	bg      []Span
+	bgN     int
+}
+
+// NewRecorder builds a recorder keeping the last slowCap slow traces
+// and sampledCap sampled traces (minimum 1 each).
+func NewRecorder(slowCap, sampledCap int) *Recorder {
+	if slowCap < 1 {
+		slowCap = 1
+	}
+	if sampledCap < 1 {
+		sampledCap = 1
+	}
+	return &Recorder{
+		slow:    make([]Trace, 0, slowCap),
+		sampled: make([]Trace, 0, sampledCap),
+		bg:      make([]Span, 0, 128),
+	}
+}
+
+// capture stores a copy of spans. Slow traces go to the pinned ring,
+// sampled ones to the sampled ring.
+func (r *Recorder) capture(spans []Span, slow bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	dst, n := &r.sampled, &r.sampN
+	if slow {
+		dst, n = &r.slow, &r.slowN
+	}
+	var t *Trace
+	if len(*dst) < cap(*dst) {
+		*dst = append(*dst, Trace{})
+		t = &(*dst)[len(*dst)-1]
+	} else {
+		t = &(*dst)[*n%len(*dst)]
+	}
+	*n++
+	t.Spans = append(t.Spans[:0], spans...)
+	t.Slow = slow
+	t.seq = r.seq
+}
+
+// background records one completed background span.
+func (r *Recorder) background(sp *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.bg) < cap(r.bg) {
+		r.bg = append(r.bg, *sp)
+	} else {
+		r.bg[r.bgN%len(r.bg)] = *sp
+	}
+	r.bgN++
+}
+
+// Slow returns copies of the pinned slow traces, newest last.
+func (r *Recorder) Slow() []Trace { return r.snapshot(true) }
+
+// Sampled returns copies of the sampled traces, newest last.
+func (r *Recorder) Sampled() []Trace { return r.snapshot(false) }
+
+func (r *Recorder) snapshot(slow bool) []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src := r.sampled
+	if slow {
+		src = r.slow
+	}
+	out := make([]Trace, 0, len(src))
+	for i := range src {
+		t := Trace{Spans: append([]Span(nil), src[i].Spans...), Slow: src[i].Slow, seq: src[i].seq}
+		out = append(out, t)
+	}
+	// Newest last: sort by capture sequence.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].seq > out[j].seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Background returns copies of the background spans, oldest first.
+func (r *Recorder) Background() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.bg))
+	if r.bgN > len(r.bg) {
+		start := r.bgN % len(r.bg)
+		out = append(out, r.bg[start:]...)
+		out = append(out, r.bg[:start]...)
+	} else {
+		out = append(out, r.bg...)
+	}
+	return out
+}

@@ -80,8 +80,16 @@ func ValidateExposition(text string) error {
 }
 
 // parseSampleLine splits `name{labels} value` / `name value`, checking
-// label syntax along the way.
+// label syntax along the way. An OpenMetrics-style exemplar suffix
+// (` # {labels} value [timestamp]`, emitted under ?exemplars=1) is
+// validated and stripped first.
 func parseSampleLine(line string) (name, value string, err error) {
+	if i := strings.Index(line, " # "); i >= 0 {
+		if err := checkExemplar(line[i+3:]); err != nil {
+			return "", "", err
+		}
+		line = line[:i]
+	}
 	rest := line
 	if i := strings.IndexByte(line, '{'); i >= 0 {
 		name = line[:i]
@@ -108,6 +116,30 @@ func parseSampleLine(line string) (name, value string, err error) {
 		return "", "", fmt.Errorf("bad sample %q", line)
 	}
 	return name, fields[0], nil
+}
+
+// checkExemplar validates `{labels} value [timestamp]`.
+func checkExemplar(s string) error {
+	if len(s) == 0 || s[0] != '{' {
+		return fmt.Errorf("malformed exemplar %q", s)
+	}
+	end := strings.IndexByte(s, '}')
+	if end < 0 {
+		return fmt.Errorf("unbalanced exemplar braces in %q", s)
+	}
+	if err := checkLabels(s[1:end]); err != nil {
+		return fmt.Errorf("exemplar: %v", err)
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("malformed exemplar value in %q", s)
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return fmt.Errorf("non-numeric exemplar field %q", f)
+		}
+	}
+	return nil
 }
 
 // checkLabels validates `k="v",k2="v2"`, honouring escapes inside values.

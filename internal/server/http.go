@@ -13,6 +13,7 @@ import (
 
 	"ccf/internal/core"
 	"ccf/internal/obs"
+	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 )
 
@@ -37,6 +38,12 @@ type HandlerOptions struct {
 	// Health, when set, backs GET /readyz: 503 until SetReady. Nil makes
 	// /readyz always ready (no recovery phase to wait out).
 	Health *Health
+	// Tracer, when set, gives every request a trace context (honoring an
+	// incoming W3C traceparent header and emitting one on the response),
+	// records phase spans through all layers, attaches trace-ID exemplars
+	// to the latency histograms, and serves GET /debug/traces from its
+	// flight recorder. Nil disables tracing entirely.
+	Tracer *trace.Tracer
 }
 
 // Result-buffer pools: the query and insert handlers run once per request
@@ -191,7 +198,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 	sm := newServerMetrics(opts.Metrics)
 	mux := http.NewServeMux()
 	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
-		mux.HandleFunc(pattern, sm.wrap(endpoint, opts.Logger, opts.SlowQuery, fn))
+		mux.HandleFunc(pattern, sm.wrap(endpoint, opts.Logger, opts.SlowQuery, opts.Tracer, fn))
 	}
 	handle("PUT /filters/{name}", "create", func(w http.ResponseWriter, r *http.Request) {
 		var req CreateRequest
@@ -236,12 +243,16 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 	})
 
 	handle("POST /filters/{name}/insert", "insert", func(w http.ResponseWriter, r *http.Request) {
+		tr := reqTrace(w)
 		e, ok := lookup(w, r, reg)
 		if !ok {
 			return
 		}
 		var req InsertRequest
-		if !decodeJSON(w, r, &req, maxBody) {
+		dsp := tr.Start(trace.PhaseDecode)
+		ok = decodeJSON(w, r, &req, maxBody)
+		dsp.Attr(trace.AttrRows, int64(len(req.Keys))).End()
+		if !ok {
 			return
 		}
 		if len(req.Keys) != len(req.Attrs) {
@@ -250,7 +261,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		}
 		sm.insertRows.Observe(int64(len(req.Keys)))
 		bufp := errBufPool.Get().(*[]error)
-		errs, storeErr := e.InsertBatchInto(*bufp, req.Keys, req.Attrs)
+		errs, storeErr := e.InsertBatchTraced(*bufp, req.Keys, req.Attrs, tr)
 		if storeErr != nil {
 			// WAL append or fsync failed: rows may not survive a crash, so
 			// the batch must not be acked.
@@ -285,16 +296,22 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			*bufp = errs[:0]
 			errBufPool.Put(bufp)
 		}
+		esp := tr.Start(trace.PhaseEncode)
 		writeJSON(w, resp)
+		esp.End()
 	})
 
 	handle("POST /filters/{name}/query", "query", func(w http.ResponseWriter, r *http.Request) {
+		tr := reqTrace(w)
 		e, ok := lookup(w, r, reg)
 		if !ok {
 			return
 		}
 		var req QueryRequest
-		if !decodeJSON(w, r, &req, maxBody) {
+		dsp := tr.Start(trace.PhaseDecode)
+		ok = decodeJSON(w, r, &req, maxBody)
+		dsp.Attr(trace.AttrKeys, int64(len(req.Keys))).End()
+		if !ok {
 			return
 		}
 		pred := toPredicate(req.Predicate)
@@ -317,15 +334,19 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			} else {
 				sm.viewMisses.Inc()
 			}
+			vsp := tr.Start(trace.PhaseViewProbe)
 			resp.Results = view.ContainsBatchInto(*bufp, req.Keys)
+			vsp.Attr(trace.AttrKeys, int64(len(req.Keys))).End()
 			resp.ViewCacheHit = &hit
 		} else {
-			resp.Results = e.Filter().QueryBatchInto(*bufp, req.Keys, pred)
+			resp.Results = e.Filter().QueryBatchTracedInto(*bufp, req.Keys, pred, tr)
 		}
 		if resp.Results == nil {
 			resp.Results = []bool{}
 		}
+		esp := tr.Start(trace.PhaseEncode)
 		writeJSON(w, resp)
+		esp.End()
 		if cap(resp.Results) <= maxPooledResults {
 			*bufp = resp.Results[:0]
 			boolBufPool.Put(bufp)
@@ -405,6 +426,9 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 
 	if opts.Metrics != nil {
 		mux.Handle("GET /metrics", opts.Metrics.Handler())
+	}
+	if opts.Tracer != nil {
+		mux.Handle("GET /debug/traces", opts.Tracer.Handler())
 	}
 
 	return mux

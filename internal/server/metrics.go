@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ccf/internal/obs"
+	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 	"ccf/internal/store"
 )
@@ -71,10 +72,24 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	return m
 }
 
-// statusWriter records the status code a handler wrote.
+// statusWriter records the status code a handler wrote and carries the
+// request's trace context. Riding the trace on the (already allocated)
+// per-request recorder instead of context.WithValue keeps the traced
+// request path free of context allocations.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
+	tr   *trace.Req
+}
+
+// reqTrace recovers the trace context wrap attached to the response
+// writer. Nil (untraced, or an unwrapped writer) is always safe: every
+// trace method no-ops on nil.
+func reqTrace(w http.ResponseWriter) *trace.Req {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.tr
+	}
+	return nil
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -92,15 +107,19 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // wrap instruments one endpoint: request counters by status class, a
-// latency histogram, a per-request ID, and the slow-query log. All
-// metric handles are registered here, once, at handler construction —
-// per request the cost is a status recorder, one histogram Observe and
-// one counter Inc.
+// latency histogram (with trace-ID exemplars when tracing is on), a
+// per-request ID, the request's trace context, and the slow-query log.
+// All metric handles are registered here, once, at handler construction
+// — per request the cost is a status recorder, one histogram Observe
+// and one counter Inc, plus a pooled trace context when tracing is on.
 func (m *serverMetrics) wrap(endpoint string, logger *slog.Logger, slowQuery time.Duration,
-	fn http.HandlerFunc) http.HandlerFunc {
+	tracer *trace.Tracer, fn http.HandlerFunc) http.HandlerFunc {
 	lbl := obs.Label{Key: "endpoint", Value: endpoint}
 	latency := m.reg.Histogram("ccfd_http_request_seconds",
 		"Request latency by endpoint.", 1e-9, obs.ExpBounds(50_000, 4, 11), lbl)
+	if tracer != nil {
+		latency.EnableExemplars()
+	}
 	var byClass [4]*obs.Counter // 2xx, 3xx, 4xx, 5xx
 	for i, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
 		byClass[i] = m.reg.Counter("ccfd_http_requests_total",
@@ -110,27 +129,46 @@ func (m *serverMetrics) wrap(endpoint string, logger *slog.Logger, slowQuery tim
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := obs.NextRequestID()
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
+		tr := tracer.StartRequest(r.Header.Get("traceparent"))
+		if tr != nil {
+			w.Header().Set("Traceparent", tr.Traceparent())
+		}
+		sw := &statusWriter{ResponseWriter: w, tr: tr}
 		fn(sw, r)
 		dur := time.Since(start)
-		latency.Observe(dur.Nanoseconds())
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK
 		}
+		tid := tr.TraceID()
+		tracer.Finish(tr, code) // tr is pooled; unusable past this point
+		latency.ObserveExemplar(dur.Nanoseconds(), tid.Hi, tid.Lo)
 		if i := code/100 - 2; i >= 0 && i < len(byClass) {
 			byClass[i].Inc()
 		}
 		if slowQuery > 0 && dur >= slowQuery {
 			m.slow.Inc()
 			if logger != nil {
-				logger.Warn("slow query",
-					"request_id", id,
-					"endpoint", endpoint,
-					"method", r.Method,
-					"path", r.URL.Path,
-					"status", code,
-					"duration_ms", float64(dur.Microseconds())/1000)
+				if tid.IsZero() {
+					logger.Warn("slow query",
+						"request_id", id,
+						"endpoint", endpoint,
+						"method", r.Method,
+						"path", r.URL.Path,
+						"status", code,
+						"duration_ms", float64(dur.Microseconds())/1000)
+				} else {
+					// The trace ID keys into GET /debug/traces, where the
+					// flight recorder pinned this request's phase breakdown.
+					logger.Warn("slow query",
+						"request_id", id,
+						"trace_id", tid.String(),
+						"endpoint", endpoint,
+						"method", r.Method,
+						"path", r.URL.Path,
+						"status", code,
+						"duration_ms", float64(dur.Microseconds())/1000)
+				}
 			}
 		} else if logger != nil {
 			logger.Debug("request",

@@ -12,6 +12,7 @@ import (
 
 	"ccf/internal/core"
 	"ccf/internal/obs"
+	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 	"ccf/internal/store"
 )
@@ -364,15 +365,25 @@ func (e *Entry) Filter() *shard.ShardedFilter { return e.sf }
 // when non-nil the batch was not applied or its durability is unknown
 // and the request should fail.
 func (e *Entry) InsertBatchInto(dst []error, keys []uint64, attrs [][]uint64) ([]error, error) {
+	return e.InsertBatchTraced(dst, keys, attrs, nil)
+}
+
+// InsertBatchTraced is InsertBatchInto recording phase spans into tr
+// (WAL append, apply, fsync wait via the store; apply-only on volatile
+// entries) and propagating the trace to policy work it triggers, so a
+// fold or grow correlates back to this request. nil tr traces nothing.
+func (e *Entry) InsertBatchTraced(dst []error, keys []uint64, attrs [][]uint64, tr *trace.Req) ([]error, error) {
 	var errs []error
 	var err error
 	if e.log != nil {
-		errs, err = e.log.InsertBatchInto(dst, keys, attrs)
+		errs, err = e.log.InsertBatchTraced(dst, keys, attrs, tr)
 	} else {
+		sp := tr.Start(trace.PhaseApply)
 		errs = e.sf.InsertBatchInto(dst, keys, attrs)
+		sp.Attr(trace.AttrRows, int64(len(keys))).End()
 	}
 	if err == nil {
-		e.maybeAutoGrow()
+		e.maybeAutoGrow(tr)
 	}
 	return errs, err
 }
@@ -391,7 +402,7 @@ func (e *Entry) InsertBatchInto(dst []error, keys []uint64, attrs [][]uint64) ([
 // A batch that loses the TryLock just skips the check — the policy is
 // advisory, and reactive growth inside the insert path covers whatever
 // it misses.
-func (e *Entry) maybeAutoGrow() {
+func (e *Entry) maybeAutoGrow(tr *trace.Req) {
 	p := e.policy
 	if p == nil {
 		return
@@ -409,12 +420,14 @@ func (e *Entry) maybeAutoGrow() {
 		if p.GrowAtLoad <= 0 || g.NewestLoad < p.GrowAtLoad || g.Levels >= p.MaxLevels {
 			continue
 		}
+		sp := tr.Start(trace.PhaseGrow)
 		var err error
 		if e.log != nil {
 			err = e.log.Grow(i)
 		} else {
 			err = e.sf.GrowShard(i)
 		}
+		sp.Attr(trace.AttrShard, int64(i)).Attr(trace.AttrLevels, int64(g.Levels+1)).End()
 		if err != nil {
 			break // budget exhausted or store trouble; reactive growth still applies
 		}
@@ -423,7 +436,9 @@ func (e *Entry) maybeAutoGrow() {
 		}
 	}
 	if p.FoldAtLevels > 1 && maxLevels >= p.FoldAtLevels && e.log != nil {
-		e.log.RequestFold()
+		// The fold runs in the background; hand it this request's trace
+		// ID so its span and log line correlate back to the trigger.
+		e.log.RequestFoldFrom(tr.TraceID())
 	}
 }
 

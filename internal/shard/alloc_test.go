@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ccf/internal/core"
+	"ccf/internal/obs/trace"
 )
 
 // These tests pin the serving path's allocation discipline: a batch probe
@@ -279,5 +280,120 @@ func BenchmarkShardedInsertBatch(b *testing.B) {
 	if b.Elapsed() > 0 {
 		nsPerKey := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / batch
 		b.ReportMetric(nsPerKey, "ns/key")
+	}
+}
+
+// TestQueryBatchTracedZeroAlloc pins the acceptance criterion for the
+// tracing layer: the traced probe path — request context, per-shard-group
+// spans with seqlock attributes, trace finish — must stay allocation-free
+// in steady state, both with sampling off (the always-on production
+// shape) and with every request sampled into the flight recorder.
+func TestQueryBatchTracedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	for _, mode := range []struct {
+		name string
+		opts trace.Options
+	}{
+		{"unsampled", trace.Options{Recorder: trace.NewRecorder(4, 4)}},
+		{"sampled", trace.Options{SampleEvery: 1, Recorder: trace.NewRecorder(4, 4)}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			tr := trace.New(mode.opts)
+			s, keys := loadedSharded(t, 4)
+			pred := core.And(core.Eq(0, 3))
+			batch := keys[:1024]
+			dst := make([]bool, 0, len(batch))
+			run := func() {
+				r := tr.StartRequest("")
+				dst = s.QueryBatchTracedInto(dst[:0], batch, pred, r)
+				tr.Finish(r, 200)
+			}
+			// Warm past the request pool and the recorder's slot-recycled
+			// span storage before counting.
+			for i := 0; i < 16; i++ {
+				run()
+			}
+			if n := testing.AllocsPerRun(200, run); n != 0 {
+				t.Errorf("%s: traced QueryBatch allocates %.2f allocs/op, want 0", mode.name, n)
+			}
+		})
+	}
+}
+
+// TestQueryKeyBatchTracedZeroAlloc: same guard for the key-only probe.
+func TestQueryKeyBatchTracedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	tr := trace.New(trace.Options{SampleEvery: 1, Recorder: trace.NewRecorder(4, 4)})
+	s, keys := loadedSharded(t, 4)
+	batch := keys[:1024]
+	dst := make([]bool, 0, len(batch))
+	run := func() {
+		r := tr.StartRequest("")
+		dst = s.QueryKeyBatchTracedInto(dst[:0], batch, r)
+		tr.Finish(r, 200)
+	}
+	for i := 0; i < 16; i++ {
+		run()
+	}
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Errorf("traced QueryKeyBatch allocates %.2f allocs/op, want 0", n)
+	}
+}
+
+// TestQueryBatchTracedAttributes checks the span payload end to end: one
+// shard_probe span per shard group carrying the shard index, key count,
+// seqlock counters, and ladder walk depth.
+func TestQueryBatchTracedAttributes(t *testing.T) {
+	rec := trace.NewRecorder(4, 4)
+	tr := trace.New(trace.Options{SampleEvery: 1, Recorder: rec})
+	s, keys := loadedSharded(t, 4)
+	pred := core.And(core.Eq(0, 3))
+	r := tr.StartRequest("")
+	out := s.QueryBatchTracedInto(nil, keys[:256], pred, r)
+	if len(out) != 256 {
+		t.Fatalf("results = %d, want 256", len(out))
+	}
+	tr.Finish(r, 200)
+	traces := rec.Sampled()
+	if len(traces) != 1 {
+		t.Fatalf("sampled traces = %d, want 1", len(traces))
+	}
+	probes := 0
+	seenShards := map[int64]bool{}
+	totalKeys := int64(0)
+	for _, sp := range traces[0].Spans {
+		if sp.Phase != trace.PhaseShardProbe {
+			continue
+		}
+		probes++
+		sh, ok := sp.Attr(trace.AttrShard)
+		if !ok || sh < 0 || sh >= 4 {
+			t.Fatalf("shard attr = %d, %v", sh, ok)
+		}
+		seenShards[sh] = true
+		n, ok := sp.Attr(trace.AttrKeys)
+		if !ok || n <= 0 {
+			t.Fatalf("keys attr = %d, %v", n, ok)
+		}
+		totalKeys += n
+		if _, ok := sp.Attr(trace.AttrSeqlockRetries); !ok {
+			t.Fatal("missing seqlock_retries attr")
+		}
+		if _, ok := sp.Attr(trace.AttrSeqlockFallback); !ok {
+			t.Fatal("missing seqlock_fallbacks attr")
+		}
+		if lv, ok := sp.Attr(trace.AttrLevels); !ok || lv < 1 {
+			t.Fatalf("levels attr = %d, %v (want >= 1 walked level)", lv, ok)
+		}
+	}
+	if probes != 4 || len(seenShards) != 4 {
+		t.Fatalf("shard_probe spans = %d over %d shards, want 4 over 4", probes, len(seenShards))
+	}
+	if totalKeys != 256 {
+		t.Fatalf("keys attributed across groups = %d, want 256", totalKeys)
 	}
 }

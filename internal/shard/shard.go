@@ -37,6 +37,7 @@ import (
 
 	"ccf/internal/core"
 	"ccf/internal/hashing"
+	"ccf/internal/obs/trace"
 )
 
 // saltShard seeds the key→shard routing hash. It is distinct from every
@@ -298,14 +299,23 @@ func (s *ShardedFilter) router() router {
 // shardOf routes a key to its shard under the current routing.
 func (s *ShardedFilter) shardOf(key uint64) int { return s.router().shardOf(key) }
 
+// probeCount accumulates one probe's seqlock outcomes for span
+// attribution. Plain counters: each instance is owned by the single
+// goroutine running its shard group.
+type probeCount struct {
+	retries, fallbacks uint32
+}
+
 // readCell runs probe against the cell's filter, optimistically under the
 // seqlock when the filter supports torn reads, falling back to the read
 // lock otherwise (sketched variants, race builds, PessimisticReads, or a
 // version that keeps moving). probe may run more than once and must be
 // idempotent — assign results, don't accumulate. readCell returns false
 // when gen no longer matches the filter's Restore generation; the caller
-// captured its routing against that generation and must re-route.
-func (s *ShardedFilter) readCell(c *cell, gen uint64, probe func(f *core.Ladder)) bool {
+// captured its routing against that generation and must re-route. pc,
+// when non-nil, receives this call's retry/fallback counts on top of
+// the global metrics (traced probes attribute contention per span).
+func (s *ShardedFilter) readCell(c *cell, gen uint64, probe func(f *core.Ladder), pc *probeCount) bool {
 	if !raceEnabled && !s.pessimistic.Load() {
 		for try := 0; try < optimisticReadTries; try++ {
 			v := c.seq.Load()
@@ -332,9 +342,15 @@ func (s *ShardedFilter) readCell(c *cell, gen uint64, probe func(f *core.Ladder)
 			// A writer overlapped the read section; the result may have
 			// been computed from torn data and is discarded.
 			s.metrics.SeqlockRetries.Inc()
+			if pc != nil {
+				pc.retries++
+			}
 		}
 	}
 	s.metrics.SeqlockFallbacks.Inc()
+	if pc != nil {
+		pc.fallbacks++
+	}
 	c.mu.RLock()
 	ok := s.gen.Load() == gen
 	if ok {
@@ -360,7 +376,7 @@ func (s *ShardedFilter) withShard(key uint64, mutate bool, fn func(f *core.Ladde
 		rt := s.router()
 		c := &s.cells[rt.shardOf(key)]
 		if !mutate {
-			if s.readCell(c, gen, fn) {
+			if s.readCell(c, gen, fn, nil) {
 				return
 			}
 			continue
@@ -647,6 +663,13 @@ func (s *ShardedFilter) QueryBatch(keys []uint64, pred core.Predicate) []bool {
 // makes the steady-state sharded probe path allocation-free: servers and
 // benchmark loops recycle one result buffer per client.
 func (s *ShardedFilter) QueryBatchInto(dst []bool, keys []uint64, pred core.Predicate) []bool {
+	return s.QueryBatchTracedInto(dst, keys, pred, nil)
+}
+
+// QueryBatchTracedInto is QueryBatchInto emitting one shard_probe span
+// per shard group into tr (nil tr probes untraced — the branch is the
+// only cost, preserving the zero-alloc guarantee either way).
+func (s *ShardedFilter) QueryBatchTracedInto(dst []bool, keys []uint64, pred core.Predicate, tr *trace.Req) []bool {
 	out := dst
 	if cap(out) < len(keys) {
 		out = make([]bool, len(keys))
@@ -661,13 +684,13 @@ func (s *ShardedFilter) QueryBatchInto(dst []bool, keys []uint64, pred core.Pred
 		rt := s.router()
 		if rt.n == 1 {
 			var stale atomic.Bool
-			s.queryShardGroup(0, nil, keys, pred, out, gen, &stale)
+			s.queryShardGroup(0, nil, keys, pred, out, gen, &stale, tr)
 			if !stale.Load() {
 				return out
 			}
 			continue
 		}
-		if s.queryGrouped(rt, keys, pred, out, gen) {
+		if s.queryGrouped(rt, keys, pred, out, gen, tr) {
 			return out
 		}
 	}
@@ -687,6 +710,12 @@ func (s *ShardedFilter) QueryKeyBatch(keys []uint64) []bool {
 // its capacity is short), batched through core.ContainsBatchIdx under the
 // same seqlock-and-retry protocol as QueryBatchInto.
 func (s *ShardedFilter) QueryKeyBatchInto(dst []bool, keys []uint64) []bool {
+	return s.QueryKeyBatchTracedInto(dst, keys, nil)
+}
+
+// QueryKeyBatchTracedInto is QueryKeyBatchInto emitting one shard_probe
+// span per shard group into tr (nil tr probes untraced).
+func (s *ShardedFilter) QueryKeyBatchTracedInto(dst []bool, keys []uint64, tr *trace.Req) []bool {
 	out := dst
 	if cap(out) < len(keys) {
 		out = make([]bool, len(keys))
@@ -701,13 +730,13 @@ func (s *ShardedFilter) QueryKeyBatchInto(dst []bool, keys []uint64) []bool {
 		rt := s.router()
 		if rt.n == 1 {
 			var stale atomic.Bool
-			s.queryKeyShardGroup(0, nil, keys, out, gen, &stale)
+			s.queryKeyShardGroup(0, nil, keys, out, gen, &stale, tr)
 			if !stale.Load() {
 				return out
 			}
 			continue
 		}
-		if s.queryKeyGrouped(rt, keys, out, gen) {
+		if s.queryKeyGrouped(rt, keys, out, gen, tr) {
 			return out
 		}
 	}
@@ -719,18 +748,18 @@ func (s *ShardedFilter) QueryKeyBatchInto(dst []bool, keys []uint64) []bool {
 // direct method calls and the parallel closure captures only read-only
 // parameters, so steady-state grouped probes allocate nothing.
 func (s *ShardedFilter) queryGrouped(rt router, keys []uint64, pred core.Predicate,
-	out []bool, gen uint64) bool {
+	out []bool, gen uint64, tr *trace.Req) bool {
 	sc := scratchPool.Get().(*batchScratch)
 	sc.stale.Store(false)
 	rt.group(keys, sc)
 	if w := groupWorkers(s.workers, sc); w <= 1 {
 		for _, sh := range sc.groups {
 			s.queryShardGroup(int(sh), sc.order[sc.start[sh]:sc.start[sh+1]],
-				keys, pred, out, gen, &sc.stale)
+				keys, pred, out, gen, &sc.stale, tr)
 		}
 	} else {
 		runGroupsParallel(w, sc, func(sh int, idxs []int32) {
-			s.queryShardGroup(sh, idxs, keys, pred, out, gen, &sc.stale)
+			s.queryShardGroup(sh, idxs, keys, pred, out, gen, &sc.stale, tr)
 		})
 	}
 	done := !sc.stale.Load()
@@ -739,18 +768,18 @@ func (s *ShardedFilter) queryGrouped(rt router, keys []uint64, pred core.Predica
 }
 
 // queryKeyGrouped is queryGrouped for the predicate-free key batch.
-func (s *ShardedFilter) queryKeyGrouped(rt router, keys []uint64, out []bool, gen uint64) bool {
+func (s *ShardedFilter) queryKeyGrouped(rt router, keys []uint64, out []bool, gen uint64, tr *trace.Req) bool {
 	sc := scratchPool.Get().(*batchScratch)
 	sc.stale.Store(false)
 	rt.group(keys, sc)
 	if w := groupWorkers(s.workers, sc); w <= 1 {
 		for _, sh := range sc.groups {
 			s.queryKeyShardGroup(int(sh), sc.order[sc.start[sh]:sc.start[sh+1]],
-				keys, out, gen, &sc.stale)
+				keys, out, gen, &sc.stale, tr)
 		}
 	} else {
 		runGroupsParallel(w, sc, func(sh int, idxs []int32) {
-			s.queryKeyShardGroup(sh, idxs, keys, out, gen, &sc.stale)
+			s.queryKeyShardGroup(sh, idxs, keys, out, gen, &sc.stale, tr)
 		})
 	}
 	done := !sc.stale.Load()
@@ -766,36 +795,91 @@ func (s *ShardedFilter) queryKeyGrouped(rt router, keys []uint64, out []bool, ge
 // The probe body is idempotent (it assigns into out), so a seqlock retry
 // simply overwrites the discarded attempt.
 func (s *ShardedFilter) queryShardGroup(sh int, idxs []int32, keys []uint64,
-	pred core.Predicate, out []bool, gen uint64, stale *atomic.Bool) {
+	pred core.Predicate, out []bool, gen uint64, stale *atomic.Bool, tr *trace.Req) {
 	c := &s.cells[sh]
+	if tr == nil {
+		ok := s.readCell(c, gen, func(f *core.Ladder) {
+			if pred.Validate(f.Params().NumAttrs) != nil {
+				markTrue(out, idxs)
+				return
+			}
+			f.QueryBatchIdx(out, keys, idxs, pred)
+		}, nil)
+		if !ok {
+			stale.Store(true)
+		}
+		return
+	}
+	sp := tr.Start(trace.PhaseShardProbe)
+	var pc probeCount
+	var walked int
 	ok := s.readCell(c, gen, func(f *core.Ladder) {
 		if pred.Validate(f.Params().NumAttrs) != nil {
-			if idxs == nil {
-				for i := range out {
-					out[i] = true
-				}
-			} else {
-				for _, i := range idxs {
-					out[i] = true
-				}
-			}
+			markTrue(out, idxs)
+			walked = 0
 			return
 		}
-		f.QueryBatchIdx(out, keys, idxs, pred)
-	})
+		walked = f.QueryBatchIdxWalk(out, keys, idxs, pred)
+	}, &pc)
+	n := len(idxs)
+	if idxs == nil {
+		n = len(keys)
+	}
+	sp.Attr(trace.AttrShard, int64(sh)).
+		Attr(trace.AttrKeys, int64(n)).
+		Attr(trace.AttrSeqlockRetries, int64(pc.retries)).
+		Attr(trace.AttrSeqlockFallback, int64(pc.fallbacks)).
+		Attr(trace.AttrLevels, int64(walked)).
+		End()
 	if !ok {
 		stale.Store(true)
+	}
+}
+
+// markTrue sets out true for the addressed keys (whole batch when idxs
+// is nil), the invalid-predicate conservative answer.
+func markTrue(out []bool, idxs []int32) {
+	if idxs == nil {
+		for i := range out {
+			out[i] = true
+		}
+		return
+	}
+	for _, i := range idxs {
+		out[i] = true
 	}
 }
 
 // queryKeyShardGroup answers one shard's span of a key-membership batch
 // in one seqlock read section.
 func (s *ShardedFilter) queryKeyShardGroup(sh int, idxs []int32, keys []uint64,
-	out []bool, gen uint64, stale *atomic.Bool) {
+	out []bool, gen uint64, stale *atomic.Bool, tr *trace.Req) {
 	c := &s.cells[sh]
+	if tr == nil {
+		ok := s.readCell(c, gen, func(f *core.Ladder) {
+			f.ContainsBatchIdx(out, keys, idxs)
+		}, nil)
+		if !ok {
+			stale.Store(true)
+		}
+		return
+	}
+	sp := tr.Start(trace.PhaseShardProbe)
+	var pc probeCount
+	var walked int
 	ok := s.readCell(c, gen, func(f *core.Ladder) {
-		f.ContainsBatchIdx(out, keys, idxs)
-	})
+		walked = f.ContainsBatchIdxWalk(out, keys, idxs)
+	}, &pc)
+	n := len(idxs)
+	if idxs == nil {
+		n = len(keys)
+	}
+	sp.Attr(trace.AttrShard, int64(sh)).
+		Attr(trace.AttrKeys, int64(n)).
+		Attr(trace.AttrSeqlockRetries, int64(pc.retries)).
+		Attr(trace.AttrSeqlockFallback, int64(pc.fallbacks)).
+		Attr(trace.AttrLevels, int64(walked)).
+		End()
 	if !ok {
 		stale.Store(true)
 	}
@@ -877,7 +961,7 @@ func (s *ShardedFilter) GrowthStats(dst []GrowthStat) []GrowthStat {
 		for i := range s.cells {
 			if !s.readCell(&s.cells[i], gen, func(f *core.Ladder) {
 				dst[i] = GrowthStat{Levels: f.Levels(), NewestLoad: f.NewestLoadFactor()}
-			}) {
+			}, nil) {
 				ok = false
 				break
 			}
@@ -925,7 +1009,7 @@ func (s *ShardedFilter) Stats() Stats {
 				// Assignment, not accumulation: a seqlock retry re-runs
 				// this probe and must not double-count.
 				ls = f.Stats()
-			}) {
+			}, nil) {
 				ok = false
 				break
 			}
@@ -986,7 +1070,7 @@ func (s *ShardedFilter) Snapshot() ([]byte, error) {
 			var err error
 			if !s.readCell(&s.cells[i], gen, func(f *core.Ladder) {
 				b, err = f.MarshalBinary()
-			}) {
+			}, nil) {
 				ok = false
 				break
 			}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 )
 
@@ -70,6 +71,18 @@ type Filter struct {
 
 	folds       atomic.Uint64 // completed background folds; see Fold
 	foldPending atomic.Bool
+
+	// Origin trace IDs of the request that armed the pending checkpoint
+	// or fold, so the background work's span and log line correlate back
+	// to the trigger. Two words each (128-bit IDs), last-writer-wins —
+	// correlation is best-effort, not a ledger.
+	ckptOriginHi, ckptOriginLo atomic.Uint64
+	foldOriginHi, foldOriginLo atomic.Uint64
+}
+
+// takeOrigin reads and clears a stored origin trace ID pair.
+func takeOrigin(hi, lo *atomic.Uint64) trace.ID {
+	return trace.ID{Hi: hi.Swap(0), Lo: lo.Swap(0)}
 }
 
 // Name returns the filter's registered name.
@@ -213,6 +226,14 @@ func (fl *Filter) flush() error {
 // non-nil the batch was not applied (append failed) or its durability is
 // unknown (fsync failed) and the caller should fail the request.
 func (fl *Filter) InsertBatchInto(dst []error, keys []uint64, attrs [][]uint64) ([]error, error) {
+	return fl.InsertBatchTraced(dst, keys, attrs, nil)
+}
+
+// InsertBatchTraced is InsertBatchInto with phase spans recorded into
+// tr: wal_append (the record frame + buffered write), apply (the
+// in-memory sharded insert), and fsync_wait (the group-commit wait,
+// a no-op span under interval/never policies). nil tr skips all of it.
+func (fl *Filter) InsertBatchTraced(dst []error, keys []uint64, attrs [][]uint64, tr *trace.Req) ([]error, error) {
 	if len(keys) != len(attrs) {
 		return nil, shard.ErrBatchShape
 	}
@@ -221,19 +242,26 @@ func (fl *Filter) InsertBatchInto(dst []error, keys []uint64, attrs [][]uint64) 
 		fl.barrier.RUnlock()
 		return nil, ErrClosed
 	}
+	sp := tr.Start(trace.PhaseWALAppend)
 	seq, err := fl.append(recInsertBatch, func(b []byte) []byte {
 		return appendBatch(b, keys, attrs)
 	})
+	sp.Attr(trace.AttrRows, int64(len(keys))).Attr(trace.AttrSeq, int64(seq)).End()
 	if err != nil {
 		fl.barrier.RUnlock()
 		return nil, err
 	}
+	ap := tr.Start(trace.PhaseApply)
 	errs := fl.Live().InsertBatchInto(dst, keys, attrs)
+	ap.Attr(trace.AttrRows, int64(len(keys))).End()
 	fl.barrier.RUnlock()
-	if err := fl.commit(seq); err != nil {
+	fs := tr.Start(trace.PhaseFsyncWait)
+	err = fl.commit(seq)
+	fs.Attr(trace.AttrSeq, int64(seq)).End()
+	if err != nil {
 		return errs, err
 	}
-	fl.maybeCheckpoint()
+	fl.maybeCheckpointFrom(tr.TraceID())
 	return errs, nil
 }
 
@@ -312,17 +340,31 @@ func (fl *Filter) Sync() error {
 // maybeCheckpoint hands the filter to the background checkpointer once
 // the WAL since the last checkpoint crosses a threshold.
 func (fl *Filter) maybeCheckpoint() {
+	fl.maybeCheckpointFrom(trace.ID{})
+}
+
+// maybeCheckpointFrom is maybeCheckpoint remembering the triggering
+// request's trace ID, so the checkpoint's span and log line correlate.
+func (fl *Filter) maybeCheckpointFrom(origin trace.ID) {
 	o := &fl.st.opts
 	overBytes := o.CheckpointBytes > 0 && fl.walBytes.Load() >= o.CheckpointBytes
 	overRecs := o.CheckpointRecords > 0 && fl.walRecs.Load() >= int64(o.CheckpointRecords)
 	if overBytes || overRecs {
-		fl.requestCheckpoint()
+		fl.requestCheckpointFrom(origin)
 	}
 }
 
 func (fl *Filter) requestCheckpoint() {
+	fl.requestCheckpointFrom(trace.ID{})
+}
+
+func (fl *Filter) requestCheckpointFrom(origin trace.ID) {
 	if !fl.ckptPending.CompareAndSwap(false, true) {
 		return
+	}
+	if !origin.IsZero() {
+		fl.ckptOriginHi.Store(origin.Hi)
+		fl.ckptOriginLo.Store(origin.Lo)
 	}
 	select {
 	case fl.st.ckptCh <- fl:
@@ -342,6 +384,8 @@ func (fl *Filter) Checkpoint() error {
 	fl.ckptMu.Lock()
 	defer fl.ckptMu.Unlock()
 	start := time.Now()
+	origin := takeOrigin(&fl.ckptOriginHi, &fl.ckptOriginLo)
+	bg := fl.st.opts.Tracer.StartBackground(trace.PhaseCheckpoint, origin)
 
 	fl.barrier.Lock()
 	if fl.closed {
@@ -377,7 +421,13 @@ func (fl *Filter) Checkpoint() error {
 	m.Checkpoints.Inc()
 	m.CheckpointBytes.Add(uint64(len(snap)))
 	m.CheckpointLatency.ObserveSince(start)
-	fl.st.logf("store: checkpointed %q gen %d seq %d (%d snapshot bytes)", fl.name, newGen, seq, len(snap))
+	bg.Attr(trace.AttrSeq, int64(seq)).Attr(trace.AttrBytes, int64(len(snap))).End()
+	if id := bg.TraceID(); !id.IsZero() {
+		fl.st.logf("store: checkpointed %q gen %d seq %d (%d snapshot bytes) trace=%s",
+			fl.name, newGen, seq, len(snap), id.String())
+	} else {
+		fl.st.logf("store: checkpointed %q gen %d seq %d (%d snapshot bytes)", fl.name, newGen, seq, len(snap))
+	}
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ccf/internal/core"
+	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 )
 
@@ -48,8 +49,19 @@ var errFoldRaced = errors.New("store: fold raced a restore; abandoned")
 // requests coalesce; a full queue drops the request (the policy layer
 // re-arms on the next insert).
 func (fl *Filter) RequestFold() {
+	fl.RequestFoldFrom(trace.ID{})
+}
+
+// RequestFoldFrom is RequestFold remembering the triggering request's
+// trace ID, so the fold's span and log lines correlate back to the
+// insert that armed it.
+func (fl *Filter) RequestFoldFrom(origin trace.ID) {
 	if !fl.foldPending.CompareAndSwap(false, true) {
 		return
+	}
+	if !origin.IsZero() {
+		fl.foldOriginHi.Store(origin.Hi)
+		fl.foldOriginLo.Store(origin.Lo)
 	}
 	select {
 	case fl.st.foldCh <- fl:
@@ -263,26 +275,32 @@ func (fl *Filter) newFoldTarget() (*shard.ShardedFilter, error) {
 func (fl *Filter) Fold() error {
 	m := &fl.st.metrics
 	start := time.Now()
-	err := fl.fold()
+	origin := takeOrigin(&fl.foldOriginHi, &fl.foldOriginLo)
+	bg := fl.st.opts.Tracer.StartBackground(trace.PhaseFold, origin)
+	err := fl.fold(bg.TraceID())
 	switch {
 	case err == nil:
 		m.FoldsCompleted.Inc()
 		m.LastFoldSeconds.Set(time.Since(start).Seconds())
+		bg.Attr(trace.AttrRows, int64(fl.Live().Stats().Rows)).End()
 	case errors.Is(err, errFoldRaced):
 		m.FoldsAbortedRaced.Inc()
+		bg.End()
 		fl.st.logf("store: fold of %q abandoned: %v", fl.name, err)
 		return nil
 	case errors.Is(err, ErrFoldUnavailable):
 		m.FoldsAbortedUnavailable.Inc()
+		bg.End()
 	case errors.Is(err, ErrClosed):
 		// Shutdown, not an abort worth alerting on.
 	default:
 		m.FoldsAbortedError.Inc()
+		bg.End()
 	}
 	return err
 }
 
-func (fl *Filter) fold() error {
+func (fl *Filter) fold(traceID trace.ID) error {
 	fl.ckptMu.Lock()
 	defer fl.ckptMu.Unlock()
 
@@ -345,8 +363,13 @@ func (fl *Filter) fold() error {
 		return err
 	}
 	st := t.sf.Stats()
-	fl.st.logf("store: folded %q to %d rows in %d shard(s), %d levels, load %.2f (seq %d)",
-		fl.name, st.Rows, st.Shards, st.MaxLevels, st.LoadFactor, seq)
-	fl.requestCheckpoint()
+	if !traceID.IsZero() {
+		fl.st.logf("store: folded %q to %d rows in %d shard(s), %d levels, load %.2f (seq %d) trace=%s",
+			fl.name, st.Rows, st.Shards, st.MaxLevels, st.LoadFactor, seq, traceID.String())
+	} else {
+		fl.st.logf("store: folded %q to %d rows in %d shard(s), %d levels, load %.2f (seq %d)",
+			fl.name, st.Rows, st.Shards, st.MaxLevels, st.LoadFactor, seq)
+	}
+	fl.requestCheckpointFrom(traceID)
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 )
 
@@ -77,6 +78,10 @@ type Options struct {
 	// Logf, when set, receives operational log lines (recovery findings,
 	// checkpoints, corruption fallbacks).
 	Logf func(format string, args ...any)
+	// Tracer, when set, receives background spans (recovery, checkpoint,
+	// fold) and the per-phase spans of traced mutations. Nil disables
+	// tracing; every span call is nil-safe.
+	Tracer *trace.Tracer
 }
 
 // RecoveryStats summarizes what Open found on disk.
@@ -157,9 +162,13 @@ func Open(opts Options) (*Store, error) {
 	}
 	s.metrics.init()
 	start := time.Now()
+	bg := opts.Tracer.StartBackground(trace.PhaseRecovery, trace.ID{})
 	if err := s.recoverAll(); err != nil {
 		return nil, err
 	}
+	bg.Attr(trace.AttrFilters, int64(s.stats.Filters)).
+		Attr(trace.AttrRecords, int64(s.stats.RecordsReplayed)).
+		End()
 	s.publishList()
 	s.stats.Duration = time.Since(start)
 	s.wg.Add(2)
