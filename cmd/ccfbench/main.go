@@ -7,6 +7,7 @@
 //	ccfbench -contended [-clients 4]
 //	ccfbench -validate-metrics http://127.0.0.1:8437/metrics
 //	ccfbench -trace-report BENCH_serve.json
+//	ccfbench -overload-report BENCH_serve.json
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 aggregate all. Output is printed as aligned text tables; see
@@ -28,6 +29,11 @@
 // -trace-report reads a BENCH_serve.json written by `ccfd bench` and
 // prints the tracing pass's phase-attribution tables: per-request trace
 // overhead, then each phase's count, total, p50 and p99.
+//
+// -overload-report reads the same file and prints the overload pass
+// written by `ccfd bench overload`: goodput, shed rate and success
+// latency tails under offered load past capacity, with admission
+// control off versus on.
 package main
 
 import (
@@ -82,6 +88,7 @@ func main() {
 	clients := flag.Int("clients", 4, "client goroutines for -contended")
 	validateMetricsURL := flag.String("validate-metrics", "", "scrape this /metrics URL, fail on malformed exposition or missing families, and exit")
 	traceReportPath := flag.String("trace-report", "", "print the phase-attribution report from this BENCH_serve.json and exit")
+	overloadReportPath := flag.String("overload-report", "", "print the overload/admission-control report from this BENCH_serve.json and exit")
 	probeEngine := flag.String("probe-engine", "auto", "batch probe engine: auto, scalar, or an explicit kernel name (avx2, neon)")
 	flag.Usage = usage
 	flag.Parse()
@@ -100,6 +107,13 @@ func main() {
 	}
 	if *traceReportPath != "" {
 		if err := traceReport(os.Stdout, *traceReportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *overloadReportPath != "" {
+		if err := overloadReport(os.Stdout, *overloadReportPath); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// overloadRecord is the slice of a BENCH_serve.json record the overload
+// report needs; the records are written by `ccfd bench overload`.
+type overloadRecord struct {
+	Op         string  `json:"op"`
+	Impl       string  `json:"impl"`
+	Shards     int     `json:"shards"`
+	Batch      int     `json:"batch"`
+	Clients    int     `json:"clients"`
+	OfferedQPS float64 `json:"offered_qps"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50Ns      float64 `json:"p50_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+	P999Ns     float64 `json:"p999_ns"`
+}
+
+// overloadReport reads a BENCH_serve.json and prints the overload pass:
+// goodput and success-latency tails under offered load past capacity,
+// with admission control off versus on. The comparison to look for is
+// the controlled pass holding p99/p999 flat by converting the excess
+// into fast sheds, where the uncontrolled pass lets it pile into queues.
+func overloadReport(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var records []overloadRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	found := 0
+	for _, r := range records {
+		if r.Op != "overload" {
+			continue
+		}
+		if found == 0 {
+			fmt.Fprintf(w, "%-18s %7s %6s %12s %12s %7s %10s %10s %10s\n",
+				"impl", "shards", "batch", "offered", "goodput", "shed%", "p50", "p99", "p999")
+		}
+		found++
+		fmt.Fprintf(w, "%-18s %7d %6d %12.0f %12.0f %7.1f %10s %10s %10s\n",
+			r.Impl, r.Shards, r.Batch, r.OfferedQPS, r.GoodputQPS, r.ShedRate*100,
+			time.Duration(r.P50Ns).Round(10*time.Microsecond),
+			time.Duration(r.P99Ns).Round(10*time.Microsecond),
+			time.Duration(r.P999Ns).Round(10*time.Microsecond))
+	}
+	if found == 0 {
+		return fmt.Errorf("%s: no overload records — regenerate with `ccfd bench overload`", path)
+	}
+	return nil
+}

@@ -43,10 +43,10 @@ type BenchResult struct {
 	// mixes hosts. Cores is the machine's logical CPU count (not
 	// GOMAXPROCS, which tracks a tunable); Goarch, CPUFeatures and
 	// ProbeEngine record which vector kernels the run actually used.
-	Cores       int    `json:"cores"`
-	Goarch      string `json:"goarch"`
-	CPUFeatures string `json:"cpu_features"`
-	ProbeEngine string `json:"probe_engine"`
+	Cores       int     `json:"cores"`
+	Goarch      string  `json:"goarch"`
+	CPUFeatures string  `json:"cpu_features"`
+	ProbeEngine string  `json:"probe_engine"`
 	Alpha       float64 `json:"alpha"`
 	Keys        int     `json:"keys"`
 	Ops         int     `json:"ops"`
@@ -67,6 +67,17 @@ type BenchResult struct {
 	FsyncP50Ns       float64 `json:"fsync_p50_ns,omitempty"`      // durable pass
 	FsyncP99Ns       float64 `json:"fsync_p99_ns,omitempty"`      // durable pass
 	WALAppendBytes   uint64  `json:"wal_append_bytes,omitempty"`  // durable pass
+
+	// Overload pass (op "overload", `ccfd bench overload`): offered versus
+	// achieved request rate with and without admission control, plus the
+	// success-latency tail. ShedRate counts fast 503/429 rejections and
+	// client-side drops; Clients carries the admission MaxInflight.
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
+	GoodputQPS float64 `json:"goodput_qps,omitempty"`
+	ShedRate   float64 `json:"shed_rate,omitempty"`
+	P50Ns      float64 `json:"p50_ns,omitempty"`
+	P99Ns      float64 `json:"p99_ns,omitempty"`
+	P999Ns     float64 `json:"p999_ns,omitempty"`
 
 	// Tracing pass (impl "sharded+trace"): TraceOverheadNs is the added
 	// wall cost per request (batch) of carrying an enabled-but-unsampled

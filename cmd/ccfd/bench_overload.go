@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccf/internal/core"
+	"ccf/internal/server"
+	"ccf/internal/shard"
+	"ccf/internal/simd"
+)
+
+// benchOverloadCmd is `ccfd bench overload`: it pushes query load past
+// the serving capacity of an in-process handler and records what
+// overload does to goodput and tail latency, once with admission control
+// off (every request is accepted and queues inside the runtime) and once
+// with a bounded in-flight limit shedding the excess as fast 503s. The
+// records land in BENCH_serve.json under op "overload"; render them with
+// `ccfbench -overload-report BENCH_serve.json`.
+func benchOverloadCmd(args []string) error {
+	fs := flag.NewFlagSet("bench overload", flag.ExitOnError)
+	keys := fs.Int("keys", 50000, "distinct keys preloaded into the filter")
+	batch := fs.Int("batch", 256, "keys per query request")
+	shards := fs.Int("shards", 4, "shard count")
+	seed := fs.Int64("seed", 1, "workload and hashing seed")
+	duration := fs.Duration("duration", 2*time.Second, "measured run length per pass")
+	factor := fs.Float64("overload", 3, "offered load as a multiple of the calibrated closed-loop capacity")
+	maxInflight := fs.Int("max-inflight", 0, "admission limit for the controlled pass (0 = 4x GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "admission queue depth for the controlled pass (0 = 2x max-inflight)")
+	queueTimeout := fs.Duration("queue-timeout", 100*time.Millisecond, "admission queue timeout for the controlled pass")
+	out := fs.String("out", "BENCH_serve.json", "JSON results path, merged with existing records (empty = skip)")
+	probeEngine := fs.String("probe-engine", "auto", "batch probe engine: auto, scalar, or an explicit kernel name (avx2, neon)")
+	fs.Parse(args)
+
+	if err := simd.SetEngine(*probeEngine); err != nil {
+		return err
+	}
+	if *keys < 1 || *batch < 1 || *shards < 1 || *duration <= 0 || *factor <= 1 {
+		return fmt.Errorf("-keys, -batch and -shards must be at least 1, -duration positive, -overload above 1")
+	}
+	inflight := *maxInflight
+	if inflight <= 0 {
+		// A little past the core count: enough concurrency to cover
+		// scheduling bubbles, small enough that queueing stays visible.
+		inflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	queue := *maxQueue
+	if queue <= 0 {
+		queue = 2 * inflight
+	}
+	results, err := runBenchOverload(overloadConfig{
+		keys: *keys, batch: *batch, shards: *shards, seed: *seed,
+		duration: *duration, factor: *factor,
+		admission: server.AdmissionOptions{
+			MaxInflight:  inflight,
+			MaxQueue:     queue,
+			QueueTimeout: *queueTimeout,
+		},
+	}, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := mergeOverloadRecords(*out, results); err != nil {
+			return err
+		}
+		fmt.Printf("merged %d overload records into %s\n", len(results), *out)
+	}
+	return nil
+}
+
+type overloadConfig struct {
+	keys, batch, shards int
+	seed                int64
+	duration            time.Duration
+	factor              float64
+	admission           server.AdmissionOptions
+}
+
+// shotStats aggregates one open-loop pass: counts by outcome plus the
+// sorted success latencies.
+type shotStats struct {
+	issued, ok, shed, dropped int64
+	lats                      []time.Duration
+}
+
+func (s *shotStats) pct(q float64) float64 {
+	if len(s.lats) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s.lats)))
+	if i >= len(s.lats) {
+		i = len(s.lats) - 1
+	}
+	return float64(s.lats[i].Nanoseconds())
+}
+
+// discardRW is the minimal ResponseWriter the in-process passes need:
+// the body is thrown away, only the status (and Retry-After, implicitly
+// via the header map) is observed.
+type discardRW struct {
+	hdr  http.Header
+	code int
+}
+
+func (w *discardRW) Header() http.Header         { return w.hdr }
+func (w *discardRW) Write(b []byte) (int, error) { return len(b), nil }
+func (w *discardRW) WriteHeader(c int)           { w.code = c }
+
+// runBenchOverload preloads one filter, calibrates closed-loop capacity
+// against an uncontrolled handler, then offers factor x that rate to the
+// same registry twice — admission control off and on — and records
+// goodput, shed rate and success-latency tails for both passes.
+func runBenchOverload(cfg overloadConfig, w io.Writer) ([]BenchResult, error) {
+	reg := server.NewRegistry(16)
+	params := core.Params{NumAttrs: 1, Capacity: cfg.keys * 2, Seed: uint64(cfg.seed)}
+	e, err := reg.Create("bench", shard.Options{Shards: cfg.shards, Workers: 1, Params: params}, nil)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]uint64, cfg.keys)
+	attrs := make([][]uint64, cfg.keys)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + uint64(cfg.seed)
+		attrs[i] = []uint64{uint64(i % 8)}
+	}
+	for i, ierr := range e.Filter().InsertBatch(keys, attrs) {
+		if ierr != nil {
+			return nil, fmt.Errorf("overload preload %d: %w", i, ierr)
+		}
+	}
+	body, err := json.Marshal(server.QueryRequest{Keys: keys[:cfg.batch]})
+	if err != nil {
+		return nil, err
+	}
+	const path = "/filters/bench/query"
+
+	uncontrolled := server.NewHandlerOpts(reg, server.HandlerOptions{})
+	controlled := server.NewHandlerOpts(reg, server.HandlerOptions{Admission: cfg.admission})
+
+	// Closed-loop calibration: one client per core, back to back, against
+	// the uncontrolled handler. Requests/sec here is the capacity the
+	// overload factor multiplies.
+	clients := runtime.GOMAXPROCS(0)
+	var calibrated int64
+	calibDur := cfg.duration / 2
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			end := time.Now().Add(calibDur)
+			for time.Now().Before(end) {
+				if do(uncontrolled, path, body) == http.StatusOK {
+					atomic.AddInt64(&calibrated, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	capacity := float64(calibrated) / calibDur.Seconds()
+	if capacity < 1 {
+		return nil, fmt.Errorf("calibration completed no requests")
+	}
+	offered := capacity * cfg.factor
+
+	var results []BenchResult
+	for _, pass := range []struct {
+		impl string
+		h    http.Handler
+	}{
+		{"server", uncontrolled},
+		{"server+admission", controlled},
+	} {
+		st := openLoop(pass.h, path, body, offered, cfg.duration)
+		r := BenchResult{
+			Op: "overload", Impl: pass.impl, Variant: params.Variant.String(),
+			Shards: cfg.shards, Batch: cfg.batch,
+			Cores:       runtime.NumCPU(),
+			Goarch:      runtime.GOARCH,
+			CPUFeatures: simd.Features(),
+			ProbeEngine: simd.Active(),
+			Keys:        cfg.keys,
+			Ops:         int(st.issued),
+			Clients:     cfg.admission.MaxInflight,
+			OfferedQPS:  float64(st.issued) / cfg.duration.Seconds(),
+			GoodputQPS:  float64(st.ok) / cfg.duration.Seconds(),
+			ShedRate:    float64(st.shed+st.dropped) / float64(max64(st.issued, 1)),
+			P50Ns:       st.pct(0.50),
+			P99Ns:       st.pct(0.99),
+			P999Ns:      st.pct(0.999),
+		}
+		results = append(results, r)
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "capacity %.0f req/s, offering %.0f req/s (x%.1f) for %s\n",
+			capacity, offered, cfg.factor, cfg.duration)
+		fmt.Fprintf(w, "%-18s %12s %12s %7s %10s %10s %10s\n",
+			"impl", "offered", "goodput", "shed%", "p50", "p99", "p999")
+		for _, r := range results {
+			fmt.Fprintf(w, "%-18s %12.0f %12.0f %7.1f %10s %10s %10s\n",
+				r.Impl, r.OfferedQPS, r.GoodputQPS, r.ShedRate*100,
+				time.Duration(r.P50Ns).Round(10*time.Microsecond),
+				time.Duration(r.P99Ns).Round(10*time.Microsecond),
+				time.Duration(r.P999Ns).Round(10*time.Microsecond))
+		}
+	}
+	return results, nil
+}
+
+// do runs one in-process request and returns the status code.
+func do(h http.Handler, path string, body []byte) int {
+	req, err := http.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rw := &discardRW{hdr: make(http.Header), code: http.StatusOK}
+	h.ServeHTTP(rw, req)
+	return rw.code
+}
+
+// openLoop offers requests at a fixed rate regardless of completions —
+// the open-loop shape that actually exposes overload (a closed loop
+// self-throttles). Arrivals that would exceed the outstanding cap are
+// dropped at the client and counted with the sheds: on a saturated
+// server without admission control that is where the queue ends up.
+func openLoop(h http.Handler, path string, body []byte, offered float64, d time.Duration) shotStats {
+	const maxOutstanding = 4096
+	interval := time.Duration(float64(time.Second) / offered)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	sem := make(chan struct{}, maxOutstanding)
+	var st shotStats
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for {
+		now := time.Now()
+		if now.Sub(start) >= d {
+			break
+		}
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		next = next.Add(interval)
+		st.issued++
+		select {
+		case sem <- struct{}{}:
+		default:
+			st.dropped++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			code := do(h, path, body)
+			lat := time.Since(t0)
+			mu.Lock()
+			switch {
+			case code == http.StatusOK:
+				st.ok++
+				st.lats = append(st.lats, lat)
+			case code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests:
+				st.shed++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(st.lats, func(i, j int) bool { return st.lats[i] < st.lats[j] })
+	return st
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mergeOverloadRecords rewrites path with earlier overload records
+// replaced by the new ones, keeping every other benchmark record.
+func mergeOverloadRecords(path string, overload []BenchResult) error {
+	var existing []BenchResult
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	merged := existing[:0]
+	for _, r := range existing {
+		if r.Op != "overload" {
+			merged = append(merged, r)
+		}
+	}
+	merged = append(merged, overload...)
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

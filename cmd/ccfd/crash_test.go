@@ -92,7 +92,10 @@ func TestRestartRoundTrip(t *testing.T) {
 	}
 }
 
-const crashHelperEnv = "CCFD_CRASH_HELPER_DIR"
+const (
+	crashHelperEnv = "CCFD_CRASH_HELPER_DIR"
+	crashFaultsEnv = "CCFD_CRASH_HELPER_FAULTS"
+)
 
 // TestCrashHelperProcess is not a test: it is the child half of the
 // SIGKILL crash tests, re-executed from the test binary. It serves a
@@ -109,18 +112,27 @@ func TestCrashHelperProcess(t *testing.T) {
 	}
 	fmt.Printf("CCFD_ADDR=%s\n", ln.Addr())
 	os.Stdout.Sync()
-	serveUntilDone(context.Background(), ln, serveConfig{
+	cfg := serveConfig{
 		cacheCap: 16, dataDir: dir, fsync: store.FsyncAlways,
 		flushEvery: time.Millisecond, autoGrow: true, quiet: true,
-	})
+	}
+	if sched := os.Getenv(crashFaultsEnv); sched != "" {
+		// Degraded-mode crash test: inject storage faults, and push the
+		// re-arm probe past the test's lifetime so its state stays stable.
+		cfg.faultSchedule = sched
+		cfg.rearmMin, cfg.rearmMax = time.Minute, time.Minute
+	}
+	serveUntilDone(context.Background(), ln, cfg)
 }
 
 // startCrashHelper launches the helper daemon on dir and returns its
-// base URL plus the running command (the caller kills it).
-func startCrashHelper(t *testing.T, dir string) (string, *exec.Cmd) {
+// base URL plus the running command (the caller kills it). extraEnv
+// entries ("KEY=VALUE") are passed through to the child.
+func startCrashHelper(t *testing.T, dir string, extraEnv ...string) (string, *exec.Cmd) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashHelperProcess$", "-test.v")
 	cmd.Env = append(os.Environ(), crashHelperEnv+"="+dir)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -374,4 +386,133 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 		}
 	}
 	t.Logf("recovered %d acked keys after SIGKILL: %+v", len(ackedKeys), stats)
+}
+
+// TestCrashWhileDegradedSIGKILL is the degraded-mode half of the crash
+// acceptance: a daemon whose disk "fills up" mid-load (injected ENOSPC on
+// every fsync from the fifth on) poisons its WAL and flips the filter
+// read-only — writes answer 503 with Retry-After while queries and
+// /readyz keep serving — and a SIGKILL in that state must not lose any
+// write acked before the failure. Recovery on a healthy filesystem comes
+// back un-degraded and writable with every acked key present.
+func TestCrashWhileDegradedSIGKILL(t *testing.T) {
+	dir := t.TempDir()
+	// fsync #1 is the WAL header, #2 the create record; insert batches
+	// sync from #3, so two batches land before the disk "fails" for good.
+	url, cmd := startCrashHelper(t, dir, crashFaultsEnv+"=fsync:5-:enospc")
+	defer cmd.Process.Kill()
+
+	putFilter(t, url, "deg", `{"variant":"chained","shards":2,"capacity":65536,"num_attrs":1}`)
+
+	var acked []uint64
+	var degradedStatus int
+	var retryAfter string
+	for it := 0; it < 100; it++ {
+		keys := make([]uint64, 32)
+		attrs := make([][]uint64, 32)
+		for i := range keys {
+			keys[i] = uint64(it*32+i)*2654435761 + 11
+			attrs[i] = []uint64{uint64(i % 4)}
+		}
+		body, _ := json.Marshal(server.InsertRequest{Keys: keys, Attrs: attrs})
+		resp, err := http.Post(url+"/filters/deg/insert", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("insert %d: %v", it, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			degradedStatus = resp.StatusCode
+			retryAfter = resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			break
+		}
+		var ins server.InsertResponse
+		derr := json.NewDecoder(resp.Body).Decode(&ins)
+		resp.Body.Close()
+		if derr != nil || ins.Accepted != len(keys) {
+			t.Fatalf("insert %d: accepted %d, decode err %v", it, ins.Accepted, derr)
+		}
+		acked = append(acked, keys...)
+	}
+	if degradedStatus == 0 {
+		t.Fatal("injected fsync failure never surfaced")
+	}
+	if degradedStatus != http.StatusServiceUnavailable || retryAfter == "" {
+		t.Fatalf("degrading insert: status %d, Retry-After %q; want 503 with a hint",
+			degradedStatus, retryAfter)
+	}
+	if len(acked) == 0 {
+		t.Fatal("no batch was acked before the injected failure")
+	}
+
+	// Reads keep serving from memory while the filter is read-only.
+	var q server.QueryResponse
+	post(t, url+"/filters/deg/query", server.QueryRequest{Keys: acked}, &q)
+	for i, hit := range q.Results {
+		if !hit {
+			t.Fatalf("degraded read lost acked key %d", acked[i])
+		}
+	}
+
+	// Further writes are rejected fast: a poisoned WAL is never retried.
+	resp, err := http.Post(url+"/filters/deg/insert", "application/json",
+		strings.NewReader(`{"keys":[424242],"attrs":[[0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write while degraded: status %d, want 503", resp.StatusCode)
+	}
+
+	// /readyz stays ready (reads serve) and names the degraded filter.
+	rz, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rzBody struct {
+		Degraded []store.DegradedFilter `json:"degraded_filters"`
+	}
+	derr := json.NewDecoder(rz.Body).Decode(&rzBody)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusOK || derr != nil {
+		t.Fatalf("/readyz while degraded: status %d, decode err %v", rz.StatusCode, derr)
+	}
+	if len(rzBody.Degraded) != 1 || rzBody.Degraded[0].Name != "deg" || rzBody.Degraded[0].Reason != "enospc" {
+		t.Fatalf("/readyz degraded_filters = %+v, want one enospc entry for %q", rzBody.Degraded, "deg")
+	}
+
+	// SIGKILL in degraded mode, then recover on a healthy filesystem.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	cmd.Wait()
+
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer st.Close()
+	if n := st.DegradedCount(); n != 0 {
+		t.Fatalf("recovered store still degraded (%d filters)", n)
+	}
+	fl := st.Get("deg")
+	if fl == nil {
+		t.Fatal("filter not recovered")
+	}
+	sf := fl.Live()
+	for _, k := range acked {
+		if !sf.QueryKey(k) {
+			t.Fatalf("acked key %d lost across degraded SIGKILL (%d acked)", k, len(acked))
+		}
+	}
+	// Write availability is back: recovery opened a fresh WAL, not the
+	// poisoned one.
+	if err := fl.Insert(987654321, []uint64{1}); err != nil {
+		t.Fatalf("post-recovery insert: %v", err)
+	}
+	if !fl.Live().QueryKey(987654321) {
+		t.Fatal("post-recovery insert not visible")
+	}
+	t.Logf("recovered %d acked keys after degraded-mode SIGKILL: %+v",
+		len(acked), st.RecoveryStats())
 }

@@ -13,6 +13,9 @@
 //	           [-auto-grow] [-metrics-addr 127.0.0.1:9437]
 //	           [-log-format text|json] [-log-level info]
 //	           [-slow-query 0] [-trace-sample 0] [-probe-engine auto]
+//	           [-request-timeout 0] [-max-inflight 0] [-max-queue 0]
+//	           [-queue-timeout 1s] [-rearm-min 0] [-rearm-max 0]
+//	           [-fault-schedule ""]
 //	ccfd bench [-keys 100000] [-queries 1000000] [-batch 1024]
 //	           [-shards 1,4,16] [-variant chained] [-alpha 1.1]
 //	           [-clients 0] [-seed 1] [-out BENCH_serve.json]
@@ -21,6 +24,10 @@
 //	           [-probe-engine auto]
 //	ccfd bench grow [-capacity 50000] [-batch 1024] [-shards 1]
 //	           [-queries N] [-seed 1] [-out BENCH_serve.json] [-dir DIR]
+//	ccfd bench overload [-keys 50000] [-batch 256] [-shards 4]
+//	           [-duration 2s] [-overload 3] [-max-inflight 0]
+//	           [-max-queue 0] [-queue-timeout 100ms]
+//	           [-out BENCH_serve.json]
 //
 // serve exposes the internal/server API:
 //
@@ -65,6 +72,21 @@
 // valid segment plus the WAL tail — so restarts (including SIGKILL)
 // serve the same answers as before. See the README's Durability section.
 //
+// When the disk misbehaves (ENOSPC, I/O errors, a failed fsync) a
+// durable filter degrades to read-only instead of taking the daemon
+// down: queries keep serving from memory, writes answer 503 with
+// Retry-After, and a background probe (backoff bounded by -rearm-min /
+// -rearm-max) restores write availability on a fresh WAL once the disk
+// recovers. -fault-schedule injects those failures deterministically for
+// testing; see the README's "Failure modes and degraded operation".
+//
+// -max-inflight bounds concurrently served requests (excess waits in a
+// -max-queue deep queue for up to -queue-timeout, then sheds 503 +
+// Retry-After), -request-timeout attaches a per-request deadline that
+// batched shard work observes between shard groups (exceeded → 504),
+// and a per-filter token-bucket rate limit can be set via the PUT body's
+// rate_limit policy (throttled → 429 + Retry-After).
+//
 // With -auto-grow every filter gets the default elastic-capacity policy:
 // instead of returning "filter full" once its sizing is exhausted, a
 // filter opens doubled ladder levels (up to the policy's budget), and on
@@ -95,6 +117,7 @@ import (
 	"syscall"
 	"time"
 
+	"ccf/internal/fault"
 	"ccf/internal/obs"
 	"ccf/internal/obs/trace"
 	"ccf/internal/server"
@@ -112,9 +135,12 @@ func main() {
 	case "serve":
 		err = serveCmd(os.Args[2:])
 	case "bench":
-		if len(os.Args) > 2 && os.Args[2] == "grow" {
+		switch {
+		case len(os.Args) > 2 && os.Args[2] == "grow":
 			err = benchGrowCmd(os.Args[3:])
-		} else {
+		case len(os.Args) > 2 && os.Args[2] == "overload":
+			err = benchOverloadCmd(os.Args[3:])
+		default:
 			err = benchCmd(os.Args[2:])
 		}
 	case "-h", "-help", "--help", "help":
@@ -140,6 +166,9 @@ func usage() {
              [-metrics-addr 127.0.0.1:9437] [-log-format text|json]
              [-log-level debug|info|warn|error] [-slow-query DURATION]
              [-trace-sample N] [-probe-engine auto|scalar|avx2|neon]
+             [-request-timeout DURATION] [-max-inflight N] [-max-queue N]
+             [-queue-timeout 1s] [-rearm-min DURATION] [-rearm-max DURATION]
+             [-fault-schedule SCHEDULE]
   ccfd bench [-keys N] [-queries N] [-batch N] [-shards 1,4,16]
              [-variant chained|plain|bloom|mixed] [-alpha 1.1]
              [-clients 0] [-seed 1] [-out BENCH_serve.json]
@@ -148,6 +177,9 @@ func usage() {
              [-probe-engine auto|scalar|avx2|neon]
   ccfd bench grow [-capacity N] [-batch N] [-shards N] [-queries N]
              [-seed 1] [-out BENCH_serve.json] [-dir DIR]
+  ccfd bench overload [-keys N] [-batch N] [-shards N] [-duration 2s]
+             [-overload FACTOR] [-max-inflight N] [-max-queue N]
+             [-queue-timeout 100ms] [-out BENCH_serve.json]
 `)
 }
 
@@ -171,6 +203,15 @@ type serveConfig struct {
 	slowQuery   time.Duration // log requests at/above this latency; 0 disables
 	traceSample int           // trace every Nth request; 0 = slow-only tracing
 	logW        io.Writer     // log destination override (tests); nil = stderr
+
+	// Admission control and deadlines (zero value = off).
+	admission server.AdmissionOptions
+	// faultSchedule, when non-empty, injects deterministic storage
+	// faults under the durable store (dev/test only; see -fault-schedule).
+	faultSchedule string
+	// rearmMin/rearmMax bound the degraded-mode recovery probe backoff;
+	// zero takes the store defaults.
+	rearmMin, rearmMax time.Duration
 }
 
 func serveCmd(args []string) error {
@@ -191,10 +232,23 @@ func serveCmd(args []string) error {
 	slowQuery := fs.Duration("slow-query", 0, "log requests at or above this latency at Warn and pin their trace in /debug/traces (0 disables)")
 	traceSample := fs.Int("trace-sample", 0, "capture every Nth request's trace into /debug/traces and the phase-attribution histograms (0 = slow requests only, 1 = all)")
 	probeEngine := fs.String("probe-engine", "auto", "batch probe engine: auto (detected best), scalar, or an explicit kernel name (avx2, neon)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline; batched work past it answers 504 (0 disables)")
+	maxInflight := fs.Int("max-inflight", 0, "maximum concurrently served requests; excess queues then sheds 503 (0 disables admission control)")
+	maxQueue := fs.Int("max-queue", 0, "admission queue depth once -max-inflight is saturated (0 = shed immediately)")
+	queueTimeout := fs.Duration("queue-timeout", server.DefaultQueueTimeout, "longest a request waits in the admission queue before shedding 503")
+	faultSchedule := fs.String("fault-schedule", "", "inject deterministic storage faults under -data-dir, e.g. 'fsync:3:enospc; write@wal:bytes=4096:torn' (dev/test only)")
+	rearmMin := fs.Duration("rearm-min", 0, "initial backoff for the degraded-mode recovery probe (0 = store default)")
+	rearmMax := fs.Duration("rearm-max", 0, "backoff ceiling for the degraded-mode recovery probe (0 = store default)")
 	fs.Parse(args)
 
 	if err := simd.SetEngine(*probeEngine); err != nil {
 		return err
+	}
+	if *faultSchedule != "" {
+		// Fail fast on a bad schedule; the store re-parses at open time.
+		if _, err := fault.Parse(*faultSchedule); err != nil {
+			return err
+		}
 	}
 	policy, err := store.ParseFsyncPolicy(*fsyncFlag)
 	if err != nil {
@@ -219,6 +273,15 @@ func serveCmd(args []string) error {
 		logLevel:    level,
 		slowQuery:   *slowQuery,
 		traceSample: *traceSample,
+		admission: server.AdmissionOptions{
+			MaxInflight:    *maxInflight,
+			MaxQueue:       *maxQueue,
+			QueueTimeout:   *queueTimeout,
+			RequestTimeout: *reqTimeout,
+		},
+		faultSchedule: *faultSchedule,
+		rearmMin:      *rearmMin,
+		rearmMax:      *rearmMax,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -233,14 +296,19 @@ func serveCmd(args []string) error {
 
 // startPprof serves net/http/pprof's DefaultServeMux handlers on their
 // own listener, so profiling stays off the public API address and can be
-// firewalled separately. Closing the returned listener stops it.
-func startPprof(addr string) (net.Listener, string, error) {
+// firewalled separately. Closing the returned server stops it (and its
+// listener) cleanly.
+func startPprof(addr string) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("pprof listen: %w", err)
 	}
-	go http.Serve(ln, nil) // nil = DefaultServeMux, where pprof registered
-	return ln, ln.Addr().String(), nil
+	srv := &http.Server{
+		Handler:           http.DefaultServeMux, // where net/http/pprof registered
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
 }
 
 // disabledToNeg maps the flag convention "0 disables" onto the store's
@@ -288,11 +356,11 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 	logger, closeLog := obs.NewLogger(logDst, cfg.logFormat, cfg.logLevel)
 	defer closeLog()
 	if cfg.pprofAddr != "" {
-		pln, addr, err := startPprof(cfg.pprofAddr)
+		psrv, addr, err := startPprof(cfg.pprofAddr)
 		if err != nil {
 			return err
 		}
-		defer pln.Close()
+		defer psrv.Close()
 		logger.Info("pprof serving", "addr", "http://"+addr+"/debug/pprof/")
 	}
 	om := obs.NewRegistry()
@@ -349,41 +417,74 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 		if err != nil {
 			return fmt.Errorf("metrics listen: %w", err)
 		}
-		defer mln.Close()
 		mmux := http.NewServeMux()
 		mmux.Handle("GET /metrics", om.Handler())
-		go http.Serve(mln, mmux)
+		msrv := &http.Server{Handler: mmux, ReadHeaderTimeout: 10 * time.Second}
+		go msrv.Serve(mln)
+		defer msrv.Close()
 		logger.Info("metrics serving", "addr", "http://"+mln.Addr().String()+"/metrics")
 	}
 
 	// Serve before recovery so liveness and readiness are distinguishable:
 	// the registry is attached to the store only once recovery completes,
 	// and /readyz flips to 200 at the same moment.
-	srv := &http.Server{Handler: server.NewHandlerOpts(reg, server.HandlerOptions{
-		MaxBodyBytes: cfg.maxBody,
-		Metrics:      om,
-		Logger:       logger,
-		SlowQuery:    cfg.slowQuery,
-		Health:       health,
-		Tracer:       tracer,
-	})}
+	if cfg.admission.MaxInflight > 0 || cfg.admission.RequestTimeout > 0 {
+		logger.Info("admission control on",
+			"max_inflight", cfg.admission.MaxInflight,
+			"max_queue", cfg.admission.MaxQueue,
+			"queue_timeout", cfg.admission.QueueTimeout.String(),
+			"request_timeout", cfg.admission.RequestTimeout.String())
+	}
+	// Slowloris and stuck-peer protection: header reads, whole-request
+	// reads and response writes are all bounded, and idle keep-alives are
+	// reaped. The write timeout comfortably exceeds any -request-timeout,
+	// so the daemon's own deadline (504) fires before the socket's.
+	srv := &http.Server{
+		Handler: server.NewHandlerOpts(reg, server.HandlerOptions{
+			MaxBodyBytes: cfg.maxBody,
+			Metrics:      om,
+			Logger:       logger,
+			SlowQuery:    cfg.slowQuery,
+			Health:       health,
+			Tracer:       tracer,
+			Admission:    cfg.admission,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
 	var st *store.Store
 	if cfg.dataDir != "" {
-		var err error
-		st, err = store.Open(store.Options{
+		sopts := store.Options{
 			Dir:               cfg.dataDir,
 			Fsync:             cfg.fsync,
 			FlushInterval:     cfg.flushEvery,
 			CheckpointBytes:   disabledToNeg(cfg.ckptBytes),
 			CheckpointRecords: disabledToNeg(cfg.ckptRecords),
+			RearmMin:          cfg.rearmMin,
+			RearmMax:          cfg.rearmMax,
 			Tracer:            tracer,
 			Logf: func(format string, args ...any) {
 				logger.Info(fmt.Sprintf(format, args...))
 			},
-		})
+		}
+		if cfg.faultSchedule != "" {
+			sched, perr := fault.Parse(cfg.faultSchedule)
+			if perr != nil {
+				srv.Close()
+				<-errc
+				return fmt.Errorf("parsing -fault-schedule: %w", perr)
+			}
+			sopts.FS = fault.New(fault.OS, sched)
+			logger.Warn("fault injection active — storage faults will be injected deliberately",
+				"schedule", cfg.faultSchedule)
+		}
+		var err error
+		st, err = store.Open(sopts)
 		if err != nil {
 			srv.Close()
 			<-errc

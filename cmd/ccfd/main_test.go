@@ -34,15 +34,21 @@ func startDaemon(t *testing.T, cfg serveConfig) (string, func() error) {
 	errc := make(chan error, 1)
 	go func() { errc <- serveUntilDone(ctx, ln, cfg) }()
 	url := "http://" + ln.Addr().String()
-	// Wait for the daemon to answer.
+	// Wait for readiness, not liveness: /readyz flips to 200 only after
+	// store recovery has attached the filter catalog, so tests that query
+	// right after a restart don't race the replay.
 	for i := 0; ; i++ {
-		resp, err := http.Get(url + "/healthz")
+		resp, err := http.Get(url + "/readyz")
 		if err == nil {
+			code := resp.StatusCode
 			resp.Body.Close()
-			break
+			if code == http.StatusOK {
+				break
+			}
+			err = fmt.Errorf("readyz: %d", code)
 		}
 		if i > 100 {
-			t.Fatalf("daemon never came up: %v", err)
+			t.Fatalf("daemon never became ready: %v", err)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

@@ -1,0 +1,179 @@
+// Package fault wraps the filesystem surface the durable store writes
+// through behind a small interface, so tests and chaos runs can inject
+// deterministic failures — fail the Nth fsync, ENOSPC after K bytes, a
+// torn write, EIO on a checkpoint rename, added latency — at exactly the
+// call the schedule names, instead of corrupting files after the fact.
+//
+// Production code uses OS, a zero-cost passthrough. Injection wraps any
+// FS with a Schedule parsed from a compact spec string (see Parse), the
+// same grammar the ccfd -fault-schedule dev flag accepts.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// FS is the write-path filesystem surface: every store file operation
+// whose failure must be survivable goes through it. Read-only recovery
+// paths (ReadFile, ReadDir) stay on the os package — injection targets
+// the operations that can lose acknowledged data.
+type FS interface {
+	// OpenFile opens a file for writing (WAL and segment creation).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (segment and
+	// manifest publication, drop tombstones).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (checkpoint cleanup, poisoned-WAL retirement).
+	Remove(name string) error
+	// SyncDir fsyncs a directory so entry creation/rename is durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable file handle FS hands out.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the passthrough implementation.
+type osFS struct{}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Error is an injected failure. It unwraps to the underlying errno
+// (syscall.ENOSPC, syscall.EIO), so store-side classification with
+// errors.Is treats injected faults exactly like real ones.
+type Error struct {
+	Op   Op
+	Path string
+	Err  error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %v on %s %s", e.Err, e.Op, filepath.Base(e.Path))
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Injected is an FS that consults a Schedule before delegating to the
+// wrapped filesystem.
+type Injected struct {
+	inner FS
+	sched *Schedule
+}
+
+// New wraps inner with the given schedule. A nil schedule is a pure
+// passthrough.
+func New(inner FS, sched *Schedule) *Injected {
+	return &Injected{inner: inner, sched: sched}
+}
+
+// Schedule returns the wrapped schedule (for test assertions).
+func (fs *Injected) Schedule() *Schedule { return fs.sched }
+
+func (fs *Injected) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := fs.sched.fail(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, name: name, sched: fs.sched}, nil
+}
+
+func (fs *Injected) Rename(oldpath, newpath string) error {
+	if err := fs.sched.fail(OpRename, newpath); err != nil {
+		return err
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+func (fs *Injected) Remove(name string) error {
+	if err := fs.sched.fail(OpRemove, name); err != nil {
+		return err
+	}
+	return fs.inner.Remove(name)
+}
+
+func (fs *Injected) SyncDir(dir string) error {
+	if err := fs.sched.fail(OpDirSync, dir); err != nil {
+		return err
+	}
+	return fs.inner.SyncDir(dir)
+}
+
+// injFile applies write/sync rules on a per-call basis.
+type injFile struct {
+	f     File
+	name  string
+	sched *Schedule
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	kind, delay, hit := f.sched.match(OpWrite, f.name)
+	if hit {
+		switch kind {
+		case KindSlow:
+			time.Sleep(delay)
+		case KindTorn:
+			// Half the buffer lands, then the device errors: the classic
+			// torn-write crash shape, observable as a bad trailing CRC.
+			n, _ := f.f.Write(p[:len(p)/2])
+			f.sched.bytes.Add(int64(n))
+			return n, &Error{Op: OpWrite, Path: f.name, Err: syscall.EIO}
+		default:
+			return 0, &Error{Op: OpWrite, Path: f.name, Err: errnoFor(kind)}
+		}
+	}
+	n, err := f.f.Write(p)
+	f.sched.bytes.Add(int64(n))
+	return n, err
+}
+
+func (f *injFile) Sync() error {
+	if err := f.sched.fail(OpSync, f.name); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Close() error { return f.f.Close() }
+
+func errnoFor(k Kind) error {
+	if k == KindENOSPC {
+		return syscall.ENOSPC
+	}
+	return syscall.EIO
+}

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"fsync:3",               // missing fault
+		"flush:1:eio",           // unknown op
+		"fsync:0:eio",           // 1-based
+		"fsync:5-3:eio",         // inverted range
+		"fsync:x:eio",           // not a number
+		"fsync:1:explode",       // unknown fault
+		"fsync:1:torn",          // torn is write-only
+		"rename:bytes=4:eio",    // bytes= is write-only
+		"write:bytes=-1:enospc", // bad byte count
+		"fsync:1:slow",          // slow needs a duration
+		"fsync:1:slow=zzz",      // bad duration
+		"fsync:1:eio=2ms",       // only slow takes a duration
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	s, err := Parse("fsync:3:enospc; write:2-:torn, rename@.ccseg:1-4:eio;write:bytes=100:enospc;dirsync:1:slow=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Op: OpSync, From: 3, To: 3, Kind: KindENOSPC},
+		{Op: OpWrite, From: 2, To: 0, Kind: KindTorn},
+		{Op: OpRename, From: 1, To: 4, Kind: KindEIO, PathContains: ".ccseg"},
+		{Op: OpWrite, Bytes: 100, Kind: KindENOSPC},
+		{Op: OpDirSync, From: 1, To: 1, Kind: KindSlow, Delay: time.Millisecond},
+	}
+	if len(s.rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(s.rules), len(want))
+	}
+	for i, r := range s.rules {
+		if r != want[i] {
+			t.Errorf("rule %d: got %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestNthFsyncFails(t *testing.T) {
+	s, err := Parse("fsync:2-3:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(OS, s)
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "w"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fsync 1 should pass: %v", err)
+	}
+	for i := 2; i <= 3; i++ {
+		err := f.Sync()
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("fsync %d: got %v, want ENOSPC", i, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fsync 4 should pass (window closed): %v", err)
+	}
+	if got := s.Count(OpSync); got != 4 {
+		t.Fatalf("Count(OpSync) = %d, want 4", got)
+	}
+	if got := s.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	s, err := Parse("write:2:torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(OS, s)
+	path := filepath.Join(t.TempDir(), "w")
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("bbbbbbbb"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write: got err %v, want EIO", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write landed %d bytes, want 4 (half)", n)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaaabbbb" {
+		t.Fatalf("file contents %q, want %q", got, "aaaabbbb")
+	}
+}
+
+func TestENOSPCAfterBytes(t *testing.T) {
+	s, err := Parse("write:bytes=8:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(OS, s)
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "w"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("first 8 bytes should land: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write past budget: got %v, want ENOSPC", err)
+	}
+	if got := s.BytesWritten(); got != 8 {
+		t.Fatalf("BytesWritten = %d, want 8", got)
+	}
+}
+
+func TestPathFilterAndRename(t *testing.T) {
+	s, err := Parse("rename@.ccseg:1:eio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(OS, s)
+	dir := t.TempDir()
+	for _, name := range []string{"a.tmp", "b.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-matching path: passes and does not consume the rule.
+	if err := fs.Rename(filepath.Join(dir, "a.tmp"), filepath.Join(dir, "a.manifest")); err != nil {
+		t.Fatalf("non-matching rename: %v", err)
+	}
+	err = fs.Rename(filepath.Join(dir, "b.tmp"), filepath.Join(dir, "b.ccseg"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching rename: got %v, want EIO", err)
+	}
+}
+
+func TestOSPassthroughSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir(%q): %v", dir, err)
+	}
+	if err := OS.SyncDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("SyncDir of a missing dir should fail")
+	}
+}
+
+func TestFaultErrorMessage(t *testing.T) {
+	e := &Error{Op: OpSync, Path: "/data/filters/f-x/wal-000001.ccwal", Err: syscall.ENOSPC}
+	msg := e.Error()
+	for _, want := range []string{"fsync", "wal-000001.ccwal", "no space"} {
+		if !contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,251 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Op names one filesystem operation class for schedule matching.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpWrite
+	OpSync
+	OpDirSync
+	OpRename
+	OpRemove
+	numOps
+)
+
+var opNames = [numOps]string{"open", "write", "fsync", "dirsync", "rename", "remove"}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+func parseOp(s string) (Op, bool) {
+	switch s {
+	case "open":
+		return OpOpen, true
+	case "write":
+		return OpWrite, true
+	case "fsync", "sync":
+		return OpSync, true
+	case "dirsync":
+		return OpDirSync, true
+	case "rename":
+		return OpRename, true
+	case "remove":
+		return OpRemove, true
+	}
+	return 0, false
+}
+
+// Kind is what happens when a rule fires.
+type Kind uint8
+
+const (
+	// KindENOSPC fails the call with syscall.ENOSPC.
+	KindENOSPC Kind = iota
+	// KindEIO fails the call with syscall.EIO.
+	KindEIO
+	// KindTorn (write only) lands half the buffer, then fails with EIO.
+	KindTorn
+	// KindSlow sleeps the rule's delay; the call then succeeds.
+	KindSlow
+)
+
+// Rule fires a fault on matching calls. The call window [From, To] is
+// 1-based, inclusive, and counts the calls this rule matches (its op,
+// passing its path filter); To == 0 leaves it open-ended. When Bytes > 0
+// the window is ignored and the rule arms once the schedule has seen at
+// least that many bytes written (ENOSPC-after-K-bytes disk-full shape).
+type Rule struct {
+	Op           Op
+	From, To     uint64
+	Bytes        int64
+	Kind         Kind
+	Delay        time.Duration
+	PathContains string
+}
+
+// Schedule is a deterministic fault plan: per-op call counters advanced
+// on every call, checked against the rules. Safe for concurrent use;
+// counters are atomic, rules are immutable after Parse.
+type Schedule struct {
+	src   string
+	rules []Rule
+	// ruleN[i] counts the calls rule i has matched; the rule's window is
+	// evaluated against it, so a path filter doesn't skew the count.
+	ruleN    []atomic.Uint64
+	counts   [numOps]atomic.Uint64
+	bytes    atomic.Int64
+	injected atomic.Uint64
+}
+
+// Parse builds a Schedule from a spec: rules separated by ';' (or ','),
+// each "op[@substr]:calls:fault".
+//
+//	op     open | write | fsync | dirsync | rename | remove
+//	calls  N (the Nth call) | N- (from the Nth on) | N-M (inclusive)
+//	       | bytes=K (write only: once K total bytes have been written)
+//	fault  enospc | eio | torn (write only) | slow=DURATION
+//
+// An optional @substr after the op restricts the rule to paths
+// containing substr. Examples:
+//
+//	fsync:3:enospc                 the 3rd fsync fails ENOSPC
+//	fsync:4-9:enospc               fsyncs 4..9 fail, then the disk "recovers"
+//	write:bytes=65536:enospc       disk full after 64 KiB
+//	rename@.ccseg:1:eio            first segment rename fails EIO
+//	write:2-:torn ; fsync:1-:slow=2ms
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{src: spec}
+	for _, part := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, ":", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("fault: rule %q: want op:calls:fault", part)
+		}
+		opStr, sel, faultStr := strings.TrimSpace(fields[0]), strings.TrimSpace(fields[1]), strings.TrimSpace(fields[2])
+		opName, pathSub, _ := strings.Cut(opStr, "@")
+		op, ok := parseOp(opName)
+		if !ok {
+			return nil, fmt.Errorf("fault: rule %q: unknown op %q", part, opName)
+		}
+		r := Rule{Op: op, PathContains: pathSub}
+		if k, isBytes := strings.CutPrefix(sel, "bytes="); isBytes {
+			if op != OpWrite {
+				return nil, fmt.Errorf("fault: rule %q: bytes= selector only applies to write", part)
+			}
+			n, err := strconv.ParseInt(k, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("fault: rule %q: bad byte count %q", part, k)
+			}
+			r.Bytes = n
+		} else {
+			fromStr, toStr, ranged := strings.Cut(sel, "-")
+			from, err := strconv.ParseUint(fromStr, 10, 64)
+			if err != nil || from == 0 {
+				return nil, fmt.Errorf("fault: rule %q: bad call selector %q (1-based)", part, sel)
+			}
+			r.From, r.To = from, from
+			if ranged {
+				if toStr == "" {
+					r.To = 0 // open-ended
+				} else {
+					to, err := strconv.ParseUint(toStr, 10, 64)
+					if err != nil || to < from {
+						return nil, fmt.Errorf("fault: rule %q: bad call range %q", part, sel)
+					}
+					r.To = to
+				}
+			}
+		}
+		kindStr, durStr, hasDur := strings.Cut(faultStr, "=")
+		switch kindStr {
+		case "enospc":
+			r.Kind = KindENOSPC
+		case "eio":
+			r.Kind = KindEIO
+		case "torn":
+			if op != OpWrite {
+				return nil, fmt.Errorf("fault: rule %q: torn only applies to write", part)
+			}
+			r.Kind = KindTorn
+		case "slow":
+			r.Kind = KindSlow
+			if !hasDur {
+				return nil, fmt.Errorf("fault: rule %q: slow needs a duration (slow=2ms)", part)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: rule %q: bad duration %q", part, durStr)
+			}
+			r.Delay = d
+		default:
+			return nil, fmt.Errorf("fault: rule %q: unknown fault %q (want enospc|eio|torn|slow=DUR)", part, kindStr)
+		}
+		if r.Kind != KindSlow && hasDur {
+			return nil, fmt.Errorf("fault: rule %q: only slow takes a duration", part)
+		}
+		s.rules = append(s.rules, r)
+	}
+	if len(s.rules) == 0 {
+		return nil, fmt.Errorf("fault: empty schedule %q", spec)
+	}
+	s.ruleN = make([]atomic.Uint64, len(s.rules))
+	return s, nil
+}
+
+// String returns the spec the schedule was parsed from.
+func (s *Schedule) String() string { return s.src }
+
+// Count reports how many calls of op the schedule has seen.
+func (s *Schedule) Count(op Op) uint64 { return s.counts[op].Load() }
+
+// Injected reports how many rules have fired (latency included).
+func (s *Schedule) Injected() uint64 { return s.injected.Load() }
+
+// BytesWritten reports total bytes successfully written through the FS.
+func (s *Schedule) BytesWritten() int64 { return s.bytes.Load() }
+
+// match advances the call counters and returns the first firing rule.
+// Every matching rule's counter advances even when an earlier rule
+// already fired, so rule windows stay independent of rule order.
+func (s *Schedule) match(op Op, path string) (Kind, time.Duration, bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	s.counts[op].Add(1)
+	written := s.bytes.Load()
+	var fire *Rule
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		if r.Bytes > 0 {
+			if written >= r.Bytes && fire == nil {
+				fire = r
+			}
+			continue
+		}
+		n := s.ruleN[i].Add(1)
+		if n >= r.From && (r.To == 0 || n <= r.To) && fire == nil {
+			fire = r
+		}
+	}
+	if fire == nil {
+		return 0, 0, false
+	}
+	s.injected.Add(1)
+	return fire.Kind, fire.Delay, true
+}
+
+// fail is match for ops with no torn-write special case: it returns the
+// injected error (nil for a pure latency rule, after sleeping).
+func (s *Schedule) fail(op Op, path string) error {
+	kind, delay, hit := s.match(op, path)
+	if !hit {
+		return nil
+	}
+	if kind == KindSlow {
+		time.Sleep(delay)
+		return nil
+	}
+	return &Error{Op: op, Path: path, Err: errnoFor(kind)}
+}

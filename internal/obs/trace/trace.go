@@ -63,13 +63,14 @@ const (
 	PhaseFold                    // background ladder fold
 	PhaseCheckpoint              // background checkpoint
 	PhaseRecovery                // boot WAL/checkpoint recovery
+	PhaseQueue                   // admission-control queue wait
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"request", "decode", "shard_probe", "view_probe", "apply",
 	"wal_append", "fsync_wait", "encode", "grow", "fold",
-	"checkpoint", "recovery",
+	"checkpoint", "recovery", "queue",
 }
 
 // Phases returns every phase in the catalogue, for metric registration.

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionOptions is the server's overload-protection configuration:
+// a concurrency limiter with a bounded wait queue in front of every
+// instrumented endpoint, and a per-request deadline. The zero value
+// disables all of it (no limiter, no deadline) — the pre-admission
+// behavior.
+type AdmissionOptions struct {
+	// MaxInflight caps requests executing concurrently; 0 disables
+	// admission control entirely.
+	MaxInflight int
+	// MaxQueue bounds how many requests may wait for a slot beyond
+	// MaxInflight. Arrivals past the queue are shed immediately with 503
+	// and Retry-After. 0 means no queue: anything past MaxInflight sheds.
+	MaxQueue int
+	// QueueTimeout sheds a queued request that cannot get a slot in
+	// time; 0 means DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// RequestTimeout, when positive, puts a context deadline on every
+	// instrumented request. Handlers check it at their cancellation
+	// checkpoints (before the WAL append, between shard groups) and
+	// answer 504 when it fires.
+	RequestTimeout time.Duration
+}
+
+// DefaultQueueTimeout bounds the admission-queue wait when
+// AdmissionOptions does not say otherwise.
+const DefaultQueueTimeout = time.Second
+
+// Shed reasons, used as metric label values and in 503 bodies.
+const (
+	shedQueueFull    = "queue_full"
+	shedQueueTimeout = "queue_timeout"
+	shedCanceled     = "canceled"
+)
+
+// limiter is a concurrency limiter with a bounded FIFO-ish queue: a
+// channel semaphore for the slots and an atomic waiter count for the
+// queue bound. Slot handoff is the channel's, so no lock is held on
+// the serving path.
+type limiter struct {
+	sem          chan struct{}
+	queued       atomic.Int64
+	maxQueue     int64
+	queueTimeout time.Duration
+}
+
+// newLimiter builds the limiter for opts, nil when admission control
+// is off.
+func newLimiter(o AdmissionOptions) *limiter {
+	if o.MaxInflight <= 0 {
+		return nil
+	}
+	qt := o.QueueTimeout
+	if qt <= 0 {
+		qt = DefaultQueueTimeout
+	}
+	return &limiter{
+		sem:          make(chan struct{}, o.MaxInflight),
+		maxQueue:     int64(o.MaxQueue),
+		queueTimeout: qt,
+	}
+}
+
+// acquire reserves an execution slot, waiting in the bounded queue if
+// none is free. It returns a non-empty shed reason when the request
+// must be rejected instead: the queue is full, the wait timed out, or
+// ctx was canceled while queued. On success the caller must release().
+func (l *limiter) acquire(ctx context.Context) (reason string) {
+	select {
+	case l.sem <- struct{}{}:
+		return ""
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return shedQueueFull
+	}
+	defer l.queued.Add(-1)
+	t := time.NewTimer(l.queueTimeout)
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case l.sem <- struct{}{}:
+		return ""
+	case <-t.C:
+		return shedQueueTimeout
+	case <-done:
+		return shedCanceled
+	}
+}
+
+func (l *limiter) release() { <-l.sem }
+
+// inflight reports the slots currently held (scrape-time gauge).
+func (l *limiter) inflight() int { return len(l.sem) }
+
+// queueDepth reports the requests waiting for a slot (scrape-time
+// gauge).
+func (l *limiter) queueDepth() int { return int(l.queued.Load()) }
+
+// RateLimitPolicy is a per-filter token bucket set via the filter PUT
+// body: RPS tokens per second refill, Burst bucket depth (0 means
+// RPS). Work units are rows for inserts and keys for queries, so a
+// 10k-row batch spends 10k tokens — the limit shapes data volume, not
+// request count.
+type RateLimitPolicy struct {
+	RPS   float64 `json:"rps"`
+	Burst float64 `json:"burst,omitempty"`
+}
+
+// tokenBucket is the classic lazy-refill token bucket. A batch larger
+// than the burst is admitted when the bucket is full (draining it
+// negative) rather than being unservable forever; the deficit delays
+// subsequent batches.
+type tokenBucket struct {
+	mu          sync.Mutex
+	rate, burst float64
+	tokens      float64
+	last        time.Time
+}
+
+func newTokenBucket(p RateLimitPolicy) *tokenBucket {
+	burst := p.Burst
+	if burst <= 0 {
+		burst = p.RPS
+	}
+	return &tokenBucket{rate: p.RPS, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take admits n work units or reports how long until they would be
+// admitted (the Retry-After hint).
+func (b *tokenBucket) take(n float64) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	b.last = now
+	if b.tokens >= n || b.tokens >= b.burst {
+		b.tokens -= n
+		return true, 0
+	}
+	short := math.Min(n, b.burst) - b.tokens
+	return false, time.Duration(short / b.rate * float64(time.Second))
+}
+
+// policy returns the bucket's configuration for stats reporting.
+func (b *tokenBucket) policy() *RateLimitPolicy {
+	return &RateLimitPolicy{RPS: b.rate, Burst: b.burst}
+}
+
+// retryAfterSecs renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSecs(d time.Duration) string {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}

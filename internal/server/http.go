@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"ccf/internal/obs"
 	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
+	"ccf/internal/store"
 )
 
 // DefaultMaxBodyBytes bounds request bodies (batches and snapshots) when
@@ -44,6 +46,10 @@ type HandlerOptions struct {
 	// to the latency histograms, and serves GET /debug/traces from its
 	// flight recorder. Nil disables tracing entirely.
 	Tracer *trace.Tracer
+	// Admission is the overload-protection configuration: concurrency
+	// limiter, bounded queue, and per-request deadline. Zero value =
+	// admission control off.
+	Admission AdmissionOptions
 }
 
 // Result-buffer pools: the query and insert handlers run once per request
@@ -73,6 +79,10 @@ type CreateRequest struct {
 	AttrBits int             `json:"attr_bits"`
 	Seed     uint64          `json:"seed"`
 	AutoGrow *AutoGrowPolicy `json:"auto_grow,omitempty"`
+	// RateLimit, when present, throttles the filter's traffic with a
+	// token bucket (rows/keys per second). Absent leaves the filter
+	// unthrottled; PUT-replacing a filter without it clears any limit.
+	RateLimit *RateLimitPolicy `json:"rate_limit,omitempty"`
 }
 
 // InsertRequest is the body of POST /filters/{name}/insert.
@@ -121,9 +131,10 @@ type QueryResponse struct {
 // policy and fold counter, and the view-cache counters.
 type FilterStats struct {
 	shard.Stats
-	Folds     uint64          `json:"folds"`
-	AutoGrow  *AutoGrowPolicy `json:"auto_grow,omitempty"`
-	ViewCache CacheStats      `json:"view_cache"`
+	Folds     uint64           `json:"folds"`
+	AutoGrow  *AutoGrowPolicy  `json:"auto_grow,omitempty"`
+	RateLimit *RateLimitPolicy `json:"rate_limit,omitempty"`
+	ViewCache CacheStats       `json:"view_cache"`
 }
 
 // filterStats assembles one entry's stats response.
@@ -132,6 +143,7 @@ func filterStats(e *Entry) FilterStats {
 		Stats:     e.Filter().Stats(),
 		Folds:     e.Folds(),
 		AutoGrow:  e.Policy(),
+		RateLimit: e.RateLimit(),
 		ViewCache: e.CacheStats(),
 	}
 }
@@ -196,9 +208,21 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		maxBody = DefaultMaxBodyBytes
 	}
 	sm := newServerMetrics(opts.Metrics)
+	lim := newLimiter(opts.Admission)
+	if lim != nil {
+		sm.reg.RegisterGaugeFunc("ccfd_admission_inflight",
+			"Requests holding an admission slot.", func() float64 { return float64(lim.inflight()) })
+		sm.reg.RegisterGaugeFunc("ccfd_admission_queue_depth",
+			"Requests waiting for an admission slot.", func() float64 { return float64(lim.queueDepth()) })
+	}
+	// deadlines gates whether handlers thread the request context into
+	// the batch paths: with no -request-timeout the probe path keeps its
+	// nil-ctx (allocation-free) fast path.
+	deadlines := opts.Admission.RequestTimeout > 0
 	mux := http.NewServeMux()
 	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
-		mux.HandleFunc(pattern, sm.wrap(endpoint, opts.Logger, opts.SlowQuery, opts.Tracer, fn))
+		mux.HandleFunc(pattern, sm.wrap(endpoint, opts.Logger, opts.SlowQuery, opts.Tracer,
+			lim, opts.Admission.RequestTimeout, fn))
 	}
 	handle("PUT /filters/{name}", "create", func(w http.ResponseWriter, r *http.Request) {
 		var req CreateRequest
@@ -210,7 +234,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		_, err = reg.Create(r.PathValue("name"), shard.Options{
+		e, err := reg.Create(r.PathValue("name"), shard.Options{
 			Shards:  req.Shards,
 			Workers: req.Workers,
 			Params: core.Params{
@@ -226,6 +250,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			httpError(w, registryErrorCode(err), err)
 			return
 		}
+		e.SetRateLimit(req.RateLimit)
 		w.WriteHeader(http.StatusCreated)
 	})
 
@@ -259,6 +284,23 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			httpError(w, http.StatusBadRequest, shard.ErrBatchShape)
 			return
 		}
+		if ok, wait := e.admitUnits(len(req.Keys)); !ok {
+			sm.rateLimited.Inc()
+			w.Header().Set("Retry-After", retryAfterSecs(wait))
+			httpError(w, http.StatusTooManyRequests, errRateLimited)
+			return
+		}
+		// Deadline checkpoint before the WAL append: once a record is in
+		// the log the batch runs to completion (aborting between append
+		// and apply would desynchronize log and memory), so expired
+		// requests are turned away here.
+		if deadlines {
+			if err := r.Context().Err(); err != nil {
+				sm.deadline.Inc()
+				httpError(w, http.StatusGatewayTimeout, err)
+				return
+			}
+		}
 		sm.insertRows.Observe(int64(len(req.Keys)))
 		bufp := errBufPool.Get().(*[]error)
 		errs, storeErr := e.InsertBatchTraced(*bufp, req.Keys, req.Attrs, tr)
@@ -271,7 +313,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 				*bufp = errs[:0]
 				errBufPool.Put(bufp)
 			}
-			httpError(w, http.StatusInternalServerError, storeErr)
+			httpError(w, storeErrorCode(w, sm, storeErr), storeErr)
 			return
 		}
 		resp := InsertResponse{Accepted: len(req.Keys)}
@@ -319,6 +361,19 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
+		if ok, wait := e.admitUnits(len(req.Keys)); !ok {
+			sm.rateLimited.Inc()
+			w.Header().Set("Retry-After", retryAfterSecs(wait))
+			httpError(w, http.StatusTooManyRequests, errRateLimited)
+			return
+		}
+		// qctx threads the request deadline into the shard layer's
+		// cancellation checkpoints; nil (no -request-timeout) keeps the
+		// probe path on its allocation-free fast path.
+		var qctx context.Context
+		if deadlines {
+			qctx = r.Context()
+		}
 		sm.queryKeys.Observe(int64(len(req.Keys)))
 		bufp := boolBufPool.Get().(*[]bool)
 		var resp QueryResponse
@@ -339,7 +394,17 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			vsp.Attr(trace.AttrKeys, int64(len(req.Keys))).End()
 			resp.ViewCacheHit = &hit
 		} else {
-			resp.Results = e.Filter().QueryBatchTracedInto(*bufp, req.Keys, pred, tr)
+			results, err := e.Filter().QueryBatchDeadlineInto(qctx, *bufp, req.Keys, pred, tr)
+			if err != nil {
+				sm.deadline.Inc()
+				if cap(results) <= maxPooledResults {
+					*bufp = results[:0]
+					boolBufPool.Put(bufp)
+				}
+				httpError(w, http.StatusGatewayTimeout, err)
+				return
+			}
+			resp.Results = results
 		}
 		if resp.Results == nil {
 			resp.Results = []bool{}
@@ -414,13 +479,22 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 		if opts.Health != nil {
 			ready, unrecoverable = opts.Health.Ready()
 		}
+		// Degraded filters still serve reads, so they do not flip
+		// readiness; the list (name, reason, since) tells probes and
+		// operators exactly which filters are rejecting writes.
+		degraded := reg.DegradedFilters()
+		if degraded == nil {
+			degraded = []store.DegradedFilter{}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if !ready {
+			w.Header().Set("Retry-After", "1")
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		json.NewEncoder(w).Encode(map[string]any{
 			"ready":                 ready,
 			"unrecoverable_filters": unrecoverable,
+			"degraded_filters":      degraded,
 		})
 	})
 
@@ -459,6 +533,27 @@ func bodyErrorCode(err error) int {
 		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusBadRequest
+}
+
+// errRateLimited is the 429 body for per-filter token-bucket
+// rejections.
+var errRateLimited = errors.New("server: filter rate limit exceeded")
+
+// storeErrorCode maps a storage-layer batch failure to a status and
+// sets the matching response headers: a degraded (read-only) filter is
+// a retryable 503, an expired request deadline is 504, anything else
+// is a plain 500.
+func storeErrorCode(w http.ResponseWriter, sm *serverMetrics, err error) int {
+	switch {
+	case errors.Is(err, store.ErrDegraded):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		sm.deadline.Inc()
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // registryErrorCode maps a registry failure to a status: 500 for

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"sync/atomic"
@@ -47,6 +49,12 @@ type serverMetrics struct {
 	viewHits   *obs.Counter
 	viewMisses *obs.Counter
 	slow       *obs.Counter
+	// Admission-control outcomes: sheds by reason (queue_full,
+	// queue_timeout, canceled), per-filter rate-limit rejections (429),
+	// and requests that outran their deadline (504).
+	shed        map[string]*obs.Counter
+	rateLimited *obs.Counter
+	deadline    *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -69,6 +77,16 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"Predicate-view cache misses (view re-extracted).")
 	m.slow = reg.Counter("ccfd_http_slow_requests_total",
 		"Requests slower than the -slow-query threshold.")
+	m.shed = make(map[string]*obs.Counter, 3)
+	for _, reason := range []string{shedQueueFull, shedQueueTimeout, shedCanceled} {
+		m.shed[reason] = reg.Counter("ccfd_http_shed_total",
+			"Requests shed by admission control, by reason.",
+			obs.Label{Key: "reason", Value: reason})
+	}
+	m.rateLimited = reg.Counter("ccfd_http_rate_limited_total",
+		"Requests rejected by a per-filter rate limit (429).")
+	m.deadline = reg.Counter("ccfd_http_deadline_exceeded_total",
+		"Requests that exceeded the -request-timeout deadline (504).")
 	return m
 }
 
@@ -112,8 +130,16 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // All metric handles are registered here, once, at handler construction
 // — per request the cost is a status recorder, one histogram Observe
 // and one counter Inc, plus a pooled trace context when tracing is on.
+//
+// With admission control on (lim non-nil), the handler body runs only
+// after a limiter slot is acquired; requests shed at the limiter answer
+// 503 + Retry-After without touching the handler, and the queue wait is
+// its own trace phase. With a request timeout, the body runs under a
+// context deadline the handlers check at their cancellation
+// checkpoints. Shed and timed-out requests still flow through the
+// status-class counters and latency histogram like any other outcome.
 func (m *serverMetrics) wrap(endpoint string, logger *slog.Logger, slowQuery time.Duration,
-	tracer *trace.Tracer, fn http.HandlerFunc) http.HandlerFunc {
+	tracer *trace.Tracer, lim *limiter, reqTimeout time.Duration, fn http.HandlerFunc) http.HandlerFunc {
 	lbl := obs.Label{Key: "endpoint", Value: endpoint}
 	latency := m.reg.Histogram("ccfd_http_request_seconds",
 		"Request latency by endpoint.", 1e-9, obs.ExpBounds(50_000, 4, 11), lbl)
@@ -134,7 +160,29 @@ func (m *serverMetrics) wrap(endpoint string, logger *slog.Logger, slowQuery tim
 			w.Header().Set("Traceparent", tr.Traceparent())
 		}
 		sw := &statusWriter{ResponseWriter: w, tr: tr}
-		fn(sw, r)
+		if reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if lim == nil {
+			fn(sw, r)
+		} else {
+			qsp := tr.Start(trace.PhaseQueue)
+			reason := lim.acquire(r.Context())
+			qsp.End()
+			if reason != "" {
+				m.shed[reason].Inc()
+				sw.Header().Set("Retry-After", "1")
+				httpError(sw, http.StatusServiceUnavailable,
+					fmt.Errorf("server: overloaded (%s)", reason))
+			} else {
+				func() {
+					defer lim.release()
+					fn(sw, r)
+				}()
+			}
+		}
 		dur := time.Since(start)
 		code := sw.code
 		if code == 0 {
@@ -242,6 +290,14 @@ func registerStoreMetrics(reg *obs.Registry, st *store.Store) {
 		func() float64 { return float64(st.FoldQueueDepth()) })
 	reg.RegisterGaugeFunc("ccfd_checkpoint_queue_depth", "Checkpoint requests waiting for the background worker.",
 		func() float64 { return float64(st.CheckpointQueueDepth()) })
+	// Degraded-mode families. The gauge samples the store at scrape time
+	// so the write path maintains nothing for it.
+	reg.RegisterGaugeFunc("ccfd_store_degraded", "Filters in degraded read-only mode (writes rejected, reads serving).",
+		func() float64 { return float64(st.DegradedCount()) })
+	reg.RegisterCounter("ccfd_wal_poisoned_total", "Transitions into degraded read-only mode (WAL write/fsync failures).", &m.WALPoisoned)
+	reg.RegisterCounter("ccfd_writes_rejected_total", "Mutations rejected while a filter was degraded.", &m.WritesRejected)
+	reg.RegisterCounter("ccfd_rearm_retries_total", "Failed probes to restore write availability.", &m.RearmRetries)
+	reg.RegisterCounter("ccfd_rearms_total", "Successful re-arms restoring write availability.", &m.Rearms)
 	rs := st.RecoveryStats()
 	recovery := func(name, help string, v float64) {
 		g := reg.Gauge("ccfd_recovery_"+name, help)

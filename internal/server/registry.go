@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ccf/internal/core"
 	"ccf/internal/obs"
@@ -107,6 +109,11 @@ type Entry struct {
 	cache  *viewCache
 	log    *store.Filter   // nil = not durable
 	policy *AutoGrowPolicy // nil = elastic capacity off
+
+	// limit is the per-filter token bucket (rows/keys per second), nil
+	// when the filter is unthrottled. Swapped whole on SetRateLimit so
+	// the admission check is one atomic load plus the bucket's mutex.
+	limit atomic.Pointer[tokenBucket]
 
 	// growMu makes the policy's check-then-grow atomic against
 	// concurrent insert batches (TryLock: a batch that finds another
@@ -339,6 +346,18 @@ func (r *Registry) Delete(name string) (bool, error) {
 	return ok, nil
 }
 
+// DegradedFilters lists the attached store's filters currently in
+// degraded read-only mode (nil without a store, empty when healthy);
+// GET /readyz surfaces it so operators and probes see write
+// availability directly.
+func (r *Registry) DegradedFilters() []store.DegradedFilter {
+	st := r.store()
+	if st == nil {
+		return nil
+	}
+	return st.Degraded()
+}
+
 // Names returns the registered filter names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
@@ -445,6 +464,37 @@ func (e *Entry) maybeAutoGrow(tr *trace.Req) {
 // Policy returns the entry's auto-grow policy, nil when elastic capacity
 // is off.
 func (e *Entry) Policy() *AutoGrowPolicy { return e.policy }
+
+// SetRateLimit installs (or with nil clears) the filter's token-bucket
+// rate limit. Work units are rows for inserts and keys for queries.
+func (e *Entry) SetRateLimit(p *RateLimitPolicy) {
+	if p == nil || p.RPS <= 0 {
+		e.limit.Store(nil)
+		return
+	}
+	e.limit.Store(newTokenBucket(*p))
+}
+
+// RateLimit returns the entry's rate-limit policy, nil when
+// unthrottled.
+func (e *Entry) RateLimit() *RateLimitPolicy {
+	b := e.limit.Load()
+	if b == nil {
+		return nil
+	}
+	return b.policy()
+}
+
+// admitUnits spends n work units against the entry's rate limit,
+// reporting admission and, when throttled, the Retry-After hint. An
+// unthrottled entry admits everything at the cost of one atomic load.
+func (e *Entry) admitUnits(n int) (bool, time.Duration) {
+	b := e.limit.Load()
+	if b == nil {
+		return true, 0
+	}
+	return b.take(float64(n))
+}
 
 // Folds returns the number of completed background folds (durable
 // entries only).

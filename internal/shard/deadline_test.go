@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ccf/internal/core"
+)
+
+// TestQueryBatchDeadlineMatchesUndeadlined pins the contract that a ctx
+// that never fires is invisible: results match the plain batch path
+// exactly, for both the single-shard fast path and the grouped path.
+func TestQueryBatchDeadlineMatchesUndeadlined(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s, keys := loadedSharded(t, shards)
+		pred := core.And(core.Eq(0, 3))
+		batch := keys[:512]
+		want := s.QueryBatchInto(nil, batch, pred)
+		got, err := s.QueryBatchDeadlineInto(context.Background(), nil, batch, pred, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: unexpected error: %v", shards, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: result %d diverged under a live ctx", shards, i)
+			}
+		}
+		wantK := s.QueryKeyBatchInto(nil, batch)
+		gotK, err := s.QueryKeyBatchDeadlineInto(context.Background(), nil, batch, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: key batch: unexpected error: %v", shards, err)
+		}
+		for i := range wantK {
+			if gotK[i] != wantK[i] {
+				t.Fatalf("shards=%d: key result %d diverged under a live ctx", shards, i)
+			}
+		}
+	}
+}
+
+// TestQueryBatchDeadlineExpired verifies both batch entry points notice
+// an already-expired ctx before doing work and surface its error.
+func TestQueryBatchDeadlineExpired(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s, keys := loadedSharded(t, shards)
+		pred := core.And(core.Eq(0, 3))
+		batch := keys[:512]
+
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := s.QueryBatchDeadlineInto(cancelled, nil, batch, pred, nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d: got %v, want context.Canceled", shards, err)
+		}
+
+		expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel2()
+		if _, err := s.QueryKeyBatchDeadlineInto(expired, nil, batch, nil); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("shards=%d: got %v, want context.DeadlineExceeded", shards, err)
+		}
+	}
+}
+
+// TestQueryBatchDeadlineZeroAlloc: threading a live context through the
+// batch probe must not cost allocations — the deadline checkpoints are
+// a channel poll, and the un-deadlined path is just a nil check.
+func TestQueryBatchDeadlineZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	ctx := context.Background()
+	for _, shards := range []int{1, 4} {
+		s, keys := loadedSharded(t, shards)
+		pred := core.And(core.Eq(0, 3))
+		batch := keys[:1024]
+		dst := make([]bool, 0, len(batch))
+		dst, _ = s.QueryBatchDeadlineInto(ctx, dst, batch, pred, nil) // warm scratch pool
+		if n := testing.AllocsPerRun(200, func() {
+			dst, _ = s.QueryBatchDeadlineInto(ctx, dst[:0], batch, pred, nil)
+		}); n != 0 {
+			t.Errorf("shards=%d: QueryBatchDeadlineInto allocates %.2f allocs/op, want 0", shards, n)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			dst, _ = s.QueryKeyBatchDeadlineInto(ctx, dst[:0], batch, nil)
+		}); n != 0 {
+			t.Errorf("shards=%d: QueryKeyBatchDeadlineInto allocates %.2f allocs/op, want 0", shards, n)
+		}
+	}
+}

@@ -28,6 +28,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -670,6 +671,19 @@ func (s *ShardedFilter) QueryBatchInto(dst []bool, keys []uint64, pred core.Pred
 // per shard group into tr (nil tr probes untraced — the branch is the
 // only cost, preserving the zero-alloc guarantee either way).
 func (s *ShardedFilter) QueryBatchTracedInto(dst []bool, keys []uint64, pred core.Predicate, tr *trace.Req) []bool {
+	out, _ := s.QueryBatchDeadlineInto(nil, dst, keys, pred, tr)
+	return out
+}
+
+// QueryBatchDeadlineInto is QueryBatchTracedInto honoring ctx: the batch
+// checks for cancellation before each routing attempt and between
+// sequential shard groups, returning ctx's error with the results
+// produced so far (partial — callers must not serve them). A nil ctx
+// (or one that never expires) costs one nil check per group, keeping
+// the un-deadlined hot path allocation-free. One shard group is the
+// minimum unit of work: cancellation never tears a group's seqlock
+// read section.
+func (s *ShardedFilter) QueryBatchDeadlineInto(ctx context.Context, dst []bool, keys []uint64, pred core.Predicate, tr *trace.Req) ([]bool, error) {
 	out := dst
 	if cap(out) < len(keys) {
 		out = make([]bool, len(keys))
@@ -677,21 +691,28 @@ func (s *ShardedFilter) QueryBatchTracedInto(dst []bool, keys []uint64, pred cor
 		out = out[:len(keys)]
 	}
 	if len(keys) == 0 {
-		return out
+		return out, nil
 	}
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return out, err
+		}
 		gen := s.gen.Load()
 		rt := s.router()
 		if rt.n == 1 {
 			var stale atomic.Bool
 			s.queryShardGroup(0, nil, keys, pred, out, gen, &stale, tr)
 			if !stale.Load() {
-				return out
+				return out, nil
 			}
 			continue
 		}
-		if s.queryGrouped(rt, keys, pred, out, gen, tr) {
-			return out
+		done, err := s.queryGrouped(ctx, rt, keys, pred, out, gen, tr)
+		if err != nil {
+			return out, err
+		}
+		if done {
+			return out, nil
 		}
 	}
 }
@@ -716,6 +737,14 @@ func (s *ShardedFilter) QueryKeyBatchInto(dst []bool, keys []uint64) []bool {
 // QueryKeyBatchTracedInto is QueryKeyBatchInto emitting one shard_probe
 // span per shard group into tr (nil tr probes untraced).
 func (s *ShardedFilter) QueryKeyBatchTracedInto(dst []bool, keys []uint64, tr *trace.Req) []bool {
+	out, _ := s.QueryKeyBatchDeadlineInto(nil, dst, keys, tr)
+	return out
+}
+
+// QueryKeyBatchDeadlineInto is QueryKeyBatchTracedInto honoring ctx
+// under the same cancellation-checkpoint contract as
+// QueryBatchDeadlineInto.
+func (s *ShardedFilter) QueryKeyBatchDeadlineInto(ctx context.Context, dst []bool, keys []uint64, tr *trace.Req) ([]bool, error) {
 	out := dst
 	if cap(out) < len(keys) {
 		out = make([]bool, len(keys))
@@ -723,21 +752,28 @@ func (s *ShardedFilter) QueryKeyBatchTracedInto(dst []bool, keys []uint64, tr *t
 		out = out[:len(keys)]
 	}
 	if len(keys) == 0 {
-		return out
+		return out, nil
 	}
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return out, err
+		}
 		gen := s.gen.Load()
 		rt := s.router()
 		if rt.n == 1 {
 			var stale atomic.Bool
 			s.queryKeyShardGroup(0, nil, keys, out, gen, &stale, tr)
 			if !stale.Load() {
-				return out
+				return out, nil
 			}
 			continue
 		}
-		if s.queryKeyGrouped(rt, keys, out, gen, tr) {
-			return out
+		done, err := s.queryKeyGrouped(ctx, rt, keys, out, gen, tr)
+		if err != nil {
+			return out, err
+		}
+		if done {
+			return out, nil
 		}
 	}
 }
@@ -747,33 +783,44 @@ func (s *ShardedFilter) QueryKeyBatchTracedInto(dst []bool, keys []uint64, tr *t
 // batch must retry. Like insertGrouped, the single-worker path uses
 // direct method calls and the parallel closure captures only read-only
 // parameters, so steady-state grouped probes allocate nothing.
-func (s *ShardedFilter) queryGrouped(rt router, keys []uint64, pred core.Predicate,
-	out []bool, gen uint64, tr *trace.Req) bool {
+func (s *ShardedFilter) queryGrouped(ctx context.Context, rt router, keys []uint64, pred core.Predicate,
+	out []bool, gen uint64, tr *trace.Req) (bool, error) {
 	sc := scratchPool.Get().(*batchScratch)
 	sc.stale.Store(false)
 	rt.group(keys, sc)
+	var err error
 	if w := groupWorkers(s.workers, sc); w <= 1 {
 		for _, sh := range sc.groups {
+			if err = ctxErr(ctx); err != nil {
+				break // cancellation checkpoint between sequential groups
+			}
 			s.queryShardGroup(int(sh), sc.order[sc.start[sh]:sc.start[sh+1]],
 				keys, pred, out, gen, &sc.stale, tr)
 		}
 	} else {
+		// Parallel groups run to completion: the fan-out is bounded by the
+		// worker budget and each group is short, so checking only before
+		// the launch keeps the workers free of cross-goroutine ctx traffic.
 		runGroupsParallel(w, sc, func(sh int, idxs []int32) {
 			s.queryShardGroup(sh, idxs, keys, pred, out, gen, &sc.stale, tr)
 		})
 	}
 	done := !sc.stale.Load()
 	scratchPool.Put(sc)
-	return done
+	return done, err
 }
 
 // queryKeyGrouped is queryGrouped for the predicate-free key batch.
-func (s *ShardedFilter) queryKeyGrouped(rt router, keys []uint64, out []bool, gen uint64, tr *trace.Req) bool {
+func (s *ShardedFilter) queryKeyGrouped(ctx context.Context, rt router, keys []uint64, out []bool, gen uint64, tr *trace.Req) (bool, error) {
 	sc := scratchPool.Get().(*batchScratch)
 	sc.stale.Store(false)
 	rt.group(keys, sc)
+	var err error
 	if w := groupWorkers(s.workers, sc); w <= 1 {
 		for _, sh := range sc.groups {
+			if err = ctxErr(ctx); err != nil {
+				break
+			}
 			s.queryKeyShardGroup(int(sh), sc.order[sc.start[sh]:sc.start[sh+1]],
 				keys, out, gen, &sc.stale, tr)
 		}
@@ -784,7 +831,22 @@ func (s *ShardedFilter) queryKeyGrouped(rt router, keys []uint64, out []bool, ge
 	}
 	done := !sc.stale.Load()
 	scratchPool.Put(sc)
-	return done
+	return done, err
+}
+
+// ctxErr reports ctx's cancellation state without blocking; a nil ctx
+// never cancels and costs only the nil check — deadline-free callers
+// keep the allocation-free fast path.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // queryShardGroup answers one shard's span of a batch query in one

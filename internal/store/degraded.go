@@ -1,0 +1,278 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+)
+
+// ErrDegraded reports a mutation rejected because the filter is in
+// degraded read-only mode: a WAL write, flush, or fsync failed, so the
+// durability of the log tail is unknown. Reads keep serving from memory;
+// the store's re-arm loop restores write availability by rotating to a
+// fresh log once the disk recovers. Match with errors.Is.
+var ErrDegraded = errors.New("store: filter degraded, writes rejected (reads still serving)")
+
+// DegradedError is the typed write-rejection error. It matches
+// ErrDegraded via errors.Is and unwraps to the original I/O error (nil
+// for writes rejected after the transition).
+type DegradedError struct {
+	Name   string
+	Reason string // enospc | eio | io_error
+	Err    error
+}
+
+func (e *DegradedError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("store: filter %q degraded (%s): %v", e.Name, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("store: filter %q degraded (%s): writes rejected, reads still serving", e.Name, e.Reason)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrDegraded) match without wrapping the
+// sentinel into every instance.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// degradedState marks a poisoned WAL. Published once via CAS; reason,
+// errMsg and since are immutable afterwards. backoff/next pace the
+// re-arm probe and are owned by the store's rearm loop.
+type degradedState struct {
+	reason  string
+	errMsg  string
+	since   time.Time
+	backoff time.Duration
+	next    time.Time
+}
+
+// classifyIOError buckets a WAL/checkpoint I/O error for operators:
+// enospc (disk full — clears when space is freed), eio (device error),
+// io_error (anything else: the conservative bucket).
+func classifyIOError(err error) string {
+	switch {
+	case errors.Is(err, syscall.ENOSPC):
+		return "enospc"
+	case errors.Is(err, syscall.EIO):
+		return "eio"
+	default:
+		return "io_error"
+	}
+}
+
+// poison transitions the filter to degraded read-only mode. The WAL tail
+// past the last successful fsync can never be trusted again — on Linux,
+// a failed fsync may have dropped the dirty pages, so retrying the fsync
+// and assuming durability would ack writes that are not on disk. The
+// only way back is a fresh log file (see tryRearm). poison returns the
+// typed error the failing caller should propagate; only the first
+// transition wins (concurrent failures return their own wrapped error).
+func (fl *Filter) poison(op string, err error) error {
+	ds := &degradedState{
+		reason: classifyIOError(err),
+		errMsg: err.Error(),
+		since:  time.Now(),
+	}
+	ds.backoff = fl.st.opts.RearmMin
+	ds.next = ds.since.Add(ds.backoff)
+	if fl.degraded.CompareAndSwap(nil, ds) {
+		fl.st.metrics.WALPoisoned.Inc()
+		fl.st.logf("store: %q degraded (%s): %s failed: %v — writes rejected, reads serving from memory, re-arm probing every %s..%s",
+			fl.name, ds.reason, op, err, fl.st.opts.RearmMin, fl.st.opts.RearmMax)
+	}
+	return &DegradedError{Name: fl.name, Reason: ds.reason, Err: err}
+}
+
+// rejectIfDegraded is the write-path gate: one atomic load when healthy.
+func (fl *Filter) rejectIfDegraded() error {
+	ds := fl.degraded.Load()
+	if ds == nil {
+		return nil
+	}
+	fl.st.metrics.WritesRejected.Inc()
+	return &DegradedError{Name: fl.name, Reason: ds.reason}
+}
+
+// isDegraded reports whether the filter is in degraded read-only mode.
+func (fl *Filter) isDegraded() bool { return fl.degraded.Load() != nil }
+
+// DegradedFilter describes one filter in degraded read-only mode, for
+// /readyz and the stats surface.
+type DegradedFilter struct {
+	Name   string    `json:"filter"`
+	Reason string    `json:"reason"`
+	Since  time.Time `json:"since"`
+	Err    string    `json:"error,omitempty"`
+}
+
+// Degraded lists the filters currently in degraded read-only mode,
+// sorted by name. Cheap enough for scrape-time calls: it walks the
+// published filter list and loads one pointer per filter.
+func (s *Store) Degraded() []DegradedFilter {
+	var out []DegradedFilter
+	for _, fl := range *s.flist.Load() {
+		if ds := fl.degraded.Load(); ds != nil {
+			out = append(out, DegradedFilter{Name: fl.name, Reason: ds.reason, Since: ds.since, Err: ds.errMsg})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DegradedCount reports how many filters are degraded (the
+// ccfd_store_degraded gauge).
+func (s *Store) DegradedCount() int {
+	n := 0
+	for _, fl := range *s.flist.Load() {
+		if fl.degraded.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// rearmLoop is the background probe that restores write availability.
+// Each degraded filter is retried on its own exponential backoff
+// (RearmMin doubling to RearmMax) with ±25% jitter so many filters
+// degraded by the same disk don't probe in lockstep.
+func (s *Store) rearmLoop() {
+	defer s.wg.Done()
+	tick := s.opts.RearmMin / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			for _, fl := range *s.flist.Load() {
+				ds := fl.degraded.Load()
+				if ds == nil || now.Before(ds.next) {
+					continue
+				}
+				if err := fl.tryRearm(); err != nil {
+					s.metrics.RearmRetries.Inc()
+					ds.backoff *= 2
+					if ds.backoff > s.opts.RearmMax {
+						ds.backoff = s.opts.RearmMax
+					}
+					jitter := time.Duration(rand.Int63n(int64(ds.backoff)/2+1)) - ds.backoff/4
+					ds.next = now.Add(ds.backoff + jitter)
+					s.logf("store: re-arm of %q failed (next probe in %s): %v", fl.name, ds.backoff+jitter, err)
+				}
+			}
+		}
+	}
+}
+
+// tryRearm attempts to restore write availability for a degraded filter:
+// snapshot the live in-memory filter, open a brand-new WAL file whose
+// first record is a Restore carrying that snapshot, make it fully
+// durable (file fsync + directory fsync), and only then swap it in,
+// clear the degraded flag, and retire the poisoned log. The poisoned
+// file is never written or fsynced again. Returns nil when the filter is
+// healthy (or gone) afterwards.
+func (fl *Filter) tryRearm() error {
+	fl.barrier.Lock()
+	defer fl.barrier.Unlock()
+	if fl.closed {
+		return nil // closing clears the filter from the published list
+	}
+	ds := fl.degraded.Load()
+	if ds == nil {
+		return nil
+	}
+	snap, err := fl.Live().Snapshot()
+	if err != nil {
+		return err
+	}
+	fl.syncMu.Lock()
+	defer fl.syncMu.Unlock()
+	fl.walMu.Lock()
+	defer fl.walMu.Unlock()
+	if fl.walBW == nil {
+		return nil
+	}
+	startSeq := fl.seq + 1
+	if startSeq <= fl.walStart {
+		startSeq = fl.walStart + 1 // the fresh file's name must sort after the poisoned one's
+	}
+	// A previous failed attempt may have left a half-created file under
+	// the same name; clear it so O_EXCL can succeed.
+	os.Remove(filepath.Join(fl.dir, walFileName(startSeq)))
+	oldF, oldPath, oldStart := fl.walF, fl.walPath, fl.walStart
+	if err := fl.openWAL(startSeq); err != nil {
+		return err // walF/walBW untouched on openWAL failure
+	}
+	frame, err := fl.writeRearmRestore(startSeq, snap)
+	if err != nil {
+		// The fresh file never became the durable target; drop it and keep
+		// the poisoned one installed for close bookkeeping.
+		fl.walF.Close()
+		os.Remove(fl.walPath)
+		fl.walF, fl.walPath, fl.walStart = oldF, oldPath, oldStart
+		fl.walBW = bufio.NewWriterSize(oldF, walBufSize)
+		return err
+	}
+	// The fresh log is durable: from here the filter is writable again.
+	fl.seq = startSeq
+	fl.written.Store(startSeq)
+	fl.synced.Store(startSeq)
+	fl.walBytes.Store(frame)
+	fl.walRecs.Store(1)
+	oldF.Close()
+	// Retire the poisoned log. Best-effort: recovery tolerates a leftover
+	// torn tail because the fresh log's leading snapshot record anchors
+	// replay past it. For fold-capable filters this (and the non-empty
+	// Restore) makes pre-degradation history unusable for folds — a
+	// documented cost of surviving the fault.
+	if err := fl.st.fs.Remove(oldPath); err != nil && !os.IsNotExist(err) {
+		fl.st.logf("store: %q: retiring poisoned WAL %s: %v", fl.name, filepath.Base(oldPath), err)
+	}
+	fl.degraded.Store(nil)
+	fl.st.metrics.Rearms.Inc()
+	fl.st.logf("store: %q re-armed after %s: fresh WAL at seq %d (%d snapshot bytes), writes restored",
+		fl.name, time.Since(ds.since).Round(time.Millisecond), startSeq, len(snap))
+	fl.requestCheckpoint()
+	return nil
+}
+
+// writeRearmRestore frames a Restore record carrying snap into the
+// freshly opened WAL and makes it durable. Returns the frame size in
+// bytes. Caller holds walMu with fl.walF pointing at the new file.
+func (fl *Filter) writeRearmRestore(seq uint64, snap []byte) (int64, error) {
+	buf := make([]byte, 0, 9+len(snap))
+	buf = append(buf, recRestore)
+	buf = appendU64(buf, seq)
+	buf = append(buf, snap...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(buf)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(buf, castagnoli))
+	if _, err := fl.walBW.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := fl.walBW.Write(buf); err != nil {
+		return 0, err
+	}
+	if err := fl.walBW.Flush(); err != nil {
+		return 0, err
+	}
+	if err := fl.walF.Sync(); err != nil {
+		return 0, err
+	}
+	fl.st.metrics.WALAppendBytes.Add(uint64(8 + len(buf)))
+	fl.st.metrics.WALAppendFrames.Inc()
+	return int64(8 + len(buf)), nil
+}

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"ccf/internal/core"
+	"ccf/internal/fault"
+)
+
+// degradedOpts is the common config for fault-injection tests: strict
+// fsync (so acks mean durability), fast re-arm probing, background
+// checkpoint triggers off.
+func degradedOpts(fs fault.FS) Options {
+	return Options{
+		Fsync:             FsyncAlways,
+		FS:                fs,
+		RearmMin:          2 * time.Millisecond,
+		RearmMax:          20 * time.Millisecond,
+		CheckpointBytes:   -1,
+		CheckpointRecords: -1,
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out after %s: %s", d, msg)
+}
+
+// TestFsyncFailureDegradesAndRearms walks the whole degraded-mode
+// lifecycle: an injected fsync failure poisons the WAL, writes are
+// rejected with the typed error while reads keep serving from memory,
+// the re-arm probe restores write availability once the fault window
+// closes, and a reopen finds every acked write.
+func TestFsyncFailureDegradesAndRearms(t *testing.T) {
+	// File fsyncs: #1 openWAL, #2 create record, then one per insert.
+	// Inserts start at #3, so #4-#5 fails the second insert and the first
+	// re-arm attempt; the disk "recovers" at #6.
+	sched, err := fault.Parse("fsync:4-5:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st := openStore(t, dir, degradedOpts(fault.New(fault.OS, sched)))
+	fl, err := st.Create("f", newFilter(t, core.VariantChained))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	if err := fl.Insert(1, []uint64{1, 1}); err != nil {
+		t.Fatalf("insert 1 (acked): %v", err)
+	}
+	err = fl.Insert(2, []uint64{2, 2})
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert 2: got %v, want ErrDegraded", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("insert 2: %v does not unwrap to ENOSPC", err)
+	}
+
+	// Degraded is visible, classified, and rejects further writes fast.
+	deg := st.Degraded()
+	if len(deg) != 1 || deg[0].Name != "f" || deg[0].Reason != "enospc" {
+		t.Fatalf("Degraded() = %+v, want one enospc entry for %q", deg, "f")
+	}
+	if err := fl.Insert(3, []uint64{3, 3}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert while degraded: got %v, want ErrDegraded", err)
+	}
+	if got := st.Metrics().WritesRejected.Value(); got == 0 {
+		t.Fatal("WritesRejected counter did not move")
+	}
+
+	// Reads keep serving from memory the whole time.
+	if !fl.Live().QueryKey(1) {
+		t.Fatal("degraded filter lost read availability for acked key 1")
+	}
+
+	// The fault window closes; the probe re-arms automatically.
+	waitFor(t, 5*time.Second, func() bool { return st.DegradedCount() == 0 },
+		"filter never re-armed after faults cleared")
+	if got := st.Metrics().Rearms.Value(); got != 1 {
+		t.Fatalf("Rearms = %d, want 1", got)
+	}
+	if st.Metrics().RearmRetries.Value() == 0 {
+		t.Fatal("expected at least one failed re-arm retry (fsync #4-#5 window)")
+	}
+	if err := fl.Insert(4, []uint64{4, 4}); err != nil {
+		t.Fatalf("insert after re-arm: %v", err)
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Recovery must find every acked write (1 and 4). Key 2 was applied
+	// in memory before its fsync failed; the re-arm snapshot legitimately
+	// carries it (conservative, never acked as durable).
+	st2 := openStore(t, dir, Options{Fsync: FsyncAlways})
+	defer st2.Close()
+	fl2 := st2.Get("f")
+	if fl2 == nil {
+		t.Fatal("filter missing after reopen")
+	}
+	for _, key := range []uint64{1, 4} {
+		if !fl2.Live().QueryKey(key) {
+			t.Fatalf("acked key %d lost across re-arm + reopen", key)
+		}
+	}
+	if n := st2.DegradedCount(); n != 0 {
+		t.Fatalf("reopened store reports %d degraded filters", n)
+	}
+}
+
+// TestCrashWhileDegradedKeepsAckedWrites kills the store (no re-arm ever
+// succeeds) and verifies recovery: acked writes are all there, rejected
+// writes are consistently absent from both the log and memory, and the
+// reopened store is healthy and writable.
+func TestCrashWhileDegradedKeepsAckedWrites(t *testing.T) {
+	sched, err := fault.Parse("fsync:4-:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st := openStore(t, dir, degradedOpts(fault.New(fault.OS, sched)))
+	fl, err := st.Create("f", newFilter(t, core.VariantChained))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := fl.Insert(1, []uint64{1, 1}); err != nil {
+		t.Fatalf("insert 1 (acked): %v", err)
+	}
+	if err := fl.Insert(2, []uint64{2, 2}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert 2: got %v, want ErrDegraded", err)
+	}
+	if err := fl.Insert(3, []uint64{3, 3}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert 3: got %v, want ErrDegraded", err)
+	}
+	// The rejected insert never touched memory either: WAL and memory
+	// must not diverge while degraded.
+	if fl.Live().QueryKey(3) {
+		t.Fatal("rejected insert 3 leaked into the in-memory filter")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close of degraded store: %v", err)
+	}
+
+	st2 := openStore(t, dir, Options{Fsync: FsyncAlways})
+	defer st2.Close()
+	fl2 := st2.Get("f")
+	if fl2 == nil {
+		t.Fatal("filter missing after reopen")
+	}
+	if !fl2.Live().QueryKey(1) {
+		t.Fatal("acked key 1 lost across crash-while-degraded")
+	}
+	if fl2.Live().QueryKey(3) {
+		t.Fatal("rejected key 3 resurrected by recovery")
+	}
+	if n := st2.DegradedCount(); n != 0 {
+		t.Fatalf("reopened store reports %d degraded filters", n)
+	}
+	if err := fl2.Insert(10, []uint64{1, 1}); err != nil {
+		t.Fatalf("reopened store not writable: %v", err)
+	}
+}
+
+// TestRearmSurvivesCrashWithPoisonedTail is the nasty interleaving: a
+// torn write poisons the log, re-arm rotates to a fresh one, but the
+// poisoned file cannot be retired (remove fails too) and sits on disk
+// with a torn tail when the process dies. Recovery must treat the
+// re-armed log — whose first record carries a full snapshot — as the
+// anchor past the torn tail; discarding it would lose writes acked
+// after the re-arm.
+func TestRearmSurvivesCrashWithPoisonedTail(t *testing.T) {
+	// WAL data writes (one bufio flush each; the tiny geometry keeps the
+	// create snapshot inside one buffer): #1 header of the first log,
+	// #2 create record, #3 insert 1, #4 insert 2 (torn). The re-arm's
+	// fresh log and everything after write cleanly. remove:1-:eio keeps
+	// the poisoned file on disk.
+	sched, err := fault.Parse("write:4:torn; remove:1-:eio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st := openStore(t, dir, degradedOpts(fault.New(fault.OS, sched)))
+	fl, err := st.Create("f", newFilterWith(t, tinyShardOpts()))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := fl.Insert(1, []uint64{1, 1}); err != nil {
+		t.Fatalf("insert 1 (acked): %v", err)
+	}
+	if err := fl.Insert(2, []uint64{2, 2}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert 2: got %v, want ErrDegraded (torn write)", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return st.DegradedCount() == 0 },
+		"filter never re-armed")
+	if err := fl.Insert(5, []uint64{5, 5}); err != nil {
+		t.Fatalf("insert after re-arm (acked): %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2 := openStore(t, dir, Options{Fsync: FsyncAlways})
+	defer st2.Close()
+	fl2 := st2.Get("f")
+	if fl2 == nil {
+		t.Fatal("filter missing after reopen")
+	}
+	for _, key := range []uint64{1, 5} {
+		if !fl2.Live().QueryKey(key) {
+			t.Fatalf("acked key %d lost: recovery discarded the re-armed log", key)
+		}
+	}
+	if st2.RecoveryStats().TornTails == 0 {
+		t.Fatal("expected recovery to report the poisoned torn tail")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccf/internal/fault"
 	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 )
@@ -46,12 +47,20 @@ type Filter struct {
 	closed  bool // set under barrier write lock
 
 	// walMu serializes buffer writes and sequence assignment.
-	walMu   sync.Mutex
-	walF    *os.File
-	walBW   *bufio.Writer
-	seq     uint64 // last assigned record sequence number
-	encBuf  []byte
-	written atomic.Uint64 // last seq written into the buffer
+	walMu    sync.Mutex
+	walF     fault.File
+	walPath  string // path of the current log file (re-arm retires it)
+	walStart uint64 // startSeq the current log file is named after
+	walBW    *bufio.Writer
+	seq      uint64 // last assigned record sequence number
+	encBuf   []byte
+	written  atomic.Uint64 // last seq written into the buffer
+
+	// degraded, when non-nil, marks the WAL poisoned: a write, flush, or
+	// fsync failed, so the durability of the log tail is unknown. All
+	// mutations are rejected with a DegradedError until the store's
+	// re-arm loop rotates to a fresh log; reads are unaffected.
+	degraded atomic.Pointer[degradedState]
 
 	// syncMu is the group-commit critical section: the first appender to
 	// need durability flushes and fsyncs for everyone queued behind it.
@@ -96,7 +105,7 @@ func (fl *Filter) Live() *shard.ShardedFilter { return fl.live.Load() }
 // target. Callers hold walMu or have the filter to themselves.
 func (fl *Filter) openWAL(startSeq uint64) error {
 	path := filepath.Join(fl.dir, walFileName(startSeq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := fl.st.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -113,11 +122,11 @@ func (fl *Filter) openWAL(startSeq uint64) error {
 		f.Close()
 		return err
 	}
-	if err := fsyncDir(fl.dir); err != nil {
+	if err := fl.st.fs.SyncDir(fl.dir); err != nil {
 		f.Close()
 		return err
 	}
-	fl.walF, fl.walBW = f, bw
+	fl.walF, fl.walPath, fl.walStart, fl.walBW = f, path, startSeq, bw
 	return nil
 }
 
@@ -125,6 +134,9 @@ func (fl *Filter) openWAL(startSeq uint64) error {
 // number. enc appends the record body to the scratch buffer. Callers hold
 // barrier.RLock (or the write lock), so append can never race a rotation.
 func (fl *Filter) append(typ byte, enc func([]byte) []byte) (uint64, error) {
+	if err := fl.rejectIfDegraded(); err != nil {
+		return 0, err
+	}
 	fl.walMu.Lock()
 	defer fl.walMu.Unlock()
 	if fl.walBW == nil {
@@ -139,10 +151,10 @@ func (fl *Filter) append(typ byte, enc func([]byte) []byte) (uint64, error) {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(buf)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(buf, castagnoli))
 	if _, err := fl.walBW.Write(hdr[:]); err != nil {
-		return 0, err
+		return 0, fl.poison("wal append", err)
 	}
 	if _, err := fl.walBW.Write(buf); err != nil {
-		return 0, err
+		return 0, fl.poison("wal append", err)
 	}
 	fl.walBytes.Add(int64(8 + len(buf)))
 	fl.walRecs.Add(1)
@@ -176,11 +188,19 @@ func (fl *Filter) syncTo(seq uint64) error {
 	if fl.synced.Load() >= seq {
 		return nil
 	}
+	if err := fl.rejectIfDegraded(); err != nil {
+		return err
+	}
 	fl.syncMu.Lock()
 	defer fl.syncMu.Unlock()
 	prev := fl.synced.Load()
 	if prev >= seq {
 		return nil
+	}
+	// The poisoning may have happened while we queued on syncMu; the
+	// appended record's durability is unknown and must not be acked.
+	if err := fl.rejectIfDegraded(); err != nil {
+		return err
 	}
 	fl.walMu.Lock()
 	if fl.walBW == nil {
@@ -192,12 +212,12 @@ func (fl *Filter) syncTo(seq uint64) error {
 	written := fl.seq
 	fl.walMu.Unlock()
 	if err != nil {
-		return err
+		return fl.poison("wal flush", err)
 	}
 	m := &fl.st.metrics
 	start := time.Now()
 	if err := f.Sync(); err != nil {
-		return err
+		return fl.poison("wal fsync", err)
 	}
 	m.FsyncLatency.ObserveSince(start)
 	if written > prev {
@@ -212,12 +232,18 @@ func (fl *Filter) syncTo(seq uint64) error {
 // flush pushes buffered frames to the OS without fsync (FsyncNever's
 // background behavior: survives process death, not power loss).
 func (fl *Filter) flush() error {
+	if fl.isDegraded() {
+		return nil // nothing to flush that could still be trusted
+	}
 	fl.walMu.Lock()
 	defer fl.walMu.Unlock()
 	if fl.walBW == nil {
 		return nil
 	}
-	return fl.walBW.Flush()
+	if err := fl.walBW.Flush(); err != nil {
+		return fl.poison("wal flush", err)
+	}
+	return nil
 }
 
 // InsertBatchInto appends the batch to the WAL, applies it through the
@@ -383,6 +409,11 @@ func (fl *Filter) requestCheckpointFrom(origin trace.ID) {
 func (fl *Filter) Checkpoint() error {
 	fl.ckptMu.Lock()
 	defer fl.ckptMu.Unlock()
+	if err := fl.rejectIfDegraded(); err != nil {
+		// A checkpoint rotates the WAL, which the poisoned log cannot do;
+		// the re-arm loop schedules a fresh checkpoint after recovery.
+		return err
+	}
 	start := time.Now()
 	origin := takeOrigin(&fl.ckptOriginHi, &fl.ckptOriginLo)
 	bg := fl.st.opts.Tracer.StartBackground(trace.PhaseCheckpoint, origin)
@@ -408,11 +439,15 @@ func (fl *Filter) Checkpoint() error {
 	}
 	fl.barrier.Unlock()
 
+	// Segment and manifest failures (ENOSPC, EIO on the rename) do NOT
+	// degrade the filter: the WAL is still good, every acked write is
+	// still durable, and the previous MANIFEST generation stays valid —
+	// the checkpoint is simply retried later. Only WAL failures poison.
 	newGen := fl.gen + 1
-	if _, err := writeSegment(fl.dir, fl.name, newGen, seq, snap); err != nil {
+	if _, err := writeSegment(fl.st.fs, fl.dir, fl.name, newGen, seq, snap); err != nil {
 		return err
 	}
-	if err := writeManifest(fl.dir, manifest{Version: 1, Gen: newGen, Seq: seq}); err != nil {
+	if err := writeManifest(fl.st.fs, fl.dir, manifest{Version: 1, Gen: newGen, Seq: seq}); err != nil {
 		return err
 	}
 	fl.prevCkptSeq, fl.ckptSeq, fl.gen = fl.ckptSeq, seq, newGen
@@ -443,15 +478,25 @@ func (fl *Filter) rotateWAL(startSeq uint64) error {
 		return ErrClosed
 	}
 	if err := fl.walBW.Flush(); err != nil {
-		return err
+		// The retiring log's tail is now unknown: same poisoning rules as
+		// the serving path.
+		return fl.poison("wal rotate flush", err)
 	}
 	if err := fl.walF.Sync(); err != nil {
-		return err
+		return fl.poison("wal rotate fsync", err)
 	}
-	old := fl.walF
+	if startSeq <= fl.walStart {
+		// The current file is already named at or past startSeq (recovery
+		// opens the fresh log at lastSeq+1, so a checkpoint before any new
+		// write would collide). Names only have to sort after every
+		// existing one; records carry their own sequence numbers.
+		startSeq = fl.walStart + 1
+	}
+	old, oldPath, oldStart := fl.walF, fl.walPath, fl.walStart
 	if err := fl.openWAL(startSeq); err != nil {
-		// Keep appending to the old file; the checkpoint is abandoned.
-		fl.walF = old
+		// Keep appending to the old file; the checkpoint is abandoned. The
+		// old log was flushed and fsynced above, so nothing is poisoned.
+		fl.walF, fl.walPath, fl.walStart = old, oldPath, oldStart
 		fl.walBW = bufio.NewWriterSize(old, walBufSize)
 		return err
 	}
@@ -489,7 +534,7 @@ func (fl *Filter) cleanup() {
 		name := e.Name()
 		if gen, ok := parseSegFileName(name); ok {
 			if fl.gen >= 2 && gen <= fl.gen-2 {
-				os.Remove(filepath.Join(fl.dir, name))
+				fl.st.fs.Remove(filepath.Join(fl.dir, name))
 			}
 			continue
 		}
@@ -498,7 +543,7 @@ func (fl *Filter) cleanup() {
 			continue
 		}
 		if filepath.Ext(name) == ".tmp" {
-			os.Remove(filepath.Join(fl.dir, name))
+			fl.st.fs.Remove(filepath.Join(fl.dir, name))
 		}
 	}
 	sort.Slice(wals, func(i, j int) bool { return wals[i].start < wals[j].start })
@@ -507,10 +552,10 @@ func (fl *Filter) cleanup() {
 	// (last) is never deleted, and fold-capable filters keep everything.
 	for i := 0; !retainAll && i+1 < len(wals); i++ {
 		if wals[i+1].start <= fl.prevCkptSeq+1 {
-			os.Remove(filepath.Join(fl.dir, wals[i].name))
+			fl.st.fs.Remove(filepath.Join(fl.dir, wals[i].name))
 		}
 	}
-	fsyncDir(fl.dir)
+	fl.st.fs.SyncDir(fl.dir)
 }
 
 // close flushes (and with sync, fsyncs) the WAL and closes the file.
@@ -533,6 +578,16 @@ func (fl *Filter) closeLocked(sync bool) error {
 	fl.walMu.Lock()
 	defer fl.walMu.Unlock()
 	if fl.walBW == nil {
+		return nil
+	}
+	if fl.isDegraded() {
+		// The tail is poisoned; flushing or fsyncing it again would just
+		// fail (or worse, appear to succeed without meaning durability).
+		err := fl.walF.Close()
+		fl.walF, fl.walBW = nil, nil
+		if err != nil {
+			return fmt.Errorf("store: closing degraded %q: %w", fl.name, err)
+		}
 		return nil
 	}
 	err := fl.walBW.Flush()

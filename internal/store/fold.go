@@ -291,8 +291,9 @@ func (fl *Filter) Fold() error {
 	case errors.Is(err, ErrFoldUnavailable):
 		m.FoldsAbortedUnavailable.Inc()
 		bg.End()
-	case errors.Is(err, ErrClosed):
-		// Shutdown, not an abort worth alerting on.
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDegraded):
+		// Shutdown or a degraded filter: not an abort worth alerting on
+		// (degradation already fired its own transition metrics and log).
 	default:
 		m.FoldsAbortedError.Inc()
 		bg.End()
@@ -303,6 +304,11 @@ func (fl *Filter) Fold() error {
 func (fl *Filter) fold(traceID trace.ID) error {
 	fl.ckptMu.Lock()
 	defer fl.ckptMu.Unlock()
+	if err := fl.rejectIfDegraded(); err != nil {
+		// A fold must append its Fold record, which the poisoned log
+		// cannot take; don't waste the replay work.
+		return err
+	}
 
 	// Phase 1: pin the durable prefix and replay it into a fresh filter
 	// with writers running.

@@ -37,6 +37,15 @@ type Metrics struct {
 	FoldsAbortedUnavailable obs.Counter
 	FoldsAbortedError       obs.Counter
 	LastFoldSeconds         obs.Gauge
+	// Degraded-mode accounting (see degraded.go): WALPoisoned counts
+	// transitions into degraded read-only mode, WritesRejected counts
+	// mutations refused while degraded, RearmRetries failed re-arm
+	// probes, Rearms successful recoveries. The degraded-filter gauge is
+	// scrape-time (Store.DegradedCount), not a handle here.
+	WALPoisoned    obs.Counter
+	WritesRejected obs.Counter
+	RearmRetries   obs.Counter
+	Rearms         obs.Counter
 }
 
 // initMetrics builds the histogram handles; called once in Open before

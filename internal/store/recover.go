@@ -115,6 +115,14 @@ func (s *Store) recoverFilter(name, dir string) (*Filter, error) {
 	lastSeq := ckptSeq
 	dropped, broken := false, false
 	for _, wf := range wals {
+		if broken && walStartsWithSnapshot(wf.path) {
+			// A fresh log opened by a re-arm after a poisoned one: its first
+			// record carries a full snapshot, so it is self-contained and
+			// anchors replay past the torn tail behind it. Without this, a
+			// crash before the poisoned file was retired would discard the
+			// re-armed log — and every write acked after recovery.
+			broken = false
+		}
 		if dropped || broken {
 			// Beyond the recovery point: records here would leave a
 			// sequence gap, so they cannot be applied.
@@ -211,7 +219,7 @@ func (s *Store) recoverFilter(name, dir string) (*Filter, error) {
 
 	if dropped {
 		os.RemoveAll(dir)
-		fsyncDir(s.dir)
+		s.fs.SyncDir(s.dir)
 		return nil, nil
 	}
 	if sf == nil {
@@ -238,6 +246,23 @@ func (s *Store) recoverFilter(name, dir string) (*Filter, error) {
 		return nil, err
 	}
 	return fl, nil
+}
+
+// walStartsWithSnapshot reports whether the file's first intact record
+// is snapshot-bearing (Create, Restore, or Fold): such a log is
+// self-contained and can anchor replay even when earlier history is
+// torn or missing.
+func walStartsWithSnapshot(path string) bool {
+	var typ byte
+	n := 0
+	_, _, _, err := scanWALFile(path, func(rec walRecord) error {
+		typ, n = rec.typ, n+1
+		return errStopReplay
+	})
+	if err != nil || n == 0 {
+		return false
+	}
+	return typ == recCreate || typ == recRestore || typ == recFold
 }
 
 // replayBatch applies an InsertBatch record row by row, reporting false

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"ccf/internal/fault"
 )
 
 // Segment file layout (little-endian):
@@ -52,7 +54,7 @@ func parseSegFileName(name string) (uint64, bool) {
 // writeSegment durably writes one checkpoint segment: build the envelope,
 // write it to a temp file, fsync, rename into place, and fsync the
 // directory so the rename itself survives a crash.
-func writeSegment(dir, name string, gen, seq uint64, payload []byte) (string, error) {
+func writeSegment(fs fault.FS, dir, name string, gen, seq uint64, payload []byte) (string, error) {
 	buf := make([]byte, 0, segHeaderSize+len(name)+len(payload)+4)
 	buf = appendU32(buf, segMagic)
 	buf = appendU32(buf, segVersion)
@@ -66,15 +68,15 @@ func writeSegment(dir, name string, gen, seq uint64, payload []byte) (string, er
 
 	path := filepath.Join(dir, segFileName(gen))
 	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, buf); err != nil {
-		os.Remove(tmp)
+	if err := writeFileSync(fs, tmp, buf); err != nil {
+		fs.Remove(tmp)
 		return "", err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return "", err
 	}
-	if err := fsyncDir(dir); err != nil {
+	if err := fs.SyncDir(dir); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -127,22 +129,22 @@ type manifest struct {
 
 const manifestName = "MANIFEST"
 
-func writeManifest(dir string, m manifest) error {
+func writeManifest(fs fault.FS, dir string, m manifest) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	path := filepath.Join(dir, manifestName)
 	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
-		os.Remove(tmp)
+	if err := writeFileSync(fs, tmp, append(data, '\n')); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
-	return fsyncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 func readManifest(dir string) (manifest, error) {
@@ -161,8 +163,8 @@ func readManifest(dir string) (manifest, error) {
 }
 
 // writeFileSync writes data to path and fsyncs it before closing.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeFileSync(fs fault.FS, path string, data []byte) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -175,19 +177,6 @@ func writeFileSync(path string, data []byte) error {
 		return err
 	}
 	return f.Close()
-}
-
-// fsyncDir flushes directory metadata (new files, renames) to disk.
-func fsyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }
 
 // filterDirName maps a filter name to its directory. The "f-" prefix plus

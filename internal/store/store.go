@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccf/internal/fault"
 	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 )
@@ -82,18 +83,27 @@ type Options struct {
 	// fold) and the per-phase spans of traced mutations. Nil disables
 	// tracing; every span call is nil-safe.
 	Tracer *trace.Tracer
+	// FS is the filesystem the store writes through. Nil means the real
+	// one; tests and the -fault-schedule dev flag wrap it with
+	// fault.Injected to rehearse disk failures.
+	FS fault.FS
+	// RearmMin / RearmMax bound the exponential backoff of the re-arm
+	// probe that restores write availability after a filter degrades.
+	// Zero means 250ms / 5s.
+	RearmMin time.Duration
+	RearmMax time.Duration
 }
 
 // RecoveryStats summarizes what Open found on disk.
 type RecoveryStats struct {
-	Filters         int           `json:"filters"`
-	SegmentsLoaded  int           `json:"segments_loaded"`
-	SegmentsBad     int           `json:"segments_bad"`
-	WALFiles        int           `json:"wal_files"`
-	RecordsReplayed int           `json:"records_replayed"`
-	RecordsSkipped  int           `json:"records_skipped"`
-	TornTails       int           `json:"torn_tails"`
-	ReplayErrors    int           `json:"replay_errors"`
+	Filters         int `json:"filters"`
+	SegmentsLoaded  int `json:"segments_loaded"`
+	SegmentsBad     int `json:"segments_bad"`
+	WALFiles        int `json:"wal_files"`
+	RecordsReplayed int `json:"records_replayed"`
+	RecordsSkipped  int `json:"records_skipped"`
+	TornTails       int `json:"torn_tails"`
+	ReplayErrors    int `json:"replay_errors"`
 	// Unrecoverable counts filter directories Open had to skip entirely
 	// (no valid segment and no Create record). They are kept on disk for
 	// inspection; /readyz surfaces this count.
@@ -107,6 +117,7 @@ type RecoveryStats struct {
 type Store struct {
 	opts Options
 	dir  string // <Options.Dir>/filters
+	fs   fault.FS
 
 	// catalogMu serializes create/drop/restore so directory renames and
 	// map updates cannot interleave.
@@ -148,6 +159,18 @@ func Open(opts Options) (*Store, error) {
 	if opts.CheckpointRecords == 0 {
 		opts.CheckpointRecords = 1 << 20
 	}
+	if opts.FS == nil {
+		opts.FS = fault.OS
+	}
+	if opts.RearmMin <= 0 {
+		opts.RearmMin = 250 * time.Millisecond
+	}
+	if opts.RearmMax < opts.RearmMin {
+		opts.RearmMax = 5 * time.Second
+		if opts.RearmMax < opts.RearmMin {
+			opts.RearmMax = opts.RearmMin
+		}
+	}
 	dir := filepath.Join(opts.Dir, "filters")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -155,6 +178,7 @@ func Open(opts Options) (*Store, error) {
 	s := &Store{
 		opts:    opts,
 		dir:     dir,
+		fs:      opts.FS,
 		filters: make(map[string]*Filter),
 		ckptCh:  make(chan *Filter, 64),
 		foldCh:  make(chan *Filter, 16),
@@ -171,9 +195,10 @@ func Open(opts Options) (*Store, error) {
 		End()
 	s.publishList()
 	s.stats.Duration = time.Since(start)
-	s.wg.Add(2)
+	s.wg.Add(3)
 	go s.flushLoop()
 	go s.checkpointLoop()
+	go s.rearmLoop()
 	return s, nil
 }
 
@@ -263,7 +288,7 @@ func (s *Store) createLocked(name string, snap []byte, sf *shard.ShardedFilter) 
 		fl.closeLocked(false)
 		return nil, err
 	}
-	if err := fsyncDir(s.dir); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		fl.closeLocked(false)
 		return nil, err
 	}
@@ -305,10 +330,10 @@ func (s *Store) dropLocked(fl *Filter) error {
 	fl.barrier.Unlock()
 	tomb := fl.dir + ".dropped"
 	os.RemoveAll(tomb)
-	if err := os.Rename(fl.dir, tomb); err != nil {
+	if err := s.fs.Rename(fl.dir, tomb); err != nil {
 		return err
 	}
-	if err := fsyncDir(s.dir); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return err
 	}
 	return os.RemoveAll(tomb)
@@ -389,6 +414,9 @@ func (s *Store) flushLoop() {
 			return
 		case <-t.C:
 			for _, fl := range *s.flist.Load() {
+				if fl.isDegraded() {
+					continue // nothing in the poisoned tail can become durable
+				}
 				var err error
 				switch s.opts.Fsync {
 				case FsyncInterval:
@@ -415,7 +443,7 @@ func (s *Store) checkpointLoop() {
 			return
 		case fl := <-s.ckptCh:
 			fl.ckptPending.Store(false)
-			if err := fl.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+			if err := fl.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrDegraded) {
 				s.logf("store: checkpoint of %q failed: %v", fl.name, err)
 			}
 		case fl := <-s.foldCh:

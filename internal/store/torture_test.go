@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ccf/internal/core"
+	"ccf/internal/fault"
 	"ccf/internal/shard"
 )
 
@@ -373,5 +374,121 @@ func TestUnrecoverableDirIsSkipped(t *testing.T) {
 	}
 	if len(logged) == 0 || !strings.Contains(strings.Join(logged, " "), "skipping") {
 		t.Fatalf("expected a skip log line, got %q", logged)
+	}
+}
+
+// TestENOSPCMidCheckpointScheduled drives checkpoint failures with
+// scheduled fault injection instead of post-hoc corruption: an injected
+// rename (or directory-fsync) failure mid-checkpoint must leave the
+// previous MANIFEST generation intact and the filter healthy and
+// writable — checkpoint I/O errors never poison the WAL — and the next
+// successful checkpoint advances the manifest and cleans up any tmp
+// leftovers.
+func TestENOSPCMidCheckpointScheduled(t *testing.T) {
+	cases := []struct {
+		name string
+		// The schedules count only this case's calls; see the comments.
+		spec string
+		// wantLeftover is the tmp file the failed checkpoint strands
+		// (empty when the failure hits after the tmp was renamed away).
+		wantLeftover bool
+	}{
+		// Segment renames: #1 is checkpoint 1 (succeeds), #2 is
+		// checkpoint 2 (fails EIO). remove@.tmp:1 blocks writeSegment's
+		// own error-path cleanup so the .tmp leftover stays for the next
+		// checkpoint to collect.
+		{"rename", "rename@.ccseg:2:eio; remove@.tmp:1:eio", true},
+		// Filter-dir fsyncs: #1 create's openWAL, #2-#5 checkpoint 1
+		// (rotate, segment, manifest, cleanup), #6 checkpoint 2's rotate,
+		// #7 checkpoint 2's segment dir-fsync (fails).
+		{"dirsync", "dirsync@f-:7:eio", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched, err := fault.Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root := t.TempDir()
+			st := openStore(t, root, Options{
+				Fsync: FsyncAlways, FS: fault.New(fault.OS, sched),
+				CheckpointBytes: -1, CheckpointRecords: -1,
+			})
+			fl, err := st.Create("t", newFilterWith(t, tinyShardOpts()))
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			ops := makeOps(40)
+			applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[:20])
+			if err := fl.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint 1: %v", err)
+			}
+			applyOps(t, func(o op) error { return fl.Insert(o.key, o.attrs) }, ops[20:])
+
+			if err := fl.Checkpoint(); err == nil {
+				t.Fatal("checkpoint 2 should fail under the fault schedule")
+			}
+			if sched.Injected() == 0 {
+				t.Fatal("fault schedule never fired")
+			}
+			// Checkpoint failures must not degrade the filter: the WAL is
+			// intact and writes keep flowing.
+			if n := st.DegradedCount(); n != 0 {
+				t.Fatalf("checkpoint failure degraded the filter (%d degraded)", n)
+			}
+			if err := fl.Insert(999, []uint64{1, 1}); err != nil {
+				t.Fatalf("insert after failed checkpoint: %v", err)
+			}
+			man, err := readManifest(fl.dir)
+			if err != nil {
+				t.Fatalf("manifest unreadable after failed checkpoint: %v", err)
+			}
+			if man.Gen != 1 {
+				t.Fatalf("manifest generation moved to %d despite failed checkpoint", man.Gen)
+			}
+			if tc.wantLeftover {
+				if _, err := os.Stat(filepath.Join(fl.dir, segFileName(2)+".tmp")); err != nil {
+					t.Fatalf("expected stranded segment tmp: %v", err)
+				}
+			}
+			fdir := fl.dir
+			if err := st.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			// Recovery from the failed-checkpoint state answers from the
+			// previous generation plus WAL replay; the next checkpoint (no
+			// faults now) advances the manifest and sweeps tmp leftovers.
+			st2 := openStore(t, root, Options{Fsync: FsyncAlways,
+				CheckpointBytes: -1, CheckpointRecords: -1})
+			defer st2.Close()
+			fl2 := st2.Get("t")
+			if fl2 == nil {
+				t.Fatal("filter missing after reopen")
+			}
+			ref := referenceWith(t, tinyShardOpts(), ops, len(ops))
+			ref.Insert(999, []uint64{1, 1})
+			allOps := append(append([]op(nil), ops...), op{key: 999, attrs: []uint64{1, 1}})
+			assertSameAnswers(t, fl2.Live(), ref, allOps)
+			if err := fl2.Checkpoint(); err != nil {
+				t.Fatalf("post-recovery checkpoint: %v", err)
+			}
+			man2, err := readManifest(fdir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man2.Gen <= 1 {
+				t.Fatalf("post-recovery checkpoint did not advance manifest (gen %d)", man2.Gen)
+			}
+			entries, err := os.ReadDir(fdir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if filepath.Ext(e.Name()) == ".tmp" {
+					t.Fatalf("tmp leftover %s survived a successful checkpoint", e.Name())
+				}
+			}
+		})
 	}
 }
