@@ -8,6 +8,8 @@
 //	ccfbench -validate-metrics http://127.0.0.1:8437/metrics
 //	ccfbench -trace-report BENCH_serve.json
 //	ccfbench -overload-report BENCH_serve.json
+//	ccfbench -protocol-report BENCH_serve.json
+//	ccfbench -wire-check 127.0.0.1:8438 [-wire-http http://127.0.0.1:8437]
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 aggregate all. Output is printed as aligned text tables; see
@@ -34,6 +36,17 @@
 // written by `ccfd bench overload`: goodput, shed rate and success
 // latency tails under offered load past capacity, with admission
 // control off versus on.
+//
+// -protocol-report reads the same file and prints the daemon protocol
+// passes (`ccfd bench -protocols`): the per-key cost of JSON over HTTP
+// versus binary frames over HTTP and raw TCP, with speedups against the
+// JSON baseline. Every report warns when all committed records came
+// from a single-core host.
+//
+// -wire-check round-trips the binary wire protocol against a running
+// daemon's raw-TCP listener (insert, closed-loop query, pipelined
+// queries) and optionally cross-checks the content-negotiated HTTP
+// binary path — CI's wire-protocol smoke check.
 package main
 
 import (
@@ -89,6 +102,11 @@ func main() {
 	validateMetricsURL := flag.String("validate-metrics", "", "scrape this /metrics URL, fail on malformed exposition or missing families, and exit")
 	traceReportPath := flag.String("trace-report", "", "print the phase-attribution report from this BENCH_serve.json and exit")
 	overloadReportPath := flag.String("overload-report", "", "print the overload/admission-control report from this BENCH_serve.json and exit")
+	protocolReportPath := flag.String("protocol-report", "", "print the JSON-vs-binary wire protocol report from this BENCH_serve.json and exit")
+	wireCheckAddr := flag.String("wire-check", "", "round-trip the binary wire protocol against this host:port (raw TCP) and exit")
+	wireCheckHTTP := flag.String("wire-http", "", "with -wire-check, also cross-check binary frames on this HTTP base URL (e.g. http://127.0.0.1:8437)")
+	wireCheckFilter := flag.String("wire-filter", "smoke", "filter name for -wire-check")
+	wireCheckAttrs := flag.Int("wire-attrs", 2, "attribute count of the -wire-check filter")
 	probeEngine := flag.String("probe-engine", "auto", "batch probe engine: auto, scalar, or an explicit kernel name (avx2, neon)")
 	flag.Usage = usage
 	flag.Parse()
@@ -114,6 +132,20 @@ func main() {
 	}
 	if *overloadReportPath != "" {
 		if err := overloadReport(os.Stdout, *overloadReportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *protocolReportPath != "" {
+		if err := protocolReport(os.Stdout, *protocolReportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *wireCheckAddr != "" {
+		if err := wireCheck(os.Stdout, *wireCheckAddr, *wireCheckHTTP, *wireCheckFilter, *wireCheckAttrs); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: %v\n", err)
 			os.Exit(1)
 		}

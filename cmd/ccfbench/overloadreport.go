@@ -38,6 +38,7 @@ func overloadReport(w io.Writer, path string) error {
 	if err := json.Unmarshal(data, &records); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	warnSingleCore(w, data)
 	found := 0
 	for _, r := range records {
 		if r.Op != "overload" {

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// protoRecord is the slice of a BENCH_serve.json record the protocol
+// report needs; the daemon passes are written by `ccfd bench` with
+// -protocols.
+type protoRecord struct {
+	Op        string  `json:"op"`
+	Impl      string  `json:"impl"`
+	Protocol  string  `json:"protocol"`
+	Transport string  `json:"transport"`
+	Shards    int     `json:"shards"`
+	Batch     int     `json:"batch"`
+	Cores     int     `json:"cores"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	QPS       float64 `json:"qps"`
+}
+
+// protocolReport reads a BENCH_serve.json and prints the daemon
+// protocol passes: per-key cost of the same query workload as JSON over
+// HTTP versus binary frames over HTTP and raw TCP, with each row's
+// speedup against the JSON baseline at the same batch size. The ×
+// column is the wire format's headline: how much of the daemon tax was
+// serialization rather than serving.
+func protocolReport(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var records []protoRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var rows []protoRecord
+	base := map[int]float64{} // batch → json/http ns/key
+	for _, r := range records {
+		if r.Protocol == "" {
+			continue
+		}
+		rows = append(rows, r)
+		if r.Protocol == "json" {
+			base[r.Batch] = r.NsPerOp
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%s: no protocol records (run `ccfd bench` with -protocols)", path)
+	}
+	warnSingleCore(w, data)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Batch != rows[j].Batch {
+			return rows[i].Batch < rows[j].Batch
+		}
+		return rows[i].NsPerOp > rows[j].NsPerOp
+	})
+	fmt.Fprintf(w, "%-9s %-14s %6s %7s %12s %14s %8s\n",
+		"protocol", "transport", "batch", "shards", "ns/key", "qps", "vs json")
+	for _, r := range rows {
+		speedup := "-"
+		if b, ok := base[r.Batch]; ok && r.NsPerOp > 0 {
+			speedup = fmt.Sprintf("%.2fx", b/r.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-9s %-14s %6d %7d %12.1f %14.0f %8s\n",
+			r.Protocol, r.Transport, r.Batch, r.Shards, r.NsPerOp, r.QPS, speedup)
+	}
+	return nil
+}
+
+// warnSingleCore prints a banner when every committed record came from a
+// single-core host: the protocol and contention numbers then measure
+// scheduling on one CPU, and the multi-core gap is not yet on record.
+// It takes the raw BENCH_serve.json bytes so every report command can
+// share it regardless of which record slice it parses.
+func warnSingleCore(w io.Writer, data []byte) {
+	var records []struct {
+		Cores int `json:"cores"`
+	}
+	if json.Unmarshal(data, &records) != nil || len(records) == 0 {
+		return
+	}
+	max := 0
+	for _, r := range records {
+		if r.Cores > max {
+			max = r.Cores
+		}
+	}
+	if max <= 1 {
+		fmt.Fprintf(w, "WARNING: every committed record is from a 1-core host; "+
+			"concurrency and protocol deltas understate multi-core behavior — "+
+			"re-run `ccfd bench` on a >=4-core machine and commit the records\n")
+	}
+}

@@ -40,6 +40,7 @@ func traceReport(w io.Writer, path string) error {
 	if err := json.Unmarshal(data, &records); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	warnSingleCore(w, data)
 	found := 0
 	for _, r := range records {
 		if len(r.PhaseAttribution) == 0 {

@@ -14,16 +14,19 @@ import (
 // expose — one per instrumented layer. CI's obs-smoke fails when any is
 // missing, so a refactor cannot silently drop a layer's instrumentation.
 var requiredFamilies = []string{
-	"ccfd_http_requests_total",   // server
-	"ccfd_http_request_seconds",  // server latency
-	"ccfd_insert_rows_total",     // row-status accounting
-	"ccfd_wal_append_bytes_total", // store WAL
-	"ccfd_wal_fsync_seconds",     // store fsync latency
-	"ccfd_folds_scheduled_total", // fold scheduling
-	"ccfd_recovery_filters",      // boot recovery
-	"ccfd_probe_engine_info",     // active batch probe kernel
-	"ccfd_traces_slow_total",     // flight recorder
-	"ccfd_trace_phase_seconds",   // per-phase latency attribution
+	"ccfd_http_requests_total",        // server
+	"ccfd_http_request_seconds",       // server latency
+	"ccfd_insert_rows_total",          // row-status accounting
+	"ccfd_wal_append_bytes_total",     // store WAL
+	"ccfd_wal_fsync_seconds",          // store fsync latency
+	"ccfd_folds_scheduled_total",      // fold scheduling
+	"ccfd_recovery_filters",           // boot recovery
+	"ccfd_probe_engine_info",          // active batch probe kernel
+	"ccfd_traces_slow_total",          // flight recorder
+	"ccfd_trace_phase_seconds",        // per-phase latency attribution
+	"ccfd_requests_by_protocol_total", // wire-vs-JSON traffic split
+	"ccfd_wire_request_seconds",       // raw-TCP wire latency
+	"ccfd_wire_requests_total",        // raw-TCP wire outcomes by class
 }
 
 // validateMetrics scrapes url, checks the body is well-formed Prometheus

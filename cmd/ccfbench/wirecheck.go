@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ccf/internal/wire"
+)
+
+// wireCheck is CI's binary-protocol smoke client: it round-trips the
+// daemon's wire protocol end to end and fails on any disagreement, so a
+// frame-layout or content-negotiation regression cannot ship behind
+// passing JSON tests. Against the raw-TCP listener at addr it inserts a
+// batch, queries it back closed-loop, then pipelined; when httpBase is
+// non-empty it replays the same query as a binary frame on the HTTP
+// endpoint (Content-Type negotiation) and cross-checks the bitmap. Only
+// no-false-negatives is asserted — inserted keys must all come back
+// true — because absent keys may legitimately collide.
+func wireCheck(w io.Writer, addr, httpBase, filter string, numAttrs int) error {
+	const n = 64
+	keys := make([]uint64, n)
+	attrs := make([]uint64, 0, n*numAttrs)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 99
+		for a := 0; a < numAttrs; a++ {
+			attrs = append(attrs, uint64(i%(a+3)))
+		}
+	}
+
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("wire-check: dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	ins, err := c.Insert(filter, keys, attrs, numAttrs)
+	if err != nil {
+		return fmt.Errorf("wire-check: insert: %w", err)
+	}
+	if ins.Rows != n {
+		return fmt.Errorf("wire-check: insert acked %d rows, sent %d", ins.Rows, n)
+	}
+	res, err := c.Query(filter, nil, keys, false)
+	if err != nil {
+		return fmt.Errorf("wire-check: query: %w", err)
+	}
+	for i, ok := range res {
+		if !ok {
+			return fmt.Errorf("wire-check: false negative: inserted key %d absent", keys[i])
+		}
+	}
+	// Pipelined: the same batch queried several times in one flight;
+	// every response must line up with its request.
+	const depth = 4
+	for i := 0; i < depth; i++ {
+		c.SendQuery(filter, nil, keys, false)
+	}
+	if err := c.Flush(); err != nil {
+		return fmt.Errorf("wire-check: flush: %w", err)
+	}
+	for i := 0; i < depth; i++ {
+		r, err := c.RecvResult()
+		if err != nil {
+			return fmt.Errorf("wire-check: pipelined recv %d: %w", i, err)
+		}
+		if r.N != n {
+			return fmt.Errorf("wire-check: pipelined response %d: %d results for %d keys", i, r.N, n)
+		}
+	}
+
+	if httpBase != "" {
+		frame := wire.AppendQuery(nil, filter, nil, keys, false)
+		url := httpBase + "/filters/" + filter + "/query"
+		resp, err := http.Post(url, wire.ContentType, bytes.NewReader(frame))
+		if err != nil {
+			return fmt.Errorf("wire-check: http: %w", err)
+		}
+		defer resp.Body.Close()
+		var buf wire.Buffer
+		op, payload, err := wire.ReadFrame(resp.Body, &buf, 0)
+		if err != nil {
+			return fmt.Errorf("wire-check: http frame: %w", err)
+		}
+		if op == wire.OpError {
+			e, _ := wire.DecodeError(payload)
+			return fmt.Errorf("wire-check: http: %v", e)
+		}
+		r, err := wire.DecodeResult(payload)
+		if err != nil {
+			return fmt.Errorf("wire-check: http result: %w", err)
+		}
+		if r.N != n {
+			return fmt.Errorf("wire-check: http: %d results for %d keys", r.N, n)
+		}
+		for i := range keys {
+			if r.Bit(i) != res[i] {
+				return fmt.Errorf("wire-check: http and tcp disagree on key %d", keys[i])
+			}
+		}
+	}
+	fmt.Fprintf(w, "ccfbench: wire-check %s ok: %d rows inserted, %d keys verified closed-loop, %d pipelined responses%s\n",
+		addr, n, n, depth, map[bool]string{true: ", http binary path cross-checked", false: ""}[httpBase != ""])
+	return nil
+}

@@ -79,6 +79,12 @@ type BenchResult struct {
 	P99Ns      float64 `json:"p99_ns,omitempty"`
 	P999Ns     float64 `json:"p999_ns,omitempty"`
 
+	// Protocol pass (impl "daemon", `-protocols`): the same query replay
+	// through a real in-process daemon, so the JSON-vs-binary wire tax is
+	// a committed record rather than folklore. ns_per_op stays per key.
+	Protocol  string `json:"protocol,omitempty"`  // json | binary
+	Transport string `json:"transport,omitempty"` // http | tcp | tcp-pipelined
+
 	// Tracing pass (impl "sharded+trace"): TraceOverheadNs is the added
 	// wall cost per request (batch) of carrying an enabled-but-unsampled
 	// trace context through the probe path versus the untraced loop;
@@ -112,6 +118,9 @@ type benchConfig struct {
 	// metrics folds scraped metric summaries (seqlock retries/fallbacks,
 	// fsync latency, WAL bytes) into the records.
 	metrics bool
+	// protocols, when non-empty, adds daemon passes replaying the query
+	// workload over the listed wire protocols (json, binary).
+	protocols string
 }
 
 func benchCmd(args []string) error {
@@ -130,6 +139,7 @@ func benchCmd(args []string) error {
 	contendedClients := fs.Int("contended-clients", 4, "goroutines for the contended read/write pass (0 = skip)")
 	readFrac := fs.Float64("read-frac", 0.95, "fraction of read batches in the contended pass")
 	metrics := fs.Bool("metrics", true, "scrape the pass's metrics before/after and fold seqlock-retry and fsync-latency summaries into the records")
+	protocols := fs.String("protocols", "json,binary", "comma-separated wire protocols for the daemon pass (json, binary; empty = skip)")
 	probeEngine := fs.String("probe-engine", "auto", "batch probe engine: auto, scalar, or an explicit kernel name (avx2, neon)")
 	fs.Parse(args)
 
@@ -167,7 +177,7 @@ func benchCmd(args []string) error {
 		variant: variant, alpha: *alpha, clients: nClients, seed: *seed,
 		durableFsync: *durableFsync, durableDir: *durableDir,
 		contendedClients: *contendedClients, readFrac: *readFrac,
-		metrics: *metrics,
+		metrics: *metrics, protocols: *protocols,
 	}
 	results, err := runBench(cfg, os.Stdout)
 	if err != nil {
@@ -318,6 +328,19 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 		}
 	}
 
+	// Protocol mode: the query workload replayed against a real in-process
+	// daemon (HTTP + raw-TCP wire listener) per protocol, at the highest
+	// configured shard count, so BENCH_serve.json carries the
+	// serialization-and-transport tax next to the in-process bound.
+	if strings.TrimSpace(cfg.protocols) != "" {
+		n := cfg.shards[len(cfg.shards)-1]
+		pr, err := benchProtocols(cfg, params, n, keys, attrs, workload, mkResult)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, pr...)
+	}
+
 	// Durable mode: the same batched insert through the store's WAL, so
 	// BENCH_serve.json records what durability costs on the write path.
 	if cfg.durableFsync != "" && cfg.durableFsync != "off" {
@@ -346,6 +369,9 @@ func runBench(cfg benchConfig, w io.Writer) ([]BenchResult, error) {
 			mode := r.Fsync
 			if r.Clients > 0 {
 				mode = fmt.Sprintf("%dc/%.0f%%r", r.Clients, r.ReadFrac*100)
+			}
+			if r.Protocol != "" {
+				mode = r.Protocol + "/" + r.Transport
 			}
 			fmt.Fprintf(w, "%-7s %-13s %-8s %7d %6d %12.1f %14.0f %12.4f %12.1f %-10s\n",
 				r.Op, r.Impl, r.Variant, r.Shards, r.Batch, r.NsPerOp, r.QPS,

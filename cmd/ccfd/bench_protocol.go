@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"ccf/internal/core"
+	"ccf/internal/server"
+	"ccf/internal/shard"
+	"ccf/internal/wire"
+)
+
+// wirePipelineDepth is the request window the pipelined TCP pass keeps in
+// flight — deep enough to hide one round trip behind the next without
+// modelling an unrealistically patient client.
+const wirePipelineDepth = 16
+
+// benchProtocols measures the daemon tax per protocol: the same query
+// workload replayed against a real in-process daemon (HTTP server plus
+// raw-TCP wire listener over one registry, admission off) as JSON over
+// HTTP, binary frames over HTTP, and binary frames over the persistent
+// TCP listener both closed-loop and pipelined. ns/op stays per key, so
+// these records read directly against the in-process sharded pass: the
+// gap is serialization plus transport, and the binary-vs-JSON delta at
+// equal transport is the wire format's win alone.
+func benchProtocols(cfg benchConfig, params core.Params, shards int,
+	keys []uint64, attrs [][]uint64, workload []uint64,
+	mkResult func(op, impl string, shards, batch, ops int, m measurement) BenchResult) ([]BenchResult, error) {
+	reg := server.NewRegistry(0)
+	e, err := reg.Create("bench", shard.Options{Shards: shards, Workers: 1, Params: params}, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, err := range e.Filter().InsertBatch(keys, attrs) {
+		if err != nil {
+			return nil, fmt.Errorf("protocol preload %d: %w", i, err)
+		}
+	}
+	api := server.NewServer(reg, server.HandlerOptions{})
+
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: api.Handler()}
+	go hsrv.Serve(hln)
+	defer hsrv.Close()
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go api.ServeWire(wln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		api.ShutdownWire(ctx)
+	}()
+
+	httpURL := "http://" + hln.Addr().String() + "/filters/bench/query"
+	jsonPred := []server.CondJSON{{Attr: 0, Values: []uint64{1}}}
+	wirePred := []wire.Cond{{Attr: 0, Values: []uint64{1}}}
+
+	// Batch 64 is the small-batch protocol-tax point the wire format
+	// targets; cfg.batch (default 1024) shows the amortized end.
+	batches := []int{64, cfg.batch}
+	if cfg.batch == batches[0] {
+		batches = batches[:1]
+	}
+
+	type pass struct {
+		protocol  string
+		transport string
+		run       func(batch int) (time.Duration, error)
+	}
+
+	httpClient := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	defer httpClient.CloseIdleConnections()
+
+	// replay walks the workload in batch-sized windows.
+	replay := func(batch int, fn func(b []uint64) error) (time.Duration, error) {
+		start := time.Now()
+		for lo := 0; lo < len(workload); lo += batch {
+			end := lo + batch
+			if end > len(workload) {
+				end = len(workload)
+			}
+			if err := fn(workload[lo:end]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	jsonHTTP := func(batch int) (time.Duration, error) {
+		var resp server.QueryResponse
+		return replay(batch, func(b []uint64) error {
+			body, err := json.Marshal(server.QueryRequest{Keys: b, Predicate: jsonPred})
+			if err != nil {
+				return err
+			}
+			res, err := httpClient.Post(httpURL, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(res.Body)
+				return fmt.Errorf("json query: %s: %s", res.Status, msg)
+			}
+			resp.Results = resp.Results[:0]
+			if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+				return err
+			}
+			if len(resp.Results) != len(b) {
+				return fmt.Errorf("json query: %d results for %d keys", len(resp.Results), len(b))
+			}
+			return nil
+		})
+	}
+
+	var frame []byte
+	var rbuf wire.Buffer
+	binHTTP := func(batch int) (time.Duration, error) {
+		return replay(batch, func(b []uint64) error {
+			frame = wire.AppendQuery(frame[:0], "bench", wirePred, b, false)
+			res, err := httpClient.Post(httpURL, wire.ContentType, bytes.NewReader(frame))
+			if err != nil {
+				return err
+			}
+			defer res.Body.Close()
+			op, payload, err := wire.ReadFrame(res.Body, &rbuf, 0)
+			if err != nil {
+				return err
+			}
+			if op == wire.OpError {
+				e, _ := wire.DecodeError(payload)
+				return fmt.Errorf("binary query: %v", e)
+			}
+			r, err := wire.DecodeResult(payload)
+			if err != nil {
+				return err
+			}
+			if r.N != len(b) {
+				return fmt.Errorf("binary query: %d results for %d keys", r.N, len(b))
+			}
+			return nil
+		})
+	}
+
+	binTCP := func(batch int) (time.Duration, error) {
+		c, err := wire.Dial(wln.Addr().String(), 5*time.Second)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		return replay(batch, func(b []uint64) error {
+			res, err := c.Query("bench", wirePred, b, false)
+			if err != nil {
+				return err
+			}
+			if len(res) != len(b) {
+				return fmt.Errorf("tcp query: %d results for %d keys", len(res), len(b))
+			}
+			return nil
+		})
+	}
+
+	binTCPPipelined := func(batch int) (time.Duration, error) {
+		c, err := wire.Dial(wln.Addr().String(), 5*time.Second)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		start := time.Now()
+		sent := make([]int, 0, wirePipelineDepth)
+		drain := func() error {
+			if err := c.Flush(); err != nil {
+				return err
+			}
+			for _, n := range sent {
+				r, err := c.RecvResult()
+				if err != nil {
+					return err
+				}
+				if r.N != n {
+					return fmt.Errorf("pipelined query: %d results for %d keys", r.N, n)
+				}
+			}
+			sent = sent[:0]
+			return nil
+		}
+		for lo := 0; lo < len(workload); lo += batch {
+			end := lo + batch
+			if end > len(workload) {
+				end = len(workload)
+			}
+			c.SendQuery("bench", wirePred, workload[lo:end], false)
+			sent = append(sent, end-lo)
+			if len(sent) == wirePipelineDepth {
+				if err := drain(); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if err := drain(); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	passes := []pass{
+		{"json", "http", jsonHTTP},
+		{"binary", "http", binHTTP},
+		{"binary", "tcp", binTCP},
+		{"binary", "tcp-pipelined", binTCPPipelined},
+	}
+	var results []BenchResult
+	for _, batch := range batches {
+		for _, p := range passes {
+			if !protocolEnabled(cfg.protocols, p.protocol) {
+				continue
+			}
+			var runErr error
+			m := measured(func() time.Duration {
+				d, err := p.run(batch)
+				runErr = err
+				return d
+			})
+			if runErr != nil {
+				return nil, fmt.Errorf("%s/%s batch %d: %w", p.protocol, p.transport, batch, runErr)
+			}
+			r := mkResult("query", "daemon", shards, batch, len(workload), m)
+			r.Protocol = p.protocol
+			r.Transport = p.transport
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// protocolEnabled reports whether the comma-separated -protocols flag
+// includes proto.
+func protocolEnabled(flagVal, proto string) bool {
+	for _, p := range strings.Split(flagVal, ",") {
+		if strings.TrimSpace(p) == proto {
+			return true
+		}
+	}
+	return false
+}

@@ -197,6 +197,7 @@ type serveConfig struct {
 	autoGrow    bool   // default elastic-capacity policy for all filters
 	quiet       bool   // suppress stderr chatter (tests)
 
+	wireAddr    string        // raw-TCP binary wire listener (empty = disabled)
 	metricsAddr string        // also serve /metrics here (empty = main listener only)
 	logFormat   string        // "text" (default) or "json"
 	logLevel    slog.Level    // zero value = Info
@@ -218,7 +219,8 @@ func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8437", "listen address")
 	cache := fs.Int("cache", server.DefaultViewCacheCap, "predicate view-cache capacity per filter")
-	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum HTTP request body bytes (oversize gets 413)")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum HTTP request body / wire frame payload bytes (oversize gets 413 or a too_large error frame)")
+	wireAddr := fs.String("wire-addr", "", "also serve the binary wire protocol on this raw-TCP address (empty = disabled); see the README's Wire protocol section")
 	dataDir := fs.String("data-dir", "", "durable store directory (empty = in-memory only)")
 	fsyncFlag := fs.String("fsync", "interval", "WAL fsync policy: always|interval|never")
 	flushEvery := fs.Duration("fsync-interval", 5*time.Millisecond, "group-commit flush cadence for -fsync interval|never")
@@ -261,6 +263,7 @@ func serveCmd(args []string) error {
 	cfg := serveConfig{
 		cacheCap:    *cache,
 		maxBody:     *maxBody,
+		wireAddr:    *wireAddr,
 		dataDir:     *dataDir,
 		fsync:       policy,
 		flushEvery:  *flushEvery,
@@ -439,16 +442,17 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 	// reads and response writes are all bounded, and idle keep-alives are
 	// reaped. The write timeout comfortably exceeds any -request-timeout,
 	// so the daemon's own deadline (504) fires before the socket's.
+	api := server.NewServer(reg, server.HandlerOptions{
+		MaxBodyBytes: cfg.maxBody,
+		Metrics:      om,
+		Logger:       logger,
+		SlowQuery:    cfg.slowQuery,
+		Health:       health,
+		Tracer:       tracer,
+		Admission:    cfg.admission,
+	})
 	srv := &http.Server{
-		Handler: server.NewHandlerOpts(reg, server.HandlerOptions{
-			MaxBodyBytes: cfg.maxBody,
-			Metrics:      om,
-			Logger:       logger,
-			SlowQuery:    cfg.slowQuery,
-			Health:       health,
-			Tracer:       tracer,
-			Admission:    cfg.admission,
-		}),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      2 * time.Minute,
@@ -456,6 +460,22 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// The binary wire listener shares the HTTP side's admission limiter,
+	// tracer, metrics, and frame core; it drains in the same graceful
+	// shutdown below.
+	var wireErrc chan error
+	if cfg.wireAddr != "" {
+		wln, err := net.Listen("tcp", cfg.wireAddr)
+		if err != nil {
+			srv.Close()
+			<-errc
+			return fmt.Errorf("wire listen: %w", err)
+		}
+		logger.Info("wire protocol serving", "addr", wln.Addr().String())
+		wireErrc = make(chan error, 1)
+		go func() { wireErrc <- api.ServeWire(wln) }()
+	}
 
 	var st *store.Store
 	if cfg.dataDir != "" {
@@ -518,6 +538,14 @@ func serveUntilDone(ctx context.Context, ln net.Listener, cfg serveConfig) error
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if wireErrc != nil {
+		if err := api.ShutdownWire(shutdownCtx); err != nil {
+			logger.Warn("wire shutdown", "err", err.Error())
+		}
+		if err := <-wireErrc; !errors.Is(err, server.ErrWireClosed) {
+			logger.Warn("wire listener", "err", err.Error())
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		if st != nil {
 			st.Close()

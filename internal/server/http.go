@@ -17,6 +17,7 @@ import (
 	"ccf/internal/obs/trace"
 	"ccf/internal/shard"
 	"ccf/internal/store"
+	"ccf/internal/wire"
 )
 
 // DefaultMaxBodyBytes bounds request bodies (batches and snapshots) when
@@ -199,26 +200,23 @@ func NewHandler(reg *Registry) http.Handler {
 }
 
 // NewHandlerOpts is NewHandler with explicit limits and observability
-// hooks. Every endpoint is wrapped with per-endpoint request counters
-// and a latency histogram; the handles are registered once here, so the
-// per-request cost is atomic adds only.
+// hooks — a compatibility wrapper over NewServer for callers that only
+// need the HTTP side. Every endpoint is wrapped with per-endpoint
+// request counters and a latency histogram; the handles are registered
+// once at construction, so the per-request cost is atomic adds only.
 func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
-	maxBody := opts.MaxBodyBytes
-	if maxBody <= 0 {
-		maxBody = DefaultMaxBodyBytes
-	}
-	sm := newServerMetrics(opts.Metrics)
-	lim := newLimiter(opts.Admission)
-	if lim != nil {
-		sm.reg.RegisterGaugeFunc("ccfd_admission_inflight",
-			"Requests holding an admission slot.", func() float64 { return float64(lim.inflight()) })
-		sm.reg.RegisterGaugeFunc("ccfd_admission_queue_depth",
-			"Requests waiting for an admission slot.", func() float64 { return float64(lim.queueDepth()) })
-	}
-	// deadlines gates whether handlers thread the request context into
-	// the batch paths: with no -request-timeout the probe path keeps its
-	// nil-ctx (allocation-free) fast path.
-	deadlines := opts.Admission.RequestTimeout > 0
+	return NewServer(reg, opts).Handler()
+}
+
+// buildMux assembles the HTTP API over the server's shared state. The
+// insert and query endpoints are dual-protocol: a request whose
+// Content-Type is the wire protocol's is served from the binary frame
+// core instead of the JSON decoder, under the same wrap()
+// instrumentation, admission control, and deadlines.
+func (s *Server) buildMux() http.Handler {
+	reg, opts := s.reg, s.opts
+	maxBody, sm, lim := s.maxBody, s.sm, s.lim
+	deadlines := s.deadlines
 	mux := http.NewServeMux()
 	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
 		mux.HandleFunc(pattern, sm.wrap(endpoint, opts.Logger, opts.SlowQuery, opts.Tracer,
@@ -268,6 +266,10 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 	})
 
 	handle("POST /filters/{name}/insert", "insert", func(w http.ResponseWriter, r *http.Request) {
+		if isWire(r) {
+			s.wireHTTP(w, r, wire.OpInsert)
+			return
+		}
 		tr := reqTrace(w)
 		e, ok := lookup(w, r, reg)
 		if !ok {
@@ -344,6 +346,10 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 	})
 
 	handle("POST /filters/{name}/query", "query", func(w http.ResponseWriter, r *http.Request) {
+		if isWire(r) {
+			s.wireHTTP(w, r, wire.OpQuery)
+			return
+		}
 		tr := reqTrace(w)
 		e, ok := lookup(w, r, reg)
 		if !ok {

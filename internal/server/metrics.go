@@ -55,6 +55,17 @@ type serverMetrics struct {
 	shed        map[string]*obs.Counter
 	rateLimited *obs.Counter
 	deadline    *obs.Counter
+	// Per-protocol request counters: JSON vs binary wire, by transport.
+	// The instrumented HTTP endpoints pick json/binary from the request's
+	// Content-Type; the raw-TCP listener counts every frame as
+	// binary/tcp.
+	protoJSONHTTP *obs.Counter
+	protoBinHTTP  *obs.Counter
+	protoBinTCP   *obs.Counter
+	// Raw-TCP wire request instrumentation (the HTTP endpoints keep
+	// their per-endpoint families from wrap).
+	wireLatency *obs.Histogram
+	wireByClass [4]*obs.Counter // 2xx, 3xx, 4xx, 5xx
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -87,6 +98,22 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"Requests rejected by a per-filter rate limit (429).")
 	m.deadline = reg.Counter("ccfd_http_deadline_exceeded_total",
 		"Requests that exceeded the -request-timeout deadline (504).")
+	proto := func(protocol, transport string) *obs.Counter {
+		return reg.Counter("ccfd_requests_by_protocol_total",
+			"Requests by wire protocol and transport.",
+			obs.Label{Key: "protocol", Value: protocol},
+			obs.Label{Key: "transport", Value: transport})
+	}
+	m.protoJSONHTTP = proto("json", "http")
+	m.protoBinHTTP = proto("binary", "http")
+	m.protoBinTCP = proto("binary", "tcp")
+	m.wireLatency = reg.Histogram("ccfd_wire_request_seconds",
+		"Raw-TCP wire request latency.", 1e-9, obs.ExpBounds(50_000, 4, 11))
+	for i, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		m.wireByClass[i] = reg.Counter("ccfd_wire_requests_total",
+			"Raw-TCP wire requests by status class.",
+			obs.Label{Key: "code", Value: class})
+	}
 	return m
 }
 
@@ -155,6 +182,11 @@ func (m *serverMetrics) wrap(endpoint string, logger *slog.Logger, slowQuery tim
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := obs.NextRequestID()
 		start := time.Now()
+		if isWire(r) {
+			m.protoBinHTTP.Inc()
+		} else {
+			m.protoJSONHTTP.Inc()
+		}
 		tr := tracer.StartRequest(r.Header.Get("traceparent"))
 		if tr != nil {
 			w.Header().Set("Traceparent", tr.Traceparent())

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled gates the zero-allocation test assertions: sync.Pool
+// deliberately drops items under the race detector, so pooled scratch
+// lifecycles allocate there by design.
+const raceEnabled = true

@@ -314,6 +314,16 @@ func (r *Registry) put(e *Entry) {
 }
 
 // Get returns the entry registered under name.
+// lookupBytes is Get for a name that still aliases a receive buffer:
+// the map index's string conversion compiles away, so the wire path
+// resolves filters without allocating.
+func (r *Registry) lookupBytes(name []byte) (*Entry, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[string(name)]
+	r.mu.RUnlock()
+	return e, ok
+}
+
 func (r *Registry) Get(name string) (*Entry, bool) {
 	r.mu.RLock()
 	e, ok := r.entries[name]

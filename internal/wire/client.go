@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Client speaks the wire protocol over a single persistent TCP
+// connection. It supports two usage styles:
+//
+//   - Closed-loop: Query / Insert send one request and wait for its
+//     response — the simple RPC shape.
+//   - Pipelined: SendQuery / SendInsert enqueue requests into the write
+//     buffer without waiting; Flush pushes them to the socket; RecvResult
+//     / RecvInserted read responses in request order. Responses on a
+//     connection always arrive in the order requests were sent, so a
+//     windowed client keeps W requests in flight and hides the
+//     round-trip latency that dominates small batches.
+//
+// Client is not safe for concurrent use; use one per goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  Buffer
+	out  []byte
+	res  []bool
+	// MaxFrame caps response payloads (0 means DefaultMaxFrame).
+	MaxFrame int64
+}
+
+// Dial connects a wire client to addr ("host:port").
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (TCP, unix socket, or an
+// in-memory pipe in tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	_ = c.bw.Flush()
+	return c.conn.Close()
+}
+
+// SendQuery enqueues a query frame without flushing. Pair with Flush
+// and RecvResult for pipelined operation.
+func (c *Client) SendQuery(name string, pred []Cond, keys []uint64, viaView bool) {
+	c.out = AppendQuery(c.out[:0], name, pred, keys, viaView)
+	c.bw.Write(c.out)
+}
+
+// SendInsert enqueues an insert frame without flushing. attrs is
+// row-major flattened with numAttrs values per key.
+func (c *Client) SendInsert(name string, keys []uint64, attrs []uint64, numAttrs int) {
+	c.out = AppendInsert(c.out[:0], name, keys, attrs, numAttrs)
+	c.bw.Write(c.out)
+}
+
+// Flush pushes all enqueued frames to the socket.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// recv reads the next response frame, expecting opcode want. An
+// OpError frame is decoded into a *RemoteError and returned as err.
+func (c *Client) recv(want Op) ([]byte, error) {
+	op, payload, err := ReadFrame(c.br, &c.buf, c.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case want:
+		return payload, nil
+	case OpError:
+		re, derr := DecodeError(payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, re
+	default:
+		return nil, fmt.Errorf("%w: unexpected response opcode %s (want %s)", ErrFrame, op, want)
+	}
+}
+
+// RecvResult reads the next response as a query result. The returned
+// Result aliases the client's receive buffer and is valid until the
+// next Recv*/Query/Insert call.
+func (c *Client) RecvResult() (Result, error) {
+	payload, err := c.recv(OpResult)
+	if err != nil {
+		return Result{}, err
+	}
+	return DecodeResult(payload)
+}
+
+// RecvInserted reads the next response as an insert outcome. Statuses
+// aliases the client's receive buffer.
+func (c *Client) RecvInserted() (Inserted, error) {
+	payload, err := c.recv(OpInserted)
+	if err != nil {
+		return Inserted{}, err
+	}
+	return DecodeInserted(payload)
+}
+
+// Query sends one query and waits for the answer, expanding the bitmap
+// into a reused []bool. The result is valid until the next call.
+func (c *Client) Query(name string, pred []Cond, keys []uint64, viaView bool) ([]bool, error) {
+	c.SendQuery(name, pred, keys, viaView)
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	r, err := c.RecvResult()
+	if err != nil {
+		return nil, err
+	}
+	if r.N != len(keys) {
+		return nil, fmt.Errorf("%w: result for %d keys, sent %d", ErrFrame, r.N, len(keys))
+	}
+	c.res = r.Expand(c.res)
+	return c.res, nil
+}
+
+// Insert sends one insert batch and waits for the outcome.
+func (c *Client) Insert(name string, keys []uint64, attrs []uint64, numAttrs int) (Inserted, error) {
+	c.SendInsert(name, keys, attrs, numAttrs)
+	if err := c.Flush(); err != nil {
+		return Inserted{}, err
+	}
+	return c.RecvInserted()
+}
+
+// Ping verifies the peer speaks the protocol by sending a zero-key
+// query for name and reading the response (a result or a typed error
+// both prove protocol agreement; ErrMagic and io errors do not).
+func (c *Client) Ping(name string) error {
+	_, err := c.Query(name, nil, nil, false)
+	if err != nil {
+		if _, ok := err.(*RemoteError); ok {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+var _ io.Closer = (*Client)(nil)
